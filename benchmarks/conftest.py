@@ -1,0 +1,28 @@
+"""Benchmark-suite configuration.
+
+Each benchmark module regenerates one of the paper's tables or figures
+through its experiment driver and asserts the paper's qualitative claims
+on the result.  Scale defaults to the smallest preset that preserves each
+experiment's shape; export ``REPRO_SCALE=full`` to run the paper-sized
+versions (slow).
+"""
+
+import os
+
+import pytest
+
+
+def scale_for(default: str) -> str:
+    return os.environ.get("REPRO_SCALE", default)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a driver exactly once under pytest-benchmark timing."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return _run

@@ -1,0 +1,90 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+These go beyond the paper's figures: they isolate one mechanism each —
+crossbar depopulation, IPOLY hashing, FIFO depth (credit slack), and the
+VC-mux bandwidth halving — and verify its individual effect.
+"""
+
+import pytest
+
+from benchmarks.conftest import scale_for
+from repro.core.params import NetworkConfig
+from repro.manycore import Machine, MachineConfig, build_workload
+from repro.phys.area import router_area
+from repro.sim.simulator import run_synthetic
+
+
+def test_ablation_depopulation_cost_vs_performance(once):
+    """Depopulation: ~40% crossbar area for a few percent throughput."""
+
+    def run():
+        results = {}
+        for name in ("ruche3-depop", "ruche3-pop"):
+            cfg = NetworkConfig.from_name(name, 16, 16)
+            r = run_synthetic(cfg, "uniform_random", 0.5,
+                              warmup=200, measure=400, drain_limit=0)
+            results[name] = {
+                "throughput": r.accepted_throughput,
+                "xbar_area": router_area(cfg).crossbar,
+            }
+        return results
+
+    results = once(run)
+    depop, pop = results["ruche3-depop"], results["ruche3-pop"]
+    area_saving = 1 - depop["xbar_area"] / pop["xbar_area"]
+    perf_loss = 1 - depop["throughput"] / pop["throughput"]
+    assert area_saving > 0.3
+    assert perf_loss < area_saving  # the cost-effectiveness claim
+
+
+def test_ablation_ipoly_vs_modulo_hashing(once):
+    """IPOLY spreads strided panels over banks; modulo concentrates
+    SGEMM's block strides and serializes at hot banks."""
+
+    def run():
+        cycles = {}
+        for hash_fn in ("ipoly", "modulo"):
+            mcfg = MachineConfig(network="mesh", width=8, height=4)
+            wl = build_workload("sgemm", mcfg, block=4, k_panels=3)
+            cycles[hash_fn] = Machine(mcfg, wl, hash_fn=hash_fn).run().cycles
+        return cycles
+
+    cycles = once(run)
+    assert cycles["ipoly"] <= cycles["modulo"] * 1.05
+
+
+@pytest.mark.parametrize("depth", [1, 2, 4])
+def test_ablation_fifo_depth(once, depth):
+    """Depth-2 FIFOs sustain streaming; depth-1 halves link bandwidth
+    (no slack for the registered-full handshake); depth-4 buys little —
+    the paper's 'minimally buffered by two-element FIFOs' choice."""
+
+    def run():
+        cfg = NetworkConfig.from_name("mesh", 8, 8, fifo_depth=depth)
+        return run_synthetic(cfg, "uniform_random", 0.5,
+                             warmup=200, measure=400,
+                             drain_limit=0).accepted_throughput
+
+    throughput = once(run)
+    if depth == 1:
+        assert throughput < 0.25
+    else:
+        assert throughput > 0.25
+
+
+def test_ablation_vc_mux_bandwidth_halving(once):
+    """The Figure 3 insight head-on: a torus with doubled bisection still
+    saturates below a Ruche-One, whose two parallel crossbars keep the
+    full switching bandwidth."""
+
+    def run():
+        sat = {}
+        for name in ("torus", "ruche1"):
+            cfg = NetworkConfig.from_name(name, 16, 16)
+            r = run_synthetic(cfg, "uniform_random", 0.5,
+                              warmup=250, measure=500, drain_limit=0)
+            sat[name] = r.accepted_throughput
+        return sat
+
+    sat = once(run)
+    assert sat["ruche1"] > 1.3 * sat["torus"]

@@ -1,0 +1,23 @@
+"""Figure 10 bench: benchmark speedup over mesh."""
+
+from benchmarks.conftest import scale_for
+from repro.experiments import run_experiment
+
+
+def test_fig10_speedups(once):
+    result = once(run_experiment, "fig10", scale=scale_for("smoke"))
+    geo = {
+        r["config"]: r["speedup_vs_mesh"]
+        for r in result.lookup(benchmark="GEOMEAN")
+    }
+    # Ruche helps overall; ruche2-depop captures most of the gain.
+    assert geo["ruche2-depop"] > 1.03
+    assert geo["ruche3-pop"] >= geo["ruche2-depop"] * 0.97
+    # Half-torus trails the Ruche configs.
+    assert geo["half-torus"] < geo["ruche2-depop"]
+    # SpGEMM's global-atomic hotspot caps its gains (Section 4.6).
+    spgemm = {
+        r["config"]: r["speedup_vs_mesh"]
+        for r in result.lookup(benchmark="spgemm-CA")
+    }
+    assert spgemm["ruche3-pop"] < 1.15

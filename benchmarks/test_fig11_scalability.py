@@ -1,0 +1,19 @@
+"""Figure 11 bench: scalability at 4x the cores."""
+
+from benchmarks.conftest import scale_for
+from repro.experiments import run_experiment
+
+
+def test_fig11_scalability(once):
+    result = once(run_experiment, "fig11", scale=scale_for("smoke"))
+    size = result.rows[0]["size"]
+    geo = {
+        r["config"]: r["scalability"]
+        for r in result.lookup(size=size, benchmark="GEOMEAN")
+    }
+    # Ruche always scales better than mesh; the ceiling is 4x.
+    assert geo["ruche2-depop"] > geo["mesh"]
+    assert geo["ruche3-pop"] >= geo["ruche2-depop"] * 0.95
+    assert all(v <= 4.3 for v in geo.values())
+    # Half-torus scales worse than every Ruche config (Section 4.7).
+    assert geo["half-torus"] < geo["ruche2-depop"]

@@ -1,0 +1,34 @@
+"""Figure 12 bench: remote-load latency decomposition."""
+
+from benchmarks.conftest import scale_for
+from repro.experiments import run_experiment
+from repro.manycore.stats import geomean
+
+
+def test_fig12_latency_decomposition(once):
+    result = once(run_experiment, "fig12", scale=scale_for("smoke"))
+    benchmarks = sorted({r["benchmark"] for r in result.rows})
+
+    def geo_intrinsic(config):
+        return geomean(
+            result.single(benchmark=b, config=config)["intrinsic"]
+            for b in benchmarks
+        )
+
+    def geo_total(config):
+        return geomean(
+            result.single(benchmark=b, config=config)["total"]
+            for b in benchmarks
+        )
+
+    # Ruche reduces intrinsic latency (paper: ~27% at ruche2-depop).
+    assert geo_intrinsic("ruche2-depop") < geo_intrinsic("mesh")
+    assert geo_intrinsic("ruche3-pop") <= geo_intrinsic("ruche2-depop") * 1.05
+    # Total latency improves as well.
+    assert geo_total("ruche2-depop") < geo_total("mesh")
+    # Congestion is never negative (sanity of the decomposition).
+    assert all(r["congestion"] >= -1e-9 for r in result.rows)
+    # SpGEMM is congestion-dominated (the hotspot).
+    spgemm_rows = [r for r in result.rows if r["benchmark"].startswith("spgemm")]
+    if spgemm_rows:
+        assert all(r["congestion"] > r["intrinsic"] for r in spgemm_rows)

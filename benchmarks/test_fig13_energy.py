@@ -1,0 +1,37 @@
+"""Figure 13 bench: total energy breakdown normalized to mesh."""
+
+from benchmarks.conftest import scale_for
+from repro.experiments import run_experiment
+from repro.manycore.stats import geomean
+
+
+def test_fig13_energy_breakdown(once):
+    result = once(run_experiment, "fig13", scale=scale_for("smoke"))
+    benchmarks = sorted({r["benchmark"] for r in result.rows})
+
+    def geo_total(config):
+        return geomean(
+            result.single(benchmark=b, config=config)["total_vs_mesh"]
+            for b in benchmarks
+        )
+
+    def geo_noc(config):
+        rows = [result.single(benchmark=b, config=config) for b in benchmarks]
+        return geomean(r["router"] + r["wire"] for r in rows)
+
+    mesh_noc = geo_noc("mesh")
+    # Ruche reduces total and NoC energy vs mesh.
+    assert geo_total("ruche2-depop") < 1.0
+    assert geo_noc("ruche2-depop") < mesh_noc
+    # Half-torus spends MORE NoC energy than mesh (the paper's headline
+    # negative result for folded torus).
+    assert geo_noc("half-torus") > mesh_noc
+    # Wire energy is a small slice even at RF3.
+    r3 = [result.single(benchmark=b, config="ruche3-pop") for b in benchmarks]
+    assert all(r["wire"] < 0.25 * r["total_vs_mesh"] for r in r3)
+    # Core energy is invariant across fabrics (same instruction count).
+    for b in benchmarks:
+        cores = {
+            r["config"]: r["core"] for r in result.lookup(benchmark=b)
+        }
+        assert max(cores.values()) - min(cores.values()) < 0.02

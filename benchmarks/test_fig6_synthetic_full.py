@@ -1,0 +1,39 @@
+"""Figure 6 bench: Full Ruche synthetic-traffic sweeps.
+
+Asserts the paper's uniform-random saturation ordering: mesh lowest,
+torus above mesh but below ruche1-pop (the halved-crossbar insight),
+ruche2-depop at least matching ruche1.
+"""
+
+from benchmarks.conftest import scale_for
+from repro.experiments import run_experiment
+
+
+def _sat(result, config, pattern="uniform_random", size="8x8"):
+    return result.single(
+        size=size, pattern=pattern, config=config
+    )["saturation_throughput"]
+
+
+def test_fig6_uniform_random_ordering(once):
+    result = once(run_experiment, "fig6", scale=scale_for("smoke"))
+    mesh = _sat(result, "mesh")
+    torus = _sat(result, "torus")
+    ruche1 = _sat(result, "ruche1")
+    assert mesh < torus < ruche1, (mesh, torus, ruche1)
+    assert _sat(result, "ruche2-depop") > torus
+    # Paper 8x8 anchors: mesh ~28%, torus ~42%, ruche1 ~48%.
+    assert 0.22 < mesh < 0.36
+    assert 0.34 < torus < 0.50
+    assert 0.42 < ruche1 < 0.58
+
+
+def test_fig6_zero_load_latency_ordering(once):
+    result = once(run_experiment, "fig6", scale=scale_for("smoke"))
+    mesh = result.single(
+        size="8x8", pattern="uniform_random", config="mesh"
+    )["zero_load_latency"]
+    ruche2 = result.single(
+        size="8x8", pattern="uniform_random", config="ruche2-depop"
+    )["zero_load_latency"]
+    assert ruche2 < mesh

@@ -1,0 +1,32 @@
+"""Figure 7 bench: area-vs-cycle-time synthesis sweep."""
+
+from benchmarks.conftest import scale_for
+from repro.experiments import run_experiment
+
+
+def test_fig7_cycle_time_and_area_orderings(once):
+    result = once(run_experiment, "fig7", scale=scale_for("full"))
+    row = {r["config"]: r for r in result.rows}
+    # Ruche routers reach far lower cycle times than the VC torus.
+    assert row["ruche2-pop"]["min_cycle_fo4"] < 0.7 * (
+        row["torus"]["min_cycle_fo4"]
+    )
+    # Mesh is fastest; pop and depop are within a few gate delays.
+    assert row["mesh"]["min_cycle_fo4"] <= row["ruche2-depop"]["min_cycle_fo4"]
+    assert (
+        abs(
+            row["ruche2-pop"]["min_cycle_fo4"]
+            - row["ruche2-depop"]["min_cycle_fo4"]
+        )
+        < 3.0
+    )
+    # Depop is the smallest multi-network router at relaxed timing, and
+    # fully-populated slightly exceeds torus.
+    assert (
+        row["ruche2-depop"]["area_at_relaxed"]
+        < row["multimesh"]["area_at_relaxed"]
+        < row["ruche2-pop"]["area_at_relaxed"]
+    )
+    assert row["ruche2-pop"]["area_at_relaxed"] > row["torus"]["area_at_relaxed"]
+    # Area inflates under timing pressure.
+    assert all(r["area_inflation"] > 1.0 for r in result.rows)

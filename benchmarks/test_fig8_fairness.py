@@ -1,0 +1,22 @@
+"""Figure 8 bench: per-tile latency fairness."""
+
+from benchmarks.conftest import scale_for
+from repro.experiments import run_experiment
+
+
+def test_fig8_fairness_shape(once):
+    result = once(run_experiment, "fig8", scale=scale_for("quick"))
+    rows = {r["config"]: r for r in result.rows}
+    # Mesh is the least fair; torus the most symmetric.
+    assert rows["mesh"]["stddev"] > rows["ruche2-pop"]["stddev"]
+    assert rows["ruche2-pop"]["stddev"] > rows["ruche3-pop"]["stddev"]
+    assert rows["torus"]["stddev"] < rows["ruche3-pop"]["stddev"]
+    # Ruche undercuts the torus *mean* even without reaching its fairness.
+    assert rows["ruche2-pop"]["mean_latency"] < rows["torus"]["mean_latency"]
+    assert rows["ruche3-pop"]["mean_latency"] < rows["torus"]["mean_latency"]
+    # Paper anchors at 16x16: mesh mu ~10.6, sigma ~1.67.
+    if result.scale != "smoke":
+        assert 9.8 < rows["mesh"]["mean_latency"] < 12.2
+        assert 1.1 < rows["mesh"]["stddev"] < 2.4
+        assert rows["ruche2-pop"]["stddev_reduction_vs_mesh"] > 1.5
+        assert rows["ruche3-pop"]["stddev_reduction_vs_mesh"] > 2.0

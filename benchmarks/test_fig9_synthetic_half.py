@@ -1,0 +1,36 @@
+"""Figure 9 bench: Half Ruche synthetic traffic on manycore arrays."""
+
+from benchmarks.conftest import scale_for
+from repro.experiments import run_experiment
+
+
+def test_fig9_half_ruche_shape(once):
+    result = once(run_experiment, "fig9", scale=scale_for("smoke"))
+    mem_rows = {
+        r["config"]: r
+        for r in result.lookup(size="16x8", pattern="tile_to_memory")
+    }
+    mesh = mem_rows["mesh"]
+    ruche = mem_rows["ruche2-depop"]
+    # Ruche relieves the horizontal bisection: higher saturation, lower
+    # zero-load latency (paper: mesh ~16-17%, ruche -> ~21%, bound 25%).
+    assert ruche["saturation_throughput"] > mesh["saturation_throughput"]
+    assert ruche["zero_load_latency"] < mesh["zero_load_latency"]
+    assert mesh["saturation_throughput"] < 0.25  # compute:memory bound
+
+
+def test_fig9_quick_orderings(once):
+    result = once(run_experiment, "fig9", scale=scale_for("quick"))
+    if result.scale == "smoke":
+        return
+    t2t = {
+        r["config"]: r["saturation_throughput"]
+        for r in result.lookup(size="16x8", pattern="tile_to_tile")
+    }
+    # Half-torus falls between mesh and ruche2 (Section 4.5).
+    assert t2t["mesh"] < t2t["half-torus"] < t2t["ruche2-depop"] * 1.05
+    assert t2t["ruche2-depop"] > t2t["mesh"] * 1.4
+    # Pop vs depop barely matters in synthetic traffic.
+    assert abs(t2t["ruche2-pop"] - t2t["ruche2-depop"]) < 0.2 * t2t[
+        "ruche2-depop"
+    ]

@@ -1,0 +1,27 @@
+"""Benches for the analytic artifacts: Table 1 and Figure 5."""
+
+from benchmarks.conftest import scale_for
+from repro.experiments import run_experiment
+
+
+def test_table1_properties(once):
+    result = once(run_experiment, "table1", scale=scale_for("quick"))
+    ruche = result.single(topology="ruche")
+    torus = result.single(topology="torus")
+    mesh = result.single(topology="mesh")
+    criteria = [c for c in result.rows[0] if c != "topology"]
+    assert all(ruche[c] for c in criteria)
+    assert all(torus[c] for c in criteria)
+    assert mesh["long_range_links"] is False
+    fb = result.single(topology="flattened-butterfly")
+    assert fb["constant_router_radix"] is False
+
+
+def test_fig5_connectivity(once):
+    result = once(run_experiment, "fig5", scale=scale_for("quick"))
+    total = result.single(output="TOTAL")
+    assert total["removed_by_depop"] == 16
+    p_row = result.single(output="P")
+    assert (p_row["fanin_pop"], p_row["fanin_depop"]) == (9, 7)
+    assert result.single(output="RS")["removed_by_depop"] == 5
+    assert result.single(output="RN")["removed_by_depop"] == 5

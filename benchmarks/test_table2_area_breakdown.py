@@ -1,0 +1,26 @@
+"""Table 2 bench: router area breakdowns vs the paper's numbers."""
+
+from benchmarks.conftest import scale_for
+from repro.experiments import run_experiment
+
+
+def test_table2_breakdown(once):
+    result = once(run_experiment, "table2", scale=scale_for("quick"))
+    by_config = {r["config"]: r for r in result.rows}
+    # Within 5% of every published total.
+    for config, row in by_config.items():
+        assert abs(row["total_error"]) < 0.05, config
+    # Paper ordering of totals.
+    totals = {c: r["total_um2"] for c, r in by_config.items()}
+    assert (
+        totals["ruche2-depop"]
+        < totals["multimesh"]
+        < totals["torus"]
+        < totals["ruche2-pop"]
+    )
+    # Depopulation saves ~40% of the pop crossbar.
+    saving = 1 - (
+        by_config["ruche2-depop"]["crossbar_um2"]
+        / by_config["ruche2-pop"]["crossbar_um2"]
+    )
+    assert 0.30 < saving < 0.45

@@ -1,0 +1,20 @@
+"""Table 3 bench: per-direction router energy vs the paper's numbers."""
+
+from benchmarks.conftest import scale_for
+from repro.experiments import run_experiment
+
+
+def test_table3_energy(once):
+    result = once(run_experiment, "table3", scale=scale_for("quick"))
+    for row in result.rows:
+        if row["paper_pj"] is not None:
+            assert abs(row["error"]) < 0.08, row
+    # Ruche cheaper than torus in both shared directions.
+    for direction in ("Horizontal", "Vertical"):
+        torus = result.single(config="torus", direction=direction)
+        depop = result.single(config="ruche2-depop", direction=direction)
+        assert depop["model_pj"] < torus["model_pj"]
+    # Depopulated Ruche directions are the cheapest entries of the table.
+    cheapest = min(result.rows, key=lambda r: r["model_pj"])
+    assert cheapest["config"] == "ruche2-depop"
+    assert cheapest["direction"].startswith("Ruche")

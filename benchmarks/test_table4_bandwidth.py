@@ -1,0 +1,36 @@
+"""Table 4 bench: analytic bandwidth ratios (exact paper values)."""
+
+from benchmarks.conftest import scale_for
+from repro.experiments import run_experiment
+
+PAPER_BISECTION = {
+    ("16x8", "mesh"): 16, ("16x8", "ruche2-depop"): 48,
+    ("16x8", "ruche3-depop"): 64,
+    ("32x16", "mesh"): 32, ("32x16", "ruche2-depop"): 96,
+    ("32x16", "ruche3-depop"): 128,
+    ("64x8", "mesh"): 16, ("64x8", "ruche2-depop"): 48,
+    ("64x8", "ruche3-depop"): 64,
+    ("32x8", "mesh"): 16, ("32x8", "ruche2-depop"): 48,
+    ("32x8", "ruche3-depop"): 64,
+}
+
+PAPER_MEMORY_BW = {"16x8": 32, "32x16": 64, "64x8": 128, "32x8": 64}
+
+
+def test_table4_matches_paper_exactly(once):
+    result = once(run_experiment, "table4", scale=scale_for("quick"))
+    for row in result.rows:
+        key = (row["network_size"], row["noc"])
+        assert row["bisection_bw"] == PAPER_BISECTION[key], key
+        assert row["memory_tile_bw"] == PAPER_MEMORY_BW[row["network_size"]]
+    # The paper's highlighted rows.
+    highlighted = {
+        (r["network_size"], r["noc"])
+        for r in result.rows
+        if r["meets_guideline"]
+    }
+    assert highlighted == {
+        ("16x8", "ruche2-depop"), ("16x8", "ruche3-depop"),
+        ("32x16", "ruche2-depop"), ("32x16", "ruche3-depop"),
+        ("32x8", "ruche3-depop"),
+    }

@@ -1,0 +1,29 @@
+"""Table 6 bench: the Half Ruche geomean summary."""
+
+from benchmarks.conftest import scale_for
+from repro.experiments import run_experiment
+
+
+def test_table6_summary(once):
+    result = once(run_experiment, "table6", scale=scale_for("smoke"))
+    rows = {r["config"]: r for r in result.rows}
+    r2d, r3p, ht = (
+        rows["ruche2-depop"], rows["ruche3-pop"], rows["half-torus"]
+    )
+    # Speedups: ruche > half-torus; ruche3-pop leads.
+    assert r2d["speedup_vs_mesh"] > ht["speedup_vs_mesh"]
+    assert r3p["speedup_vs_mesh"] >= r2d["speedup_vs_mesh"] * 0.97
+    # Latency reductions follow the same ordering.
+    assert r2d["latency_reduction_total"] > 1.0
+    assert r2d["latency_reduction_intrinsic"] > 1.0
+    # NoC energy: ruche improves, half-torus regresses (paper: 0.75x).
+    assert r2d["energy_eff_noc"] > 1.0
+    assert ht["energy_eff_noc"] < 1.0
+    # Tile area: depop cheaper than pop; area-normalized speedup favors
+    # the depopulated router (the paper's design guideline).
+    assert r2d["tile_area_increase"] < rows["ruche2-pop"]["tile_area_increase"]
+    assert (
+        r2d["area_normalized_speedup"]
+        >= rows["ruche2-pop"]["area_normalized_speedup"] * 0.97
+    )
+    assert rows["mesh"]["speedup_vs_mesh"] == 1.0

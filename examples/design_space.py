@@ -1,0 +1,78 @@
+"""Design-space exploration for a manycore fabric (Section 4.5 workflow).
+
+Given an array size and a compute:memory budget, sweep Ruche Factors and
+crossbar population to find the cheapest fabric whose bisection bandwidth
+meets the memory-tile bandwidth — the paper's design guideline — then
+check the winner's saturation throughput under all-to-edge traffic.
+
+Run with::
+
+    python examples/design_space.py [width] [height]
+"""
+
+import sys
+
+from repro.analysis import (
+    bandwidth_row,
+    render_table,
+    saturation_throughput,
+)
+from repro.core.params import NetworkConfig
+from repro.phys import tile_area_increase
+from repro.sim import sweep_injection_rates
+
+
+def explore(width: int, height: int) -> None:
+    candidates = ["mesh", "half-torus"] + [
+        f"ruche{rf}-{pop}"
+        for rf in (2, 3, 4)
+        if rf < width
+        for pop in ("depop", "pop")
+    ]
+    rows = []
+    for name in candidates:
+        half = name.startswith("ruche")
+        config = NetworkConfig.from_name(name, width, height, half=half)
+        bw = bandwidth_row(config)
+        rows.append({
+            "config": name,
+            "bisection_bw": bw.bisection_bw,
+            "memory_bw": bw.memory_tile_bw,
+            "meets_guideline": bw.meets_guideline,
+            "tile_area": tile_area_increase(config),
+        })
+    print(render_table(
+        rows, title=f"{width}x{height} fabric candidates"
+    ))
+
+    # Paper guideline: bisection >= memory BW at the lowest tile cost.
+    feasible = [r for r in rows if r["meets_guideline"]]
+    pool = feasible or rows
+    winner = min(pool, key=lambda r: r["tile_area"])
+    print(f"\nGuideline pick: {winner['config']} "
+          f"(tile area x{winner['tile_area']:.3f})")
+
+    # Validate the pick with an all-to-edge saturation measurement.
+    mem_rows = []
+    for name in ("mesh", winner["config"]):
+        half = name.startswith("ruche")
+        config = NetworkConfig.from_name(
+            name, width, height, half=half, edge_memory=True
+        )
+        curve = sweep_injection_rates(
+            config, "tile_to_memory", rates=(0.05, 0.12, 0.20, 0.30),
+            warmup=200, measure=400, drain_limit=800,
+        )
+        mem_rows.append({
+            "config": name,
+            "tile_to_memory_saturation": saturation_throughput(curve),
+            "theoretical_bound": 2 * width / (width * height),
+        })
+    print()
+    print(render_table(mem_rows, title="All-to-edge saturation check"))
+
+
+if __name__ == "__main__":
+    width = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    height = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+    explore(width, height)

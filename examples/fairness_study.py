@@ -1,0 +1,54 @@
+"""Tile-position fairness study (Figure 8) plus an adversarial-traffic
+check (the tornado/transpose columns of Figure 6).
+
+Run with::
+
+    python examples/fairness_study.py
+"""
+
+from repro.analysis import (
+    measure_fairness,
+    render_table,
+    saturation_throughput,
+)
+from repro.core.params import NetworkConfig
+from repro.sim import sweep_injection_rates
+
+CONFIGS = ("mesh", "torus", "ruche2-pop", "ruche3-pop")
+
+
+def main() -> None:
+    # Figure 8: who suffers from sitting at the array edge?
+    rows = []
+    for name in CONFIGS:
+        config = NetworkConfig.from_name(name, 12, 12)
+        summary = measure_fairness(config, measure=1200)
+        rows.append({
+            "config": name,
+            "mean": summary.mean,
+            "stddev": summary.stddev,
+            "worst_tile": summary.max_tile,
+            "best_tile": summary.min_tile,
+        })
+    print(render_table(rows, title="Per-tile latency fairness, 12x12 UR"))
+
+    # Adversarial patterns: do the Ruche links still help?
+    print()
+    adv_rows = []
+    for pattern in ("transpose", "tornado"):
+        for name in CONFIGS:
+            config = NetworkConfig.from_name(name, 12, 12)
+            curve = sweep_injection_rates(
+                config, pattern, rates=(0.05, 0.15, 0.30, 0.50),
+                warmup=200, measure=400, drain_limit=800,
+            )
+            adv_rows.append({
+                "pattern": pattern,
+                "config": name,
+                "saturation": saturation_throughput(curve),
+            })
+    print(render_table(adv_rows, title="Adversarial saturation, 12x12"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Execution-driven manycore comparison on real workloads (Figures 10-13).
+
+Runs a few Table 5 benchmarks on mesh, half-torus and Half Ruche fabrics
+and reports speedup, remote-load latency decomposition, and the energy
+breakdown — the full Section 4.6-4.9 pipeline in miniature.
+
+Run with::
+
+    python examples/manycore_workload.py
+"""
+
+from repro.analysis import render_table
+from repro.manycore import (
+    Machine,
+    MachineConfig,
+    build_workload,
+    system_energy,
+)
+
+FABRICS = ("mesh", "half-torus", "ruche2-depop", "ruche3-pop")
+BENCHMARKS = ("jacobi", "sgemm", "bfs-HW")
+
+
+def main() -> None:
+    for benchmark in BENCHMARKS:
+        rows = []
+        mesh_cycles = None
+        mesh_energy = None
+        for fabric in FABRICS:
+            mcfg = MachineConfig(network=fabric, width=16, height=8)
+            workload = build_workload(benchmark, mcfg)
+            stats = Machine(mcfg, workload).run()
+            energy = system_energy(stats, mcfg)
+            if fabric == "mesh":
+                mesh_cycles = stats.cycles
+                mesh_energy = energy
+            rows.append({
+                "fabric": fabric,
+                "cycles": stats.cycles,
+                "speedup": mesh_cycles / stats.cycles,
+                "intrinsic_lat": stats.avg_intrinsic_latency,
+                "congestion_lat": stats.avg_congestion_latency,
+                "noc_energy_vs_mesh": energy.noc / mesh_energy.noc,
+                "total_energy_vs_mesh": energy.total / mesh_energy.total,
+            })
+        print(render_table(rows, title=f"{benchmark} on 16x8"))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Quickstart: build Ruche networks, sweep traffic, inspect physical cost.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import NetworkConfig
+from repro.analysis import render_table, saturation_throughput
+from repro.phys import energy_table, min_cycle_time_fo4, router_area
+from repro.sim import sweep_injection_rates, zero_load_latency
+
+
+def main() -> None:
+    # 1. Describe design points with paper-style names.
+    configs = [
+        NetworkConfig.from_name(name, 8, 8)
+        for name in ("mesh", "torus", "ruche2-depop", "ruche2-pop")
+    ]
+
+    # 2. Cycle-accurate load-latency sweeps (Figure 6 style).
+    rows = []
+    for config in configs:
+        curve = sweep_injection_rates(
+            config,
+            pattern="uniform_random",
+            rates=(0.05, 0.20, 0.40, 0.60),
+            warmup=200,
+            measure=400,
+            drain_limit=800,
+        )
+        rows.append({
+            "config": config.name,
+            "zero_load_latency": zero_load_latency(config, samples=1000),
+            "saturation_throughput": saturation_throughput(curve),
+        })
+    print(render_table(rows, title="8x8 uniform random"))
+
+    # 3. Physical models: area, cycle time, energy (Tables 2-3, Fig. 7).
+    phys_rows = []
+    for config in configs:
+        area = router_area(config)
+        energy = energy_table(config)
+        phys_rows.append({
+            "config": config.name,
+            "router_area_um2": area.total,
+            "min_cycle_fo4": min_cycle_time_fo4(config),
+            "energy_h_pj": energy["Horizontal"],
+        })
+    print()
+    print(render_table(phys_rows, title="Physical cost (128-bit channels)"))
+
+
+if __name__ == "__main__":
+    main()

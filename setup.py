@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file only enables
+legacy editable installs (``pip install -e .``) on toolchains that cannot
+build PEP 660 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""repro — a reproduction of *Evaluating Ruche Networks* (ISCA 2025).
+
+The package provides four layers:
+
+* :mod:`repro.core` — topologies, routing algorithms and crossbar
+  connectivity for Ruche networks and their baselines.
+* :mod:`repro.sim` — a cycle-accurate, flit-level NoC simulator.
+* :mod:`repro.phys` — parametric area / cycle-time / energy models for a
+  12 nm-class process.
+* :mod:`repro.manycore` — an execution-driven cellular manycore simulator
+  with the paper's parallel workloads.
+
+The :mod:`repro.experiments` registry maps every figure and table of the
+paper's evaluation section onto a runnable driver.
+
+Quickstart::
+
+    from repro import NetworkConfig, load_latency_curve
+
+    cfg = NetworkConfig.from_name("ruche2-depop", 8, 8)
+    curve = load_latency_curve(cfg, pattern="uniform_random",
+                               rates=[0.05, 0.15, 0.25])
+    for point in curve:
+        print(point.offered_load, point.avg_latency)
+"""
+
+from repro.core import (
+    Coord,
+    Direction,
+    DorOrder,
+    NetworkConfig,
+    Topology,
+    TopologyKind,
+    make_routing,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Coord",
+    "Direction",
+    "DorOrder",
+    "NetworkConfig",
+    "Topology",
+    "TopologyKind",
+    "make_routing",
+    "load_latency_curve",
+    "__version__",
+]
+
+
+def load_latency_curve(config, pattern="uniform_random", rates=(0.05, 0.15), **kwargs):
+    """Convenience wrapper over :func:`repro.sim.simulator.sweep_injection_rates`.
+
+    Imported lazily so that ``import repro`` stays light.
+    """
+    from repro.sim.simulator import sweep_injection_rates
+
+    return sweep_injection_rates(config, pattern=pattern, rates=rates, **kwargs)

@@ -1,0 +1,43 @@
+"""Analysis layer: curve post-processing, fairness, bandwidth, tables."""
+
+from repro.analysis.bandwidth import (
+    BandwidthRow,
+    bandwidth_row,
+    minimum_rf_to_match_memory,
+    table4,
+)
+from repro.analysis.fairness import (
+    FairnessSummary,
+    fairness_comparison,
+    measure_fairness,
+    summarize_per_tile,
+)
+from repro.analysis.plots import ascii_curve, link_heatmap
+from repro.analysis.sweeps import (
+    compare_saturation,
+    curve_summary,
+    saturation_offered_load,
+    saturation_throughput,
+    zero_load_point,
+)
+from repro.analysis.tables import format_value, render_table
+
+__all__ = [
+    "BandwidthRow",
+    "bandwidth_row",
+    "table4",
+    "minimum_rf_to_match_memory",
+    "FairnessSummary",
+    "measure_fairness",
+    "summarize_per_tile",
+    "fairness_comparison",
+    "saturation_throughput",
+    "saturation_offered_load",
+    "zero_load_point",
+    "curve_summary",
+    "compare_saturation",
+    "render_table",
+    "format_value",
+    "ascii_curve",
+    "link_heatmap",
+]

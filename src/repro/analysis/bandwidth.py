@@ -1,0 +1,89 @@
+"""Analytic bandwidth-ratio analysis (paper Table 4 and Section 4.5).
+
+Compares each design point's vertical-cut bisection bandwidth against its
+memory-tile bandwidth.  The paper's design guideline: *the bisection
+bandwidth should be greater than or equal to the memory-tile bandwidth*,
+and the Ruche Factor is the knob that gets it there without widening
+channels.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from repro.core.params import NetworkConfig
+from repro.core.topology import Topology
+
+
+@dataclasses.dataclass(frozen=True)
+class BandwidthRow:
+    """One row of Table 4."""
+
+    network_size: str
+    aspect_ratio: str
+    noc: str
+    bisection_bw: int
+    memory_tile_bw: int
+    compute_memory_ratio: str
+
+    @property
+    def meets_guideline(self) -> bool:
+        """Highlighted rows: bisection BW >= memory-tile BW."""
+        return self.bisection_bw >= self.memory_tile_bw
+
+
+def _ratio(a: int, b: int) -> str:
+    from math import gcd
+
+    g = gcd(a, b)
+    return f"{a // g}:{b // g}"
+
+
+def bandwidth_row(config: NetworkConfig) -> BandwidthRow:
+    """Table 4 row for one design point (Half Ruche / mesh / half-torus)."""
+    topo = Topology(config)
+    width, height = config.width, config.height
+    return BandwidthRow(
+        network_size=f"{width}x{height}",
+        aspect_ratio=_ratio(width, height),
+        noc=config.name,
+        bisection_bw=topo.bisection_channels("vertical"),
+        memory_tile_bw=topo.memory_tile_bandwidth(),
+        compute_memory_ratio=_ratio(width * height, 2 * width),
+    )
+
+
+def table4(
+    sizes: Optional[List[Tuple[int, int]]] = None,
+    nocs: Optional[List[str]] = None,
+) -> List[BandwidthRow]:
+    """The full Table 4 (paper sizes and NoCs by default)."""
+    if sizes is None:
+        sizes = [(16, 8), (32, 16), (64, 8), (32, 8)]
+    if nocs is None:
+        nocs = ["mesh", "ruche2", "ruche3"]
+    rows = []
+    for width, height in sizes:
+        for noc in nocs:
+            config = NetworkConfig.from_name(
+                noc, width, height, half=noc.startswith("ruche")
+            )
+            rows.append(bandwidth_row(config))
+    return rows
+
+
+def minimum_rf_to_match_memory(width: int, height: int,
+                               max_rf: int = 16) -> Optional[int]:
+    """Smallest Ruche Factor whose bisection matches memory bandwidth.
+
+    Reproduces the paper's observations that 32x8 needs RF=3 for a 1:1
+    match while 64x8 'would require as high as Ruche7'.
+    """
+    for rf in range(1, min(max_rf, width - 1) + 1):
+        name = f"ruche{rf}"
+        config = NetworkConfig.from_name(name, width, height, half=True)
+        row = bandwidth_row(config)
+        if row.meets_guideline:
+            return rf
+    return None

@@ -1,0 +1,90 @@
+"""Text-mode figures for experiment reports.
+
+The paper's figures are curves (load–latency) and heatmaps (per-link
+utilization).  These renderers produce terminal-friendly versions so the
+experiment drivers can emit the *figure*, not just its underlying rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.core.coords import Direction
+
+
+def ascii_curve(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "offered load",
+    y_label: str = "latency",
+    y_cap: float = None,
+) -> str:
+    """Plot one or more (x, y) series as an ASCII scatter.
+
+    Each series gets a marker letter; points beyond ``y_cap`` clamp to
+    the top row (how saturated points usually render in NoC papers).
+    """
+    points = [
+        (x, y) for pts in series.values() for x, y in pts
+        if y == y
+    ]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [min(p[1], y_cap) if y_cap else p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid: List[List[str]] = [
+        [" "] * width for _ in range(height)
+    ]
+    markers = "ox+*#@%&"
+    legend = []
+    for marker, (name, pts) in zip(markers, series.items()):
+        legend.append(f"{marker}={name}")
+        for x, y in pts:
+            if y != y:
+                continue
+            if y_cap:
+                y = min(y, y_cap)
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+    lines = [f"{y_label} (max {y_hi:.3g})"]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    lines.append(
+        f" {x_label}: {x_lo:.3g} .. {x_hi:.3g}    " + "  ".join(legend)
+    )
+    return "\n".join(lines)
+
+
+def link_heatmap(
+    link_counts: Mapping, width: int, height: int,
+    direction: Direction = Direction.E,
+) -> str:
+    """Render per-tile utilization of one channel direction as a grid.
+
+    Intensity scale: ``.:-=+*#%@`` from idle to the hottest link.  Makes
+    the mesh's bisection bottleneck visible at a glance.
+    """
+    counts: Dict[Tuple[int, int], float] = {}
+    for (coord, out_idx), count in link_counts.items():
+        if out_idx == int(direction):
+            counts[(coord.x, coord.y)] = count
+    if not counts:
+        return "(no traffic in that direction)"
+    peak = max(counts.values())
+    scale = " .:-=+*#%@"
+    lines = [f"{direction.name}-channel traffic (peak {peak})"]
+    for y in range(height):
+        row = []
+        for x in range(width):
+            value = counts.get((x, y), 0)
+            idx = round(value / peak * (len(scale) - 1)) if peak else 0
+            row.append(scale[idx])
+        lines.append("|" + "".join(row) + "|")
+    return "\n".join(lines)

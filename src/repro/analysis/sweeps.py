@@ -1,0 +1,69 @@
+"""Load–latency curve analysis (Figures 6 and 9 post-processing)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.sim.simulator import RunResult
+
+
+def saturation_throughput(curve: Sequence[RunResult]) -> float:
+    """Saturation throughput of a load–latency sweep.
+
+    Defined as the highest *accepted* throughput observed across the
+    sweep — accepted traffic plateaus at the saturation point while
+    offered load keeps rising (the standard open-loop definition).
+    """
+    if not curve:
+        raise ValueError("empty sweep")
+    return max(point.accepted_throughput for point in curve)
+
+
+def zero_load_point(curve: Sequence[RunResult]) -> RunResult:
+    """The lowest-load point of a sweep (the zero-load latency proxy)."""
+    return min(curve, key=lambda p: p.offered_load)
+
+
+def saturation_offered_load(
+    curve: Sequence[RunResult], latency_factor: float = 3.0
+) -> Optional[float]:
+    """The offered load at which latency exceeds ``latency_factor`` times
+    the lowest-load latency — the knee of the curve.  ``None`` when the
+    sweep never saturates."""
+    base = zero_load_point(curve).avg_latency
+    for point in sorted(curve, key=lambda p: p.offered_load):
+        if point.avg_latency > latency_factor * base or point.saturated:
+            return point.offered_load
+    return None
+
+
+def curve_summary(curve: Sequence[RunResult]) -> dict:
+    """Compact description of one sweep (used by experiment drivers)."""
+    zero = zero_load_point(curve)
+    return {
+        "config": zero.config_name,
+        "pattern": zero.pattern,
+        "zero_load_latency": zero.avg_latency,
+        "saturation_throughput": saturation_throughput(curve),
+        "knee_offered_load": saturation_offered_load(curve),
+        "points": [
+            (p.offered_load, p.accepted_throughput, p.avg_latency)
+            for p in curve
+        ],
+    }
+
+
+def compare_saturation(
+    curves: dict, baseline: str
+) -> List[dict]:
+    """Saturation throughput of each config relative to ``baseline``."""
+    base = saturation_throughput(curves[baseline])
+    rows = []
+    for name, curve in curves.items():
+        sat = saturation_throughput(curve)
+        rows.append({
+            "config": name,
+            "saturation": sat,
+            "vs_baseline": sat / base if base else float("nan"),
+        })
+    return rows

@@ -1,0 +1,53 @@
+"""Core Ruche-network abstractions: configs, topologies, routing, crossbars.
+
+This subpackage implements the paper's primary contribution — the Ruche
+network family (Section 3) — alongside the baselines it is evaluated
+against (2-D mesh, 2x multi-mesh, folded torus).
+"""
+
+from repro.core.connectivity import (
+    connectivity_matrix,
+    max_mux_inputs,
+    output_fanin,
+    total_connections,
+)
+from repro.core.coords import Coord, Direction
+from repro.core.params import DorOrder, NetworkConfig, TopologyKind
+from repro.core.routing import (
+    MeshDOR,
+    MultiMeshRouting,
+    RoutingAlgorithm,
+    RucheDOR,
+    RucheOneRouting,
+    TorusDOR,
+    make_routing,
+)
+from repro.core.topology import (
+    Topology,
+    physical_properties,
+    table1_criteria,
+    table1_topologies,
+)
+
+__all__ = [
+    "Coord",
+    "Direction",
+    "DorOrder",
+    "NetworkConfig",
+    "TopologyKind",
+    "Topology",
+    "RoutingAlgorithm",
+    "MeshDOR",
+    "RucheDOR",
+    "RucheOneRouting",
+    "MultiMeshRouting",
+    "TorusDOR",
+    "make_routing",
+    "connectivity_matrix",
+    "total_connections",
+    "output_fanin",
+    "max_mux_inputs",
+    "physical_properties",
+    "table1_criteria",
+    "table1_topologies",
+]

@@ -1,0 +1,217 @@
+"""Crossbar connectivity matrices (paper Figure 5).
+
+A connectivity matrix maps each *input* port to the set of *output* ports
+its packets may be switched to.  The matrix determines
+
+* which crossbar mux inputs physically exist (area and energy models), and
+* which moves the simulator may legally perform (validated in tests against
+  the routing algorithms).
+
+The paper's Figure 5 reports, for the Full Ruche X-Y DOR router, that
+depopulation removes 16 connections, shrinks the P output from 9 inputs to
+7, and removes 5 inputs from each of the RS/RN outputs.  Those counts are
+reproduced exactly by :func:`connectivity_matrix` and locked in by tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Mapping, Tuple
+
+from repro.core.coords import Direction
+from repro.core.params import DorOrder, NetworkConfig, TopologyKind
+from repro.errors import ConfigError
+
+Matrix = Dict[Direction, FrozenSet[Direction]]
+
+P, W, E, N, S, RW, RE, RN, RS = (
+    Direction.P,
+    Direction.W,
+    Direction.E,
+    Direction.N,
+    Direction.S,
+    Direction.RW,
+    Direction.RE,
+    Direction.RN,
+    Direction.RS,
+)
+
+# Axis swap used to derive Y-X matrices from X-Y ones.
+_SWAP = {P: P, W: N, N: W, E: S, S: E, RW: RN, RN: RW, RE: RS, RS: RE}
+
+
+def _freeze(raw: Mapping[Direction, Tuple[Direction, ...]]) -> Matrix:
+    return {k: frozenset(v) for k, v in raw.items()}
+
+
+def _swap_axes(matrix: Matrix) -> Matrix:
+    return {
+        _SWAP[inp]: frozenset(_SWAP[out] for out in outs)
+        for inp, outs in matrix.items()
+    }
+
+
+# ---------------------------------------------------------------------------
+# Base matrices, all in X-Y DOR form (first dimension X).
+# ---------------------------------------------------------------------------
+
+#: Minimal 2-D mesh DOR crossbar (the "o" marks of Figure 5), as employed in
+#: the Celerity manycore.
+MESH_XY: Matrix = _freeze({
+    P: (P, W, E, N, S),
+    W: (E, N, S, P),
+    E: (W, N, S, P),
+    N: (S, P),
+    S: (N, P),
+})
+
+#: Full Ruche, depopulated (Figure 5 blue triangles + mesh "o" marks).
+#: Ruche channels are boarded at injection (X) or from same-axis local
+#: links (Y); packets leave an X Ruche channel onto local links before
+#: turning, and ride Y Ruche channels straight to ejection.
+FULL_RUCHE_DEPOP_XY: Matrix = _freeze({
+    P: (P, W, E, N, S, RW, RE),
+    W: (E, N, S, P),
+    E: (W, N, S, P),
+    N: (S, P, RS),
+    S: (N, P, RN),
+    RW: (RE, E),
+    RE: (RW, W),
+    RN: (RS, P),
+    RS: (RN, P),
+})
+
+#: The 16 extra connections of the fully-populated router (Figure 5 red x):
+#: direct turns off the X Ruche channels and direct boarding of the Y Ruche
+#: channels from non-axis inputs.
+_FULL_RUCHE_POP_EXTRA: Mapping[Direction, Tuple[Direction, ...]] = {
+    RW: (N, S, P, RN, RS),
+    RE: (N, S, P, RN, RS),
+    W: (RN, RS),
+    E: (RN, RS),
+    P: (RN, RS),
+}
+
+#: Half Ruche (horizontal Ruche channels only), depopulated, X-Y DOR.
+HALF_RUCHE_DEPOP_XY: Matrix = _freeze({
+    P: (P, W, E, N, S, RW, RE),
+    W: (E, N, S, P),
+    E: (W, N, S, P),
+    N: (S, P),
+    S: (N, P),
+    RW: (RE, E),
+    RE: (RW, W),
+})
+
+_HALF_RUCHE_POP_EXTRA: Mapping[Direction, Tuple[Direction, ...]] = {
+    RW: (N, S, P),
+    RE: (N, S, P),
+}
+
+#: Half Ruche, depopulated, Y-X DOR (the response-network router of the
+#: cellular manycore).  X is now the second dimension, so its Ruche
+#: channels are boarded local-first from same-axis inputs.
+HALF_RUCHE_DEPOP_YX: Matrix = _freeze({
+    P: (P, W, E, N, S),
+    N: (S, E, W, P),
+    S: (N, E, W, P),
+    W: (E, RE, P),
+    E: (W, RW, P),
+    RW: (RE, P),
+    RE: (RW, P),
+})
+
+_HALF_RUCHE_POP_EXTRA_YX: Mapping[Direction, Tuple[Direction, ...]] = {
+    N: (RE, RW),
+    S: (RE, RW),
+    P: (RE, RW),
+}
+
+#: 2x multi-mesh: two disjoint mesh crossbars; the second mesh reuses the
+#: Ruche port names.  Only the P port fans out to both meshes.
+MULTI_MESH: Matrix = _freeze({
+    P: (P, W, E, N, S, RW, RE, RN, RS),
+    W: (E, N, S, P),
+    E: (W, N, S, P),
+    N: (S, P),
+    S: (N, P),
+    RW: (RE, RN, RS, P),
+    RE: (RW, RN, RS, P),
+    RN: (RS, P),
+    RS: (RN, P),
+})
+
+
+def _with_extra(
+    base: Matrix, extra: Mapping[Direction, Tuple[Direction, ...]]
+) -> Matrix:
+    merged = {k: set(v) for k, v in base.items()}
+    for inp, outs in extra.items():
+        merged.setdefault(inp, set()).update(outs)
+    return {k: frozenset(v) for k, v in merged.items()}
+
+
+FULL_RUCHE_POP_XY: Matrix = _with_extra(
+    FULL_RUCHE_DEPOP_XY, _FULL_RUCHE_POP_EXTRA
+)
+HALF_RUCHE_POP_XY: Matrix = _with_extra(
+    HALF_RUCHE_DEPOP_XY, _HALF_RUCHE_POP_EXTRA
+)
+HALF_RUCHE_POP_YX: Matrix = _with_extra(
+    HALF_RUCHE_DEPOP_YX, _HALF_RUCHE_POP_EXTRA_YX
+)
+
+
+def connectivity_matrix(config: NetworkConfig) -> Matrix:
+    """The crossbar connectivity matrix for a design point's router."""
+    kind = config.kind
+    xy = config.dor_order is DorOrder.XY
+    if kind is TopologyKind.MESH or kind.is_torus:
+        # Torus routers have the same five-port crossbar as mesh; the VC
+        # structure sits in front of it (Figure 3c).
+        return MESH_XY if xy else _swap_axes(MESH_XY)
+    if kind is TopologyKind.MULTI_MESH:
+        return MULTI_MESH if xy else _swap_axes(MULTI_MESH)
+    if kind in (TopologyKind.FULL_RUCHE, TopologyKind.RUCHE_ONE):
+        # Ruche-One requires the fully-populated crossbar (Section 3.2).
+        depop = config.depopulated and kind is TopologyKind.FULL_RUCHE
+        base = FULL_RUCHE_DEPOP_XY if depop else FULL_RUCHE_POP_XY
+        return base if xy else _swap_axes(base)
+    if kind is TopologyKind.HALF_RUCHE:
+        if xy:
+            return (
+                HALF_RUCHE_DEPOP_XY
+                if config.depopulated
+                else HALF_RUCHE_POP_XY
+            )
+        return (
+            HALF_RUCHE_DEPOP_YX if config.depopulated else HALF_RUCHE_POP_YX
+        )
+    raise ConfigError(f"no connectivity matrix for {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Accounting helpers (feed the physical models)
+# ---------------------------------------------------------------------------
+
+def total_connections(matrix: Matrix) -> int:
+    """Total number of crossbar connections (Figure 5 discussion)."""
+    return sum(len(outs) for outs in matrix.values())
+
+
+def output_fanin(matrix: Matrix) -> Dict[Direction, int]:
+    """Per-output mux input count (crossbar mux sizes)."""
+    fanin: Dict[Direction, int] = {}
+    for inp, outs in matrix.items():
+        for out in outs:
+            fanin[out] = fanin.get(out, 0) + 1
+    return fanin
+
+
+def max_mux_inputs(matrix: Matrix) -> int:
+    """The largest crossbar mux (7 for depop, 9 for pop Full Ruche)."""
+    return max(output_fanin(matrix).values())
+
+
+def input_fanout(matrix: Matrix) -> Dict[Direction, int]:
+    """Per-input fanout (drives the input buffer's load in timing models)."""
+    return {inp: len(outs) for inp, outs in matrix.items()}

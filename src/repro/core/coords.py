@@ -1,0 +1,172 @@
+"""Coordinates and port directions for tiled NoC topologies.
+
+The direction naming follows the convention of the BaseJump STL / HammerBlade
+router generators referenced by the paper:
+
+* An **output** port is named for the side of the tile the channel leaves
+  from (an ``E`` output sends a packet toward the east neighbour).
+* An **input** port is named for the side the channel arrives on (a packet
+  that arrives on the ``W`` input came from the west neighbour and is
+  travelling east).
+
+Ruche directions (``RE``/``RW``/``RN``/``RS``) are the long-range channels
+whose skip distance is the *Ruche Factor* of the network.  ``P`` is the
+processor (local injection/ejection) port.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+
+class Direction(enum.IntEnum):
+    """Router port directions.
+
+    The integer values are stable and are used to index port arrays inside
+    the simulator, and to index rows/columns of crossbar connectivity
+    matrices (see :mod:`repro.core.connectivity`).
+    """
+
+    P = 0   #: processor (local) port
+    W = 1   #: local west
+    E = 2   #: local east
+    N = 3   #: local north
+    S = 4   #: local south
+    RW = 5  #: Ruche west
+    RE = 6  #: Ruche east
+    RN = 7  #: Ruche north
+    RS = 8  #: Ruche south
+
+    @property
+    def is_ruche(self) -> bool:
+        """True for the four long-range (Ruche) directions."""
+        return self >= Direction.RW
+
+    @property
+    def is_local_link(self) -> bool:
+        """True for the four single-hop mesh directions (excludes ``P``)."""
+        return Direction.W <= self <= Direction.S
+
+    @property
+    def is_horizontal(self) -> bool:
+        """True if the direction moves along the X axis."""
+        return self in _HORIZONTAL
+
+    @property
+    def is_vertical(self) -> bool:
+        """True if the direction moves along the Y axis."""
+        return self in _VERTICAL
+
+    @property
+    def opposite(self) -> "Direction":
+        """The direction a packet *arrives on* after leaving on ``self``.
+
+        A packet leaving on the ``E`` output of one router arrives on the
+        ``W`` input of the neighbour, and similarly for every other pair.
+        ``P`` is its own opposite.
+        """
+        return _OPPOSITE[self]
+
+    def step(self, ruche_factor: int) -> Tuple[int, int]:
+        """The ``(dx, dy)`` displacement of one hop in this direction.
+
+        Local links move one tile; Ruche links move ``ruche_factor`` tiles.
+        ``P`` does not move.
+        """
+        if self is Direction.P:
+            return (0, 0)
+        dx, dy = _UNIT[self]
+        if self.is_ruche:
+            return (dx * ruche_factor, dy * ruche_factor)
+        return (dx, dy)
+
+
+_HORIZONTAL = frozenset(
+    (Direction.W, Direction.E, Direction.RW, Direction.RE)
+)
+_VERTICAL = frozenset(
+    (Direction.N, Direction.S, Direction.RN, Direction.RS)
+)
+
+_OPPOSITE = {
+    Direction.P: Direction.P,
+    Direction.W: Direction.E,
+    Direction.E: Direction.W,
+    Direction.N: Direction.S,
+    Direction.S: Direction.N,
+    Direction.RW: Direction.RE,
+    Direction.RE: Direction.RW,
+    Direction.RN: Direction.RS,
+    Direction.RS: Direction.RN,
+}
+
+_UNIT = {
+    Direction.W: (-1, 0),
+    Direction.E: (1, 0),
+    Direction.N: (0, -1),
+    Direction.S: (0, 1),
+    Direction.RW: (-1, 0),
+    Direction.RE: (1, 0),
+    Direction.RN: (0, -1),
+    Direction.RS: (0, 1),
+}
+
+#: All nine directions, in index order.
+ALL_DIRECTIONS = tuple(Direction)
+
+#: The five directions of a plain 2-D mesh router.
+MESH_DIRECTIONS = (
+    Direction.P,
+    Direction.W,
+    Direction.E,
+    Direction.N,
+    Direction.S,
+)
+
+#: Ruche directions only.
+RUCHE_DIRECTIONS = (
+    Direction.RW,
+    Direction.RE,
+    Direction.RN,
+    Direction.RS,
+)
+
+#: Horizontal Ruche directions (the ones Half Ruche adds).
+RUCHE_HORIZONTAL = (Direction.RW, Direction.RE)
+
+#: Vertical Ruche directions.
+RUCHE_VERTICAL = (Direction.RN, Direction.RS)
+
+
+class Coord(Tuple[int, int]):
+    """An immutable ``(x, y)`` tile coordinate.
+
+    ``x`` grows eastward and ``y`` grows southward, matching the paper's
+    figures (memory tiles sit on the northern and southern edges, i.e. at
+    minimum and maximum ``y``).
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, x: int, y: int) -> "Coord":
+        return super().__new__(cls, (x, y))
+
+    @property
+    def x(self) -> int:
+        return self[0]
+
+    @property
+    def y(self) -> int:
+        return self[1]
+
+    def manhattan(self, other: "Coord") -> int:
+        """Manhattan (hop-count on a mesh) distance to ``other``."""
+        return abs(self[0] - other[0]) + abs(self[1] - other[1])
+
+    def offset(self, dx: int, dy: int) -> "Coord":
+        """A new coordinate displaced by ``(dx, dy)``."""
+        return Coord(self[0] + dx, self[1] + dy)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Coord({self[0]}, {self[1]})"

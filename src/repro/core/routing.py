@@ -1,0 +1,367 @@
+"""Routing algorithms for every topology the paper evaluates.
+
+All algorithms are *deterministic dimension-ordered* variants, computed
+per-hop from ``(current tile, input port, destination)`` plus a small
+per-packet state decided at injection (the subnet class for Ruche-One /
+multi-mesh, the current VC for torus).  This mirrors the paper's RTL route
+computation and keeps every algorithm deadlock-free:
+
+* **Mesh**: minimal X-Y (or Y-X) DOR.
+* **Ruche** (Section 3.2, Figure 4): the first dimension routes
+  *Ruche-first* — board a Ruche channel like a highway while the remaining
+  distance warrants it, then finish on local links; the second dimension
+  routes *local-first* — take local links until the remaining distance is a
+  multiple of the Ruche Factor, then ride Ruche channels to the destination.
+  The *fully-populated* variant allows direct turns off a Ruche channel;
+  the *depopulated* variant requires getting off to local links first and
+  only boards second-dimension Ruche channels from same-axis inputs, which
+  makes it (mildly) non-minimal but prunes 16 crossbar connections
+  (Figure 5).
+* **Ruche-One** (Figure 1f): Ruche Factor 1; a packet rides the Ruche
+  subnet for its entire path when its total Manhattan distance is even,
+  and the local subnet when odd, balancing the two parallel networks.
+* **Multi-mesh** (Figure 3a): two parallel meshes; mesh 0 when the
+  Manhattan distance is even, mesh 1 otherwise.
+* **Folded torus**: shortest-way DOR around each ring with two virtual
+  channels and *dateline* partitioning for deadlock freedom (Dally &
+  Seitz); crossing a ring's wrap link promotes the packet to VC 1.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.coords import Coord, Direction
+from repro.core.params import DorOrder, NetworkConfig, TopologyKind
+from repro.errors import RoutingError
+
+# Axis direction tables: (negative local, positive local, negative ruche,
+# positive ruche).  "Positive" means growing coordinate (E for x, S for y).
+_X_DIRS = (Direction.W, Direction.E, Direction.RW, Direction.RE)
+_Y_DIRS = (Direction.N, Direction.S, Direction.RN, Direction.RS)
+
+_X_AXIS_INPUTS = frozenset(_X_DIRS)
+_Y_AXIS_INPUTS = frozenset(_Y_DIRS)
+
+
+class RoutingAlgorithm:
+    """Base class: per-hop deterministic route computation.
+
+    Subclasses implement :meth:`route`, returning the output direction for
+    a packet at ``node`` that arrived on ``in_dir`` heading for ``dest``.
+    ``subnet`` is the packet's injection-time class (see
+    :meth:`injection_subnet`); non-classed algorithms ignore it.
+    """
+
+    #: True when the algorithm needs virtual-channel state (torus family).
+    uses_vcs = False
+
+    def __init__(self, config: NetworkConfig) -> None:
+        self.config = config
+        self.width = config.width
+        self.height = config.height
+        first_axis_is_x = config.dor_order is DorOrder.XY
+        self._first_axis_is_x = first_axis_is_x
+
+    def injection_subnet(self, src: Coord, dest: Coord) -> int:
+        """Per-packet subnet class chosen at injection (default: none)."""
+        return 0
+
+    def route(
+        self, node: Coord, in_dir: Direction, dest: Coord, subnet: int = 0
+    ) -> Direction:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Analytic helpers
+    # ------------------------------------------------------------------
+    def compute_path(
+        self, src: Coord, dest: Coord, subnet: Optional[int] = None
+    ) -> List[Tuple[Coord, Direction]]:
+        """The full hop sequence from ``src`` to ``dest``.
+
+        Returns a list of ``(tile, output direction)`` pairs, ending with
+        the ``P`` ejection at the destination.  Used for zero-load
+        latency, diameters, and routing validation.
+        """
+        if subnet is None:
+            subnet = self.injection_subnet(src, dest)
+        path: List[Tuple[Coord, Direction]] = []
+        node, in_dir = src, Direction.P
+        limit = 4 * (self.width + self.height) * max(1, self.config.ruche_factor or 1)
+        for _ in range(limit):
+            out = self.route(node, in_dir, dest, subnet)
+            path.append((node, out))
+            if out is Direction.P:
+                if node != dest:
+                    raise RoutingError(
+                        f"ejected at {node} but destination is {dest}"
+                    )
+                return path
+            node, in_dir = self._advance(node, out)
+        raise RoutingError(
+            f"route from {src} to {dest} did not converge within {limit} hops"
+        )
+
+    def hop_count(self, src: Coord, dest: Coord, subnet: Optional[int] = None) -> int:
+        """Number of channel traversals from ``src`` to ``dest``."""
+        return len(self.compute_path(src, dest, subnet)) - 1
+
+    def _advance(self, node: Coord, out: Direction) -> Tuple[Coord, Direction]:
+        dx, dy = out.step(max(1, self.config.ruche_factor))
+        nxt = node.offset(dx, dy)
+        if self.config.kind.is_torus:
+            wrap_x = self.config.kind in (
+                TopologyKind.FOLDED_TORUS,
+                TopologyKind.HALF_TORUS,
+            )
+            wrap_y = self.config.kind is TopologyKind.FOLDED_TORUS
+            x = nxt.x % self.width if wrap_x else nxt.x
+            y = nxt.y % self.height if wrap_y else nxt.y
+            nxt = Coord(x, y)
+        return nxt, out.opposite
+
+
+class MeshDOR(RoutingAlgorithm):
+    """Minimal dimension-ordered routing on a 2-D mesh."""
+
+    def route(
+        self, node: Coord, in_dir: Direction, dest: Coord, subnet: int = 0
+    ) -> Direction:
+        dx = dest.x - node.x
+        dy = dest.y - node.y
+        if self._first_axis_is_x:
+            if dx:
+                return Direction.E if dx > 0 else Direction.W
+            if dy:
+                return Direction.S if dy > 0 else Direction.N
+        else:
+            if dy:
+                return Direction.S if dy > 0 else Direction.N
+            if dx:
+                return Direction.E if dx > 0 else Direction.W
+        return Direction.P
+
+
+class RucheDOR(RoutingAlgorithm):
+    """Ruche-first / local-first DOR for Half and Full Ruche networks."""
+
+    def __init__(self, config: NetworkConfig) -> None:
+        super().__init__(config)
+        self.rf = config.ruche_factor
+        self.depopulated = config.depopulated
+        self._x_has_ruche = config.has_horizontal_ruche
+        self._y_has_ruche = config.has_vertical_ruche
+
+    def route(
+        self, node: Coord, in_dir: Direction, dest: Coord, subnet: int = 0
+    ) -> Direction:
+        dx = dest.x - node.x
+        dy = dest.y - node.y
+        if self._first_axis_is_x:
+            if dx:
+                return self._first_axis(dx, _X_DIRS, self._x_has_ruche)
+            if dy:
+                return self._second_axis(
+                    dy, _Y_DIRS, self._y_has_ruche, in_dir, _Y_AXIS_INPUTS
+                )
+        else:
+            if dy:
+                return self._first_axis(dy, _Y_DIRS, self._y_has_ruche)
+            if dx:
+                return self._second_axis(
+                    dx, _X_DIRS, self._x_has_ruche, in_dir, _X_AXIS_INPUTS
+                )
+        return Direction.P
+
+    def _first_axis(self, d: int, dirs, has_ruche: bool) -> Direction:
+        """Ruche-first: ride the highway while the distance warrants it.
+
+        Fully-populated boards a Ruche channel whenever ``|d| >= RF`` (it
+        may land exactly on the turn column and turn straight off the
+        Ruche input); depopulated boards only when ``|d| > RF`` so that the
+        final first-dimension hop is always a local link.
+        """
+        neg_local, pos_local, neg_ruche, pos_ruche = dirs
+        adist = abs(d)
+        if has_ruche:
+            boards = adist > self.rf if self.depopulated else adist >= self.rf
+            if boards:
+                return pos_ruche if d > 0 else neg_ruche
+        return pos_local if d > 0 else neg_local
+
+    def _second_axis(
+        self, d: int, dirs, has_ruche: bool, in_dir: Direction, axis_inputs
+    ) -> Direction:
+        """Local-first: local links until the remainder divides the RF.
+
+        Depopulated routers only board second-dimension Ruche channels from
+        same-axis inputs (Figure 5: the RS/RN outputs lose their P, W, E,
+        RW, RE inputs), so a turning packet always takes at least one local
+        hop first.
+        """
+        neg_local, pos_local, neg_ruche, pos_ruche = dirs
+        adist = abs(d)
+        if has_ruche and adist % self.rf == 0:
+            allowed = (not self.depopulated) or (in_dir in axis_inputs)
+            if allowed:
+                return pos_ruche if d > 0 else neg_ruche
+        return pos_local if d > 0 else neg_local
+
+
+class _ParitySubnetRouting(RoutingAlgorithm):
+    """Shared logic for Ruche-One and multi-mesh parity-balanced routing."""
+
+    #: subnet value that maps onto the Ruche-named direction set.
+    _RUCHE_SUBNET = 1
+
+    def route(
+        self, node: Coord, in_dir: Direction, dest: Coord, subnet: int = 0
+    ) -> Direction:
+        dx = dest.x - node.x
+        dy = dest.y - node.y
+        ruche_class = subnet == self._RUCHE_SUBNET
+        if self._first_axis_is_x:
+            if dx:
+                return self._axis_dir(dx, _X_DIRS, ruche_class)
+            if dy:
+                return self._axis_dir(dy, _Y_DIRS, ruche_class)
+        else:
+            if dy:
+                return self._axis_dir(dy, _Y_DIRS, ruche_class)
+            if dx:
+                return self._axis_dir(dx, _X_DIRS, ruche_class)
+        return Direction.P
+
+    @staticmethod
+    def _axis_dir(d: int, dirs, ruche_class: bool) -> Direction:
+        neg_local, pos_local, neg_ruche, pos_ruche = dirs
+        if ruche_class:
+            return pos_ruche if d > 0 else neg_ruche
+        return pos_local if d > 0 else neg_local
+
+
+class RucheOneRouting(_ParitySubnetRouting):
+    """Ruche-One: even total distance rides the Ruche subnet (Section 3.2)."""
+
+    def injection_subnet(self, src: Coord, dest: Coord) -> int:
+        return 1 if src.manhattan(dest) % 2 == 0 else 0
+
+
+class MultiMeshRouting(_ParitySubnetRouting):
+    """2x multi-mesh: even Manhattan distance uses mesh 0 (Section 4.2)."""
+
+    def injection_subnet(self, src: Coord, dest: Coord) -> int:
+        return 0 if src.manhattan(dest) % 2 == 0 else 1
+
+
+class TorusDOR(RoutingAlgorithm):
+    """Shortest-way DOR with dateline VC partitioning for (half-)torus.
+
+    Returns both an output direction and an output VC through
+    :meth:`route_vc`.  Each unidirectional ring has one *dateline* at its
+    wrap link; packets that will traverse the dateline start on VC 0 and
+    are promoted to VC 1 when they cross it, breaking the cyclic channel
+    dependency.  Packets whose ring segment never touches the dateline
+    cannot contribute to either cycle, so they may use either VC; they are
+    spread across both by a per-flow hash, which keeps delivery in order
+    (the VC sequence is deterministic per source/destination pair) while
+    recovering the buffer utilization a VC0-only scheme would waste.
+    """
+
+    uses_vcs = True
+
+    def __init__(self, config: NetworkConfig) -> None:
+        super().__init__(config)
+        self._x_is_ring = True
+        self._y_is_ring = config.kind is TopologyKind.FOLDED_TORUS
+
+    def route(
+        self, node: Coord, in_dir: Direction, dest: Coord, subnet: int = 0
+    ) -> Direction:
+        out, _vc = self.route_vc(node, in_dir, 0, dest)
+        return out
+
+    def route_vc(
+        self, node: Coord, in_dir: Direction, in_vc: int, dest: Coord
+    ) -> Tuple[Direction, int]:
+        """Output ``(direction, vc)`` for a packet holding VC ``in_vc``."""
+        if self._first_axis_is_x:
+            axes = (("x", node.x, dest.x), ("y", node.y, dest.y))
+        else:
+            axes = (("y", node.y, dest.y), ("x", node.x, dest.x))
+        for axis, cur, tgt in axes:
+            if cur == tgt:
+                continue
+            if axis == "x":
+                k, is_ring, dirs = self.width, self._x_is_ring, _X_DIRS
+            else:
+                k, is_ring, dirs = self.height, self._y_is_ring, _Y_DIRS
+            out = self._ring_dir(cur, tgt, k, is_ring, dirs, dest)
+            same_dim = (
+                in_dir in _X_AXIS_INPUTS
+                if out in _X_AXIS_INPUTS
+                else in_dir in _Y_AXIS_INPUTS
+            )
+            if same_dim:
+                vc = in_vc
+            elif is_ring and self._crosses_ahead(out, cur, tgt, k):
+                vc = 0  # will be promoted at the dateline hop
+            else:
+                # Never touches the dateline in this ring: spread across
+                # both VCs, deterministically per destination flow.
+                vc = (dest.x + dest.y) & 1 if is_ring else 0
+            if self._crosses_dateline(out, cur, k):
+                vc = 1
+            return out, vc
+        return Direction.P, 0
+
+    @staticmethod
+    def _crosses_ahead(out: Direction, cur: int, tgt: int, k: int) -> bool:
+        """True when the remaining ring segment includes the wrap link."""
+        if out in (Direction.E, Direction.S):
+            return tgt < cur
+        return tgt > cur
+
+    @staticmethod
+    def _ring_dir(
+        cur: int, tgt: int, k: int, is_ring: bool, dirs, dest: Coord
+    ) -> Direction:
+        neg_local, pos_local, _nr, _pr = dirs
+        if not is_ring:
+            return pos_local if tgt > cur else neg_local
+        fwd = (tgt - cur) % k
+        bwd = (cur - tgt) % k
+        if fwd == bwd:
+            # Exact half-ring distance: break the tie per destination flow
+            # (deterministic, hence in-order) so neither unidirectional
+            # ring carries all of the half-way traffic.
+            return pos_local if (dest.x + dest.y) % 2 == 0 else neg_local
+        return pos_local if fwd < bwd else neg_local
+
+    def _crosses_dateline(self, out: Direction, cur: int, k: int) -> bool:
+        """True when this hop traverses the ring's wrap (dateline) link."""
+        if out in (Direction.E, Direction.S):
+            return cur == k - 1 and self._axis_is_ring(out)
+        if out in (Direction.W, Direction.N):
+            return cur == 0 and self._axis_is_ring(out)
+        return False
+
+    def _axis_is_ring(self, out: Direction) -> bool:
+        return self._x_is_ring if out.is_horizontal else self._y_is_ring
+
+
+def make_routing(config: NetworkConfig) -> RoutingAlgorithm:
+    """Factory: the routing algorithm for a design point."""
+    kind = config.kind
+    if kind is TopologyKind.MESH:
+        return MeshDOR(config)
+    if kind in (TopologyKind.FULL_RUCHE, TopologyKind.HALF_RUCHE):
+        return RucheDOR(config)
+    if kind is TopologyKind.RUCHE_ONE:
+        return RucheOneRouting(config)
+    if kind is TopologyKind.MULTI_MESH:
+        return MultiMeshRouting(config)
+    if kind.is_torus:
+        return TorusDOR(config)
+    raise RoutingError(f"no routing algorithm for {kind!r}")

@@ -1,0 +1,21 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration was supplied."""
+
+
+class RoutingError(ReproError):
+    """A packet could not be routed (bad destination, broken invariant)."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state (e.g. suspected deadlock)."""
+
+
+class WorkloadError(ReproError):
+    """A manycore kernel or dataset was mis-specified."""

@@ -1,0 +1,39 @@
+"""Experiment drivers: one module per paper figure/table.
+
+Use the registry to run any experiment by id::
+
+    from repro.experiments import run_experiment
+    print(run_experiment("fig6", scale="quick").report())
+
+or from the command line::
+
+    python -m repro.experiments fig6 --scale quick
+"""
+
+from repro.experiments.base import ExperimentResult, resolve_scale
+
+__all__ = [
+    "ExperimentResult",
+    "resolve_scale",
+    "run_experiment",
+    "experiment_ids",
+    "describe",
+]
+
+
+def run_experiment(experiment_id, scale=None, seed=0):
+    from repro.experiments.registry import run_experiment as _run
+
+    return _run(experiment_id, scale=scale, seed=seed)
+
+
+def experiment_ids():
+    from repro.experiments.registry import experiment_ids as _ids
+
+    return _ids()
+
+
+def describe(experiment_id):
+    from repro.experiments.registry import describe as _describe
+
+    return _describe(experiment_id)

@@ -1,0 +1,66 @@
+"""Command-line experiment runner.
+
+Examples::
+
+    python -m repro.experiments --list
+    python -m repro.experiments fig6 --scale quick
+    python -m repro.experiments all --scale smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import (
+    describe,
+    experiment_ids,
+    run_experiment,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help="experiment id (fig6, table2, ...) or 'all'",
+    )
+    parser.add_argument("--scale", choices=("smoke", "quick", "full"),
+                        default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--list", action="store_true",
+                        help="list experiment ids")
+    parser.add_argument("--output", metavar="FILE",
+                        help="write a combined markdown report to FILE")
+    args = parser.parse_args(argv)
+
+    if args.list or args.experiment is None:
+        for exp_id in experiment_ids():
+            print(f"{exp_id:8s} {describe(exp_id)}")
+        return 0
+
+    ids = (
+        experiment_ids() if args.experiment == "all" else [args.experiment]
+    )
+    if args.output:
+        from repro.experiments.report import write_report
+
+        path = write_report(args.output, ids=ids, scale=args.scale,
+                            seed=args.seed)
+        print(f"wrote {path}")
+        return 0
+    for exp_id in ids:
+        start = time.time()
+        result = run_experiment(exp_id, scale=args.scale, seed=args.seed)
+        print(result.report())
+        print(f"  [{time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""Common experiment-driver machinery.
+
+Every paper figure/table has a driver module exposing
+``run(scale=..., seed=...) -> ExperimentResult``.  ``scale`` selects
+parameter presets:
+
+* ``smoke`` — seconds; exercises the full code path on tiny inputs.
+* ``quick`` — the default; small networks / short windows, preserves the
+  paper's qualitative shape.  What the benchmark suite runs.
+* ``full`` — the paper's network sizes and long measurement windows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.tables import render_table
+
+SCALES = ("smoke", "quick", "full")
+
+
+def resolve_scale(scale: Optional[str]) -> str:
+    """Explicit argument beats the ``REPRO_SCALE`` env var beats quick."""
+    chosen = scale or os.environ.get("REPRO_SCALE", "quick")
+    if chosen not in SCALES:
+        raise ValueError(f"scale must be one of {SCALES}, got {chosen!r}")
+    return chosen
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """Outcome of one experiment driver."""
+
+    experiment_id: str
+    title: str
+    rows: List[Dict[str, Any]]
+    scale: str
+    notes: str = ""
+    columns: Optional[Sequence[str]] = None
+
+    def report(self) -> str:
+        """Human-readable report (the 'regenerated table/figure')."""
+        header = f"[{self.experiment_id}] {self.title} (scale={self.scale})"
+        body = render_table(self.rows, columns=self.columns)
+        if self.notes:
+            return f"{header}\n{body}\n\n{self.notes}"
+        return f"{header}\n{body}"
+
+    def column(self, name: str) -> List[Any]:
+        return [row.get(name) for row in self.rows]
+
+    def lookup(self, **filters: Any) -> List[Dict[str, Any]]:
+        """Rows matching all ``filters`` equality constraints."""
+        return [
+            row
+            for row in self.rows
+            if all(row.get(k) == v for k, v in filters.items())
+        ]
+
+    def single(self, **filters: Any) -> Dict[str, Any]:
+        rows = self.lookup(**filters)
+        if len(rows) != 1:
+            raise KeyError(
+                f"expected one row for {filters}, found {len(rows)}"
+            )
+        return rows[0]

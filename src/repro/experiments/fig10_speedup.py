@@ -1,0 +1,58 @@
+"""Figure 10: parallel benchmark speedup over 2-D mesh.
+
+Runs the benchmark suite on every fabric and reports runtime speedups
+relative to the mesh.  Expected shape (Section 4.6): Half Ruche beats
+mesh and half-torus across the board, ruche2-depop already captures most
+of the gain, pop > depop slightly, ruche3 > ruche2 slightly; SpGEMM's
+atomic hotspot caps its gains; Jacobi regresses on half-torus.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.experiments.base import ExperimentResult, resolve_scale
+from repro.experiments.manycore_runs import (
+    FABRICS,
+    run_cached,
+    size_for,
+    suite_for,
+)
+from repro.manycore.stats import geomean
+
+
+def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
+    scale = resolve_scale(scale)
+    width, height = size_for(scale)
+    suite = suite_for(scale)
+    rows: List[dict] = []
+    per_fabric_speedups = {name: [] for name in FABRICS}
+    for benchmark in suite:
+        mesh = run_cached(benchmark, "mesh", width, height, scale)
+        for fabric in FABRICS:
+            stats = run_cached(benchmark, fabric, width, height, scale)
+            speedup = mesh.cycles / stats.cycles
+            per_fabric_speedups[fabric].append(speedup)
+            rows.append({
+                "benchmark": benchmark,
+                "config": fabric,
+                "cycles": stats.cycles,
+                "speedup_vs_mesh": speedup,
+            })
+    for fabric in FABRICS:
+        rows.append({
+            "benchmark": "GEOMEAN",
+            "config": fabric,
+            "cycles": None,
+            "speedup_vs_mesh": geomean(per_fabric_speedups[fabric]),
+        })
+    return ExperimentResult(
+        experiment_id="fig10",
+        title=f"Benchmark speedup over mesh ({width}x{height})",
+        rows=rows,
+        scale=scale,
+        notes=(
+            "Paper anchors (32x16 geomean): ruche2-depop 1.17x, "
+            "ruche3-pop 1.24x, half-torus 1.08x."
+        ),
+    )

@@ -1,0 +1,68 @@
+"""Figure 11: scalability — speedup from quadrupling the core count.
+
+Per-core work is held constant (weak scaling), so a machine with 4× the
+cores performs 4× the work; "scalability" is the equivalent-work speedup
+over the 16×8 mesh, with 4× as the ideal ceiling.  Expected shape
+(Section 4.7): Ruche helps everywhere; half-torus scales worst; 64×8 mesh
+collapses on its bisection; at RF3, 64×8 edges past 32×16.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.experiments.base import ExperimentResult, resolve_scale
+from repro.experiments.manycore_runs import (
+    FABRICS,
+    run_cached,
+    suite_for,
+)
+from repro.manycore.stats import geomean
+
+#: Scaled sizes vs the 16x8 baseline (both are 4x the cores).
+_SIZES = {"smoke": [(16, 8)], "quick": [(32, 16)],
+          "full": [(32, 16), (64, 8)]}
+_BASE = {"smoke": (8, 4), "quick": (16, 8), "full": (16, 8)}
+
+
+def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
+    scale = resolve_scale(scale)
+    base_w, base_h = _BASE[scale]
+    suite = suite_for(scale)
+    rows: List[dict] = []
+    for width, height in _SIZES[scale]:
+        work_ratio = (width * height) / (base_w * base_h)
+        per_fabric = {name: [] for name in FABRICS}
+        for benchmark in suite:
+            base = run_cached(benchmark, "mesh", base_w, base_h, scale)
+            for fabric in FABRICS:
+                stats = run_cached(benchmark, fabric, width, height, scale)
+                scalability = work_ratio * base.cycles / stats.cycles
+                per_fabric[fabric].append(scalability)
+                rows.append({
+                    "size": f"{width}x{height}",
+                    "benchmark": benchmark,
+                    "config": fabric,
+                    "scalability": scalability,
+                })
+        for fabric in FABRICS:
+            rows.append({
+                "size": f"{width}x{height}",
+                "benchmark": "GEOMEAN",
+                "config": fabric,
+                "scalability": geomean(per_fabric[fabric]),
+            })
+    return ExperimentResult(
+        experiment_id="fig11",
+        title=(
+            f"Scalability vs {base_w}x{base_h} mesh "
+            f"(ceiling = core ratio)"
+        ),
+        rows=rows,
+        scale=scale,
+        notes=(
+            "Paper anchors (geomean vs 16x8 mesh): 32x16 mesh 2.20x, "
+            "ruche3-pop 2.73x; 64x8 mesh 1.66x, ruche3-pop 2.83x; "
+            "half-torus always below ruche."
+        ),
+    )

@@ -1,0 +1,46 @@
+"""Figure 12: average remote load latency, split intrinsic vs congestion.
+
+Expected shape (Section 4.8): intrinsic latency is nearly uniform across
+benchmarks (IPOLY balances the banks); Ruche cuts intrinsic latency by
+~27% at ruche2-depop with diminishing returns beyond; congestion
+dominates for the streaming workloads; congestion is never *worsened* by
+Ruche channels.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.experiments.base import ExperimentResult, resolve_scale
+from repro.experiments.manycore_runs import (
+    FABRICS,
+    run_cached,
+    size_for,
+    suite_for,
+)
+
+
+def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
+    scale = resolve_scale(scale)
+    width, height = size_for(scale)
+    rows: List[dict] = []
+    for benchmark in suite_for(scale):
+        for fabric in FABRICS:
+            stats = run_cached(benchmark, fabric, width, height, scale)
+            rows.append({
+                "benchmark": benchmark,
+                "config": fabric,
+                "intrinsic": stats.avg_intrinsic_latency,
+                "congestion": stats.avg_congestion_latency,
+                "total": stats.avg_load_latency,
+            })
+    return ExperimentResult(
+        experiment_id="fig12",
+        title=f"Remote load latency decomposition ({width}x{height})",
+        rows=rows,
+        scale=scale,
+        notes=(
+            "Paper anchors (32x16 geomean): ruche2-depop cuts intrinsic "
+            "latency ~1.28x and total ~1.27x vs mesh; half-torus ~1.11x."
+        ),
+    )

@@ -1,0 +1,63 @@
+"""Figure 13: total energy breakdown, normalized to 2-D mesh.
+
+Splits each run's energy into core / stall / router / wire.  Expected
+shape (Section 4.9): core energy is constant across fabrics; Ruche cuts
+both router energy (fewer hops; cheap long wires) and stall energy
+(lower remote latency); half-torus *increases* total energy — its higher
+per-hop router energy outweighs its hop savings; wire energy stays a
+small slice even at RF3.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.experiments.base import ExperimentResult, resolve_scale
+from repro.experiments.manycore_runs import (
+    FABRICS,
+    machine_config,
+    run_cached,
+    size_for,
+    suite_for,
+)
+from repro.manycore.energy import system_energy
+
+
+def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
+    scale = resolve_scale(scale)
+    width, height = size_for(scale)
+    rows: List[dict] = []
+    for benchmark in suite_for(scale):
+        mesh_stats = run_cached(benchmark, "mesh", width, height, scale)
+        mesh_energy = system_energy(
+            mesh_stats, machine_config("mesh", width, height)
+        )
+        for fabric in FABRICS:
+            stats = run_cached(benchmark, fabric, width, height, scale)
+            energy = system_energy(
+                stats, machine_config(fabric, width, height)
+            )
+            normalized = energy.normalized_to(mesh_energy)
+            rows.append({
+                "benchmark": benchmark,
+                "config": fabric,
+                "core": normalized["core"],
+                "stall": normalized["stall"],
+                "router": normalized["router"],
+                "wire": normalized["wire"],
+                "total_vs_mesh": normalized["total"],
+                "noc_uj": energy.noc,
+            })
+    return ExperimentResult(
+        experiment_id="fig13",
+        title=(
+            f"Total energy breakdown normalized to mesh ({width}x{height})"
+        ),
+        rows=rows,
+        scale=scale,
+        notes=(
+            "Paper shape: half-torus total > mesh in almost all "
+            "benchmarks; ruche2-depop gives the sharpest reduction; wire "
+            "energy is a small slice even at RF3."
+        ),
+    )

@@ -1,0 +1,53 @@
+"""Figure 5: Full Ruche crossbar connectivity matrix, pop vs depop."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.connectivity import (
+    FULL_RUCHE_DEPOP_XY,
+    FULL_RUCHE_POP_XY,
+    max_mux_inputs,
+    output_fanin,
+    total_connections,
+)
+from repro.core.coords import Direction
+from repro.experiments.base import ExperimentResult, resolve_scale
+
+
+def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
+    scale = resolve_scale(scale)
+    pop_fanin = output_fanin(FULL_RUCHE_POP_XY)
+    depop_fanin = output_fanin(FULL_RUCHE_DEPOP_XY)
+    rows: List[dict] = []
+    for direction in Direction:
+        rows.append({
+            "output": direction.name,
+            "fanin_depop": depop_fanin.get(direction, 0),
+            "fanin_pop": pop_fanin.get(direction, 0),
+            "removed_by_depop": (
+                pop_fanin.get(direction, 0)
+                - depop_fanin.get(direction, 0)
+            ),
+        })
+    rows.append({
+        "output": "TOTAL",
+        "fanin_depop": total_connections(FULL_RUCHE_DEPOP_XY),
+        "fanin_pop": total_connections(FULL_RUCHE_POP_XY),
+        "removed_by_depop": (
+            total_connections(FULL_RUCHE_POP_XY)
+            - total_connections(FULL_RUCHE_DEPOP_XY)
+        ),
+    })
+    return ExperimentResult(
+        experiment_id="fig5",
+        title="Full Ruche crossbar connectivity (X-Y DOR)",
+        rows=rows,
+        scale=scale,
+        notes=(
+            f"Paper: depop removes 16 connections; P output 9->7; RS/RN "
+            f"lose 5 inputs each; max mux "
+            f"{max_mux_inputs(FULL_RUCHE_DEPOP_XY)} (depop) vs "
+            f"{max_mux_inputs(FULL_RUCHE_POP_XY)} (pop)."
+        ),
+    )

@@ -1,0 +1,102 @@
+"""Shared, cached manycore runs for the Figure 10–13 / Table 6 drivers.
+
+The same (benchmark, network, size) simulations feed several experiment
+drivers; this module memoizes them per process so Table 6 can aggregate
+the Figure 10–13 data without re-simulating.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Dict, Tuple
+
+from repro.manycore import (
+    Machine,
+    MachineConfig,
+    MachineStats,
+    build_workload,
+)
+
+#: Manycore fabrics compared in Figures 10-13 (paper order).
+FABRICS = (
+    "mesh",
+    "half-torus",
+    "ruche2-depop",
+    "ruche2-pop",
+    "ruche3-depop",
+    "ruche3-pop",
+)
+
+#: Kernel parameter presets per scale: smaller problems, same shape.
+KERNEL_PRESETS: Dict[str, Dict[str, dict]] = {
+    "smoke": {
+        "jacobi": dict(block=3, iterations=2),
+        "sgemm": dict(block=3, k_panels=2),
+        "fft": dict(points_per_core=8, stages=2),
+        "bh": dict(bodies_per_core=2, walk_depth=4),
+        "bfs": dict(max_levels=3),
+        "pr": dict(max_edges_per_core=80),
+        "spgemm": dict(rows_per_core=1, max_chain=3),
+    },
+    "quick": {
+        "jacobi": dict(block=4, iterations=4),
+        "sgemm": dict(block=4, k_panels=4),
+        "fft": dict(points_per_core=12, stages=3),
+        "bh": dict(bodies_per_core=4, walk_depth=6),
+        "bfs": dict(max_levels=4),
+        "pr": dict(max_edges_per_core=200),
+        "spgemm": dict(rows_per_core=2, max_chain=4),
+    },
+    "full": {
+        "jacobi": dict(block=6, iterations=6),
+        "sgemm": dict(block=5, k_panels=6),
+        "fft": dict(points_per_core=16, stages=4),
+        "bh": dict(bodies_per_core=6, walk_depth=8),
+        "bfs": dict(max_levels=8),
+        "pr": dict(max_edges_per_core=500),
+        "spgemm": dict(rows_per_core=3, max_chain=6),
+    },
+}
+
+
+def kernel_params(benchmark: str, scale: str) -> dict:
+    kernel = benchmark.partition("-")[0]
+    return dict(KERNEL_PRESETS[scale].get(kernel, {}))
+
+
+@functools.lru_cache(maxsize=None)
+def run_cached(
+    benchmark: str,
+    network: str,
+    width: int,
+    height: int,
+    scale: str,
+) -> MachineStats:
+    """One memoized manycore simulation."""
+    mcfg = MachineConfig(network=network, width=width, height=height)
+    workload = build_workload(
+        benchmark, mcfg, **kernel_params(benchmark, scale)
+    )
+    return Machine(mcfg, workload).run(max_cycles=3_000_000)
+
+
+def machine_config(network: str, width: int, height: int) -> MachineConfig:
+    return MachineConfig(network=network, width=width, height=height)
+
+
+def clear_cache() -> None:
+    run_cached.cache_clear()
+
+
+def suite_for(scale: str) -> Tuple[str, ...]:
+    from repro.manycore.kernels import benchmark_names, quick_suite
+
+    if scale == "smoke":
+        return ("jacobi", "spgemm-CA")
+    if scale == "quick":
+        return quick_suite() + ("fft", "pr-PK")
+    return benchmark_names()
+
+
+def size_for(scale: str) -> Tuple[int, int]:
+    return {"smoke": (8, 4), "quick": (16, 8), "full": (32, 16)}[scale]

@@ -1,0 +1,62 @@
+"""Registry mapping every paper figure/table to its experiment driver."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.experiments import (
+    fig5_connectivity,
+    fig6_synthetic_full,
+    fig7_area_timing,
+    fig8_fairness,
+    fig9_synthetic_half,
+    fig10_speedup,
+    fig11_scalability,
+    fig12_load_latency,
+    fig13_energy,
+    table1_properties,
+    table2_area,
+    table3_energy,
+    table4_bandwidth,
+    table6_geomean,
+)
+from repro.experiments.base import ExperimentResult
+
+_REGISTRY: Dict[str, Tuple[Callable, str]] = {
+    "table1": (table1_properties.run, "Topology physical-scalability matrix"),
+    "fig5": (fig5_connectivity.run, "Crossbar connectivity, pop vs depop"),
+    "fig6": (fig6_synthetic_full.run, "Full Ruche synthetic traffic"),
+    "fig7": (fig7_area_timing.run, "Area vs cycle-time synthesis sweep"),
+    "table2": (table2_area.run, "Router area breakdown"),
+    "table3": (table3_energy.run, "Router energy per packet"),
+    "fig8": (fig8_fairness.run, "Per-tile latency fairness"),
+    "fig9": (fig9_synthetic_half.run, "Half Ruche synthetic traffic"),
+    "table4": (table4_bandwidth.run, "Bisection vs memory bandwidth"),
+    "fig10": (fig10_speedup.run, "Benchmark speedup over mesh"),
+    "fig11": (fig11_scalability.run, "Scalability at 4x cores"),
+    "fig12": (fig12_load_latency.run, "Remote load latency decomposition"),
+    "fig13": (fig13_energy.run, "Total energy breakdown"),
+    "table6": (table6_geomean.run, "Half Ruche geomean summary"),
+}
+
+
+def experiment_ids() -> Tuple[str, ...]:
+    return tuple(_REGISTRY)
+
+
+def describe(experiment_id: str) -> str:
+    return _REGISTRY[experiment_id][1]
+
+
+def run_experiment(
+    experiment_id: str, scale: Optional[str] = None, seed: int = 0
+) -> ExperimentResult:
+    """Run one paper experiment by id (e.g. ``"fig6"``, ``"table2"``)."""
+    try:
+        driver, _ = _REGISTRY[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"choose from {sorted(_REGISTRY)}"
+        )
+    return driver(scale=scale, seed=seed)

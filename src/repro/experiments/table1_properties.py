@@ -1,0 +1,32 @@
+"""Table 1: physical-scalability property matrix of NoC topologies."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.topology import (
+    physical_properties,
+    table1_criteria,
+    table1_topologies,
+)
+from repro.experiments.base import ExperimentResult, resolve_scale
+
+
+def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
+    scale = resolve_scale(scale)
+    rows: List[dict] = []
+    for name in table1_topologies():
+        row = {"topology": name}
+        row.update(physical_properties(name))
+        rows.append(row)
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Physical scalability criteria by topology",
+        rows=rows,
+        scale=scale,
+        columns=["topology", *table1_criteria()],
+        notes=(
+            "Ruche and folded torus meet all criteria; mesh lacks only "
+            "long-range links; the high-radix topologies fail tiling."
+        ),
+    )

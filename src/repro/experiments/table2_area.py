@@ -1,0 +1,49 @@
+"""Table 2: router area breakdown at the most relaxed synthesis target."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.params import NetworkConfig
+from repro.experiments.base import ExperimentResult, resolve_scale
+from repro.phys.area import router_area
+
+CONFIG_NAMES = ("multimesh", "ruche2-depop", "ruche2-pop", "torus")
+
+#: The paper's published breakdown (µm²) for side-by-side comparison.
+PAPER_TABLE2 = {
+    "multimesh": dict(crossbar=791, decode=96, buffers=2250, control=53,
+                      total=3190),
+    "ruche2-depop": dict(crossbar=599, decode=99, buffers=2250, control=42,
+                         total=2991),
+    "ruche2-pop": dict(crossbar=986, decode=100, buffers=2250, control=74,
+                       total=3411),
+    "torus": dict(crossbar=410, decode=349, buffers=2435, control=194,
+                  total=3388),
+}
+
+
+def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
+    scale = resolve_scale(scale)
+    rows: List[dict] = []
+    for name in CONFIG_NAMES:
+        config = NetworkConfig.from_name(name, 8, 8)
+        breakdown = router_area(config)
+        paper = PAPER_TABLE2[name]
+        rows.append({
+            "config": name,
+            "crossbar_um2": breakdown.crossbar,
+            "decode_um2": breakdown.decode,
+            "buffers_um2": breakdown.buffers,
+            "control_um2": breakdown.control,
+            "total_um2": breakdown.total,
+            "paper_total_um2": paper["total"],
+            "total_error": breakdown.total / paper["total"] - 1.0,
+        })
+    return ExperimentResult(
+        experiment_id="table2",
+        title="Router area breakdown @ ~98 FO4, 128-bit channels",
+        rows=rows,
+        scale=scale,
+        notes="Paper ordering: depop < multimesh < torus < pop.",
+    )

@@ -1,0 +1,51 @@
+"""Table 3: router energy per packet, by output direction."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.params import NetworkConfig
+from repro.experiments.base import ExperimentResult, resolve_scale
+from repro.phys.energy import energy_table
+
+CONFIG_NAMES = ("ruche2-depop", "ruche2-pop", "torus")
+
+#: The paper's published values (pJ/packet).
+PAPER_TABLE3 = {
+    ("ruche2-depop", "Horizontal"): 1.66,
+    ("ruche2-depop", "Vertical"): 1.82,
+    ("ruche2-depop", "Ruche Horizontal"): 1.40,
+    ("ruche2-depop", "Ruche Vertical"): 1.49,
+    ("ruche2-pop", "Horizontal"): 1.95,
+    ("ruche2-pop", "Vertical"): 2.01,
+    ("ruche2-pop", "Ruche Horizontal"): 1.81,
+    ("ruche2-pop", "Ruche Vertical"): 2.00,
+    ("torus", "Horizontal"): 2.41,
+    ("torus", "Vertical"): 3.35,
+}
+
+
+def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
+    scale = resolve_scale(scale)
+    rows: List[dict] = []
+    for name in CONFIG_NAMES:
+        config = NetworkConfig.from_name(name, 8, 8)
+        for direction, pj in energy_table(config).items():
+            paper = PAPER_TABLE3.get((name, direction))
+            rows.append({
+                "config": name,
+                "direction": direction,
+                "model_pj": pj,
+                "paper_pj": paper,
+                "error": (pj / paper - 1.0) if paper else None,
+            })
+    return ExperimentResult(
+        experiment_id="table3",
+        title="Router energy per packet by direction (pJ)",
+        rows=rows,
+        scale=scale,
+        notes=(
+            "Paper shape: ruche < torus everywhere; depop < pop; the "
+            "depopulated Ruche directions are the cheapest."
+        ),
+    )

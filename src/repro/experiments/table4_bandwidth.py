@@ -1,0 +1,33 @@
+"""Table 4: bisection vs memory-tile bandwidth across sizes and RFs."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from repro.analysis.bandwidth import minimum_rf_to_match_memory, table4
+from repro.experiments.base import ExperimentResult, resolve_scale
+
+
+def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
+    scale = resolve_scale(scale)
+    rows: List[dict] = []
+    for row in table4():
+        entry = dataclasses.asdict(row)
+        entry["meets_guideline"] = row.meets_guideline
+        rows.append(entry)
+    notes_extra = []
+    for width, height in [(32, 8), (64, 8)]:
+        rf = minimum_rf_to_match_memory(width, height)
+        notes_extra.append(f"{width}x{height} needs RF={rf} to match")
+    return ExperimentResult(
+        experiment_id="table4",
+        title="Bisection BW vs memory-tile BW (Half Ruche)",
+        rows=rows,
+        scale=scale,
+        notes=(
+            "Paper: highlighted rows have bisection >= memory BW; "
+            + "; ".join(notes_extra)
+            + " (paper: 32x8 matches at RF3, 64x8 'would require Ruche7')."
+        ),
+    )

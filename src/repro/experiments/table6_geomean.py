@@ -1,0 +1,101 @@
+"""Table 6: geomean summary of the Half Ruche evaluation.
+
+Aggregates the Figure 10–13 runs into the paper's summary metrics:
+speedup vs mesh, remote-load latency reduction (intrinsic / congestion /
+total), energy efficiency (compute / NoC / total), tile-area increase,
+and area-normalized speedup.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.params import NetworkConfig
+from repro.experiments.base import ExperimentResult, resolve_scale
+from repro.experiments.manycore_runs import (
+    FABRICS,
+    machine_config,
+    run_cached,
+    size_for,
+    suite_for,
+)
+from repro.manycore.energy import system_energy
+from repro.manycore.stats import (
+    area_normalized_speedup,
+    energy_efficiency,
+    geomean,
+    latency_reduction,
+)
+from repro.phys.area import tile_area_increase
+
+
+def _tile_area(fabric: str, width: int, height: int) -> float:
+    config = NetworkConfig.from_name(
+        fabric, width, height, half=fabric.startswith("ruche")
+    )
+    return tile_area_increase(config)
+
+
+def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
+    scale = resolve_scale(scale)
+    width, height = size_for(scale)
+    suite = suite_for(scale)
+
+    mesh_stats = {
+        b: run_cached(b, "mesh", width, height, scale) for b in suite
+    }
+    mesh_cfg = machine_config("mesh", width, height)
+    mesh_energy = {
+        b: system_energy(mesh_stats[b], mesh_cfg) for b in suite
+    }
+
+    rows: List[dict] = []
+    for fabric in FABRICS:
+        cfg = machine_config(fabric, width, height)
+        stats: Dict[str, object] = {
+            b: run_cached(b, fabric, width, height, scale) for b in suite
+        }
+        energy = {b: system_energy(stats[b], cfg) for b in suite}
+        speedup = geomean(
+            mesh_stats[b].cycles / stats[b].cycles for b in suite
+        )
+        tile_ratio = _tile_area(fabric, width, height)
+        rows.append({
+            "config": fabric,
+            "speedup_vs_mesh": speedup,
+            "latency_reduction_intrinsic": geomean(
+                latency_reduction(mesh_stats[b], stats[b], "intrinsic")
+                for b in suite
+            ),
+            "latency_reduction_total": geomean(
+                latency_reduction(mesh_stats[b], stats[b], "total")
+                for b in suite
+            ),
+            "energy_eff_compute": geomean(
+                energy_efficiency(mesh_energy[b], energy[b], "compute")
+                for b in suite
+            ),
+            "energy_eff_noc": geomean(
+                energy_efficiency(mesh_energy[b], energy[b], "noc")
+                for b in suite
+            ),
+            "energy_eff_total": geomean(
+                energy_efficiency(mesh_energy[b], energy[b], "total")
+                for b in suite
+            ),
+            "tile_area_increase": tile_ratio,
+            "area_normalized_speedup": area_normalized_speedup(
+                speedup, tile_ratio
+            ),
+        })
+    return ExperimentResult(
+        experiment_id="table6",
+        title=f"Half Ruche geomean summary ({width}x{height})",
+        rows=rows,
+        scale=scale,
+        notes=(
+            "Paper anchors (32x16): speedups r2d 1.17x / r3p 1.24x / "
+            "half-torus 1.08x; NoC energy efficiency r2d 1.28x, "
+            "half-torus 0.75x; area-normalized speedup favors depop."
+        ),
+    )

@@ -1,0 +1,100 @@
+"""Execution-driven cellular manycore simulator (paper Sections 4.5–4.10).
+
+The substrate for the Half Ruche evaluation: in-order cores with bounded
+remote-request windows, edge LLC banks with IPOLY interleaving, and dual
+request/response networks, all simulated cycle by cycle with full
+backpressure feedback.
+"""
+
+from repro.manycore.config import MachineConfig
+from repro.manycore.core_model import Core, CoreStats, Request
+from repro.manycore.datasets import (
+    Graph,
+    graph_codes,
+    load_graph,
+    road_graph,
+    scientific_graph,
+    social_graph,
+)
+from repro.manycore.energy import (
+    ENERGY_PER_INSTRUCTION_PJ,
+    ENERGY_PER_STALL_CYCLE_PJ,
+    EnergyBreakdown,
+    system_energy,
+)
+from repro.manycore.ipoly import ipoly_hash, modulo_hash
+from repro.manycore.kernels import (
+    benchmark_names,
+    build_workload,
+    quick_suite,
+    workload_classes,
+)
+from repro.manycore.machine import Machine, MachineStats
+from repro.manycore.memory import MemoryTile, ScratchpadServer
+from repro.manycore.stats import (
+    area_normalized_speedup,
+    energy_efficiency,
+    geomean,
+    geomean_speedups,
+    latency_reduction,
+    scalability,
+    speedup,
+    stall_breakdown,
+)
+
+__all__ = [
+    "MachineConfig",
+    "Machine",
+    "MachineStats",
+    "Core",
+    "CoreStats",
+    "Request",
+    "MemoryTile",
+    "ScratchpadServer",
+    "Graph",
+    "load_graph",
+    "graph_codes",
+    "road_graph",
+    "social_graph",
+    "scientific_graph",
+    "ipoly_hash",
+    "modulo_hash",
+    "build_workload",
+    "benchmark_names",
+    "quick_suite",
+    "workload_classes",
+    "EnergyBreakdown",
+    "system_energy",
+    "ENERGY_PER_INSTRUCTION_PJ",
+    "ENERGY_PER_STALL_CYCLE_PJ",
+    "speedup",
+    "scalability",
+    "geomean",
+    "geomean_speedups",
+    "latency_reduction",
+    "energy_efficiency",
+    "area_normalized_speedup",
+    "stall_breakdown",
+]
+
+
+def run_benchmark(
+    benchmark: str,
+    network: str = "mesh",
+    width: int = 16,
+    height: int = 8,
+    *,
+    hash_fn: str = "ipoly",
+    max_cycles: int = 2_000_000,
+    **kernel_params,
+):
+    """One-call convenience: build a machine, run a benchmark, return stats.
+
+    >>> stats = run_benchmark("jacobi", "ruche2-depop", 16, 8)
+    >>> stats.completed
+    True
+    """
+    mcfg = MachineConfig(network=network, width=width, height=height)
+    workload = build_workload(benchmark, mcfg, **kernel_params)
+    machine = Machine(mcfg, workload, hash_fn=hash_fn)
+    return machine.run(max_cycles=max_cycles)

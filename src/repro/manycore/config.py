@@ -1,0 +1,119 @@
+"""Machine configuration for the cellular manycore.
+
+The machine follows the HammerBlade arrangement the paper evaluates
+(Sections 4.5–4.10): a ``width × height`` array of compute tiles, LLC
+memory tiles on the northern and southern edges (one per column per
+edge), and **two** physical networks — requests route X-Y, responses
+route Y-X (after Abts et al.), which is also why the two networks carry
+different crossbar connectivity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from repro.core.coords import Coord
+from repro.core.params import DorOrder, NetworkConfig, TopologyKind
+from repro.errors import ConfigError
+
+#: Network families usable as a manycore fabric (edge memory constraint).
+_FABRIC_KINDS = (
+    TopologyKind.MESH,
+    TopologyKind.HALF_TORUS,
+    TopologyKind.HALF_RUCHE,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class MachineConfig:
+    """One manycore design point.
+
+    Parameters
+    ----------
+    network:
+        Fabric short name: ``mesh``, ``half-torus``, or
+        ``ruche<RF>[-pop|-depop]`` (Half Ruche — horizontal channels only,
+        matching the paper's all-to-edge scenario).
+    width, height:
+        Compute array dimensions (the paper evaluates 16×8, 32×16, 64×8).
+    window:
+        Maximum outstanding remote requests per core (non-blocking loads
+        until the window fills; the cores then stall, which is the
+        execution-driven feedback loop the paper emphasizes).
+    mem_latency:
+        LLC bank access pipeline latency in cycles.
+    amo_service:
+        Bank occupancy of an atomic operation (serializes at the bank and
+        produces the SpGEMM hotspot of Section 4.6).
+    inbox_capacity:
+        Request-queue depth at memory banks and scratchpad servers; a full
+        inbox backpressures the network's ejection port.
+    """
+
+    network: str = "mesh"
+    width: int = 16
+    height: int = 8
+    window: int = 4
+    mem_latency: int = 2
+    amo_service: int = 4
+    inbox_capacity: int = 4
+    fifo_depth: int = 2
+    channel_width_bits: int = 128
+
+    def __post_init__(self) -> None:
+        # Validate eagerly so bad fabric names fail at construction.
+        kind = self.network_config(DorOrder.XY).kind
+        if kind not in _FABRIC_KINDS:
+            raise ConfigError(
+                f"{self.network!r} cannot host edge memory; use mesh, "
+                "half-torus, or a Half Ruche network"
+            )
+
+    def network_config(self, dor_order: DorOrder) -> NetworkConfig:
+        half = self.network.lower().startswith("ruche")
+        return NetworkConfig.from_name(
+            self.network,
+            self.width,
+            self.height,
+            half=half,
+            edge_memory=True,
+            dor_order=dor_order,
+            fifo_depth=self.fifo_depth,
+            channel_width_bits=self.channel_width_bits,
+        )
+
+    @property
+    def forward_config(self) -> NetworkConfig:
+        """The request network (X-Y DOR)."""
+        return self.network_config(DorOrder.XY)
+
+    @property
+    def reverse_config(self) -> NetworkConfig:
+        """The response network (Y-X DOR)."""
+        return self.network_config(DorOrder.YX)
+
+    @property
+    def num_cores(self) -> int:
+        return self.width * self.height
+
+    @property
+    def num_memory_tiles(self) -> int:
+        return 2 * self.width
+
+    def memory_coords(self) -> List[Coord]:
+        """All LLC endpoints: northern edge first, then southern."""
+        return [Coord(x, -1) for x in range(self.width)] + [
+            Coord(x, self.height) for x in range(self.width)
+        ]
+
+    def compute_coords(self) -> List[Coord]:
+        return [
+            Coord(x, y)
+            for y in range(self.height)
+            for x in range(self.width)
+        ]
+
+    def compute_to_memory_ratio(self) -> float:
+        """Table 4's compute:memory tile ratio (e.g. 4:1 for 16×8)."""
+        return self.num_cores / self.num_memory_tiles

@@ -1,0 +1,100 @@
+"""System energy accounting (paper Figure 13, Section 4.9).
+
+Splits total energy into the paper's four categories:
+
+* **core** — dynamic energy of executed instructions (per-instruction
+  energy from the HammerBlade measurements the paper cites);
+* **stall** — leakage and ungated clock energy of idle cores and routers
+  while a core waits (remote loads, barriers, network backpressure);
+* **router** — dynamic NoC energy: every channel traversal costs the
+  direction's per-packet router energy from the Table 3 model;
+* **wire** — dynamic energy of the long-range (Ruche / folded-torus)
+  wires, from the first-order repeater model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from repro.core.coords import Direction
+from repro.core.params import NetworkConfig
+from repro.manycore.config import MachineConfig
+from repro.manycore.machine import MachineStats
+from repro.phys.energy import router_energy_per_packet
+from repro.phys.technology import TECH_12NM, Technology
+from repro.phys.wires import wire_energy_per_packet
+
+#: Dynamic energy per executed instruction (pJ); the dense RISC-V cores
+#: of the manycore the paper instruments.
+ENERGY_PER_INSTRUCTION_PJ = 5.0
+#: Leakage + ungated clock energy per stalled core-cycle (pJ); "stall
+#: energy per cycle is relatively small compared to energy per
+#: instruction" (Section 4.9).
+ENERGY_PER_STALL_CYCLE_PJ = 1.0
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyBreakdown:
+    """Figure 13 bar for one run, in µJ."""
+
+    core: float
+    stall: float
+    router: float
+    wire: float
+
+    @property
+    def total(self) -> float:
+        return self.core + self.stall + self.router + self.wire
+
+    @property
+    def noc(self) -> float:
+        """NoC energy: router + wire (Table 6's 'NoC' category)."""
+        return self.router + self.wire
+
+    def normalized_to(self, baseline: "EnergyBreakdown") -> Dict[str, float]:
+        """Component shares normalized to another run's total."""
+        return {
+            "core": self.core / baseline.total,
+            "stall": self.stall / baseline.total,
+            "router": self.router / baseline.total,
+            "wire": self.wire / baseline.total,
+            "total": self.total / baseline.total,
+        }
+
+
+def _network_energy_pj(
+    hop_counts, config: NetworkConfig, tech: Technology
+) -> Dict[str, float]:
+    router = 0.0
+    wire = 0.0
+    for direction in Direction:
+        hops = hop_counts[int(direction)]
+        if not hops:
+            continue
+        router += hops * router_energy_per_packet(config, direction, tech)
+        wire += hops * wire_energy_per_packet(config, direction, tech)
+    return {"router": router, "wire": wire}
+
+
+def system_energy(
+    stats: MachineStats,
+    mcfg: MachineConfig,
+    tech: Technology = TECH_12NM,
+) -> EnergyBreakdown:
+    """Total energy of one manycore run, split per Figure 13."""
+    core_pj = stats.instructions * ENERGY_PER_INSTRUCTION_PJ
+    stall_pj = stats.stall_cycles * ENERGY_PER_STALL_CYCLE_PJ
+    fwd = _network_energy_pj(
+        stats.fwd_hop_counts, mcfg.forward_config, tech
+    )
+    rev = _network_energy_pj(
+        stats.rev_hop_counts, mcfg.reverse_config, tech
+    )
+    to_uj = 1e-6
+    return EnergyBreakdown(
+        core=core_pj * to_uj,
+        stall=stall_pj * to_uj,
+        router=(fwd["router"] + rev["router"]) * to_uj,
+        wire=(fwd["wire"] + rev["wire"]) * to_uj,
+    )

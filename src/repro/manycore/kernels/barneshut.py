@@ -1,0 +1,49 @@
+"""Barnes-Hut N-body tree walk (paper Table 5: 16K–64K bodies, scaled).
+
+Each body's force evaluation walks the oct-tree: a chain of *dependent*
+LLC loads (each next node address comes from the previous read), modelled
+as load→fence pairs — the latency-bound, irregular pattern the paper
+groups with the pointer-chasing workloads.
+"""
+
+from __future__ import annotations
+
+from repro.core.coords import Coord
+from repro.manycore.config import MachineConfig
+from repro.manycore.kernels.base import OpStream, Workload, build_workload, core_rng
+
+
+def build(
+    mcfg: MachineConfig,
+    *,
+    bodies_per_core: int = 5,
+    walk_depth: int = 8,
+    compute_per_node: int = 2,
+    seed: int = 11,
+) -> Workload:
+    def per_core(phys: Coord, core_id: int) -> OpStream:
+        return _core_ops(phys, core_id, bodies_per_core, walk_depth,
+                         compute_per_node, seed)
+
+    return build_workload(mcfg, per_core)
+
+
+def _core_ops(
+    phys: Coord,
+    core_id: int,
+    bodies: int,
+    depth: int,
+    compute_per_node: int,
+    seed: int,
+) -> OpStream:
+    rng = core_rng(phys, seed)
+    tree_size = 1 << 16
+    for _body in range(bodies):
+        node = rng.randrange(tree_size)
+        for _level in range(depth):
+            yield ("load", node)
+            yield ("fence",)  # the next address depends on this read
+            yield ("compute", compute_per_node)
+            node = (node * 2654435761 + 17) % tree_size
+        yield ("compute", 4)  # force accumulation
+    yield ("barrier",)

@@ -1,0 +1,93 @@
+"""Shared machinery for manycore kernels.
+
+Kernels express per-core work as iterators of core operations (see
+:mod:`repro.manycore.core_model`).  They reason in **physical** tile
+coordinates — which tile is bolted next to which — because data placement
+(Jacobi halos, FFT transpose partners) follows the floorplan.
+
+On mesh and Ruche fabrics, physical and network coordinates coincide.  On
+a **folded torus** they do not: the folding interleaves the ring through
+the physical row, so the ring neighbour of a tile is two tiles away and
+*physically adjacent* tiles can be ring-distant.  This is exactly the
+effect behind the paper's Jacobi observation ("since folded torus
+topology skips every other tile, packets must take the longest route
+around the network to reach the nearest tiles", Section 4.6), and it
+falls out of the coordinate mapping below.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterator, List, Tuple
+
+from repro.core.coords import Coord
+from repro.core.params import TopologyKind
+from repro.manycore.config import MachineConfig
+
+Op = Tuple
+OpStream = Iterator[Op]
+Workload = Dict[Coord, OpStream]
+
+
+def ring_index(physical_x: int, width: int) -> int:
+    """Ring position of a physical column in a folded torus row.
+
+    The folded layout routes the ring 0, 2, 4, …, W-1, W-3, …, 1 through
+    the physical row; tiles at even physical positions occupy the first
+    half of the ring, odd positions the second half reversed.
+    """
+    if physical_x % 2 == 0:
+        return physical_x // 2
+    return width - 1 - (physical_x - 1) // 2
+
+
+def physical_to_network(mcfg: MachineConfig, phys: Coord) -> Coord:
+    """Network coordinate of the tile at physical position ``phys``."""
+    if mcfg.forward_config.kind is TopologyKind.HALF_TORUS:
+        return Coord(ring_index(phys.x, mcfg.width), phys.y)
+    return phys
+
+
+def clamp_neighbor(phys: Coord, dx: int, dy: int,
+                   mcfg: MachineConfig) -> Coord:
+    """Physically adjacent tile, clamped at the array boundary."""
+    x = min(max(phys.x + dx, 0), mcfg.width - 1)
+    y = min(max(phys.y + dy, 0), mcfg.height - 1)
+    return Coord(x, y)
+
+
+def core_rng(phys: Coord, seed: int) -> random.Random:
+    """Deterministic per-core RNG stream."""
+    return random.Random(f"{seed}:{phys.x}:{phys.y}")
+
+
+def physical_coords(mcfg: MachineConfig) -> List[Coord]:
+    """All physical tile positions, row-major."""
+    return [
+        Coord(x, y)
+        for y in range(mcfg.height)
+        for x in range(mcfg.width)
+    ]
+
+
+def build_workload(
+    mcfg: MachineConfig,
+    per_core: Callable[[Coord, int], OpStream],
+) -> Workload:
+    """Assemble a workload dict keyed by *network* coordinates.
+
+    ``per_core(phys, core_id)`` yields the op stream for the core at
+    physical position ``phys``; ``core_id`` is its row-major index.
+    """
+    workload: Workload = {}
+    for core_id, phys in enumerate(physical_coords(mcfg)):
+        workload[physical_to_network(mcfg, phys)] = per_core(phys, core_id)
+    return workload
+
+
+def interleave_loads(addresses, compute_per_load: int = 0) -> OpStream:
+    """Yield loads with optional compute between them (software pipelining)."""
+    for addr in addresses:
+        yield ("load", addr)
+        if compute_per_load:
+            yield ("compute", compute_per_load)

@@ -1,0 +1,68 @@
+"""Level-synchronous BFS over the Table 5 graphs.
+
+Vertices are assigned to cores round-robin.  For each level, a core loads
+the adjacency of its frontier vertices (one LLC word per four edges — a
+cache-line granule) and issues one atomic per newly discovered vertex to
+claim it; a barrier separates levels.  Social graphs concentrate whole
+levels on few hub-owning cores — the load imbalance the paper blames for
+BFS's limited scalability (Section 4.7).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.coords import Coord
+from repro.manycore.config import MachineConfig
+from repro.manycore.datasets import Graph, load_graph
+from repro.manycore.kernels.base import OpStream, Workload, build_workload
+
+#: Edges fetched per LLC word (cache-line granularity).
+_EDGES_PER_WORD = 4
+
+
+def build(
+    mcfg: MachineConfig,
+    *,
+    graph: str = "CA",
+    max_levels: int = 6,
+    root: int = 0,
+) -> Workload:
+    """Workload over the graph with paper abbreviation ``graph``."""
+    g = load_graph(graph)
+    levels = g.bfs_levels(root)[:max_levels]
+    # Precompute, per level, each core's frontier share and the set of
+    # vertices it newly discovers (round-robin vertex ownership).
+    n_cores = mcfg.num_cores
+    per_core_levels: List[Dict[int, List[int]]] = []
+    for frontier in levels:
+        shares: Dict[int, List[int]] = {}
+        for v in frontier:
+            shares.setdefault(v % n_cores, []).append(v)
+        per_core_levels.append(shares)
+
+    def per_core(phys: Coord, core_id: int) -> OpStream:
+        return _core_ops(core_id, g, per_core_levels)
+
+    return build_workload(mcfg, per_core)
+
+
+def _core_ops(
+    core_id: int,
+    g: Graph,
+    per_core_levels: List[Dict[int, List[int]]],
+) -> OpStream:
+    adj_base = 1 << 20
+    visited_base = 1 << 22
+    for shares in per_core_levels:
+        for v in shares.get(core_id, ()):  # this core's frontier slice
+            degree = len(g.adjacency[v])
+            words = max(1, (degree + _EDGES_PER_WORD - 1) // _EDGES_PER_WORD)
+            for w in range(words):
+                yield ("load", adj_base + v * 64 + w)
+            yield ("compute", max(1, degree // 4))
+            # Claim newly discovered neighbours (visited-bit atomics).
+            for u in g.adjacency[v][: max(1, degree // 2)]:
+                yield ("amo", visited_base + u)
+        yield ("fence",)
+        yield ("barrier",)

@@ -1,0 +1,73 @@
+"""2-D FFT (paper Table 5: 16K/32K FP32, scaled).
+
+Butterfly stages stream strided panels from the LLC; between the two
+dimension passes, cores exchange their panels through a tile-to-tile
+transpose (remote scratchpad stores to the transpose partner) — the
+all-to-all phase that stresses the bisection.
+"""
+
+from __future__ import annotations
+
+from repro.core.coords import Coord
+from repro.manycore.config import MachineConfig
+from repro.manycore.kernels.base import (
+    OpStream,
+    Workload,
+    build_workload,
+    physical_to_network,
+)
+
+
+def build(
+    mcfg: MachineConfig,
+    *,
+    points_per_core: int = 16,
+    stages: int = 3,
+    flops_per_point: int = 3,
+) -> Workload:
+    def per_core(phys: Coord, core_id: int) -> OpStream:
+        return _core_ops(phys, core_id, mcfg, points_per_core, stages,
+                         flops_per_point)
+
+    return build_workload(mcfg, per_core)
+
+
+def _transpose_partner(phys: Coord, mcfg: MachineConfig) -> Coord:
+    """Blocked transpose partner, folded into the array's aspect ratio."""
+    px = phys.y * mcfg.width // mcfg.height
+    py = phys.x * mcfg.height // mcfg.width
+    return Coord(min(px, mcfg.width - 1), min(py, mcfg.height - 1))
+
+
+def _core_ops(
+    phys: Coord,
+    core_id: int,
+    mcfg: MachineConfig,
+    points: int,
+    stages: int,
+    flops: int,
+) -> OpStream:
+    base = core_id * points
+    for stage in range(stages):
+        stride = 1 << stage
+        for i in range(points):
+            yield ("load", base + (i * stride) % (points * stages))
+        yield ("fence",)
+        yield ("compute", points * flops)
+        for i in range(points):
+            yield ("store", base + i)
+        yield ("fence",)
+        yield ("barrier",)
+    # Transpose between dimension passes: scatter the panel to the
+    # partner tile's scratchpad.
+    partner = physical_to_network(mcfg, _transpose_partner(phys, mcfg))
+    for i in range(points):
+        yield ("tstore", (partner.x, partner.y), base + i)
+    yield ("fence",)
+    yield ("barrier",)
+    # Second dimension pass (same stage structure, fewer stages).
+    for i in range(points):
+        yield ("load", base + i)
+    yield ("fence",)
+    yield ("compute", points * flops)
+    yield ("barrier",)

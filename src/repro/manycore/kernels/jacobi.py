@@ -1,0 +1,70 @@
+"""Jacobi 2-D stencil (paper Table 5: 512×512×64 FP32, scaled).
+
+Each core owns a block of the grid in its scratchpad.  Every iteration it
+loads the halo rows/columns from the scratchpads of its four *physically*
+adjacent tiles, relaxes its block, and synchronizes.  The traffic is pure
+nearest-neighbour remote-scratchpad reads — the pattern that regresses on
+a folded torus, whose ring bypasses physically adjacent tiles.
+"""
+
+from __future__ import annotations
+
+from repro.core.coords import Coord
+from repro.manycore.config import MachineConfig
+from repro.manycore.kernels.base import (
+    OpStream,
+    Workload,
+    build_workload,
+    clamp_neighbor,
+    physical_to_network,
+)
+
+
+def build(
+    mcfg: MachineConfig,
+    *,
+    block: int = 4,
+    iterations: int = 4,
+    compute_per_point: int = 1,
+) -> Workload:
+    """Workload: ``block × block`` grid points per core."""
+
+    def per_core(phys: Coord, core_id: int) -> OpStream:
+        return _core_ops(
+            mcfg, phys, core_id, block, iterations, compute_per_point
+        )
+
+    return build_workload(mcfg, per_core)
+
+
+def _core_ops(
+    mcfg: MachineConfig,
+    phys: Coord,
+    core_id: int,
+    block: int,
+    iterations: int,
+    compute_per_point: int,
+) -> OpStream:
+    neighbors = [
+        physical_to_network(mcfg, clamp_neighbor(phys, dx, dy, mcfg))
+        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1))
+    ]
+    halo_base = (phys.y * mcfg.width + phys.x) * 4 * block
+    grid_base = core_id * 2 * block * block
+    for it in range(iterations):
+        # Stream this iteration's coefficient plane out of the LLC (the
+        # 512×512×64 grid does not fit in scratchpads; planes are
+        # re-fetched each sweep).
+        for i in range(block * block):
+            yield ("load", grid_base + (it % 2) * block * block + i)
+        # Halo exchange: one word per boundary point from each neighbour,
+        # interleaved with a little address arithmetic.
+        for i in range(block):
+            for n_idx, neighbor in enumerate(neighbors):
+                yield ("tload", (neighbor.x, neighbor.y),
+                       halo_base + n_idx * block + i)
+            yield ("compute", 1)
+        yield ("fence",)
+        # Relax the interior block.
+        yield ("compute", block * block * compute_per_point)
+        yield ("barrier",)

@@ -1,0 +1,48 @@
+"""PageRank (one push iteration) over the Table 5 graphs.
+
+Pure streaming gather: for each owned vertex, load every in-neighbour's
+rank from the LLC (random-looking addresses after IPOLY interleaving),
+accumulate, and store the new rank.  Very high injection rate with few
+dependences — the congestion-dominated profile of Figure 12's
+"PageRank with social networks".
+"""
+
+from __future__ import annotations
+
+from repro.core.coords import Coord
+from repro.manycore.config import MachineConfig
+from repro.manycore.datasets import load_graph
+from repro.manycore.kernels.base import OpStream, Workload, build_workload
+
+
+def build(
+    mcfg: MachineConfig,
+    *,
+    graph: str = "PK",
+    max_edges_per_core: int = 400,
+) -> Workload:
+    g = load_graph(graph)
+    n_cores = mcfg.num_cores
+
+    def per_core(phys: Coord, core_id: int) -> OpStream:
+        vertices = range(core_id, g.num_vertices, n_cores)
+        return _core_ops(g, vertices, max_edges_per_core)
+
+    return build_workload(mcfg, per_core)
+
+
+def _core_ops(g, vertices, max_edges: int) -> OpStream:
+    rank_base = 1 << 21
+    budget = max_edges
+    for v in vertices:
+        if budget <= 0:
+            break
+        for u in g.adjacency[v]:
+            yield ("load", rank_base + u)
+            budget -= 1
+            if budget <= 0:
+                break
+        yield ("compute", max(1, len(g.adjacency[v]) // 4))
+        yield ("store", rank_base + (1 << 19) + v)
+    yield ("fence",)
+    yield ("barrier",)

@@ -1,0 +1,53 @@
+"""Blocked SGEMM (paper Table 5: 512³ FP32, scaled).
+
+Each core computes a ``block × block`` tile of C: for every K-panel it
+streams an A-block and a B-block out of the LLC (sequential addresses —
+the streaming pattern the paper notes suffers most mesh congestion),
+multiplies, and finally writes its C-block back.
+"""
+
+from __future__ import annotations
+
+from repro.core.coords import Coord
+from repro.manycore.config import MachineConfig
+from repro.manycore.kernels.base import OpStream, Workload, build_workload
+
+
+def build(
+    mcfg: MachineConfig,
+    *,
+    block: int = 4,
+    k_panels: int = 4,
+    macs_per_cycle: int = 1,
+) -> Workload:
+    def per_core(phys: Coord, core_id: int) -> OpStream:
+        return _core_ops(phys, core_id, mcfg, block, k_panels,
+                         macs_per_cycle)
+
+    return build_workload(mcfg, per_core)
+
+
+def _core_ops(
+    phys: Coord,
+    core_id: int,
+    mcfg: MachineConfig,
+    block: int,
+    k_panels: int,
+    macs_per_cycle: int,
+) -> OpStream:
+    words = block * block
+    a_base = core_id * k_panels * words
+    b_base = (mcfg.num_cores + core_id) * k_panels * words
+    c_base = (2 * mcfg.num_cores + core_id) * words
+    for k in range(k_panels):
+        # Stream both operand blocks (sequential LLC addresses).
+        for i in range(words):
+            yield ("load", a_base + k * words + i)
+            yield ("load", b_base + k * words + i)
+        yield ("fence",)
+        # block^3 MACs on the fetched panels.
+        yield ("compute", max(1, block * words // macs_per_cycle))
+    for i in range(words):
+        yield ("store", c_base + i)
+    yield ("fence",)
+    yield ("barrier",)

@@ -1,0 +1,62 @@
+"""SpGEMM (C = A·A) over the Table 5 road graphs.
+
+The paper's SpGEMM builds output lists with dynamically allocated linked
+lists: every produced non-zero performs a fetch-and-add on a **single
+global allocator variable** — a one-bank hotspot that Ruche channels
+cannot relieve (Section 4.6: "SpGEMM (US, RC) did not show much
+improvement, because of its heavy use of an atomic add variable…") —
+followed by a pointer chase down the output row's current list.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.coords import Coord
+from repro.manycore.config import MachineConfig
+from repro.manycore.datasets import load_graph
+from repro.manycore.kernels.base import OpStream, Workload, build_workload
+
+#: The single global allocator word (the hotspot address).
+ALLOC_ADDR = (1 << 23) + 5
+
+
+def build(
+    mcfg: MachineConfig,
+    *,
+    graph: str = "CA",
+    rows_per_core: int = 3,
+    max_chain: int = 6,
+) -> Workload:
+    g = load_graph(graph)
+    n_cores = mcfg.num_cores
+
+    def per_core(phys: Coord, core_id: int) -> OpStream:
+        rows = [
+            core_id + k * n_cores
+            for k in range(rows_per_core)
+            if core_id + k * n_cores < g.num_vertices
+        ]
+        return _core_ops(g, rows, max_chain)
+
+    return build_workload(mcfg, per_core)
+
+
+def _core_ops(g, rows, max_chain: int) -> OpStream:
+    list_base = 1 << 24
+    list_lengths: Dict[int, int] = {}
+    for i in rows:
+        for j in g.adjacency[i]:
+            for k in g.adjacency[j]:
+                # Allocate a list node: global fetch-and-add (hotspot).
+                yield ("amo", ALLOC_ADDR)
+                yield ("fence",)
+                # Chase the output row's list to its tail.
+                chain = min(list_lengths.get(k, 0), max_chain)
+                for step in range(chain):
+                    yield ("load", list_base + k * 64 + step)
+                    yield ("fence",)  # next pointer depends on this read
+                list_lengths[k] = list_lengths.get(k, 0) + 1
+                yield ("compute", 2)
+    yield ("fence",)
+    yield ("barrier",)

@@ -1,0 +1,93 @@
+"""Cross-run statistics: speedup, scalability, efficiency (Figures 10–11,
+Table 6)."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping
+
+from repro.manycore.energy import EnergyBreakdown
+from repro.manycore.machine import MachineStats
+
+
+def speedup(baseline: MachineStats, candidate: MachineStats) -> float:
+    """Runtime speedup of ``candidate`` over ``baseline`` (same work)."""
+    return baseline.cycles / candidate.cycles
+
+
+def scalability(
+    small_mesh: MachineStats, large: MachineStats, work_ratio: float
+) -> float:
+    """Paper Figure 11's 'scalability': speedup of a scaled machine over
+    the 16×8 mesh, for a machine doing ``work_ratio`` times the work.
+
+    With 4× the cores running 4× the problem, ideal scaling keeps the
+    runtime constant, so scalability = ``work_ratio × (t_small / t_large)``
+    and the ceiling is ``work_ratio`` (4×).
+    """
+    return work_ratio * small_mesh.cycles / large.cycles
+
+
+def geomean(values: Iterable[float]) -> float:
+    vals = [v for v in values if v > 0 and not math.isnan(v)]
+    if not vals:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def geomean_speedups(
+    baselines: Mapping[str, MachineStats],
+    candidates: Mapping[str, MachineStats],
+) -> float:
+    """Geomean speedup across a benchmark suite (Table 6 rows)."""
+    return geomean(
+        speedup(baselines[name], candidates[name])
+        for name in baselines
+        if name in candidates
+    )
+
+
+def latency_reduction(
+    baseline: MachineStats, candidate: MachineStats, component: str = "total"
+) -> float:
+    """Remote-load latency reduction factor (Table 6: >1 is better)."""
+    pick = {
+        "total": lambda s: s.avg_load_latency,
+        "intrinsic": lambda s: s.avg_intrinsic_latency,
+        "congestion": lambda s: s.avg_congestion_latency,
+    }[component]
+    denom = pick(candidate)
+    if denom <= 0:
+        return float("inf")
+    return pick(baseline) / denom
+
+
+def energy_efficiency(
+    baseline_energy: EnergyBreakdown,
+    candidate_energy: EnergyBreakdown,
+    component: str = "total",
+) -> float:
+    """Energy-efficiency factor vs. a baseline (Table 6: >1 is better)."""
+    pick = {
+        "total": lambda e: e.total,
+        "noc": lambda e: e.noc,
+        "compute": lambda e: e.core + e.stall,
+    }[component]
+    return pick(baseline_energy) / pick(candidate_energy)
+
+
+def area_normalized_speedup(
+    speedup_value: float, tile_area_ratio: float
+) -> float:
+    """Speedup per unit tile area (Table 6, bottom row)."""
+    return speedup_value / tile_area_ratio
+
+
+def stall_breakdown(stats: MachineStats) -> Dict[str, float]:
+    """Fractions of stall cycles by cause."""
+    total = max(1, stats.stall_cycles)
+    return {
+        "memory": stats.stall_mem / total,
+        "network": stats.stall_net / total,
+        "barrier": stats.stall_barrier / total,
+    }

@@ -1,0 +1,62 @@
+"""Physical models: area, cycle time, synthesis curves, energy, wires.
+
+Structural surrogates for the paper's Synopsys 12 nm flow, calibrated to
+the absolute numbers the paper publishes (Tables 2 and 3).  See
+DESIGN.md's substitution table for the fidelity argument.
+"""
+
+from repro.phys.area import (
+    RouterAreaBreakdown,
+    crossbar_fanins,
+    router_area,
+    ruche_wire_area_per_tile,
+    tile_area_increase,
+)
+from repro.phys.concentration import (
+    ConcentratedMeshModel,
+    ruche_alternative,
+)
+from repro.phys.energy import energy_table, router_energy_per_packet
+from repro.phys.synthesis import (
+    SynthesisPoint,
+    area_at_cycle_time,
+    min_achieved_cycle,
+    synthesis_curve,
+)
+from repro.phys.technology import TECH_12NM, Technology
+from repro.phys.timing import (
+    RELAXED_CYCLE_FO4,
+    achievable,
+    min_cycle_time_fo4,
+)
+from repro.phys.wires import (
+    link_length_mm,
+    repeated_wire_delay_fo4,
+    ruche_link_delay_fo4,
+    wire_energy_per_packet,
+)
+
+__all__ = [
+    "Technology",
+    "TECH_12NM",
+    "ConcentratedMeshModel",
+    "ruche_alternative",
+    "RouterAreaBreakdown",
+    "router_area",
+    "crossbar_fanins",
+    "ruche_wire_area_per_tile",
+    "tile_area_increase",
+    "router_energy_per_packet",
+    "energy_table",
+    "SynthesisPoint",
+    "synthesis_curve",
+    "area_at_cycle_time",
+    "min_achieved_cycle",
+    "min_cycle_time_fo4",
+    "achievable",
+    "RELAXED_CYCLE_FO4",
+    "link_length_mm",
+    "wire_energy_per_packet",
+    "repeated_wire_delay_fo4",
+    "ruche_link_delay_fo4",
+]

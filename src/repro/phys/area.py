@@ -1,0 +1,202 @@
+"""Router area model with component breakdown (paper Table 2, Figure 7).
+
+The model is structural: every component's area is a function of counts
+taken from the router's actual microarchitecture (crossbar mux fan-ins,
+FIFO bits, allocator ports), with per-unit constants calibrated against
+the four routers the paper synthesized at ~98 FO4 with 128-bit channels
+(Table 2).  The calibrated model reproduces every Table 2 entry within
+10% and every total within 5%, and — more importantly — reproduces the
+orderings the paper argues from: depopulated Ruche < multi-mesh <
+2-D torus < fully-populated Ruche.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.core.connectivity import connectivity_matrix, output_fanin
+from repro.core.params import NetworkConfig, TopologyKind
+from repro.phys.technology import TECH_12NM, Technology
+
+# Calibrated constants (least-squares fit to Table 2; see module docstring).
+#: Crossbar mux area: ``K * (fanin - 1)^ALPHA`` µm² per output at 128 bits.
+_XBAR_K = 38.0471
+_XBAR_ALPHA = 0.7886
+#: Route-compute (decode) area per input port (µm²), wormhole routers.
+_DECODE_PER_PORT = 11.0
+#: Torus decode area per buffer lane (ring arithmetic + dateline state).
+_TORUS_DECODE_PER_LANE = 38.8
+#: Round-robin arbitration area per crossbar connection (µm²).
+_ARBITER_PER_CONNECTION = 1.55
+#: Wavefront allocator area per port² cell (µm²).
+_ALLOCATOR_PER_CELL = 7.76
+#: VC bookkeeping (mux, state) per buffer lane at 128 bits (µm²).
+_VC_OVERHEAD_PER_LANE = 23.1
+
+_REFERENCE_WIDTH = 128
+
+
+@dataclasses.dataclass(frozen=True)
+class RouterAreaBreakdown:
+    """Component areas of one router, in µm² (Table 2 rows)."""
+
+    crossbar: float
+    decode: float
+    buffers: float
+    control: float
+    #: "FIFO" for wormhole routers, "VC" for torus (Table 2 labels).
+    buffer_label: str
+    #: "Arbiter" or "Allocator".
+    control_label: str
+
+    @property
+    def total(self) -> float:
+        return self.crossbar + self.decode + self.buffers + self.control
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "Crossbar": self.crossbar,
+            "Decode": self.decode,
+            self.buffer_label: self.buffers,
+            self.control_label: self.control,
+            "TOTAL": self.total,
+        }
+
+
+def crossbar_fanins(config: NetworkConfig) -> List[int]:
+    """Per-output mux input counts of this design's crossbar(s).
+
+    Multi-mesh is physically two disjoint 5-port mesh crossbars plus a
+    2:1 merge at the shared P ejection port (Figure 3a), *not* one 9-port
+    crossbar — this is exactly the structural difference Figure 3
+    highlights between multi-mesh and Full Ruche.
+    """
+    if config.kind is TopologyKind.MULTI_MESH:
+        mesh_cfg = config.replace(kind=TopologyKind.MESH, depopulated=True,
+                                  ruche_factor=0)
+        mesh = list(output_fanin(connectivity_matrix(mesh_cfg)).values())
+        return mesh + mesh + [2]
+    return list(output_fanin(connectivity_matrix(config)).values())
+
+
+def _crossbar_area(config: NetworkConfig, width: int) -> float:
+    scale = width / _REFERENCE_WIDTH
+    return scale * sum(
+        _XBAR_K * (n - 1) ** _XBAR_ALPHA
+        for n in crossbar_fanins(config)
+        if n > 1
+    )
+
+
+def _buffer_lanes(config: NetworkConfig) -> int:
+    """Number of buffered input lanes (the P source queue is unbuffered).
+
+    Half-torus routers carry virtual channels only on the ring
+    (horizontal) inputs — the open vertical dimension has no cyclic
+    dependency to break, so its inputs keep single FIFOs.
+    """
+    if config.kind is TopologyKind.FOLDED_TORUS:
+        return 4 * config.num_vcs if config.uses_vcs else 4
+    if config.kind is TopologyKind.HALF_TORUS:
+        return 2 * config.num_vcs + 2 if config.uses_vcs else 4
+    return {
+        TopologyKind.MESH: 4,
+        TopologyKind.MULTI_MESH: 8,
+        TopologyKind.RUCHE_ONE: 8,
+        TopologyKind.FULL_RUCHE: 8,
+        TopologyKind.HALF_RUCHE: 6,
+    }[config.kind]
+
+
+def _vc_lanes(config: NetworkConfig) -> int:
+    """Lanes that carry VC bookkeeping (mux, state)."""
+    if not config.uses_vcs:
+        return 0
+    if config.kind is TopologyKind.FOLDED_TORUS:
+        return 4 * config.num_vcs
+    if config.kind is TopologyKind.HALF_TORUS:
+        return 2 * config.num_vcs
+    return 0
+
+
+def router_area(
+    config: NetworkConfig, tech: Technology = TECH_12NM
+) -> RouterAreaBreakdown:
+    """Area breakdown of one router of this design point, in µm²."""
+    width = config.channel_width_bits
+    lanes = _buffer_lanes(config)
+    storage = lanes * config.fifo_depth * width * tech.flop_area_per_bit_um2
+    xbar = _crossbar_area(config, width)
+    if config.uses_vcs:
+        decode = _TORUS_DECODE_PER_LANE * (lanes + 1)
+        buffers = storage + _vc_lanes(config) * _VC_OVERHEAD_PER_LANE * (
+            width / _REFERENCE_WIDTH
+        )
+        ports = len(connectivity_matrix(config))
+        control = _ALLOCATOR_PER_CELL * ports * ports
+        return RouterAreaBreakdown(
+            xbar, decode, buffers, control, "VC", "Allocator"
+        )
+    matrix = connectivity_matrix(config)
+    connections = sum(len(v) for v in matrix.values())
+    decode = _DECODE_PER_PORT * len(matrix)
+    control = _ARBITER_PER_CONNECTION * connections
+    return RouterAreaBreakdown(
+        xbar, decode, storage, control, "FIFO", "Arbiter"
+    )
+
+
+def ruche_wire_area_per_tile(
+    config: NetworkConfig, tech: Technology = TECH_12NM
+) -> float:
+    """Repeater area for long-range wires passing over one tile (µm²).
+
+    Each tile is overflown by ``RF`` Ruche channels per direction per
+    Ruche axis (Figure 2); folded-torus links span two tiles, so each tile
+    carries one extra channel per direction per folded axis.  Repeaters
+    for these bits are placed in every tile they cross.
+    """
+    width = config.channel_width_bits
+    bits = 0
+    if config.kind.is_ruche and config.ruche_factor > 1:
+        axes = 1 + (1 if config.has_vertical_ruche else 0)
+        bits = config.ruche_factor * 2 * axes * width
+    elif config.kind is TopologyKind.FOLDED_TORUS:
+        bits = 2 * 2 * width
+    elif config.kind is TopologyKind.HALF_TORUS:
+        bits = 2 * width
+    tile_mm = tech.tile_size_um / 1000.0
+    return bits * tech.repeater_area_per_bit_mm_um2 * tile_mm
+
+
+#: Placement utilization of NoC logic regions: synthesized cell area
+#: converts to placed silicon at roughly 45% density in routing-congested
+#: router/repeater areas (standard for heavily-wired NoC floorplans).
+_PLACEMENT_UTILIZATION = 0.45
+
+
+def tile_area_increase(
+    config: NetworkConfig,
+    baseline: NetworkConfig = None,
+    tech: Technology = TECH_12NM,
+) -> float:
+    """Whole-tile area ratio vs. a mesh tile (Table 6, bottom row).
+
+    The baseline tile is the paper's 187 µm × 187 µm region (core +
+    mesh router).  Additional router cells and over-tile repeaters
+    convert to placed area through the NoC-region placement utilization
+    before diluting into the tile.
+    """
+    if baseline is None:
+        baseline = config.replace(
+            kind=TopologyKind.MESH, ruche_factor=0, depopulated=True
+        )
+    base_tile = tech.tile_size_um**2
+    delta_cells = (
+        router_area(config, tech).total
+        - router_area(baseline, tech).total
+        + ruche_wire_area_per_tile(config, tech)
+        - ruche_wire_area_per_tile(baseline, tech)
+    )
+    return (base_tile + delta_cells / _PLACEMENT_UTILIZATION) / base_tile

@@ -1,0 +1,158 @@
+"""Analytic model of *concentration* — the alternative the paper argues
+against (Section 1).
+
+Concentration co-locates ``c`` cores on one router to cut hop counts, and
+recovers the halved bisection bandwidth by widening channels.  The paper's
+introduction identifies the costs that make this unattractive for
+streaming manycores, all modelled here:
+
+* **injection conflicts** — ``c`` cores share one injection port; at
+  per-core injection rate ``r`` the port saturates at ``r = 1/c`` and
+  conflicts grow with ``c·r`` (fine for request/wait cache traffic,
+  fatal for word-per-cycle streams);
+* **serialization** — a channel ``w×`` wider than the endpoint datapath
+  needs ser/des logic and adds ``w − 1`` cycles of serialization latency,
+  "which negates the latency reduction benefit of concentration";
+* **area** — crossbar and buffer area grow linearly with channel width,
+  and the radix grows with ``c``;
+* **physical bandwidth** — widening the datapath grows the tile, so the
+  bandwidth per mm of die edge does not improve.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.core.params import NetworkConfig, TopologyKind
+from repro.phys.area import router_area
+from repro.phys.technology import TECH_12NM, Technology
+
+
+@dataclasses.dataclass(frozen=True)
+class ConcentratedMeshModel:
+    """A ``c``-way concentrated mesh with ``width_factor``-wide channels.
+
+    ``base`` is the unconcentrated reference design (one core per tile,
+    channel width equal to the core's datapath width).
+    """
+
+    base: NetworkConfig
+    concentration: int = 2
+    width_factor: int = 2
+
+    def __post_init__(self) -> None:
+        if self.concentration < 1:
+            raise ValueError("concentration must be >= 1")
+        if self.width_factor < 1:
+            raise ValueError("width_factor must be >= 1")
+
+    # ------------------------------------------------------------------
+    @property
+    def router_count_factor(self) -> float:
+        """Routers shrink by the concentration degree."""
+        return 1.0 / self.concentration
+
+    @property
+    def hop_count_factor(self) -> float:
+        """Average hops scale with the array's linear shrink, ~1/sqrt(c)."""
+        return 1.0 / math.sqrt(self.concentration)
+
+    @property
+    def bisection_bandwidth_factor(self) -> float:
+        """Bisection in bits/cycle vs the unconcentrated mesh.
+
+        Concentration halves the channel count crossing the cut per
+        sqrt(c) in each dimension; widening multiplies it back.
+        """
+        return self.width_factor / math.sqrt(self.concentration)
+
+    @property
+    def serialization_latency(self) -> int:
+        """Extra cycles to (de)serialize one endpoint word stream into a
+        ``width_factor``-wide flit at the network interface."""
+        return self.width_factor - 1
+
+    @property
+    def injection_saturation_rate(self) -> float:
+        """Max sustainable per-core injection rate at the shared port."""
+        return 1.0 / self.concentration
+
+    def injection_conflict_probability(self, per_core_rate: float) -> float:
+        """Probability another co-located core wants the port this cycle.
+
+        ``1 - (1-r)^(c-1)`` — negligible for cache-style request/wait
+        traffic (small ``r``), near 1 for word-per-cycle streams.
+        """
+        if not 0.0 <= per_core_rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        return 1.0 - (1.0 - per_core_rate) ** (self.concentration - 1)
+
+    def zero_load_latency_factor(self, base_hops: float) -> float:
+        """Zero-load latency vs the unconcentrated mesh, including the
+        serialization penalty that eats the hop-count win."""
+        concentrated = (
+            base_hops * self.hop_count_factor + self.serialization_latency
+        )
+        return concentrated / base_hops
+
+    def router_area_per_tile(self, tech: Technology = TECH_12NM) -> float:
+        """Concentrated router area amortized per *core* (µm²).
+
+        The concentrated router has a ``4 + c``-port crossbar at
+        ``width_factor`` times the channel width; its area is shared by
+        ``c`` cores.
+        """
+        wide = self.base.replace(
+            channel_width_bits=(
+                self.base.channel_width_bits * self.width_factor
+            )
+        )
+        area = router_area(wide, tech).total
+        # Extra injection ports beyond the single P port: each adds a
+        # crossbar column and an input buffer at full width.
+        per_port = area / 5.0
+        area += per_port * (self.concentration - 1)
+        return area / self.concentration
+
+    def summary(self, per_core_rate: float = 0.2,
+                base_hops: float = 8.0) -> dict:
+        """All the intro's criticisms, quantified in one place."""
+        return {
+            "concentration": self.concentration,
+            "width_factor": self.width_factor,
+            "bisection_factor": self.bisection_bandwidth_factor,
+            "serialization_latency": self.serialization_latency,
+            "injection_conflict_prob":
+                self.injection_conflict_probability(per_core_rate),
+            "injection_saturation": self.injection_saturation_rate,
+            "zero_load_latency_factor":
+                self.zero_load_latency_factor(base_hops),
+            "router_area_per_core_um2": self.router_area_per_tile(),
+        }
+
+
+def ruche_alternative(base: NetworkConfig, ruche_factor: int = 2) -> dict:
+    """The same bandwidth goal met the Ruche way, for comparison.
+
+    Adding Ruche channels multiplies the bisection by ``1 + RF`` per
+    direction without touching the endpoint datapath — no serialization,
+    no shared injection port, constant radix.
+    """
+    config = base.replace(
+        kind=(
+            TopologyKind.FULL_RUCHE
+            if base.kind is TopologyKind.MESH
+            else base.kind
+        ),
+        ruche_factor=ruche_factor,
+        depopulated=True,
+    )
+    return {
+        "config": config.name,
+        "bisection_factor": 1.0 + ruche_factor,
+        "serialization_latency": 0,
+        "injection_conflict_prob": 0.0,
+        "injection_saturation": 1.0,
+        "router_area_per_core_um2": router_area(config).total,
+    }

@@ -1,0 +1,70 @@
+"""Logical-effort-style gate delay primitives.
+
+These small helpers express the delays of the router building blocks in
+FO4 units.  They are deliberately coarse — the goal is the *structural*
+scaling the paper argues from (mux trees grow logarithmically, round-robin
+arbiters stay shallow, wavefront allocators ripple across the port count),
+not picosecond accuracy.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def mux_delay_fo4(inputs: int) -> float:
+    """Delay of an ``inputs``-to-1 one-hot mux tree, in FO4.
+
+    A balanced tree of 2:1 muxes has ``ceil(log2 n)`` levels; each level
+    costs roughly 1.4 FO4 including the select fanout, plus one FO4 of
+    output drive.
+    """
+    if inputs <= 1:
+        return 0.5
+    return 1.4 * math.ceil(math.log2(inputs)) + 1.0
+
+
+def round_robin_arbiter_delay_fo4(requests: int) -> float:
+    """Delay of a round-robin arbiter over ``requests`` lines, in FO4.
+
+    A thermometer-masked priority arbiter: two priority chains (masked and
+    unmasked) evaluated in parallel, each a log-depth prefix OR.
+    """
+    if requests <= 1:
+        return 1.0
+    return 2.0 + 1.2 * math.log2(requests)
+
+
+def wavefront_allocator_delay_fo4(ports: int) -> float:
+    """Delay of an acyclic wavefront allocator over ``ports``², in FO4.
+
+    The grant wave ripples across the priority diagonals: the worst-case
+    combinational path visits every diagonal, i.e. it is linear in the
+    port count — the paper's core argument for why VC routers cannot
+    match Ruche router cycle times without pipelining.
+    """
+    return 2.0 + 2.2 * ports
+
+
+def decode_delay_fo4(ports: int) -> float:
+    """Route-compute (decode) delay, in FO4 (coordinate compares)."""
+    return 3.0 + 0.8 * math.log2(max(2, ports))
+
+
+#: Clock-to-Q plus setup overhead of the input FIFO flops (FO4).
+FLOP_OVERHEAD_FO4 = 3.0
+
+#: Intra-tile wire delay between FIFO output and neighbouring tile input
+#: at the paper's 187 µm tile pitch (FO4).
+TILE_WIRE_DELAY_FO4 = 2.0
+
+#: Extra gating for credit-dependent request generation
+#: ("ready-then-valid", Section 3.2) in VC routers.
+CREDIT_GATING_DELAY_FO4 = 2.5
+
+#: VC mux stage in front of the crossbar input port (Figure 3c).
+VC_MUX_DELAY_FO4 = 1.5
+
+#: Multi-mesh P-port overhead: the injection route-compute that chooses
+#: between the two meshes, plus the doubled P fanout (Section 4.2).
+MULTI_MESH_INJECT_DELAY_FO4 = 1.5

@@ -1,0 +1,94 @@
+"""Area-vs-cycle-time synthesis sweep (paper Figure 7).
+
+Emulates the methodology of Section 4.2 (after Becker): for each router,
+sweep the synthesis target cycle time downward with a fixed decrement
+until timing is violated, recording the post-synthesis cell area at each
+achievable target.  Area inflates hyperbolically as the target approaches
+the router's minimum cycle time — the standard shape of a synthesis
+effort curve, where gates on near-critical paths are upsized.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from repro.core.params import NetworkConfig
+from repro.phys.area import RouterAreaBreakdown, router_area
+from repro.phys.technology import TECH_12NM, Technology
+from repro.phys.timing import min_cycle_time_fo4
+
+#: Fraction of the minimum delay treated as un-tradeable (flop overhead,
+#: wires); sizing can only attack the remaining logic depth.
+_FLOOR_FRACTION = 0.9
+#: Inflation gain: area roughly doubles at the minimum cycle time.
+_INFLATION_GAIN = 0.5
+#: Storage (FIFO) cells are upsized far less than logic under timing
+#: pressure; only this fraction of the logic inflation applies to them.
+_STORAGE_INFLATION_SHARE = 0.25
+
+
+@dataclasses.dataclass(frozen=True)
+class SynthesisPoint:
+    """One point of a Figure 7 curve."""
+
+    target_fo4: float
+    area_um2: Optional[float]  #: None when timing is violated
+
+    @property
+    def met_timing(self) -> bool:
+        return self.area_um2 is not None
+
+
+def _inflation(target_fo4: float, dmin: float) -> float:
+    slack_floor = _FLOOR_FRACTION * dmin
+    return 1.0 + _INFLATION_GAIN * (
+        (dmin - slack_floor) / (target_fo4 - slack_floor)
+    )
+
+
+def area_at_cycle_time(
+    config: NetworkConfig,
+    target_fo4: float,
+    tech: Technology = TECH_12NM,
+) -> Optional[float]:
+    """Post-synthesis router area at a target cycle time, or ``None``.
+
+    ``None`` mirrors the paper's sweep termination: the target violates
+    timing and no netlist exists.
+    """
+    dmin = min_cycle_time_fo4(config)
+    if target_fo4 < dmin:
+        return None
+    breakdown: RouterAreaBreakdown = router_area(config, tech)
+    logic = breakdown.crossbar + breakdown.decode + breakdown.control
+    storage = breakdown.buffers
+    factor = _inflation(target_fo4, dmin)
+    storage_factor = 1.0 + _STORAGE_INFLATION_SHARE * (factor - 1.0)
+    return logic * factor + storage * storage_factor
+
+
+def synthesis_curve(
+    config: NetworkConfig,
+    targets_fo4: Optional[Sequence[float]] = None,
+    tech: Technology = TECH_12NM,
+) -> List[SynthesisPoint]:
+    """The full Figure 7 curve for one router.
+
+    The default sweep matches the paper's: start relaxed (~98 FO4) and
+    decrease with a fixed decrement until a timing violation appears.
+    """
+    if targets_fo4 is None:
+        targets_fo4 = [98.0 - 4.0 * i for i in range(24)]
+    return [
+        SynthesisPoint(t, area_at_cycle_time(config, t, tech))
+        for t in targets_fo4
+    ]
+
+
+def min_achieved_cycle(points: Sequence[SynthesisPoint]) -> float:
+    """Smallest target that met timing in a sweep."""
+    achieved = [p.target_fo4 for p in points if p.met_timing]
+    if not achieved:
+        raise ValueError("no synthesis point met timing")
+    return min(achieved)

@@ -1,0 +1,62 @@
+"""Process technology model for a generic 12 nm-class node.
+
+The paper's physical results come from a Synopsys flow on a 12 nm
+regular-Vt library; we have no such flow, so this module defines the
+process-level constants that parameterize our structural area, timing and
+energy models.  Constants marked *calibrated* are anchored to values the
+paper itself publishes (Tables 2 and 3, Section 4.3); the rest are
+standard 12 nm-class figures of merit.  All cycle times are expressed in
+units of the library's fanout-of-four (FO4) inverter delay, exactly as the
+paper normalizes Figure 7.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class Technology:
+    """Process constants consumed by the physical models."""
+
+    name: str = "generic-12nm"
+    #: FO4 inverter delay in picoseconds (12 nm-class regular-Vt).
+    fo4_ps: float = 12.0
+    #: Nominal supply voltage (V).
+    vdd: float = 0.8
+    #: Flip-flop area per stored bit (µm²).  *Calibrated*: the paper's
+    #: Table 2 reports 2250 µm² of FIFO for 8 direction inputs × 2 entries
+    #: × 128 bits = 2048 bits.
+    flop_area_per_bit_um2: float = 2250.0 / 2048.0
+    #: Per-length wire capacitance; the paper uses this exact
+    #: process-independent value for Ruche-link energy (Section 4.9).
+    wire_cap_pf_per_mm: float = 0.2
+    #: Tile edge length (µm); the paper places routers in a 187 µm ×
+    #: 187 µm region, ~1.3× a dense RISC-V core.
+    tile_size_um: float = 187.0
+    #: Payload activity factor assumed by the paper's energy runs
+    #: ("half of bits switching every cycle" at 0.25 toggle rate).
+    activity_factor: float = 0.25
+    #: Repeater (driver) energy overhead as a fraction of the wire energy
+    #: it drives, from the first-order repeater model of Ho et al. (gate +
+    #: diffusion capacitance of optimally sized repeaters ≈ +60%).
+    repeater_energy_overhead: float = 0.6
+    #: Repeater cell area per driven bit per mm of wire (µm²).
+    repeater_area_per_bit_mm_um2: float = 1.2
+
+    def wire_energy_pj_per_bit_mm(self) -> float:
+        """Dynamic energy to toggle one bit over 1 mm of wire (pJ).
+
+        ``E = C · V²`` per full-swing toggle, plus the repeater overhead;
+        callers scale by the activity factor and bus width.
+        """
+        base = self.wire_cap_pf_per_mm * self.vdd * self.vdd
+        return base * (1.0 + self.repeater_energy_overhead)
+
+    def cycle_time_ps(self, fo4: float) -> float:
+        """Convert a cycle time in FO4 units to picoseconds."""
+        return fo4 * self.fo4_ps
+
+
+#: The default technology used throughout the package.
+TECH_12NM = Technology()

@@ -1,0 +1,56 @@
+"""Cycle-time model (paper Figure 7, x-axis).
+
+The minimum achievable cycle time of each router is the FO4 sum of its
+critical path.  For Ruche-family routers the path is short and credit
+independent — flop, round-robin arbitration over the widest output mux's
+inputs, the mux itself, and the inter-tile wire ("ready-valid-and",
+Section 3.2).  For VC routers the request generation *depends on* the
+downstream credit state ("ready-then-valid"), and switch allocation is a
+wavefront ripple across the ports, which is why the paper finds torus
+routers cannot reach Ruche cycle times without pipelining.
+"""
+
+from __future__ import annotations
+
+from repro.core.connectivity import connectivity_matrix, max_mux_inputs
+from repro.core.params import NetworkConfig, TopologyKind
+from repro.phys import gates
+
+
+#: The most relaxed synthesis target of the paper's sweep (Section 4.2).
+RELAXED_CYCLE_FO4 = 98.0
+
+
+def min_cycle_time_fo4(config: NetworkConfig) -> float:
+    """Minimum achievable cycle time of this design's router, in FO4."""
+    matrix = connectivity_matrix(config)
+    widest = max_mux_inputs(matrix)
+    if config.uses_vcs:
+        ports = len(matrix)
+        return (
+            gates.FLOP_OVERHEAD_FO4
+            + gates.CREDIT_GATING_DELAY_FO4
+            + gates.VC_MUX_DELAY_FO4
+            + gates.wavefront_allocator_delay_fo4(ports)
+            + gates.mux_delay_fo4(widest)
+            + gates.TILE_WIRE_DELAY_FO4
+        )
+    if config.kind is TopologyKind.MULTI_MESH:
+        # Two 5-port crossbars; the P port adds the mesh-select decode and
+        # doubled fanout (Section 4.2).
+        widest = 5
+        extra = gates.MULTI_MESH_INJECT_DELAY_FO4
+    else:
+        extra = 0.0
+    return (
+        gates.FLOP_OVERHEAD_FO4
+        + gates.round_robin_arbiter_delay_fo4(widest)
+        + gates.mux_delay_fo4(widest)
+        + gates.TILE_WIRE_DELAY_FO4
+        + extra
+    )
+
+
+def achievable(config: NetworkConfig, target_fo4: float) -> bool:
+    """Whether a synthesis target meets timing without pipelining."""
+    return target_fo4 >= min_cycle_time_fo4(config)

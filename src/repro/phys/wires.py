@@ -1,0 +1,79 @@
+"""Long-range wire energy and delay (first-order repeater model).
+
+The paper estimates Ruche-link energy "using the first-order repeater
+model [Ho, Mai, Horowitz 2001] and the process-independent, per-length
+wire capacitance (0.2 pF/mm)", with repeater gate/diffusion capacitance
+from the 12 nm library (Section 4.9).  This module implements exactly
+that: per-packet energy for the portion of a channel *outside* the tile's
+router region — the term Table 3 excludes and Figure 13's "wire" category
+accounts for.
+"""
+
+from __future__ import annotations
+
+from repro.core.coords import Direction
+from repro.core.params import NetworkConfig
+from repro.core.topology import Topology
+from repro.phys.technology import TECH_12NM, Technology
+
+
+def link_length_mm(
+    config: NetworkConfig,
+    direction: Direction,
+    tech: Technology = TECH_12NM,
+) -> float:
+    """Physical length of one channel, in mm.
+
+    Local links span one tile pitch, Ruche links span ``RF`` pitches, and
+    folded-torus links span two (the folding interleaves tiles).
+    """
+    span = Topology(config).link_span(direction)
+    return span * tech.tile_size_um / 1000.0
+
+
+def wire_energy_per_packet(
+    config: NetworkConfig,
+    direction: Direction,
+    tech: Technology = TECH_12NM,
+) -> float:
+    """Energy (pJ) to drive one packet across one channel's wires.
+
+    ``E = AF · width · length · C_wire · V² · (1 + repeater overhead)``.
+    Only the length *beyond* the first tile pitch counts as "long-range"
+    wire energy — the first pitch's wiring is inside the router energy of
+    Table 3 (the paper's accounting).
+    """
+    span = Topology(config).link_span(direction)
+    extra_mm = max(0, span - 1) * tech.tile_size_um / 1000.0
+    if extra_mm == 0:
+        return 0.0
+    per_bit = tech.wire_energy_pj_per_bit_mm()
+    return (
+        tech.activity_factor
+        * config.channel_width_bits
+        * extra_mm
+        * per_bit
+    )
+
+
+def repeated_wire_delay_fo4(length_mm: float) -> float:
+    """Delay of an optimally repeated wire, in FO4 (Ho et al.).
+
+    Optimally repeated wires have delay linear in length; ~55 ps/mm is
+    typical for upper-mid metal in a 12 nm-class process, i.e. ~4.5 FO4
+    per mm at a 12 ps FO4.
+    """
+    return 4.5 * length_mm
+
+
+def ruche_link_delay_fo4(
+    config: NetworkConfig, tech: Technology = TECH_12NM
+) -> float:
+    """Wire delay of one Ruche channel in FO4.
+
+    Used to decide when Ruche links would need pipelining: for the
+    paper's small tiles the crossbar gate delay dominates and single-cycle
+    hops hold up to moderate Ruche Factors (Section 3.2).
+    """
+    rf = max(1, config.ruche_factor)
+    return repeated_wire_delay_fo4(rf * tech.tile_size_um / 1000.0)

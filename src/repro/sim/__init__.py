@@ -1,0 +1,51 @@
+"""Cycle-accurate, flit-level NoC simulator.
+
+The substrate behind the paper's Figures 6, 8 and 9: single-cycle-per-hop
+routers with two-element input FIFOs, round-robin output arbitration for
+the Ruche family, and a 2-VC wavefront-allocated router for the torus
+baselines.
+"""
+
+from repro.sim.allocator import WavefrontAllocator
+from repro.sim.arbiter import RoundRobinArbiter
+from repro.sim.channel import PipelinedChannel
+from repro.sim.fifo import Fifo
+from repro.sim.metrics import LatencyStats, RunMetrics
+from repro.sim.network import Network
+from repro.sim.packet import Packet
+from repro.sim.router import FbfcRouter, Sink, VCRouter, WormholeRouter
+from repro.sim.simulator import (
+    RunResult,
+    average_hops_by_direction,
+    multi_seed_run,
+    run_synthetic,
+    sweep_injection_rates,
+    zero_load_latency,
+)
+from repro.sim.traffic import make_pattern, pattern_names
+from repro.sim.validate import assert_healthy, audit_network
+
+__all__ = [
+    "Fifo",
+    "Packet",
+    "RoundRobinArbiter",
+    "WavefrontAllocator",
+    "WormholeRouter",
+    "VCRouter",
+    "FbfcRouter",
+    "PipelinedChannel",
+    "Sink",
+    "Network",
+    "LatencyStats",
+    "RunMetrics",
+    "RunResult",
+    "run_synthetic",
+    "sweep_injection_rates",
+    "zero_load_latency",
+    "average_hops_by_direction",
+    "multi_seed_run",
+    "make_pattern",
+    "pattern_names",
+    "audit_network",
+    "assert_healthy",
+]

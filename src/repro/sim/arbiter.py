@@ -1,0 +1,42 @@
+"""Round-robin arbiter.
+
+Ruche routers arbitrate each output direction with "a simple round-robin
+policy" (Section 3.2): the most recently granted requester gets the lowest
+priority next cycle.  The hot router loop inlines this logic for speed;
+this class is the reference implementation, used by the VC router's
+per-input VC selection and cross-checked against the inlined version in
+the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+class RoundRobinArbiter:
+    """Grants one of ``n`` requesters with rotating priority."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError("arbiter needs at least one requester")
+        self.n = n
+        self.ptr = 0
+
+    def pick(self, requests: Sequence[bool]) -> Optional[int]:
+        """Index of the winning requester, or ``None`` if none request.
+
+        Does not advance the priority pointer; call :meth:`grant` once the
+        winner actually moves (a granted packet may still be blocked
+        downstream, in which case priority must not rotate past it).
+        """
+        if len(requests) != self.n:
+            raise ValueError("request vector width mismatch")
+        for k in range(self.n):
+            idx = (self.ptr + k) % self.n
+            if requests[idx]:
+                return idx
+        return None
+
+    def grant(self, idx: int) -> None:
+        """Commit a grant: ``idx`` becomes the lowest-priority requester."""
+        self.ptr = (idx + 1) % self.n

@@ -1,0 +1,46 @@
+"""Bounded FIFO used for router input buffers.
+
+The paper's routers are "minimally buffered by two-element FIFOs"
+(Section 3.2) with registered full/ready state: a full FIFO does not accept
+an enqueue on the same cycle it dequeues.  The simulator models that by
+checking fullness against the cycle-start occupancy (the two-phase network
+step reads all lengths before committing any move).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class Fifo(deque):
+    """A ``deque`` with a capacity, used as a router input buffer.
+
+    Capacity is advisory — enforcement happens at the sender via
+    :attr:`is_full`, matching ready/valid hardware where the receiver
+    advertises space and the sender gates ``valid`` on it.  ``append``
+    raises if the invariant is violated, which would indicate a simulator
+    bug (two arrivals on one channel in one cycle).
+    """
+
+    def __init__(self, depth: int) -> None:
+        super().__init__()
+        if depth < 1:
+            raise ValueError("fifo depth must be >= 1")
+        self.depth = depth
+
+    @property
+    def is_full(self) -> bool:
+        return len(self) >= self.depth
+
+    @property
+    def head(self):
+        """The packet at the head, or ``None`` when empty."""
+        return self[0] if self else None
+
+    def append(self, item) -> None:  # noqa: D102 - deque override
+        if len(self) >= self.depth:
+            raise OverflowError(
+                f"enqueue into full fifo (depth={self.depth}); "
+                "flow control was violated"
+            )
+        super().append(item)

@@ -1,0 +1,145 @@
+"""Measurement collection: latency statistics, throughput, fairness.
+
+The simulator's default packet sink feeds a :class:`RunMetrics`, which
+aggregates the quantities the paper reports: average/percentile latency
+(Figures 6, 9), accepted throughput, per-source-tile latency distributions
+(the fairness study of Figure 8), and per-direction channel traversal
+counts (input to the energy models of Table 3 / Figure 13).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.core.coords import Coord, Direction
+
+
+class LatencyStats:
+    """Streaming mean/stddev/min/max of packet latencies."""
+
+    __slots__ = ("count", "total", "total_sq", "min", "max", "_samples")
+
+    def __init__(self, keep_samples: bool = False) -> None:
+        self.count = 0
+        self.total = 0
+        self.total_sq = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+        self._samples: Optional[List[int]] = [] if keep_samples else None
+
+    def add(self, latency: int) -> None:
+        self.count += 1
+        self.total += latency
+        self.total_sq += latency * latency
+        if self.min is None or latency < self.min:
+            self.min = latency
+        if self.max is None or latency > self.max:
+            self.max = latency
+        if self._samples is not None:
+            self._samples.append(latency)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    @property
+    def stddev(self) -> float:
+        if self.count < 2:
+            return 0.0
+        mean = self.mean
+        var = self.total_sq / self.count - mean * mean
+        return math.sqrt(max(0.0, var))
+
+    def percentile(self, q: float) -> float:
+        """Latency percentile ``q`` in [0, 1]; needs ``keep_samples``."""
+        if self._samples is None:
+            raise ValueError("percentiles require keep_samples=True")
+        if not self._samples:
+            return float("nan")
+        ordered = sorted(self._samples)
+        idx = min(len(ordered) - 1, int(q * len(ordered)))
+        return float(ordered[idx])
+
+    def merge(self, other: "LatencyStats") -> None:
+        self.count += other.count
+        self.total += other.total
+        self.total_sq += other.total_sq
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        if self._samples is not None and other._samples is not None:
+            self._samples.extend(other._samples)
+
+
+class RunMetrics:
+    """All measurements collected during one simulation run."""
+
+    def __init__(
+        self,
+        track_per_source: bool = False,
+        keep_samples: bool = False,
+        track_links: bool = False,
+    ) -> None:
+        self.measured = LatencyStats(keep_samples=keep_samples)
+        self.delivered_total = 0
+        self.delivered_measured = 0
+        self.injected_total = 0
+        self.injected_measured = 0
+        self.hop_counts = [0] * len(Direction)
+        self.per_source: Optional[Dict[Coord, LatencyStats]] = (
+            {} if track_per_source else None
+        )
+        #: Per-channel traversal counts, keyed (source tile, direction).
+        #: Populated by the network only when tracking is requested
+        #: (it costs a dict update per switch traversal).
+        self.link_counts: Optional[Dict] = {} if track_links else None
+
+    # Called by the network on every ejection.
+    def record_delivery(self, pkt, cycle: int) -> None:
+        self.delivered_total += 1
+        if pkt.measured:
+            self.delivered_measured += 1
+            latency = cycle - pkt.inject_cycle
+            self.measured.add(latency)
+            if self.per_source is not None:
+                stats = self.per_source.get(pkt.src)
+                if stats is None:
+                    stats = LatencyStats()
+                    self.per_source[pkt.src] = stats
+                stats.add(latency)
+
+    def record_injection(self, measured: bool) -> None:
+        self.injected_total += 1
+        if measured:
+            self.injected_measured += 1
+
+    def per_source_means(self) -> Dict[Coord, float]:
+        """Per-tile mean latency (the Figure 8 distribution)."""
+        if self.per_source is None:
+            raise ValueError("run was not configured with track_per_source")
+        return {src: stats.mean for src, stats in self.per_source.items()}
+
+    def hop_count_for(self, direction: Direction) -> int:
+        return self.hop_counts[int(direction)]
+
+    def link_utilization(self, cycles: int) -> Dict:
+        """Per-channel utilization in flits/cycle over ``cycles``.
+
+        Requires ``track_links=True``; keys are ``(tile, direction)``.
+        """
+        if self.link_counts is None:
+            raise ValueError("run was not configured with track_links")
+        return {
+            key: count / cycles for key, count in self.link_counts.items()
+        }
+
+    def hottest_links(self, n: int = 10):
+        """The ``n`` most-traversed channels (bottleneck analysis)."""
+        if self.link_counts is None:
+            raise ValueError("run was not configured with track_links")
+        ranked = sorted(
+            self.link_counts.items(), key=lambda kv: kv[1], reverse=True
+        )
+        return ranked[:n]

@@ -1,0 +1,302 @@
+"""Network assembly and the cycle loop.
+
+A :class:`Network` materializes a design point into routers wired by the
+topology's channels and advances them with a two-phase cycle:
+
+1. **Arbitrate** — every router with buffered packets computes its switch
+   grants against cycle-start FIFO occupancies (so a full FIFO cannot
+   accept an enqueue on the cycle it dequeues, matching registered
+   ready/valid handshakes).
+2. **Commit** — all granted moves execute atomically: pops, pushes (with
+   the next hop's route computed on arrival), ejections into sinks.
+
+Endpoints are pluggable: the default sink records metrics (synthetic
+traffic); the manycore layer attaches tiles and memory controllers that
+exert backpressure and re-inject response traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.coords import Coord, Direction
+from repro.core.connectivity import connectivity_matrix
+from repro.core.params import NetworkConfig
+from repro.core.routing import make_routing
+from repro.core.topology import Topology
+from repro.errors import SimulationError
+from repro.sim.channel import PipelinedChannel
+from repro.sim.metrics import RunMetrics
+from repro.sim.packet import Packet
+from repro.sim.router import (
+    FbfcRouter,
+    Move,
+    MetricsSink,
+    P_IDX,
+    PipelinedLink,
+    Sink,
+    VCRouter,
+    WormholeRouter,
+)
+
+#: Consecutive all-idle cycles with packets in flight before the watchdog
+#: declares a deadlock.  Correct routing never trips this.
+DEADLOCK_WATCHDOG_CYCLES = 1000
+
+
+class Network:
+    """One NoC instance: routers, channels, endpoints, and the cycle loop.
+
+    Parameters
+    ----------
+    config:
+        The design point to build.
+    metrics:
+        Measurement collector; a fresh :class:`RunMetrics` by default.
+    sink_factory:
+        Optional ``coord -> Sink`` supplying each tile's ejection endpoint
+        (defaults to the shared metrics sink).
+    memory_sink_factory:
+        Optional ``coord -> Sink`` for the phantom memory endpoints on the
+        array's north/south edges (``edge_memory`` configs only).
+    """
+
+    def __init__(
+        self,
+        config: NetworkConfig,
+        metrics: Optional[RunMetrics] = None,
+        sink_factory: Optional[Callable[[Coord], Sink]] = None,
+        memory_sink_factory: Optional[Callable[[Coord], Sink]] = None,
+    ) -> None:
+        self.config = config
+        self.topology = Topology(config)
+        self.routing = make_routing(config)
+        self.metrics = metrics if metrics is not None else RunMetrics()
+        self.cycle = 0
+        self.occupancy = 0
+        self._idle_cycles = 0
+        self._next_pid = 0
+        default_sink = MetricsSink(self.metrics)
+
+        self.routers: Dict[Coord, object] = {}
+        for coord in self.topology.nodes:
+            input_dirs = [
+                int(d) for d in self.topology.output_directions(coord)
+            ]
+            if config.uses_vcs:
+                router = VCRouter(
+                    coord,
+                    config.fifo_depth,
+                    self.routing.route_vc,
+                    input_dirs,
+                    config.num_vcs,
+                )
+            elif config.fbfc:
+                from repro.core.params import TopologyKind
+
+                ring_axes = (
+                    ("x", "y")
+                    if config.kind is TopologyKind.FOLDED_TORUS
+                    else ("x",)
+                )
+                router = FbfcRouter(
+                    coord,
+                    config.fifo_depth,
+                    self.routing.route,
+                    input_dirs,
+                    connectivity_matrix(config),
+                    ring_axes=ring_axes,
+                )
+            else:
+                router = WormholeRouter(
+                    coord,
+                    config.fifo_depth,
+                    self.routing.route,
+                    input_dirs,
+                    connectivity_matrix(config),
+                )
+            self.routers[coord] = router
+
+        # Pipelined links (only created when channel latency > 1).
+        self._channels: List[PipelinedLink] = []
+        # Edge-memory entry points: phantom coord -> (router, input index).
+        self._edge_entry: Dict[Coord, tuple] = {}
+        memory_coords = set(self.topology.memory_nodes)
+        for src, direction, dst in self.topology.channels:
+            if dst in memory_coords:
+                sink = (
+                    memory_sink_factory(dst)
+                    if memory_sink_factory
+                    else default_sink
+                )
+                self.routers[src].out_target[int(direction)] = sink
+            elif src in memory_coords:
+                self._edge_entry[src] = (
+                    self.routers[dst],
+                    int(direction.opposite),
+                )
+            else:
+                latency = config.latency_for(direction)
+                down = self.routers[dst]
+                in_idx = int(direction.opposite)
+                if latency > 1:
+                    lanes = config.num_vcs if config.uses_vcs else 1
+                    channel = PipelinedChannel(
+                        latency, config.fifo_depth, num_lanes=lanes
+                    )
+                    link = PipelinedLink(channel, down, in_idx)
+                    self._channels.append(link)
+                    down.in_channel[in_idx] = channel
+                    self.routers[src].out_target[int(direction)] = link
+                else:
+                    self.routers[src].out_target[int(direction)] = (
+                        down,
+                        in_idx,
+                    )
+        for coord, router in self.routers.items():
+            sink = sink_factory(coord) if sink_factory else default_sink
+            router.out_target[P_IDX] = sink
+            router.finish_wiring()
+        self._router_list = list(self.routers.values())
+
+    # ------------------------------------------------------------------
+    # Injection
+    # ------------------------------------------------------------------
+    def inject(
+        self,
+        src: Coord,
+        dest: Coord,
+        *,
+        measured: bool = False,
+        payload=None,
+    ) -> Packet:
+        """Create a packet at ``src``'s source queue, bound for ``dest``."""
+        subnet = self.routing.injection_subnet(src, dest)
+        pkt = Packet(
+            self._next_pid,
+            src,
+            dest,
+            self.cycle,
+            subnet=subnet,
+            measured=measured,
+            payload=payload,
+        )
+        self._next_pid += 1
+        self.routers[src].accept(pkt, P_IDX)
+        self.occupancy += 1
+        self.metrics.record_injection(measured)
+        return pkt
+
+    def source_queue_len(self, src: Coord) -> int:
+        """Occupancy of a tile's injection queue (closed-loop backpressure)."""
+        router = self.routers[src]
+        lanes = router.in_q[P_IDX]
+        return len(lanes[0]) if isinstance(lanes, tuple) else len(lanes)
+
+    def try_inject_from_memory(self, mem_coord: Coord, dest: Coord, *,
+                               payload=None, measured: bool = False) -> bool:
+        """Inject a packet from a phantom memory endpoint into the array.
+
+        Memory responses enter through the edge router's vertical input
+        FIFO; the injection fails (returns False) when that FIFO is full,
+        which is how memory-side backpressure propagates.
+        """
+        router, in_idx = self._edge_entry[mem_coord]
+        fifo = self._edge_fifo(router, in_idx)
+        if len(fifo) >= self.config.fifo_depth:
+            return False
+        pkt = Packet(
+            self._next_pid,
+            mem_coord,
+            dest,
+            self.cycle,
+            measured=measured,
+            payload=payload,
+        )
+        self._next_pid += 1
+        if self.config.uses_vcs:
+            router.accept(pkt, in_idx, 0)
+        else:
+            router.accept(pkt, in_idx)
+        self.occupancy += 1
+        self.metrics.record_injection(measured)
+        return True
+
+    def memory_entry_space(self, mem_coord: Coord) -> int:
+        """Free slots in the edge FIFO behind a memory endpoint."""
+        router, in_idx = self._edge_entry[mem_coord]
+        fifo = self._edge_fifo(router, in_idx)
+        return self.config.fifo_depth - len(fifo)
+
+    @staticmethod
+    def _edge_fifo(router, in_idx: int):
+        lanes = router.in_q[in_idx]
+        # VC routers keep a tuple of lanes; memory responses ride VC 0.
+        return lanes[0] if isinstance(lanes, tuple) else lanes
+
+    # ------------------------------------------------------------------
+    # Cycle loop
+    # ------------------------------------------------------------------
+    def step(self) -> int:
+        """Advance one cycle; returns the number of switch traversals."""
+        arrivals = 0
+        if self._channels:
+            for link in self._channels:
+                for pkt, lane in link.channel.deliveries(self.cycle):
+                    link.router.accept(pkt, link.in_idx, lane)
+                    arrivals += 1
+        moves: List[Move] = []
+        for router in self._router_list:
+            if router.occ:
+                router.arbitrate(moves)
+        if moves:
+            hop_counts = self.metrics.hop_counts
+            link_counts = self.metrics.link_counts
+            for router, in_idx, vc, out_idx, pkt in moves:
+                router.pop(in_idx, vc)
+                channel = router.in_channel[in_idx]
+                if channel is not None:
+                    channel.credit_return(self.cycle, vc)
+                if link_counts is not None and out_idx != P_IDX:
+                    key = (router.coord, out_idx)
+                    link_counts[key] = link_counts.get(key, 0) + 1
+                target = router.out_target[out_idx]
+                if isinstance(target, Sink):
+                    if out_idx != P_IDX:
+                        pkt.hops += 1
+                        hop_counts[out_idx] += 1
+                    self.occupancy -= 1
+                    target.deliver(pkt, self.cycle)
+                elif isinstance(target, PipelinedLink):
+                    pkt.hops += 1
+                    hop_counts[out_idx] += 1
+                    target.channel.send(pkt, self.cycle, pkt.out_vc)
+                else:
+                    pkt.hops += 1
+                    hop_counts[out_idx] += 1
+                    down, idx = target
+                    down.accept(pkt, idx, pkt.out_vc)
+        if moves or arrivals:
+            self._idle_cycles = 0
+        elif self.occupancy:
+            self._idle_cycles += 1
+            if self._idle_cycles >= DEADLOCK_WATCHDOG_CYCLES:
+                raise SimulationError(
+                    f"no packet moved for {self._idle_cycles} cycles with "
+                    f"{self.occupancy} packets in flight: deadlock"
+                )
+        self.cycle += 1
+        return len(moves)
+
+    def run(self, cycles: int) -> None:
+        """Advance ``cycles`` cycles."""
+        for _ in range(cycles):
+            self.step()
+
+    def drain(self, limit: int) -> bool:
+        """Step until the network is empty; False if ``limit`` hit first."""
+        for _ in range(limit):
+            if self.occupancy == 0:
+                return True
+            self.step()
+        return self.occupancy == 0

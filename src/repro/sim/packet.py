@@ -1,0 +1,85 @@
+"""Network packets.
+
+The paper's synthetic evaluation and the cellular manycore both use
+single-flit packets ("We assume using a single-flit packet", Section 4.1;
+word-level packets in Section 1), so a packet and a flit are the same unit
+here.  A packet carries its routing state: the cached output direction (and
+output VC on torus) computed when it arrived at its current router, and the
+subnet class chosen at injection for Ruche-One / multi-mesh parity routing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.coords import Coord
+
+
+class Packet:
+    """A single-flit packet traversing the network.
+
+    Attributes
+    ----------
+    pid:
+        Unique id within one simulation run.
+    src, dest:
+        Endpoint coordinates.  Memory endpoints use the phantom rows
+        ``y = -1`` / ``y = height``.
+    inject_cycle:
+        Cycle the packet entered its source queue.
+    subnet:
+        Injection-time class for parity-balanced routing (0 otherwise).
+    vc:
+        The virtual channel the packet currently occupies (torus only).
+    out_dir / out_vc:
+        The output port (and VC) requested at the packet's *current*
+        router, cached when the packet arrived there.
+    measured:
+        True when injected inside the measurement window.
+    hops:
+        Channel traversals so far.
+    payload:
+        Opaque field used by the manycore layer (request descriptors).
+    """
+
+    __slots__ = (
+        "pid",
+        "src",
+        "dest",
+        "inject_cycle",
+        "subnet",
+        "vc",
+        "out_dir",
+        "out_vc",
+        "measured",
+        "hops",
+        "payload",
+    )
+
+    def __init__(
+        self,
+        pid: int,
+        src: Coord,
+        dest: Coord,
+        inject_cycle: int,
+        subnet: int = 0,
+        measured: bool = False,
+        payload: Optional[Any] = None,
+    ) -> None:
+        self.pid = pid
+        self.src = src
+        self.dest = dest
+        self.inject_cycle = inject_cycle
+        self.subnet = subnet
+        self.vc = 0
+        self.out_dir = 0
+        self.out_vc = 0
+        self.measured = measured
+        self.hops = 0
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet(#{self.pid} {tuple(self.src)}->{tuple(self.dest)} "
+            f"t={self.inject_cycle} hops={self.hops})"
+        )

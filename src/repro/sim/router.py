@@ -1,0 +1,394 @@
+"""Router models: single-cycle wormhole (Ruche family) and VC (torus).
+
+Both routers move packets at one cycle per hop (the paper's synthetic
+setup) under ready/valid flow control against two-element input FIFOs.
+
+:class:`WormholeRouter` models the Ruche/mesh/multi-mesh router of
+Section 3.2: per-output decentralized round-robin arbiters over the inputs
+admitted by the crossbar connectivity matrix, with request generation
+independent of downstream readiness ("ready-valid-and").
+
+:class:`VCRouter` models the paper's torus baseline: two VCs per input
+sharing one crossbar port through a VC mux (Figure 3c — this is what
+halves the peak crossbar bandwidth), requests gated on downstream credit
+availability ("ready-then-valid"), and switch allocation by a wavefront
+allocator with rotating priority.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.coords import Coord, Direction
+from repro.sim.allocator import WavefrontAllocator
+from repro.sim.channel import PipelinedChannel
+from repro.sim.fifo import Fifo
+from repro.sim.packet import Packet
+
+NUM_DIRS = len(Direction)
+P_IDX = int(Direction.P)
+
+#: A committed switch traversal: (router, input port, input VC, output
+#: port, packet).  The network applies all moves of a cycle atomically.
+Move = Tuple["BaseRouter", int, int, int, Packet]
+
+
+class Sink:
+    """Ejection endpoint attached to a router output.
+
+    The default sink is always ready and records deliveries into the run's
+    metrics; the manycore layer substitutes tiles and memory controllers
+    that exert real backpressure.
+    """
+
+    __slots__ = ()
+
+    def ready(self) -> bool:
+        return True
+
+    def deliver(self, pkt: Packet, cycle: int) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class MetricsSink(Sink):
+    """Records every delivery into a :class:`RunMetrics`."""
+
+    __slots__ = ("metrics",)
+
+    def __init__(self, metrics) -> None:
+        self.metrics = metrics
+
+    def deliver(self, pkt: Packet, cycle: int) -> None:
+        self.metrics.record_delivery(pkt, cycle)
+
+
+class PipelinedLink:
+    """An output wired through a multi-cycle, credit-controlled channel."""
+
+    __slots__ = ("channel", "router", "in_idx")
+
+    def __init__(self, channel: PipelinedChannel, router: "BaseRouter",
+                 in_idx: int) -> None:
+        self.channel = channel
+        self.router = router
+        self.in_idx = in_idx
+
+
+class BaseRouter:
+    """State and wiring shared by both router models."""
+
+    __slots__ = (
+        "coord",
+        "depth",
+        "in_q",
+        "out_target",
+        "candidates",
+        "occ",
+        "route_cache",
+        "in_channel",
+    )
+
+    def __init__(self, coord: Coord, depth: int) -> None:
+        self.coord = coord
+        self.depth = depth
+        self.occ = 0
+        self.route_cache: Dict = {}
+        # out_target[o] is None (port absent), a (router, in_idx) pair, a
+        # PipelinedLink, or a Sink.  Filled in by the network's wiring.
+        self.out_target: List = [None] * NUM_DIRS
+        # Credit-return hooks for inputs fed by pipelined channels.
+        self.in_channel: List[Optional[PipelinedChannel]] = [None] * NUM_DIRS
+
+    def pop(self, in_idx: int, vc: int) -> Packet:
+        raise NotImplementedError
+
+    def arbitrate(self, moves: List[Move]) -> None:
+        raise NotImplementedError
+
+
+class WormholeRouter(BaseRouter):
+    """Single-cycle router without virtual channels (Ruche family).
+
+    Every output direction owns an independent round-robin arbiter over
+    the inputs that the crossbar connectivity matrix admits.  An input's
+    request depends only on its head packet's route — not on downstream
+    readiness — matching the "ready-valid-and" style the paper credits for
+    the Ruche router's short critical path.
+    """
+
+    __slots__ = ("route_fn", "arb", "active_outputs")
+
+    def __init__(
+        self,
+        coord: Coord,
+        depth: int,
+        route_fn: Callable,
+        input_dirs: Sequence[int],
+        matrix: Dict[Direction, frozenset],
+    ) -> None:
+        super().__init__(coord, depth)
+        self.route_fn = route_fn
+        # Input queues: P is the (unbounded) source queue; others are
+        # bounded FIFOs, present only where a channel arrives.
+        self.in_q: List[Optional[deque]] = [None] * NUM_DIRS
+        self.in_q[P_IDX] = deque()
+        for i in input_dirs:
+            if i != P_IDX:
+                self.in_q[i] = Fifo(depth)
+        present = set(input_dirs) | {P_IDX}
+        # Per-output candidate input lists (connectivity ∩ present inputs).
+        self.candidates: List[Tuple[int, ...]] = [()] * NUM_DIRS
+        for out_dir in Direction:
+            cands = tuple(
+                int(inp)
+                for inp in Direction
+                if int(inp) in present and out_dir in matrix.get(inp, ())
+            )
+            self.candidates[int(out_dir)] = cands
+        self.arb = [0] * NUM_DIRS
+        self.active_outputs: Tuple[int, ...] = ()
+
+    def finish_wiring(self) -> None:
+        """Freeze the list of wired outputs once the network connected them."""
+        self.active_outputs = tuple(
+            o for o in range(NUM_DIRS) if self.out_target[o] is not None
+        )
+
+    def accept(self, pkt: Packet, in_idx: int, in_vc: int = 0) -> None:
+        """Enqueue an arriving packet and cache its route decision."""
+        key = (in_idx, pkt.dest, pkt.subnet)
+        out = self.route_cache.get(key)
+        if out is None:
+            out = int(
+                self.route_fn(
+                    self.coord, Direction(in_idx), pkt.dest, pkt.subnet
+                )
+            )
+            self.route_cache[key] = out
+        pkt.out_dir = out
+        self.in_q[in_idx].append(pkt)
+        self.occ += 1
+
+    def pop(self, in_idx: int, vc: int) -> Packet:
+        self.occ -= 1
+        return self.in_q[in_idx].popleft()
+
+    def arbitrate(self, moves: List[Move]) -> None:
+        in_q = self.in_q
+        for o in self.active_outputs:
+            target = self.out_target[o]
+            if isinstance(target, Sink):
+                if not target.ready():
+                    continue
+            elif isinstance(target, PipelinedLink):
+                if not target.channel.can_send(0):
+                    continue
+            else:
+                down_router, down_idx = target
+                down_fifo = down_router.in_q[down_idx]
+                if len(down_fifo) >= down_fifo.depth:
+                    continue
+            cands = self.candidates[o]
+            n = len(cands)
+            if not n:
+                continue
+            ptr = self.arb[o]
+            for k in range(n):
+                pos = ptr + k
+                if pos >= n:
+                    pos -= n
+                i = cands[pos]
+                q = in_q[i]
+                if q and q[0].out_dir == o:
+                    self.arb[o] = pos + 1 if pos + 1 < n else 0
+                    moves.append((self, i, 0, o, q[0]))
+                    break
+
+
+class FbfcRouter(WormholeRouter):
+    """Torus router using Flit Bubble Flow Control (Ma et al.).
+
+    No virtual channels: deadlock freedom comes from an injection
+    restriction — a packet may *enter* a ring (from the P port or by
+    turning from the other dimension) only if the receiving FIFO keeps
+    one free slot beyond the packet, so every ring always holds at least
+    one bubble and through-traffic can always make progress.  Packets
+    already travelling in the ring move under the normal one-slot rule.
+    """
+
+    __slots__ = ("_entry_need",)
+
+    def __init__(
+        self,
+        coord: Coord,
+        depth: int,
+        route_fn: Callable,
+        input_dirs: Sequence[int],
+        matrix: Dict[Direction, frozenset],
+        ring_axes: Sequence[str] = ("x",),
+    ) -> None:
+        super().__init__(coord, depth, route_fn, input_dirs, matrix)
+        horizontal = {int(Direction.W), int(Direction.E)}
+        vertical = {int(Direction.N), int(Direction.S)}
+        # _entry_need[o][i]: FIFO slots required for input i to win
+        # output o (2 = ring entry, 1 = in-ring or non-ring move).
+        self._entry_need = {}
+        for o in range(NUM_DIRS):
+            needs = {}
+            for i in self.candidates[o]:
+                entering = (
+                    ("x" in ring_axes and o in horizontal
+                     and i not in horizontal)
+                    or ("y" in ring_axes and o in vertical
+                        and i not in vertical)
+                )
+                needs[i] = 2 if entering else 1
+            self._entry_need[o] = needs
+
+    def arbitrate(self, moves: List[Move]) -> None:
+        in_q = self.in_q
+        for o in self.active_outputs:
+            target = self.out_target[o]
+            if isinstance(target, Sink):
+                if not target.ready():
+                    continue
+                free = self.depth  # ejection is not a ring entry
+            elif isinstance(target, PipelinedLink):
+                free = target.channel.credits[0]
+            else:
+                down_router, down_idx = target
+                down_fifo = down_router.in_q[down_idx]
+                free = down_fifo.depth - len(down_fifo)
+            if free <= 0:
+                continue
+            cands = self.candidates[o]
+            n = len(cands)
+            if not n:
+                continue
+            needs = self._entry_need[o]
+            ptr = self.arb[o]
+            for k in range(n):
+                pos = ptr + k
+                if pos >= n:
+                    pos -= n
+                i = cands[pos]
+                q = in_q[i]
+                if q and q[0].out_dir == o and free >= needs[i]:
+                    self.arb[o] = pos + 1 if pos + 1 < n else 0
+                    moves.append((self, i, 0, o, q[0]))
+                    break
+
+
+class VCRouter(BaseRouter):
+    """Torus router: 2 VCs per input, VC mux, wavefront switch allocation.
+
+    Structural properties reproduced from the paper's Figure 3c:
+
+    * each input port owns ``num_vcs`` FIFOs but only **one** crossbar
+      port, so at most one flit per input per cycle enters the switch;
+    * a request is raised only when the destination VC downstream has a
+      free slot ("ready-then-valid" — the allocator must not grant flits
+      that cannot move);
+    * the switch allocator computes a maximal input/output matching
+      (wavefront) and a per-input round-robin picks among requesting VCs.
+    """
+
+    __slots__ = ("route_vc_fn", "num_ports", "num_vcs", "vc_rr", "alloc", "ports")
+
+    #: Torus routers use only the five mesh directions.
+    NUM_PORTS = 5
+
+    def __init__(
+        self,
+        coord: Coord,
+        depth: int,
+        route_vc_fn: Callable,
+        input_dirs: Sequence[int],
+        num_vcs: int,
+    ) -> None:
+        super().__init__(coord, depth)
+        self.route_vc_fn = route_vc_fn
+        self.num_vcs = num_vcs
+        self.num_ports = self.NUM_PORTS
+        self.in_q = [None] * self.NUM_PORTS
+        self.in_q[P_IDX] = (deque(),)  # injection queue, single lane
+        for i in input_dirs:
+            if i != P_IDX:
+                self.in_q[i] = tuple(Fifo(depth) for _ in range(num_vcs))
+        self.vc_rr = [0] * self.NUM_PORTS
+        self.alloc = WavefrontAllocator(self.NUM_PORTS, self.NUM_PORTS)
+        self.ports = tuple(
+            i for i in range(self.NUM_PORTS) if self.in_q[i] is not None
+        )
+
+    def finish_wiring(self) -> None:
+        pass
+
+    def accept(self, pkt: Packet, in_idx: int, in_vc: int = 0) -> None:
+        pkt.vc = in_vc
+        key = (in_idx, in_vc, pkt.dest)
+        cached = self.route_cache.get(key)
+        if cached is None:
+            out, ovc = self.route_vc_fn(
+                self.coord, Direction(in_idx), in_vc, pkt.dest
+            )
+            cached = (int(out), ovc)
+            self.route_cache[key] = cached
+        pkt.out_dir, pkt.out_vc = cached
+        lanes = self.in_q[in_idx]
+        lane = 0 if in_idx == P_IDX else in_vc
+        lanes[lane].append(pkt)
+        self.occ += 1
+
+    def pop(self, in_idx: int, vc: int) -> Packet:
+        self.occ -= 1
+        lanes = self.in_q[in_idx]
+        lane = 0 if in_idx == P_IDX else vc
+        return lanes[lane].popleft()
+
+    def _space_downstream(self, pkt: Packet) -> bool:
+        o = pkt.out_dir
+        target = self.out_target[o]
+        if target is None:
+            return False
+        if isinstance(target, Sink):
+            return target.ready()
+        if isinstance(target, PipelinedLink):
+            return target.channel.can_send(pkt.out_vc)
+        down_router, down_idx = target
+        lanes = down_router.in_q[down_idx]
+        if down_idx == P_IDX:
+            fifo = lanes[0]
+        else:
+            fifo = lanes[pkt.out_vc]
+        return len(fifo) < fifo.depth
+
+    def arbitrate(self, moves: List[Move]) -> None:
+        nports = self.num_ports
+        requests = [[False] * nports for _ in range(nports)]
+        # candidates[i][o] -> list of VC lane indices with a valid request
+        candidates: List[Dict[int, List[int]]] = [dict() for _ in range(nports)]
+        any_request = False
+        for i in self.ports:
+            lanes = self.in_q[i]
+            for lane, fifo in enumerate(lanes):
+                if not fifo:
+                    continue
+                pkt = fifo[0]
+                if not self._space_downstream(pkt):
+                    continue
+                o = pkt.out_dir
+                requests[i][o] = True
+                candidates[i].setdefault(o, []).append(lane)
+                any_request = True
+        if not any_request:
+            return
+        for i, o in self.alloc.allocate(requests):
+            lanes = candidates[i][o]
+            # Per-input round-robin among requesting VCs (the VC mux).
+            ptr = self.vc_rr[i]
+            lane = min(lanes, key=lambda v: (v - ptr) % self.num_vcs)
+            self.vc_rr[i] = (lane + 1) % self.num_vcs
+            pkt = self.in_q[i][lane][0]
+            moves.append((self, i, lane, o, pkt))

@@ -1,0 +1,257 @@
+"""Open-loop synthetic-traffic simulation harness.
+
+Implements the standard three-phase measurement methodology behind the
+paper's load–latency curves (Figures 6 and 9): a warmup window brings the
+network to steady state, packets injected during the measurement window are
+tagged, and the run then drains (while continuing to inject untagged
+background traffic, so tail packets still see a loaded network) until every
+tagged packet is delivered or a drain limit is hit.
+
+Injection is Bernoulli per tile per cycle ("packets are randomly injected
+based on a fixed probability", Section 4.6), with an unbounded source
+queue — the open-loop convention, under which latency includes source
+queueing and therefore diverges at saturation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.coords import Coord
+from repro.core.params import NetworkConfig
+from repro.core.routing import make_routing
+from repro.sim.metrics import RunMetrics
+from repro.sim.network import Network
+from repro.sim.rng import derive_rng
+from repro.sim.traffic import make_pattern
+
+
+@dataclasses.dataclass
+class RunResult:
+    """Summary of one (design point, pattern, rate) simulation."""
+
+    config_name: str
+    pattern: str
+    offered_load: float
+    accepted_throughput: float
+    avg_latency: float
+    stddev_latency: float
+    max_latency: float
+    delivered_measured: int
+    injected_measured: int
+    drained: bool
+    measure_cycles: int
+    avg_hops: float
+    metrics: Optional[RunMetrics] = dataclasses.field(
+        default=None, repr=False
+    )
+
+    @property
+    def saturated(self) -> bool:
+        """Heuristic: the run failed to drain its tagged packets."""
+        return not self.drained
+
+
+def run_synthetic(
+    config: NetworkConfig,
+    pattern: str,
+    rate: float,
+    *,
+    warmup: int = 500,
+    measure: int = 1000,
+    drain_limit: int = 3000,
+    seed: int = 1,
+    track_per_source: bool = False,
+    keep_samples: bool = False,
+    track_links: bool = False,
+) -> RunResult:
+    """Simulate one injection rate and return its measured statistics.
+
+    ``rate`` is the per-tile injection probability per cycle (the paper's
+    "injection rate" axis, as a fraction of one flit/tile/cycle).
+    """
+    metrics = RunMetrics(
+        track_per_source=track_per_source,
+        keep_samples=keep_samples,
+        track_links=track_links,
+    )
+    net = Network(config, metrics=metrics)
+    dest_fn = make_pattern(pattern, config)
+    timing_rng = derive_rng(seed, "timing")
+    dest_rng = derive_rng(seed, "dest")
+    sources = net.topology.nodes
+
+    def inject_round(measured: bool) -> None:
+        for src in sources:
+            if timing_rng.random() < rate:
+                dest = dest_fn(src, dest_rng)
+                if dest is not None:
+                    net.inject(src, dest, measured=measured)
+
+    for _ in range(warmup):
+        inject_round(False)
+        net.step()
+
+    delivered_before = metrics.delivered_total
+    for _ in range(measure):
+        inject_round(True)
+        net.step()
+    delivered_during = metrics.delivered_total - delivered_before
+
+    drained = metrics.delivered_measured >= metrics.injected_measured
+    remaining = drain_limit
+    while not drained and remaining > 0:
+        inject_round(False)
+        net.step()
+        remaining -= 1
+        drained = metrics.delivered_measured >= metrics.injected_measured
+
+    stats = metrics.measured
+    accepted = delivered_during / (len(sources) * measure)
+    avg_hops = (
+        sum(metrics.hop_counts) / metrics.delivered_total
+        if metrics.delivered_total
+        else float("nan")
+    )
+    return RunResult(
+        config_name=config.name,
+        pattern=pattern,
+        offered_load=rate,
+        accepted_throughput=accepted,
+        avg_latency=stats.mean,
+        stddev_latency=stats.stddev,
+        max_latency=float(stats.max) if stats.max is not None else float("nan"),
+        delivered_measured=metrics.delivered_measured,
+        injected_measured=metrics.injected_measured,
+        drained=drained,
+        measure_cycles=measure,
+        avg_hops=avg_hops,
+        metrics=metrics,
+    )
+
+
+def sweep_injection_rates(
+    config: NetworkConfig,
+    pattern: str,
+    rates: Sequence[float],
+    *,
+    warmup: int = 500,
+    measure: int = 1000,
+    drain_limit: int = 3000,
+    seed: int = 1,
+    stop_when_saturated: bool = False,
+) -> List[RunResult]:
+    """A load–latency curve: one :class:`RunResult` per injection rate.
+
+    ``stop_when_saturated`` aborts the sweep after the first undrained
+    point, which saves time on steep post-saturation regions.
+    """
+    results: List[RunResult] = []
+    for rate in rates:
+        result = run_synthetic(
+            config,
+            pattern,
+            rate,
+            warmup=warmup,
+            measure=measure,
+            drain_limit=drain_limit,
+            seed=seed,
+        )
+        results.append(result)
+        if stop_when_saturated and result.saturated:
+            break
+    return results
+
+
+def multi_seed_run(
+    config: NetworkConfig,
+    pattern: str,
+    rate: float,
+    *,
+    seeds: Sequence[int] = (1, 2, 3),
+    **kwargs,
+) -> Dict[str, float]:
+    """Mean and spread of latency/throughput across independent seeds.
+
+    Useful for judging whether a small difference between two design
+    points exceeds run-to-run noise.
+    """
+    results = [
+        run_synthetic(config, pattern, rate, seed=seed, **kwargs)
+        for seed in seeds
+    ]
+    lats = [r.avg_latency for r in results]
+    accs = [r.accepted_throughput for r in results]
+    n = len(results)
+    lat_mean = sum(lats) / n
+    acc_mean = sum(accs) / n
+    return {
+        "latency_mean": lat_mean,
+        "latency_spread": max(lats) - min(lats),
+        "throughput_mean": acc_mean,
+        "throughput_spread": max(accs) - min(accs),
+        "seeds": n,
+    }
+
+
+def zero_load_latency(
+    config: NetworkConfig,
+    pattern: str = "uniform_random",
+    *,
+    samples: int = 2000,
+    seed: int = 7,
+) -> float:
+    """Analytic zero-load latency: mean hop count under a pattern.
+
+    At one cycle per hop with empty buffers, a packet's latency equals its
+    hop count, so the mean routed path length *is* the zero-load latency.
+    Sampled (not exhaustive) for tractability on large arrays.
+    """
+    routing = make_routing(config)
+    dest_fn = make_pattern(pattern, config)
+    rng = derive_rng(seed, "zero-load")
+    nodes = [
+        Coord(x, y)
+        for y in range(config.height)
+        for x in range(config.width)
+    ]
+    total = 0
+    count = 0
+    while count < samples:
+        src = nodes[rng.randrange(len(nodes))]
+        dest = dest_fn(src, rng)
+        if dest is None:
+            continue
+        total += routing.hop_count(src, dest)
+        count += 1
+    return total / samples
+
+
+def average_hops_by_direction(
+    config: NetworkConfig,
+    pattern: str = "uniform_random",
+    *,
+    samples: int = 2000,
+    seed: int = 7,
+) -> Dict[int, float]:
+    """Mean traversals per packet for each direction (energy modelling)."""
+    routing = make_routing(config)
+    dest_fn = make_pattern(pattern, config)
+    rng = derive_rng(seed, "dir-hops")
+    nodes = [
+        Coord(x, y)
+        for y in range(config.height)
+        for x in range(config.width)
+    ]
+    counts: Dict[int, int] = {}
+    count = 0
+    while count < samples:
+        src = nodes[rng.randrange(len(nodes))]
+        dest = dest_fn(src, rng)
+        if dest is None:
+            continue
+        for _node, out in routing.compute_path(src, dest):
+            counts[int(out)] = counts.get(int(out), 0) + 1
+        count += 1
+    return {d: c / samples for d, c in counts.items()}

@@ -1,0 +1,164 @@
+"""Synthetic traffic patterns (paper Sections 4.1 and 4.5).
+
+Each pattern is a function ``(src, rng) -> dest | None`` returning the
+destination for a packet injected at ``src``; ``None`` means the tile does
+not inject under this pattern (e.g. the diagonal under transpose).
+
+Patterns used by the paper:
+
+* ``uniform_random`` / ``tile_to_tile`` — all-to-all uniform random.
+* ``bit_complement`` — destination mirrors both coordinates.
+* ``transpose`` — ``(x, y) -> (y, x)`` (square arrays).
+* ``tornado`` — half-way-around offset in each dimension, the classic
+  adversarial pattern for rings.
+* ``tile_to_memory`` — uniform random over the memory endpoints on the
+  northern and southern edges (the cellular-manycore pattern; requires an
+  ``edge_memory`` config).
+
+Extensions beyond the paper, used by ablation benches:
+
+* ``hotspot`` — a fraction of traffic targets one tile.
+* ``neighbor`` — uniform over the four mesh neighbours.
+"""
+
+from __future__ import annotations
+
+import functools
+import random
+from typing import Callable, List, Optional
+
+from repro.core.coords import Coord
+from repro.core.params import NetworkConfig
+from repro.errors import ConfigError
+
+PatternFn = Callable[[Coord, random.Random], Optional[Coord]]
+
+
+def make_pattern(name: str, config: NetworkConfig) -> PatternFn:
+    """Build a destination function for pattern ``name`` on ``config``."""
+    width, height = config.width, config.height
+    lowered = name.strip().lower()
+
+    if lowered in ("uniform_random", "uniform", "tile_to_tile"):
+        nodes = [
+            Coord(x, y) for y in range(height) for x in range(width)
+        ]
+
+        def uniform(src: Coord, rng: random.Random) -> Optional[Coord]:
+            dest = nodes[rng.randrange(len(nodes))]
+            while dest == src:
+                dest = nodes[rng.randrange(len(nodes))]
+            return dest
+
+        return uniform
+
+    if lowered == "bit_complement":
+
+        def complement(src: Coord, rng: random.Random) -> Optional[Coord]:
+            dest = Coord(width - 1 - src.x, height - 1 - src.y)
+            return None if dest == src else dest
+
+        return complement
+
+    if lowered == "transpose":
+        if width != height:
+            raise ConfigError("transpose requires a square array")
+
+        def transpose(src: Coord, rng: random.Random) -> Optional[Coord]:
+            dest = Coord(src.y, src.x)
+            return None if dest == src else dest
+
+        return transpose
+
+    if lowered == "tornado":
+        shift_x = (width + 1) // 2 - 1
+        shift_y = (height + 1) // 2 - 1
+
+        def tornado(src: Coord, rng: random.Random) -> Optional[Coord]:
+            dest = Coord(
+                (src.x + shift_x) % width, (src.y + shift_y) % height
+            )
+            return None if dest == src else dest
+
+        return tornado
+
+    if lowered == "tile_to_memory":
+        if not config.edge_memory:
+            raise ConfigError(
+                "tile_to_memory requires a config with edge_memory=True"
+            )
+        memory: List[Coord] = [Coord(x, -1) for x in range(width)]
+        memory += [Coord(x, height) for x in range(width)]
+
+        def to_memory(src: Coord, rng: random.Random) -> Optional[Coord]:
+            return memory[rng.randrange(len(memory))]
+
+        return to_memory
+
+    if lowered in ("shuffle", "bit_reverse"):
+        # Index-bit permutations over the node id (classic adversarial
+        # patterns for DOR; require power-of-two node counts).
+        n = width * height
+        bits = n.bit_length() - 1
+        if n != 1 << bits:
+            raise ConfigError(f"{lowered} requires a power-of-two array")
+
+        def permute(idx: int) -> int:
+            if lowered == "shuffle":  # rotate left by one bit
+                return ((idx << 1) | (idx >> (bits - 1))) & (n - 1)
+            return int(format(idx, f"0{bits}b")[::-1], 2)
+
+        def bitperm(src: Coord, rng: random.Random) -> Optional[Coord]:
+            idx = src.y * width + src.x
+            out = permute(idx)
+            dest = Coord(out % width, out // width)
+            return None if dest == src else dest
+
+        return bitperm
+
+    if lowered == "hotspot":
+        hot = Coord(width // 2, height // 2)
+        nodes = [
+            Coord(x, y) for y in range(height) for x in range(width)
+        ]
+
+        def hotspot(src: Coord, rng: random.Random) -> Optional[Coord]:
+            if rng.random() < 0.2:
+                return None if hot == src else hot
+            dest = nodes[rng.randrange(len(nodes))]
+            while dest == src:
+                dest = nodes[rng.randrange(len(nodes))]
+            return dest
+
+        return hotspot
+
+    if lowered == "neighbor":
+
+        def neighbor(src: Coord, rng: random.Random) -> Optional[Coord]:
+            options = [
+                Coord(src.x + dx, src.y + dy)
+                for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1))
+                if 0 <= src.x + dx < width and 0 <= src.y + dy < height
+            ]
+            return options[rng.randrange(len(options))]
+
+        return neighbor
+
+    raise ConfigError(f"unknown traffic pattern: {name!r}")
+
+
+@functools.lru_cache(maxsize=None)
+def pattern_names() -> tuple:
+    """All supported pattern names."""
+    return (
+        "uniform_random",
+        "bit_complement",
+        "transpose",
+        "tornado",
+        "tile_to_tile",
+        "tile_to_memory",
+        "hotspot",
+        "neighbor",
+        "shuffle",
+        "bit_reverse",
+    )

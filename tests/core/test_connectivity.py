@@ -1,0 +1,150 @@
+"""Connectivity matrix tests: Figure 5's exact counts, and conformance of
+every routing algorithm to its crossbar."""
+
+import pytest
+
+from repro.core.connectivity import (
+    FULL_RUCHE_DEPOP_XY,
+    FULL_RUCHE_POP_XY,
+    MESH_XY,
+    connectivity_matrix,
+    input_fanout,
+    max_mux_inputs,
+    output_fanin,
+    total_connections,
+)
+from repro.core.coords import Coord, Direction
+from repro.core.params import DorOrder, NetworkConfig
+from repro.core.routing import make_routing
+
+P, W, E, N, S = (
+    Direction.P, Direction.W, Direction.E, Direction.N, Direction.S,
+)
+RW, RE, RN, RS = (
+    Direction.RW, Direction.RE, Direction.RN, Direction.RS,
+)
+
+
+class TestFigure5Counts:
+    """The quantitative claims the paper makes about Figure 5."""
+
+    def test_depopulation_removes_sixteen_connections(self):
+        assert (
+            total_connections(FULL_RUCHE_POP_XY)
+            - total_connections(FULL_RUCHE_DEPOP_XY)
+            == 16
+        )
+
+    def test_p_output_has_nine_then_seven_inputs(self):
+        assert output_fanin(FULL_RUCHE_POP_XY)[P] == 9
+        assert output_fanin(FULL_RUCHE_DEPOP_XY)[P] == 7
+
+    def test_depopulation_removes_five_inputs_from_rs_and_rn(self):
+        pop = output_fanin(FULL_RUCHE_POP_XY)
+        depop = output_fanin(FULL_RUCHE_DEPOP_XY)
+        assert pop[RS] - depop[RS] == 5
+        assert pop[RN] - depop[RN] == 5
+
+    def test_max_mux_inputs_seven_vs_nine(self):
+        """Section 4.2: 'the maximum number of crossbar mux input is 7 and
+        9 for depopulated and fully-populated'."""
+        assert max_mux_inputs(FULL_RUCHE_DEPOP_XY) == 7
+        assert max_mux_inputs(FULL_RUCHE_POP_XY) == 9
+
+    def test_mesh_crossbar_shape(self):
+        assert total_connections(MESH_XY) == 17
+        assert output_fanin(MESH_XY)[P] == 5
+
+    def test_pop_is_superset_of_depop(self):
+        for inp, outs in FULL_RUCHE_DEPOP_XY.items():
+            assert outs <= FULL_RUCHE_POP_XY[inp]
+
+    def test_depop_ruche_inputs_cannot_turn(self):
+        assert FULL_RUCHE_DEPOP_XY[RW] == frozenset({RE, E})
+        assert FULL_RUCHE_DEPOP_XY[RE] == frozenset({RW, W})
+
+    def test_y_ruche_inputs_deliver_directly(self):
+        assert P in FULL_RUCHE_DEPOP_XY[RN]
+        assert P in FULL_RUCHE_DEPOP_XY[RS]
+
+
+class TestMatrixSelection:
+    def test_torus_uses_mesh_crossbar(self):
+        cfg = NetworkConfig.from_name("torus", 8, 8)
+        assert connectivity_matrix(cfg) == MESH_XY
+
+    def test_ruche_one_is_fully_populated(self):
+        cfg = NetworkConfig.from_name("ruche1", 8, 8)
+        assert connectivity_matrix(cfg) == FULL_RUCHE_POP_XY
+
+    def test_half_ruche_has_seven_ports(self):
+        cfg = NetworkConfig.from_name("ruche2-depop", 16, 8, half=True)
+        matrix = connectivity_matrix(cfg)
+        assert set(matrix) == {P, W, E, N, S, RW, RE}
+
+    def test_yx_matrix_is_axis_swapped(self):
+        xy = connectivity_matrix(NetworkConfig.from_name("mesh", 8, 8))
+        yx = connectivity_matrix(
+            NetworkConfig.from_name("mesh", 8, 8, dor_order=DorOrder.YX)
+        )
+        assert S in yx[N] and E in yx[N]  # N input may turn east in Y-X
+        assert E not in xy[N]
+        assert total_connections(xy) == total_connections(yx)
+
+    def test_multimesh_crossbars_are_disjoint_meshes(self):
+        cfg = NetworkConfig.from_name("multimesh", 8, 8)
+        matrix = connectivity_matrix(cfg)
+        # No path between the two meshes except through P.
+        for inp in (W, E, N, S):
+            assert not any(o.is_ruche for o in matrix[inp])
+        for inp in (RW, RE, RN, RS):
+            assert all(o.is_ruche or o is P for o in matrix[inp])
+
+    def test_input_fanout_accounting(self):
+        fanout = input_fanout(MESH_XY)
+        assert fanout[P] == 5
+        assert fanout[N] == 2
+
+
+CONFIGS = [
+    NetworkConfig.from_name("mesh", 9, 9),
+    NetworkConfig.from_name("mesh", 9, 9, dor_order=DorOrder.YX),
+    NetworkConfig.from_name("torus", 8, 8),
+    NetworkConfig.from_name("half-torus", 10, 6),
+    NetworkConfig.from_name("multimesh", 8, 8),
+    NetworkConfig.from_name("ruche1", 8, 8),
+    NetworkConfig.from_name("ruche2-depop", 9, 9),
+    NetworkConfig.from_name("ruche2-pop", 9, 9),
+    NetworkConfig.from_name("ruche3-depop", 10, 10),
+    NetworkConfig.from_name("ruche3-pop", 10, 10),
+    NetworkConfig.from_name("ruche2-depop", 12, 6, half=True),
+    NetworkConfig.from_name("ruche2-pop", 12, 6, half=True),
+    NetworkConfig.from_name(
+        "ruche3-depop", 12, 6, half=True, dor_order=DorOrder.YX
+    ),
+    NetworkConfig.from_name(
+        "ruche3-pop", 12, 6, half=True, dor_order=DorOrder.YX
+    ),
+]
+
+
+@pytest.mark.parametrize("cfg", CONFIGS, ids=lambda c: f"{c.name}-{c.dor_order.value}")
+def test_routing_conforms_to_crossbar(cfg):
+    """Exhaustive check: every (input, output) pair any route uses at any
+    router must be a wired crossbar connection.  This is the link between
+    the routing algorithms and the area/energy models."""
+    routing_algo = make_routing(cfg)
+    matrix = connectivity_matrix(cfg)
+    nodes = [
+        Coord(x, y) for x in range(cfg.width) for y in range(cfg.height)
+    ]
+    for src in nodes[:: max(1, len(nodes) // 24)]:
+        for dest in nodes:
+            path = routing_algo.compute_path(src, dest)
+            in_dir = Direction.P
+            for _node, out in path:
+                assert out in matrix[in_dir], (
+                    f"{cfg.name}: route uses unwired {in_dir.name}->"
+                    f"{out.name} for {src}->{dest}"
+                )
+                in_dir = out.opposite

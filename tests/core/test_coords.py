@@ -1,0 +1,79 @@
+"""Unit tests for coordinates and directions."""
+
+import pytest
+
+from repro.core.coords import (
+    ALL_DIRECTIONS,
+    MESH_DIRECTIONS,
+    RUCHE_DIRECTIONS,
+    Coord,
+    Direction,
+)
+
+
+class TestDirection:
+    def test_nine_directions_in_stable_index_order(self):
+        assert len(ALL_DIRECTIONS) == 9
+        assert [int(d) for d in ALL_DIRECTIONS] == list(range(9))
+        assert Direction.P == 0
+
+    def test_ruche_classification(self):
+        assert all(d.is_ruche for d in RUCHE_DIRECTIONS)
+        assert not any(d.is_ruche for d in MESH_DIRECTIONS)
+
+    def test_local_link_classification(self):
+        locals_ = [d for d in ALL_DIRECTIONS if d.is_local_link]
+        assert locals_ == [Direction.W, Direction.E, Direction.N, Direction.S]
+
+    def test_axis_classification(self):
+        assert Direction.E.is_horizontal and Direction.RE.is_horizontal
+        assert Direction.S.is_vertical and Direction.RS.is_vertical
+        assert not Direction.P.is_horizontal
+        assert not Direction.P.is_vertical
+
+    @pytest.mark.parametrize("d", ALL_DIRECTIONS)
+    def test_opposite_is_involution(self, d):
+        assert d.opposite.opposite is d
+
+    def test_opposite_pairs(self):
+        assert Direction.E.opposite is Direction.W
+        assert Direction.RN.opposite is Direction.RS
+        assert Direction.P.opposite is Direction.P
+
+    def test_local_step_is_unit(self):
+        assert Direction.E.step(3) == (1, 0)
+        assert Direction.N.step(3) == (0, -1)
+
+    def test_ruche_step_scales_with_ruche_factor(self):
+        assert Direction.RE.step(3) == (3, 0)
+        assert Direction.RS.step(2) == (0, 2)
+        assert Direction.RW.step(4) == (-4, 0)
+
+    def test_p_does_not_move(self):
+        assert Direction.P.step(5) == (0, 0)
+
+    @pytest.mark.parametrize("d", ALL_DIRECTIONS)
+    def test_step_matches_opposite_negated(self, d):
+        dx, dy = d.step(3)
+        ox, oy = d.opposite.step(3)
+        assert (dx, dy) == (-ox, -oy)
+
+
+class TestCoord:
+    def test_accessors(self):
+        c = Coord(3, 5)
+        assert (c.x, c.y) == (3, 5)
+        assert c == (3, 5)
+
+    def test_manhattan(self):
+        assert Coord(0, 0).manhattan(Coord(3, 4)) == 7
+        assert Coord(2, 2).manhattan(Coord(2, 2)) == 0
+
+    def test_offset(self):
+        assert Coord(1, 1).offset(2, -1) == Coord(3, 0)
+
+    def test_hashable_and_usable_as_dict_key(self):
+        d = {Coord(1, 2): "a"}
+        assert d[Coord(1, 2)] == "a"
+        assert Coord(1, 2) == (1, 2)
+        assert d[(1, 2)] == "a"

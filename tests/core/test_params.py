@@ -1,0 +1,105 @@
+"""Unit tests for NetworkConfig construction and validation."""
+
+import pytest
+
+from repro.core.params import DorOrder, NetworkConfig, TopologyKind
+from repro.errors import ConfigError
+
+
+class TestFromName:
+    @pytest.mark.parametrize(
+        "name, kind, rf, depop",
+        [
+            ("mesh", TopologyKind.MESH, 0, True),
+            ("torus", TopologyKind.FOLDED_TORUS, 0, True),
+            ("half-torus", TopologyKind.HALF_TORUS, 0, True),
+            ("multimesh", TopologyKind.MULTI_MESH, 1, False),
+            ("ruche1", TopologyKind.RUCHE_ONE, 1, False),
+            ("ruche2-depop", TopologyKind.FULL_RUCHE, 2, True),
+            ("ruche2-pop", TopologyKind.FULL_RUCHE, 2, False),
+            ("ruche3", TopologyKind.FULL_RUCHE, 3, True),
+        ],
+    )
+    def test_full_names(self, name, kind, rf, depop):
+        cfg = NetworkConfig.from_name(name, 8, 8)
+        assert cfg.kind is kind
+        assert cfg.ruche_factor == rf
+        assert cfg.depopulated == depop
+
+    def test_half_flag_builds_half_ruche(self):
+        cfg = NetworkConfig.from_name("ruche2-depop", 16, 8, half=True)
+        assert cfg.kind is TopologyKind.HALF_RUCHE
+        assert cfg.has_horizontal_ruche and not cfg.has_vertical_ruche
+
+    def test_depop_is_default_for_ruche(self):
+        assert NetworkConfig.from_name("ruche3", 8, 8).depopulated
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigError):
+            NetworkConfig.from_name("hypercube", 8, 8)
+
+    def test_round_trip_name(self):
+        for name in ["mesh", "torus", "half-torus", "multimesh",
+                     "ruche1-pop", "ruche2-depop", "ruche3-pop"]:
+            cfg = NetworkConfig.from_name(name, 8, 8)
+            assert cfg.name == name
+
+
+class TestValidation:
+    def test_ruche_one_cannot_be_depopulated(self):
+        with pytest.raises(ConfigError):
+            NetworkConfig(
+                TopologyKind.RUCHE_ONE, 8, 8, depopulated=True
+            )
+
+    def test_multimesh_cannot_be_depopulated(self):
+        with pytest.raises(ConfigError):
+            NetworkConfig(TopologyKind.MULTI_MESH, 8, 8, depopulated=True)
+
+    def test_ruche_factor_must_fit_array(self):
+        with pytest.raises(ConfigError):
+            NetworkConfig(
+                TopologyKind.FULL_RUCHE, 4, 4, ruche_factor=4,
+                depopulated=True,
+            )
+
+    def test_ruche_needs_positive_factor(self):
+        with pytest.raises(ConfigError):
+            NetworkConfig(TopologyKind.FULL_RUCHE, 8, 8, ruche_factor=0)
+
+    def test_torus_needs_two_vcs(self):
+        with pytest.raises(ConfigError):
+            NetworkConfig(TopologyKind.FOLDED_TORUS, 8, 8, num_vcs=1)
+
+    def test_tiny_array_rejected(self):
+        with pytest.raises(ConfigError):
+            NetworkConfig(TopologyKind.MESH, 1, 1)
+
+    def test_non_ruche_forces_zero_factor(self):
+        cfg = NetworkConfig(TopologyKind.MESH, 8, 8, ruche_factor=3)
+        assert cfg.ruche_factor == 0
+
+
+class TestProperties:
+    def test_num_nodes_and_shape(self):
+        cfg = NetworkConfig(TopologyKind.MESH, 16, 8)
+        assert cfg.num_nodes == 128
+        assert cfg.shape == (16, 8)
+
+    def test_uses_vcs_only_for_torus(self):
+        assert NetworkConfig.from_name("torus", 8, 8).uses_vcs
+        assert NetworkConfig.from_name("half-torus", 16, 8).uses_vcs
+        assert not NetworkConfig.from_name("ruche2", 8, 8).uses_vcs
+
+    def test_replace_changes_one_field(self):
+        cfg = NetworkConfig.from_name("ruche2", 8, 8)
+        cfg2 = cfg.replace(dor_order=DorOrder.YX)
+        assert cfg2.dor_order is DorOrder.YX
+        assert cfg2.ruche_factor == cfg.ruche_factor
+
+    def test_vertical_ruche_presence(self):
+        assert NetworkConfig.from_name("ruche2", 8, 8).has_vertical_ruche
+        assert not NetworkConfig.from_name(
+            "ruche2", 16, 8, half=True
+        ).has_vertical_ruche
+        assert NetworkConfig.from_name("ruche1", 8, 8).has_vertical_ruche

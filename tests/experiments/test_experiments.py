@@ -1,0 +1,155 @@
+"""Experiment-layer tests: registry, result helpers, smoke runs."""
+
+import pytest
+
+from repro.experiments import describe, experiment_ids, run_experiment
+from repro.experiments.base import ExperimentResult, resolve_scale
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        ids = set(experiment_ids())
+        assert ids == {
+            "table1", "fig5", "fig6", "fig7", "table2", "table3",
+            "fig8", "fig9", "table4", "fig10", "fig11", "fig12",
+            "fig13", "table6",
+        }
+
+    def test_describe(self):
+        assert "Ruche" in describe("fig6") or "synthetic" in describe("fig6")
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+
+class TestResultHelpers:
+    def make(self):
+        return ExperimentResult(
+            experiment_id="x",
+            title="t",
+            rows=[{"a": 1, "b": 2}, {"a": 1, "b": 3}, {"a": 2, "b": 4}],
+            scale="smoke",
+        )
+
+    def test_lookup_and_single(self):
+        result = self.make()
+        assert len(result.lookup(a=1)) == 2
+        assert result.single(a=2)["b"] == 4
+        with pytest.raises(KeyError):
+            result.single(a=1)
+
+    def test_column(self):
+        assert self.make().column("b") == [2, 3, 4]
+
+    def test_report_contains_id_and_rows(self):
+        text = self.make().report()
+        assert "[x]" in text and "scale=smoke" in text
+
+    def test_resolve_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert resolve_scale(None) == "quick"
+        assert resolve_scale("full") == "full"
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert resolve_scale(None) == "smoke"
+        with pytest.raises(ValueError):
+            resolve_scale("huge")
+
+
+class TestAnalyticExperiments:
+    """The cheap drivers run at full fidelity in unit tests."""
+
+    def test_table1(self):
+        result = run_experiment("table1")
+        assert len(result.rows) == 7
+
+    def test_fig5_counts(self):
+        result = run_experiment("fig5")
+        assert result.single(output="TOTAL")["removed_by_depop"] == 16
+
+    def test_table2_ordering(self):
+        result = run_experiment("table2")
+        totals = {r["config"]: r["total_um2"] for r in result.rows}
+        assert totals["ruche2-depop"] < totals["ruche2-pop"]
+
+    def test_table3_rows(self):
+        result = run_experiment("table3")
+        assert len(result.rows) == 10  # 4 + 4 + 2 directions
+
+    def test_table4_guideline(self):
+        result = run_experiment("table4")
+        assert result.single(
+            network_size="32x8", noc="ruche3-depop"
+        )["meets_guideline"]
+
+    def test_fig7(self):
+        result = run_experiment("fig7", scale="smoke")
+        row = {r["config"]: r for r in result.rows}
+        assert row["torus"]["min_cycle_fo4"] > row["mesh"]["min_cycle_fo4"]
+
+
+class TestSimulationExperimentsSmoke:
+    """Each simulation-backed driver completes at smoke scale."""
+
+    def test_fig6_smoke(self):
+        result = run_experiment("fig6", scale="smoke")
+        assert {r["config"] for r in result.rows} >= {"mesh", "torus"}
+        sats = {r["config"]: r["saturation_throughput"] for r in result.rows}
+        assert sats["mesh"] < sats["ruche1"]
+
+    def test_fig9_smoke(self):
+        result = run_experiment("fig9", scale="smoke")
+        assert all(r["saturation_throughput"] > 0 for r in result.rows)
+
+    def test_fig8_smoke(self):
+        result = run_experiment("fig8", scale="smoke")
+        rows = {r["config"]: r for r in result.rows}
+        assert rows["mesh"]["stddev"] > rows["torus"]["stddev"]
+
+    def test_manycore_chain_smoke(self):
+        fig10 = run_experiment("fig10", scale="smoke")
+        geo = fig10.lookup(benchmark="GEOMEAN")
+        assert len(geo) == 6
+        fig12 = run_experiment("fig12", scale="smoke")
+        assert all(r["total"] >= r["intrinsic"] for r in fig12.rows)
+        fig13 = run_experiment("fig13", scale="smoke")
+        assert all(r["total_vs_mesh"] > 0 for r in fig13.rows)
+        table6 = run_experiment("table6", scale="smoke")
+        assert table6.single(config="mesh")["speedup_vs_mesh"] == 1.0
+
+    def test_fig11_smoke(self):
+        result = run_experiment("fig11", scale="smoke")
+        assert all(0 < r["scalability"] < 5 for r in result.rows)
+
+
+class TestCli:
+    def test_main_list(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out and "table6" in out
+
+    def test_main_runs_experiment(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["table1"]) == 0
+        assert "Physical scalability" in capsys.readouterr().out
+
+    def test_report_file(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        out_file = tmp_path / "report.md"
+        assert main(["table1", "--output", str(out_file)]) == 0
+        text = out_file.read_text()
+        assert "# Ruche Networks reproduction report" in text
+        assert "table1" in text and "```" in text
+
+    def test_write_report_multiple(self, tmp_path):
+        from repro.experiments.report import write_report
+
+        path = write_report(
+            tmp_path / "r.md", ids=["table1", "fig5"], scale="smoke"
+        )
+        text = path.read_text()
+        assert "## table1" in text and "## fig5" in text

@@ -1,0 +1,63 @@
+"""Unit tests for the shared manycore run cache and presets."""
+
+from repro.experiments.manycore_runs import (
+    FABRICS,
+    KERNEL_PRESETS,
+    kernel_params,
+    machine_config,
+    run_cached,
+    size_for,
+    suite_for,
+)
+
+
+class TestPresets:
+    def test_fabrics_match_paper_order(self):
+        assert FABRICS[0] == "mesh"
+        assert "half-torus" in FABRICS
+        assert sum(1 for f in FABRICS if f.startswith("ruche")) == 4
+
+    def test_kernel_params_resolve_by_prefix(self):
+        assert kernel_params("bfs-HW", "quick") == (
+            KERNEL_PRESETS["quick"]["bfs"]
+        )
+        assert kernel_params("spgemm-CA", "smoke") == (
+            KERNEL_PRESETS["smoke"]["spgemm"]
+        )
+
+    def test_kernel_params_returns_copy(self):
+        a = kernel_params("jacobi", "quick")
+        a["block"] = 999
+        assert kernel_params("jacobi", "quick")["block"] != 999
+
+    def test_scales_grow_problem_sizes(self):
+        for kernel in ("jacobi", "sgemm", "bh"):
+            smoke = KERNEL_PRESETS["smoke"][kernel]
+            full = KERNEL_PRESETS["full"][kernel]
+            assert all(
+                full[k] >= smoke[k] for k in smoke if k in full
+            )
+
+    def test_suites(self):
+        assert len(suite_for("smoke")) < len(suite_for("quick")) < len(
+            suite_for("full")
+        )
+        assert suite_for("full") == __import__(
+            "repro.manycore.kernels", fromlist=["benchmark_names"]
+        ).benchmark_names()
+
+    def test_sizes(self):
+        assert size_for("smoke") == (8, 4)
+        assert size_for("quick") == (16, 8)
+        assert size_for("full") == (32, 16)
+
+
+class TestCache:
+    def test_run_cached_memoizes(self):
+        a = run_cached("jacobi", "mesh", 8, 4, "smoke")
+        b = run_cached("jacobi", "mesh", 8, 4, "smoke")
+        assert a is b
+
+    def test_machine_config_builder(self):
+        cfg = machine_config("ruche2-depop", 16, 8)
+        assert cfg.width == 16 and cfg.network == "ruche2-depop"

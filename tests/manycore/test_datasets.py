@@ -1,0 +1,83 @@
+"""Synthetic dataset tests: each graph class shows its Table 5 character."""
+
+import pytest
+
+from repro.manycore.datasets import (
+    graph_codes,
+    load_graph,
+    road_graph,
+    scientific_graph,
+    social_graph,
+)
+
+
+class TestRoadGraphs:
+    def test_low_average_degree(self):
+        g = road_graph(2048, seed=1)
+        assert 1.5 < g.average_degree() < 3.5
+
+    def test_no_heavy_hubs(self):
+        g = road_graph(2048, seed=1)
+        assert g.max_degree() <= 8
+
+    def test_high_diameter(self):
+        """Road networks: BFS needs many levels (latency-bound class)."""
+        g = road_graph(1024, seed=1)
+        levels = g.bfs_levels(0)
+        assert len(levels) > 15
+
+    def test_connected_from_root(self):
+        g = road_graph(1024, seed=2)
+        reached = sum(len(lv) for lv in g.bfs_levels(0))
+        assert reached == g.num_vertices
+
+
+class TestSocialGraphs:
+    def test_power_law_hubs(self):
+        g = social_graph(1500, seed=2, m=8)
+        assert g.max_degree() > 8 * g.average_degree() / 2
+        assert g.max_degree() > 50
+
+    def test_small_diameter(self):
+        g = social_graph(1500, seed=2, m=8)
+        assert len(g.bfs_levels(0)) <= 6
+
+    def test_average_degree_near_2m(self):
+        g = social_graph(2000, seed=3, m=10)
+        assert 15 < g.average_degree() < 25
+
+
+class TestScientificGraphs:
+    def test_regular_degree(self):
+        g = scientific_graph(3375, seed=1)
+        assert g.max_degree() == 6
+        assert 4.5 < g.average_degree() <= 6
+
+    def test_moderate_diameter(self):
+        g = scientific_graph(3375)
+        side = round(g.num_vertices ** (1 / 3))
+        assert len(g.bfs_levels(0)) == pytest.approx(3 * side - 2, abs=2)
+
+
+class TestRegistry:
+    def test_all_table5_codes_present(self):
+        assert set(graph_codes()) == {"OS", "CA", "RC", "US", "LJ", "HW", "PK"}
+
+    @pytest.mark.parametrize("code", ["OS", "CA", "LJ"])
+    def test_load_graph_kind(self, code):
+        kinds = {"OS": "scientific", "CA": "road", "LJ": "social"}
+        assert load_graph(code).kind == kinds[code]
+
+    def test_graphs_cached(self):
+        assert load_graph("CA") is load_graph("ca")
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(KeyError):
+            load_graph("XX")
+
+    def test_adjacency_is_symmetric_and_deduped(self):
+        g = load_graph("PK")
+        for v, adj in enumerate(g.adjacency[:200]):
+            assert len(adj) == len(set(adj))
+            for u in adj:
+                assert v in g.adjacency[u]

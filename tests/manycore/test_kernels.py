@@ -1,0 +1,120 @@
+"""Kernel op-stream tests: well-formedness, coverage, traffic character."""
+
+import pytest
+
+from repro.core.coords import Coord
+from repro.errors import WorkloadError
+from repro.manycore import MachineConfig, benchmark_names, build_workload
+from repro.manycore.kernels import quick_suite, workload_classes
+
+MCFG = MachineConfig(width=8, height=4)
+
+VALID_OPS = {"compute", "load", "store", "amo", "tload", "tstore",
+             "fence", "barrier"}
+
+
+def ops_of(workload, coord):
+    return list(workload[coord])
+
+
+class TestWellFormedness:
+    @pytest.mark.parametrize("name", benchmark_names())
+    def test_all_benchmarks_build_and_emit_valid_ops(self, name):
+        workload = build_workload(name, MCFG)
+        assert len(workload) == MCFG.num_cores
+        ops = ops_of(workload, Coord(0, 0))
+        assert ops, f"{name} emits no work for core (0,0)"
+        for op in ops:
+            assert op[0] in VALID_OPS, op
+            if op[0] == "compute":
+                assert op[1] >= 1
+            if op[0] in ("load", "store", "amo"):
+                assert op[1] >= 0
+            if op[0] in ("tload", "tstore"):
+                (x, y) = op[1]
+                assert 0 <= x < MCFG.width and 0 <= y < MCFG.height
+
+    @pytest.mark.parametrize("name", ["jacobi", "fft", "sgemm"])
+    def test_barrier_counts_match_across_cores(self, name):
+        """Every core must hit the same number of barriers or the sense
+        barrier deadlocks."""
+        workload = build_workload(name, MCFG)
+        counts = {
+            coord: sum(1 for op in stream if op[0] == "barrier")
+            for coord, stream in workload.items()
+        }
+        assert len(set(counts.values())) == 1
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(WorkloadError):
+            build_workload("matmul9000", MCFG)
+
+    def test_registry_consistency(self):
+        assert set(quick_suite()) <= set(benchmark_names())
+        assert set(workload_classes()) == set(benchmark_names())
+
+
+class TestTrafficCharacter:
+    def test_jacobi_uses_neighbor_scratchpads(self):
+        ops = ops_of(build_workload("jacobi", MCFG), Coord(3, 2))
+        tloads = [op for op in ops if op[0] == "tload"]
+        assert tloads
+        for op in tloads:
+            dest = Coord(*op[1])
+            assert Coord(3, 2).manhattan(dest) == 1
+
+    def test_sgemm_is_streaming_loads(self):
+        ops = ops_of(build_workload("sgemm", MCFG), Coord(0, 0))
+        loads = [op for op in ops if op[0] == "load"]
+        fences = [op for op in ops if op[0] == "fence"]
+        assert len(loads) > 8 * len(fences)  # long un-fenced streams
+
+    def test_bh_is_dependent_chain(self):
+        ops = ops_of(
+            build_workload("bh", MCFG, bodies_per_core=2, walk_depth=4),
+            Coord(0, 0),
+        )
+        loads = sum(1 for op in ops if op[0] == "load")
+        fences = sum(1 for op in ops if op[0] == "fence")
+        assert fences >= loads  # every load is use-dependent
+
+    def test_spgemm_hits_single_amo_address(self):
+        from repro.manycore.kernels.spgemm import ALLOC_ADDR
+
+        ops = ops_of(
+            build_workload("spgemm-CA", MCFG, rows_per_core=2), Coord(1, 1)
+        )
+        amos = {op[1] for op in ops if op[0] == "amo"}
+        assert amos == {ALLOC_ADDR}
+
+    def test_bfs_social_is_imbalanced_within_levels(self):
+        """Hub vertices concentrate a level's work on few cores; the
+        barrier then stalls everyone on the slowest core (Section 4.7's
+        load-imbalance explanation for BFS scalability)."""
+        from repro.manycore.datasets import load_graph
+
+        g = load_graph("HW")
+        n_cores = MachineConfig(width=16, height=8).num_cores
+        worst_ratio = 0.0
+        for frontier in g.bfs_levels(0)[:4]:
+            work = [0] * n_cores
+            for v in frontier:
+                work[v % n_cores] += max(1, len(g.adjacency[v]))
+            mean = sum(work) / n_cores
+            if mean:
+                worst_ratio = max(worst_ratio, max(work) / mean)
+        assert worst_ratio > 3.0
+
+    def test_fft_has_transpose_phase(self):
+        ops = ops_of(build_workload("fft", MCFG), Coord(5, 1))
+        tstores = [op for op in ops if op[0] == "tstore"]
+        assert tstores
+        dests = {Coord(*op[1]) for op in tstores}
+        # The transpose partner is generally not a neighbour.
+        assert any(Coord(5, 1).manhattan(d) > 1 for d in dests)
+
+    def test_pagerank_budget_caps_edges(self):
+        workload = build_workload("pr-PK", MCFG, max_edges_per_core=50)
+        loads = sum(1 for op in ops_of(workload, Coord(0, 0))
+                    if op[0] == "load")
+        assert loads <= 51

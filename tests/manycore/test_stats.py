@@ -1,0 +1,124 @@
+"""Unit tests for cross-run statistics and energy arithmetic."""
+
+import math
+
+import pytest
+
+from repro.manycore.energy import EnergyBreakdown
+from repro.manycore.machine import MachineStats
+from repro.manycore.stats import (
+    area_normalized_speedup,
+    energy_efficiency,
+    geomean,
+    geomean_speedups,
+    latency_reduction,
+    scalability,
+    speedup,
+    stall_breakdown,
+)
+
+
+def stats_with(cycles=1000, lat=20, intr=10, loads=100, **kw):
+    defaults = dict(
+        cycles=cycles,
+        completed=True,
+        instructions=5000,
+        compute_cycles=4000,
+        stall_mem=600,
+        stall_net=100,
+        stall_barrier=300,
+        loads_completed=loads,
+        latency_total=lat * loads,
+        intrinsic_total=intr * loads,
+        fwd_hop_counts=[0] * 9,
+        rev_hop_counts=[0] * 9,
+        requests_served=loads,
+    )
+    defaults.update(kw)
+    return MachineStats(**defaults)
+
+
+class TestMachineStats:
+    def test_latency_decomposition(self):
+        s = stats_with(lat=24, intr=10)
+        assert s.avg_load_latency == 24
+        assert s.avg_intrinsic_latency == 10
+        assert s.avg_congestion_latency == 14
+
+    def test_no_loads_yields_nan(self):
+        s = stats_with(loads=0)
+        assert math.isnan(s.avg_load_latency)
+
+    def test_stall_cycles_sum(self):
+        assert stats_with().stall_cycles == 1000
+
+
+class TestSpeedupMath:
+    def test_speedup(self):
+        assert speedup(stats_with(cycles=2000), stats_with(cycles=1000)) == 2
+
+    def test_scalability_weak_scaling(self):
+        # 4x work at equal runtime = ideal 4x scalability.
+        base = stats_with(cycles=1000)
+        big = stats_with(cycles=1000)
+        assert scalability(base, big, work_ratio=4.0) == 4.0
+        slower = stats_with(cycles=2000)
+        assert scalability(base, slower, 4.0) == 2.0
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert math.isnan(geomean([]))
+        assert geomean([2.0, float("nan"), 8.0]) == pytest.approx(4.0)
+
+    def test_geomean_speedups_aligns_by_name(self):
+        base = {"a": stats_with(cycles=1000), "b": stats_with(cycles=1000)}
+        cand = {"a": stats_with(cycles=500), "b": stats_with(cycles=2000)}
+        assert geomean_speedups(base, cand) == pytest.approx(1.0)
+
+    def test_latency_reduction_components(self):
+        base = stats_with(lat=30, intr=15)
+        better = stats_with(lat=20, intr=10)
+        assert latency_reduction(base, better, "total") == 1.5
+        assert latency_reduction(base, better, "intrinsic") == 1.5
+        congestion = latency_reduction(base, better, "congestion")
+        assert congestion == pytest.approx(15 / 10)
+
+    def test_area_normalized(self):
+        assert area_normalized_speedup(1.2, 1.06) == pytest.approx(
+            1.2 / 1.06
+        )
+
+    def test_stall_breakdown_fractions(self):
+        shares = stall_breakdown(stats_with())
+        assert shares["memory"] == 0.6
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+
+class TestEnergyBreakdown:
+    def test_totals_and_noc(self):
+        e = EnergyBreakdown(core=10, stall=5, router=3, wire=1)
+        assert e.total == 19
+        assert e.noc == 4
+
+    def test_normalization(self):
+        mesh = EnergyBreakdown(core=10, stall=5, router=4, wire=0)
+        ruche = EnergyBreakdown(core=10, stall=4, router=3, wire=0.5)
+        norm = ruche.normalized_to(mesh)
+        assert norm["total"] == pytest.approx(17.5 / 19)
+        assert norm["core"] == pytest.approx(10 / 19)
+
+    def test_efficiency_components(self):
+        mesh = EnergyBreakdown(core=10, stall=5, router=4, wire=0)
+        ruche = EnergyBreakdown(core=10, stall=4, router=2, wire=1)
+        assert energy_efficiency(mesh, ruche, "noc") == pytest.approx(4 / 3)
+        assert energy_efficiency(mesh, ruche, "compute") == pytest.approx(
+            15 / 14
+        )
+        assert energy_efficiency(mesh, ruche, "total") == pytest.approx(
+            19 / 17
+        )
+
+    def test_breakdown_is_immutable(self):
+        e = EnergyBreakdown(1, 1, 1, 1)
+        with pytest.raises(Exception):
+            e.core = 5

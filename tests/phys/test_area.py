@@ -1,0 +1,144 @@
+"""Area model tests: Table 2 anchors and the paper's orderings."""
+
+import pytest
+
+from repro.core.params import NetworkConfig
+from repro.phys.area import (
+    crossbar_fanins,
+    router_area,
+    ruche_wire_area_per_tile,
+    tile_area_increase,
+)
+
+
+def cfg(name, w=8, h=8, **kw):
+    half = kw.pop("half", name.startswith("ruche") and kw.pop("_half", False))
+    return NetworkConfig.from_name(name, w, h, half=half, **kw)
+
+
+#: Paper Table 2 anchors (128-bit channels, ~98 FO4).
+TABLE2 = {
+    "multimesh": {"Crossbar": 791, "Decode": 96, "FIFO": 2250, "Arbiter": 53,
+                  "TOTAL": 3190},
+    "ruche2-depop": {"Crossbar": 599, "Decode": 99, "FIFO": 2250,
+                     "Arbiter": 42, "TOTAL": 2991},
+    "ruche2-pop": {"Crossbar": 986, "Decode": 100, "FIFO": 2250,
+                   "Arbiter": 74, "TOTAL": 3411},
+    "torus": {"Crossbar": 410, "Decode": 349, "VC": 2435, "Allocator": 194,
+              "TOTAL": 3388},
+}
+
+
+class TestTable2Anchors:
+    @pytest.mark.parametrize("name", sorted(TABLE2))
+    def test_each_component_within_ten_percent(self, name):
+        model = router_area(cfg(name)).as_dict()
+        for component, paper in TABLE2[name].items():
+            assert model[component] == pytest.approx(paper, rel=0.11), (
+                f"{name}/{component}: model {model[component]:.0f} "
+                f"vs paper {paper}"
+            )
+
+    @pytest.mark.parametrize("name", sorted(TABLE2))
+    def test_total_within_five_percent(self, name):
+        model = router_area(cfg(name)).total
+        assert model == pytest.approx(TABLE2[name]["TOTAL"], rel=0.05)
+
+    def test_paper_total_ordering(self):
+        """depop < multi-mesh < torus < pop (Table 2 bottom row)."""
+        totals = {n: router_area(cfg(n)).total for n in TABLE2}
+        assert (
+            totals["ruche2-depop"]
+            < totals["multimesh"]
+            < totals["torus"]
+            < totals["ruche2-pop"]
+        )
+
+    def test_depop_crossbar_saves_about_forty_percent(self):
+        """Section 4.2: depopulation cuts crossbar area by ~40%."""
+        pop = router_area(cfg("ruche2-pop")).crossbar
+        depop = router_area(cfg("ruche2-depop")).crossbar
+        assert 0.30 < 1 - depop / pop < 0.45
+
+    def test_depop_crossbar_well_below_multimesh(self):
+        assert (
+            router_area(cfg("ruche2-depop")).crossbar
+            < 0.85 * router_area(cfg("multimesh")).crossbar
+        )
+
+    def test_fifo_capacity_equal_for_ruche_and_multimesh(self):
+        """Figure 3: both combine the same 2x multi-mesh buffering."""
+        assert (
+            router_area(cfg("ruche2-depop")).buffers
+            == router_area(cfg("multimesh")).buffers
+        )
+
+
+class TestScaling:
+    def test_area_scales_linearly_with_width_for_datapath(self):
+        wide = router_area(cfg("ruche2-depop", channel_width_bits=256))
+        base = router_area(cfg("ruche2-depop"))
+        assert wide.crossbar == pytest.approx(2 * base.crossbar)
+        assert wide.buffers == pytest.approx(2 * base.buffers)
+        assert wide.decode == base.decode  # header logic is width-free
+
+    def test_deeper_fifos_cost_storage(self):
+        deep = router_area(cfg("mesh", fifo_depth=4))
+        base = router_area(cfg("mesh"))
+        assert deep.buffers == pytest.approx(2 * base.buffers)
+
+    def test_half_ruche_smaller_than_full_ruche(self):
+        half = router_area(
+            NetworkConfig.from_name("ruche2-depop", 16, 8, half=True)
+        )
+        full = router_area(cfg("ruche2-depop"))
+        assert half.total < full.total
+
+    def test_multimesh_crossbar_is_two_meshes_plus_merge(self):
+        # Mesh X-Y DOR output fanins are P:5, W:2, E:2, N:4, S:4; a 2x
+        # multi-mesh duplicates them and adds a 2:1 merge at ejection.
+        fanins = crossbar_fanins(cfg("multimesh"))
+        assert sorted(fanins) == sorted([5, 2, 2, 4, 4] * 2 + [2])
+
+
+class TestWiresAndTileArea:
+    def test_ruche_wire_area_scales_with_rf(self):
+        a2 = ruche_wire_area_per_tile(cfg("ruche2-depop"))
+        a3 = ruche_wire_area_per_tile(cfg("ruche3-depop"))
+        assert a3 == pytest.approx(1.5 * a2)
+
+    def test_mesh_has_no_overfly_wires(self):
+        assert ruche_wire_area_per_tile(cfg("mesh")) == 0.0
+
+    def test_ruche_one_local_span_needs_no_repeaters(self):
+        assert ruche_wire_area_per_tile(cfg("ruche1")) == 0.0
+
+    @pytest.mark.parametrize(
+        "name, paper",
+        [
+            ("ruche2-depop", 1.058),
+            ("ruche2-pop", 1.085),
+            ("ruche3-depop", 1.063),
+            ("ruche3-pop", 1.090),
+            ("half-torus", 1.071),
+        ],
+    )
+    def test_table6_tile_area_increase(self, name, paper):
+        half = name.startswith("ruche")
+        c = NetworkConfig.from_name(name, 32, 16, half=half)
+        assert tile_area_increase(c) == pytest.approx(paper, abs=0.025)
+
+    def test_tile_area_ordering_depop_cheapest(self):
+        r2d = tile_area_increase(
+            NetworkConfig.from_name("ruche2-depop", 32, 16, half=True)
+        )
+        r2p = tile_area_increase(
+            NetworkConfig.from_name("ruche2-pop", 32, 16, half=True)
+        )
+        r3d = tile_area_increase(
+            NetworkConfig.from_name("ruche3-depop", 32, 16, half=True)
+        )
+        assert r2d < r2p
+        assert r2d < r3d < tile_area_increase(
+            NetworkConfig.from_name("ruche3-pop", 32, 16, half=True)
+        )

@@ -1,0 +1,75 @@
+"""Tests for the concentration model (the paper's Section 1 argument)."""
+
+import pytest
+
+from repro.core.params import NetworkConfig
+from repro.phys.concentration import ConcentratedMeshModel, ruche_alternative
+
+
+def base():
+    return NetworkConfig.from_name("mesh", 16, 16)
+
+
+class TestConcentratedMesh:
+    def test_plain_widening_recovers_bisection(self):
+        model = ConcentratedMeshModel(base(), concentration=4,
+                                      width_factor=2)
+        assert model.bisection_bandwidth_factor == pytest.approx(1.0)
+
+    def test_serialization_grows_with_width(self):
+        assert ConcentratedMeshModel(base(), 2, 2).serialization_latency == 1
+        assert ConcentratedMeshModel(base(), 4, 4).serialization_latency == 3
+
+    def test_streaming_traffic_conflicts(self):
+        """The paper's core point: conflicts are rare for request/wait
+        cache traffic but near-certain for word-per-cycle streams."""
+        model = ConcentratedMeshModel(base(), concentration=4)
+        assert model.injection_conflict_probability(0.02) < 0.06
+        assert model.injection_conflict_probability(0.9) > 0.99
+
+    def test_streams_saturate_the_shared_port(self):
+        model = ConcentratedMeshModel(base(), concentration=4)
+        assert model.injection_saturation_rate == 0.25
+
+    def test_serialization_negates_latency_win(self):
+        """'The serialization latency negates the latency reduction
+        benefit of concentration' — for short-haul traffic."""
+        model = ConcentratedMeshModel(base(), concentration=4,
+                                      width_factor=4)
+        assert model.zero_load_latency_factor(base_hops=5.0) > 1.0
+        # Long-haul traffic still wins on hops alone.
+        assert model.zero_load_latency_factor(base_hops=30.0) < 1.0
+
+    def test_router_area_grows_with_width(self):
+        narrow = ConcentratedMeshModel(base(), 2, 1).router_area_per_tile()
+        wide = ConcentratedMeshModel(base(), 2, 2).router_area_per_tile()
+        assert wide > 1.8 * narrow
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConcentratedMeshModel(base(), concentration=0)
+        with pytest.raises(ValueError):
+            ConcentratedMeshModel(base(), 2, 2).injection_conflict_probability(1.5)
+
+    def test_summary_keys(self):
+        summary = ConcentratedMeshModel(base(), 2, 2).summary()
+        assert {"bisection_factor", "serialization_latency",
+                "injection_conflict_prob"} <= set(summary)
+
+
+class TestRucheAlternative:
+    def test_ruche_scales_bisection_without_serialization(self):
+        alt = ruche_alternative(base(), ruche_factor=2)
+        assert alt["bisection_factor"] == 3.0
+        assert alt["serialization_latency"] == 0
+        assert alt["injection_conflict_prob"] == 0.0
+
+    def test_ruche_beats_wide_concentrated_router_on_area(self):
+        """Matching bisection x3: ruche2-depop vs a 2-way concentrated
+        mesh with ~4x channels — the Ruche router is far smaller."""
+        conc = ConcentratedMeshModel(
+            base(), concentration=2, width_factor=4
+        )
+        assert conc.bisection_bandwidth_factor > 2.5
+        alt = ruche_alternative(base(), ruche_factor=2)
+        assert alt["router_area_per_core_um2"] < conc.router_area_per_tile()

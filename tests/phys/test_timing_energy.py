@@ -1,0 +1,215 @@
+"""Timing, synthesis-curve, energy and wire model tests."""
+
+import pytest
+
+from repro.core.coords import Direction
+from repro.core.params import NetworkConfig
+from repro.phys.energy import energy_table, router_energy_per_packet
+from repro.phys.synthesis import (
+    area_at_cycle_time,
+    min_achieved_cycle,
+    synthesis_curve,
+)
+from repro.phys.technology import TECH_12NM, Technology
+from repro.phys.timing import RELAXED_CYCLE_FO4, achievable, min_cycle_time_fo4
+from repro.phys.wires import (
+    link_length_mm,
+    repeated_wire_delay_fo4,
+    ruche_link_delay_fo4,
+    wire_energy_per_packet,
+)
+
+
+def cfg(name, w=8, h=8, **kw):
+    return NetworkConfig.from_name(name, w, h, **kw)
+
+
+class TestCycleTime:
+    def test_mesh_is_fastest(self):
+        names = ["multimesh", "ruche2-depop", "ruche2-pop", "torus"]
+        mesh = min_cycle_time_fo4(cfg("mesh"))
+        assert all(min_cycle_time_fo4(cfg(n)) > mesh for n in names)
+
+    def test_torus_much_slower_than_ruche(self):
+        """Figure 7: torus cannot approach Ruche cycle times."""
+        torus = min_cycle_time_fo4(cfg("torus"))
+        pop = min_cycle_time_fo4(cfg("ruche2-pop"))
+        assert torus > 1.5 * pop
+
+    def test_pop_and_depop_are_close(self):
+        """Section 4.2: 'only a few gate delay differences' (7 vs 9 mux)."""
+        pop = min_cycle_time_fo4(cfg("ruche3-pop"))
+        depop = min_cycle_time_fo4(cfg("ruche3-depop"))
+        assert 0 < pop - depop < 3.0
+
+    def test_multimesh_comparable_with_ruche(self):
+        mm = min_cycle_time_fo4(cfg("multimesh"))
+        depop = min_cycle_time_fo4(cfg("ruche2-depop"))
+        assert abs(mm - depop) < 2.0
+
+    def test_achievable_threshold(self):
+        c = cfg("mesh")
+        dmin = min_cycle_time_fo4(c)
+        assert achievable(c, dmin + 0.1)
+        assert not achievable(c, dmin - 0.1)
+
+
+class TestSynthesisCurve:
+    def test_violated_targets_yield_none(self):
+        points = synthesis_curve(cfg("torus"), targets_fo4=[98, 40, 20, 10])
+        met = {p.target_fo4: p.met_timing for p in points}
+        assert met[98] and met[40]
+        assert not met[10]
+
+    def test_area_monotone_in_timing_pressure(self):
+        c = cfg("ruche2-depop")
+        areas = [
+            area_at_cycle_time(c, t)
+            for t in (98, 60, 30, 18)
+        ]
+        assert all(a is not None for a in areas)
+        assert areas == sorted(areas)
+
+    def test_relaxed_area_matches_table2_model(self):
+        from repro.phys.area import router_area
+
+        c = cfg("ruche2-depop")
+        relaxed = area_at_cycle_time(c, RELAXED_CYCLE_FO4)
+        assert relaxed == pytest.approx(router_area(c).total, rel=0.03)
+
+    def test_pop_slightly_larger_than_torus_when_relaxed(self):
+        """Figure 7: at ~100 FO4 fully-populated exceeds torus area."""
+        pop = area_at_cycle_time(cfg("ruche2-pop"), 98.0)
+        torus = area_at_cycle_time(cfg("torus"), 98.0)
+        assert pop > torus > 0.9 * pop
+
+    def test_depop_below_multimesh_everywhere(self):
+        for t in (98, 60, 30, 20):
+            depop = area_at_cycle_time(cfg("ruche2-depop"), t)
+            mm = area_at_cycle_time(cfg("multimesh"), t)
+            if depop is not None and mm is not None:
+                assert depop < mm
+
+    def test_min_achieved_cycle_ordering(self):
+        sweep = [98.0 - 2 * i for i in range(45)]
+        ruche = min_achieved_cycle(synthesis_curve(cfg("ruche2-pop"), sweep))
+        torus = min_achieved_cycle(synthesis_curve(cfg("torus"), sweep))
+        mesh = min_achieved_cycle(synthesis_curve(cfg("mesh"), sweep))
+        assert mesh <= ruche < torus
+
+    def test_min_achieved_requires_a_feasible_point(self):
+        with pytest.raises(ValueError):
+            min_achieved_cycle(synthesis_curve(cfg("torus"), [5.0]))
+
+
+#: Paper Table 3 (pJ/packet).
+TABLE3 = {
+    "ruche2-depop": {"Horizontal": 1.66, "Vertical": 1.82,
+                     "Ruche Horizontal": 1.40, "Ruche Vertical": 1.49},
+    "ruche2-pop": {"Horizontal": 1.95, "Vertical": 2.01,
+                   "Ruche Horizontal": 1.81, "Ruche Vertical": 2.00},
+    "torus": {"Horizontal": 2.41, "Vertical": 3.35},
+}
+
+
+class TestEnergy:
+    @pytest.mark.parametrize("name", sorted(TABLE3))
+    def test_table3_anchors_within_eight_percent(self, name):
+        model = energy_table(cfg(name))
+        for direction, paper in TABLE3[name].items():
+            assert model[direction] == pytest.approx(paper, rel=0.08), (
+                f"{name}/{direction}"
+            )
+
+    def test_ruche_cheaper_than_torus_every_direction(self):
+        torus = energy_table(cfg("torus"))
+        for name in ("ruche2-depop", "ruche2-pop"):
+            ruche = energy_table(cfg(name))
+            assert ruche["Horizontal"] < torus["Horizontal"]
+            assert ruche["Vertical"] < torus["Vertical"]
+
+    def test_depop_cheaper_than_pop_especially_ruche_dirs(self):
+        depop = energy_table(cfg("ruche2-depop"))
+        pop = energy_table(cfg("ruche2-pop"))
+        for k in depop:
+            assert depop[k] < pop[k]
+        # Table 3 discussion: the Ruche directions save the most.
+        ruche_saving = pop["Ruche Horizontal"] - depop["Ruche Horizontal"]
+        local_saving = pop["Horizontal"] - depop["Horizontal"]
+        assert ruche_saving > local_saving
+
+    def test_width_scaling(self):
+        wide = cfg("ruche2-depop", channel_width_bits=256)
+        base = cfg("ruche2-depop")
+        assert router_energy_per_packet(
+            wide, Direction.E
+        ) == pytest.approx(
+            2 * router_energy_per_packet(base, Direction.E)
+        )
+
+    def test_missing_port_rejected(self):
+        with pytest.raises(ValueError):
+            router_energy_per_packet(cfg("mesh"), Direction.RE)
+
+    def test_ejection_energy_defined(self):
+        assert router_energy_per_packet(cfg("mesh"), Direction.P) > 0
+
+
+class TestWires:
+    def test_link_lengths(self):
+        tile_mm = TECH_12NM.tile_size_um / 1000
+        assert link_length_mm(cfg("mesh"), Direction.E) == pytest.approx(tile_mm)
+        assert link_length_mm(cfg("ruche3-depop"), Direction.RE) == (
+            pytest.approx(3 * tile_mm)
+        )
+        assert link_length_mm(cfg("torus"), Direction.E) == (
+            pytest.approx(2 * tile_mm)
+        )
+
+    def test_local_links_carry_no_long_wire_energy(self):
+        assert wire_energy_per_packet(cfg("mesh"), Direction.E) == 0.0
+        assert wire_energy_per_packet(cfg("ruche1"), Direction.RE) == 0.0
+
+    def test_ruche_wire_energy_grows_with_rf(self):
+        e2 = wire_energy_per_packet(cfg("ruche2-depop"), Direction.RE)
+        e3 = wire_energy_per_packet(cfg("ruche3-depop"), Direction.RE)
+        assert 0 < e2 < e3
+        assert e3 == pytest.approx(2 * e2)  # spans beyond the first tile
+
+    def test_wire_energy_comparable_to_one_router_traversal(self):
+        """A long Ruche wire costs the same order as a router traversal —
+        large enough to show in Figure 13, small vs. whole-system energy."""
+        c = cfg("ruche3-depop")
+        wire = wire_energy_per_packet(c, Direction.RE)
+        router = router_energy_per_packet(c, Direction.RE)
+        assert 0.5 * router < wire < 2.5 * router
+
+    def test_per_distance_ruche_beats_local_hops(self):
+        """The paper's energy motivation: covering RF tiles on one Ruche
+        channel (router + long wire) costs less than RF local router
+        traversals."""
+        c = cfg("ruche3-depop")
+        ruche_hop = (
+            router_energy_per_packet(c, Direction.RE)
+            + wire_energy_per_packet(c, Direction.RE)
+        )
+        local_hops = 3 * router_energy_per_packet(c, Direction.E)
+        assert ruche_hop < local_hops
+
+    def test_wire_delay_linear(self):
+        assert repeated_wire_delay_fo4(2.0) == pytest.approx(
+            2 * repeated_wire_delay_fo4(1.0)
+        )
+
+    def test_ruche_link_delay_stays_single_cycle_at_small_rf(self):
+        """Section 3.2: small tiles keep Ruche hops single-cycle."""
+        for rf in (2, 3, 4):
+            c = NetworkConfig.from_name(f"ruche{rf}-depop", 16, 16)
+            assert ruche_link_delay_fo4(c) < min_cycle_time_fo4(c)
+
+    def test_custom_technology(self):
+        slow = Technology(fo4_ps=20.0)
+        assert slow.cycle_time_ps(10) == 200.0
+        assert TECH_12NM.wire_energy_pj_per_bit_mm() == pytest.approx(
+            0.2 * 0.8 * 0.8 * 1.6
+        )

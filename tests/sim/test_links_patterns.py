@@ -1,0 +1,153 @@
+"""Tests for link-utilization tracking, new traffic patterns, multi-seed
+statistics and the text plotting helpers."""
+
+import pytest
+
+from repro.analysis.plots import ascii_curve, link_heatmap
+from repro.core.coords import Coord, Direction
+from repro.core.params import NetworkConfig
+from repro.errors import ConfigError
+from repro.sim.rng import derive_rng
+from repro.sim.simulator import multi_seed_run, run_synthetic
+from repro.sim.traffic import make_pattern
+
+
+class TestLinkTracking:
+    def run_tracked(self, name="mesh", pattern="uniform_random"):
+        cfg = NetworkConfig.from_name(name, 8, 8)
+        return run_synthetic(
+            cfg, pattern, 0.15, warmup=150, measure=400,
+            drain_limit=1500, track_links=True,
+        )
+
+    def test_counts_sum_to_hop_counts(self):
+        r = self.run_tracked()
+        per_dir = {}
+        for (coord, out_idx), count in r.metrics.link_counts.items():
+            per_dir[out_idx] = per_dir.get(out_idx, 0) + count
+        for out_idx, total in per_dir.items():
+            assert total == r.metrics.hop_counts[out_idx]
+
+    def test_mesh_center_links_hotter_than_edges(self):
+        """The bisection bottleneck: central columns carry the most
+        eastbound traffic under uniform random."""
+        r = self.run_tracked()
+        east = int(Direction.E)
+        col_load = {}
+        for (coord, out_idx), count in r.metrics.link_counts.items():
+            if out_idx == east:
+                col_load[coord.x] = col_load.get(coord.x, 0) + count
+        assert col_load[3] > 2 * col_load[0]
+        assert col_load[3] > 2 * col_load[6]
+
+    def test_utilization_normalization(self):
+        r = self.run_tracked()
+        utils = r.metrics.link_utilization(cycles=550)
+        assert all(0 <= u <= 1.0 for u in utils.values())
+
+    def test_hottest_links(self):
+        r = self.run_tracked()
+        top = r.metrics.hottest_links(5)
+        assert len(top) == 5
+        assert top[0][1] >= top[-1][1]
+
+    def test_tracking_off_by_default(self):
+        cfg = NetworkConfig.from_name("mesh", 6, 6)
+        r = run_synthetic(cfg, "uniform_random", 0.05,
+                          warmup=50, measure=100)
+        with pytest.raises(ValueError):
+            r.metrics.link_utilization(100)
+
+    def test_ruche_offloads_local_links(self):
+        """Ruche channels drain traffic off the local mesh links."""
+        mesh = self.run_tracked("mesh")
+        ruche = self.run_tracked("ruche3-pop")
+        east = int(Direction.E)
+
+        def east_total(run):
+            return sum(
+                c for (coord, o), c in run.metrics.link_counts.items()
+                if o == east
+            )
+
+        assert east_total(ruche) < 0.6 * east_total(mesh)
+
+
+class TestBitPermutationPatterns:
+    def test_shuffle_rotates_index(self):
+        cfg = NetworkConfig.from_name("mesh", 8, 8)
+        pat = make_pattern("shuffle", cfg)
+        rng = derive_rng(1, "s")
+        # node 1 (index 1) -> index 2 -> coord (2, 0)
+        assert pat(Coord(1, 0), rng) == Coord(2, 0)
+
+    def test_bit_reverse_is_involution(self):
+        cfg = NetworkConfig.from_name("mesh", 8, 8)
+        pat = make_pattern("bit_reverse", cfg)
+        rng = derive_rng(1, "b")
+        for src in (Coord(3, 1), Coord(5, 6)):
+            dest = pat(src, rng)
+            if dest is None:
+                continue
+            back = pat(dest, rng)
+            assert back == src
+
+    def test_requires_power_of_two(self):
+        cfg = NetworkConfig.from_name("mesh", 6, 6)
+        with pytest.raises(ConfigError):
+            make_pattern("shuffle", cfg)
+
+    def test_patterns_simulate(self):
+        cfg = NetworkConfig.from_name("ruche2-pop", 8, 8)
+        for pattern in ("shuffle", "bit_reverse"):
+            r = run_synthetic(cfg, pattern, 0.1, warmup=100,
+                              measure=200, drain_limit=1000)
+            assert r.drained
+
+
+class TestMultiSeed:
+    def test_spread_statistics(self):
+        cfg = NetworkConfig.from_name("mesh", 6, 6)
+        stats = multi_seed_run(cfg, "uniform_random", 0.1,
+                               seeds=(1, 2, 3), warmup=100, measure=200)
+        assert stats["seeds"] == 3
+        assert stats["latency_spread"] >= 0
+        assert stats["throughput_mean"] == pytest.approx(0.1, abs=0.02)
+
+    def test_low_load_noise_is_small(self):
+        cfg = NetworkConfig.from_name("mesh", 6, 6)
+        stats = multi_seed_run(cfg, "uniform_random", 0.05,
+                               seeds=(1, 2, 3, 4), warmup=100, measure=300)
+        assert stats["latency_spread"] < 0.15 * stats["latency_mean"]
+
+
+class TestPlots:
+    def test_ascii_curve_renders_markers(self):
+        text = ascii_curve({
+            "mesh": [(0.1, 6.0), (0.2, 8.0), (0.3, 30.0)],
+            "ruche": [(0.1, 4.0), (0.2, 5.0), (0.3, 7.0)],
+        })
+        assert "o=mesh" in text and "x=ruche" in text
+        assert "o" in text.splitlines()[1] or any(
+            "o" in line for line in text.splitlines()
+        )
+
+    def test_ascii_curve_caps_saturated_points(self):
+        text = ascii_curve({"a": [(0.1, 5.0), (0.2, 1e6)]}, y_cap=100.0)
+        assert "max 100" in text
+
+    def test_ascii_curve_empty(self):
+        assert ascii_curve({}) == "(no data)"
+
+    def test_link_heatmap(self):
+        cfg = NetworkConfig.from_name("mesh", 8, 8)
+        r = run_synthetic(cfg, "uniform_random", 0.15, warmup=100,
+                          measure=300, drain_limit=1000, track_links=True)
+        text = link_heatmap(r.metrics.link_counts, 8, 8)
+        lines = text.splitlines()
+        assert len(lines) == 9  # header + 8 rows
+        assert all(len(line) == 10 for line in lines[1:])
+
+    def test_link_heatmap_empty_direction(self):
+        text = link_heatmap({}, 4, 4, Direction.RE)
+        assert "no traffic" in text

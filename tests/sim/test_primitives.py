@@ -1,0 +1,159 @@
+"""Unit and property tests for FIFOs, arbiters, and the wavefront allocator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.allocator import WavefrontAllocator
+from repro.sim.arbiter import RoundRobinArbiter
+from repro.sim.fifo import Fifo
+
+
+class TestFifo:
+    def test_fills_to_depth(self):
+        f = Fifo(2)
+        f.append(1)
+        f.append(2)
+        assert f.is_full and len(f) == 2
+
+    def test_rejects_overflow(self):
+        f = Fifo(2)
+        f.append(1)
+        f.append(2)
+        with pytest.raises(OverflowError):
+            f.append(3)
+
+    def test_fifo_order(self):
+        f = Fifo(3)
+        for v in (1, 2, 3):
+            f.append(v)
+        assert [f.popleft() for _ in range(3)] == [1, 2, 3]
+
+    def test_head_peeks_without_removing(self):
+        f = Fifo(2)
+        assert f.head is None
+        f.append(42)
+        assert f.head == 42 and len(f) == 1
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            Fifo(0)
+
+    @given(st.lists(st.sampled_from(["push", "pop"]), max_size=60))
+    def test_occupancy_never_exceeds_depth(self, ops):
+        f = Fifo(2)
+        for op in ops:
+            if op == "push" and not f.is_full:
+                f.append(0)
+            elif op == "pop" and f:
+                f.popleft()
+            assert 0 <= len(f) <= 2
+
+
+class TestRoundRobinArbiter:
+    def test_picks_only_requester(self):
+        arb = RoundRobinArbiter(4)
+        assert arb.pick([False, False, True, False]) == 2
+
+    def test_no_request_returns_none(self):
+        assert RoundRobinArbiter(3).pick([False] * 3) is None
+
+    def test_granted_requester_gets_lowest_priority(self):
+        arb = RoundRobinArbiter(3)
+        assert arb.pick([True, True, True]) == 0
+        arb.grant(0)
+        assert arb.pick([True, True, True]) == 1
+        arb.grant(1)
+        assert arb.pick([True, True, True]) == 2
+
+    def test_priority_skips_idle_requesters(self):
+        arb = RoundRobinArbiter(4)
+        arb.grant(1)  # priority now at 2
+        assert arb.pick([True, False, False, False]) == 0
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            RoundRobinArbiter(2).pick([True])
+
+    @given(
+        st.integers(2, 8),
+        st.lists(st.lists(st.booleans(), min_size=8, max_size=8), min_size=1, max_size=40),
+    )
+    def test_long_run_fairness(self, n, rounds):
+        """Under persistent requests, grants are balanced within one."""
+        arb = RoundRobinArbiter(n)
+        grants = [0] * n
+        for _ in range(n * 10):
+            winner = arb.pick([True] * n)
+            arb.grant(winner)
+            grants[winner] += 1
+        assert max(grants) - min(grants) <= 1
+
+
+class TestWavefrontAllocator:
+    def test_grants_are_a_matching(self):
+        alloc = WavefrontAllocator(3, 3)
+        reqs = [[True, True, False], [True, False, False], [False, True, True]]
+        grants = alloc.allocate(reqs)
+        ins = [i for i, _ in grants]
+        outs = [o for _, o in grants]
+        assert len(set(ins)) == len(ins)
+        assert len(set(outs)) == len(outs)
+        for i, o in grants:
+            assert reqs[i][o]
+
+    def test_matching_is_maximal(self):
+        alloc = WavefrontAllocator(4, 4)
+        reqs = [[False] * 4 for _ in range(4)]
+        reqs[0][0] = reqs[1][1] = reqs[2][2] = reqs[3][3] = True
+        assert len(alloc.allocate(reqs)) == 4
+
+    def test_priority_rotates(self):
+        alloc = WavefrontAllocator(2, 2)
+        # Two inputs both want output 0; the winner must alternate.
+        reqs = [[True, False], [True, False]]
+        winners = {alloc.allocate(reqs)[0][0] for _ in range(4)}
+        assert winners == {0, 1}
+
+    def test_empty_requests(self):
+        alloc = WavefrontAllocator(5, 5)
+        assert alloc.allocate([[False] * 5 for _ in range(5)]) == []
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            WavefrontAllocator(2, 2).allocate([[True, True]])
+        with pytest.raises(ValueError):
+            WavefrontAllocator(0, 3)
+
+    @given(
+        st.lists(
+            st.lists(st.booleans(), min_size=5, max_size=5),
+            min_size=5,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=200)
+    def test_maximality_property(self, reqs):
+        """No grantable request is left on the table (maximal matching)."""
+        alloc = WavefrontAllocator(5, 5)
+        grants = alloc.allocate(reqs)
+        ins = {i for i, _ in grants}
+        outs = {o for _, o in grants}
+        for i in range(5):
+            for o in range(5):
+                if reqs[i][o] and i not in ins and o not in outs:
+                    pytest.fail(f"request ({i},{o}) was grantable but idle")
+
+    @given(
+        st.lists(
+            st.lists(st.booleans(), min_size=5, max_size=5),
+            min_size=5,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=200)
+    def test_grants_respect_requests_and_uniqueness(self, reqs):
+        alloc = WavefrontAllocator(5, 5)
+        grants = alloc.allocate(reqs)
+        assert len({i for i, _ in grants}) == len(grants)
+        assert len({o for _, o in grants}) == len(grants)
+        assert all(reqs[i][o] for i, o in grants)

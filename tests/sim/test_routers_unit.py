@@ -1,0 +1,219 @@
+"""Router-level unit tests: arbitration, flow control, VC mechanics,
+exercised directly on hand-wired two-router rigs."""
+
+import pytest
+
+from repro.core.connectivity import MESH_XY, connectivity_matrix
+from repro.core.coords import Coord, Direction
+from repro.core.params import NetworkConfig
+from repro.sim.packet import Packet
+from repro.sim.router import (
+    P_IDX,
+    MetricsSink,
+    Sink,
+    VCRouter,
+    WormholeRouter,
+)
+from repro.sim.metrics import RunMetrics
+
+P, W, E, N, S = (int(Direction.P), int(Direction.W), int(Direction.E),
+                 int(Direction.N), int(Direction.S))
+
+
+def mesh_route(coord, in_dir, dest, subnet):
+    from repro.core.routing import MeshDOR
+
+    return MeshDOR(NetworkConfig.from_name("mesh", 8, 8)).route(
+        coord, in_dir, dest, subnet
+    )
+
+
+class CountingSink(Sink):
+    def __init__(self, ready=True):
+        self.delivered = []
+        self._ready = ready
+
+    def ready(self):
+        return self._ready
+
+    def deliver(self, pkt, cycle):
+        self.delivered.append((pkt, cycle))
+
+
+def wire_pair():
+    """Two mesh routers: a --E--> b, with sinks on every other output."""
+    a = WormholeRouter(Coord(0, 0), 2, mesh_route, [E], MESH_XY)
+    b = WormholeRouter(Coord(1, 0), 2, mesh_route, [W], MESH_XY)
+    sink_a, sink_b = CountingSink(), CountingSink()
+    a.out_target[E] = (b, W)
+    a.out_target[P] = sink_a
+    b.out_target[P] = sink_b
+    a.finish_wiring()
+    b.finish_wiring()
+    return a, b, sink_a, sink_b
+
+
+def packet(pid, src, dest):
+    return Packet(pid, Coord(*src), Coord(*dest), 0)
+
+
+class TestWormholeRouter:
+    def test_forwards_toward_route(self):
+        a, b, _sa, _sb = wire_pair()
+        a.accept(packet(0, (0, 0), (1, 0)), P_IDX)
+        moves = []
+        a.arbitrate(moves)
+        assert len(moves) == 1
+        _, in_idx, _, out_idx, pkt = moves[0]
+        assert in_idx == P_IDX and out_idx == E
+
+    def test_blocks_on_full_downstream_fifo(self):
+        a, b, _sa, _sb = wire_pair()
+        b.in_q[W].append(packet(90, (0, 0), (5, 0)))
+        b.in_q[W].append(packet(91, (0, 0), (5, 0)))
+        a.accept(packet(0, (0, 0), (1, 0)), P_IDX)
+        moves = []
+        a.arbitrate(moves)
+        assert moves == []
+
+    def test_round_robin_alternates_inputs(self):
+        """Two inputs streaming to one output share it fairly."""
+        cfg = NetworkConfig.from_name("mesh", 8, 8)
+        r = WormholeRouter(
+            Coord(1, 1), 2, mesh_route, [W, N], connectivity_matrix(cfg)
+        )
+        sink = CountingSink()
+        for d in range(5):
+            r.out_target[d] = None
+        r.out_target[P] = sink
+        r.finish_wiring()
+        winners = []
+        for t in range(8):
+            # Keep both input FIFOs loaded with ejecting packets.
+            while len(r.in_q[W]) < 2:
+                r.accept(packet(100 + t, (0, 1), (1, 1)), W)
+            while len(r.in_q[N]) < 2:
+                r.accept(packet(200 + t, (1, 0), (1, 1)), N)
+            moves = []
+            r.arbitrate(moves)
+            assert len(moves) == 1
+            winners.append(moves[0][1])
+            r.pop(moves[0][1], 0)
+        assert winners.count(W) == 4
+        assert winners.count(N) == 4
+
+    def test_sink_backpressure(self):
+        a, b, sa, _sb = wire_pair()
+        sa._ready = False
+        a.accept(packet(0, (5, 5), (0, 0)), E)  # wants P output... routed
+        # Route at a for dest == own coord is P.
+        moves = []
+        a.arbitrate(moves)
+        assert moves == []
+
+    def test_connectivity_restricts_candidates(self):
+        """An N input can never win the E output under X-Y DOR."""
+        cfg = NetworkConfig.from_name("mesh", 8, 8)
+        r = WormholeRouter(
+            Coord(1, 1), 2, mesh_route, [W, N], connectivity_matrix(cfg)
+        )
+        assert N not in r.candidates[E]
+        assert W in r.candidates[E]
+
+    def test_route_cache_reused(self):
+        a, _b, _sa, _sb = wire_pair()
+        a.accept(packet(0, (0, 0), (1, 0)), P_IDX)
+        a.accept(packet(1, (0, 0), (1, 0)), P_IDX)
+        assert len(a.route_cache) == 1
+
+
+def torus_route_vc(coord, in_dir, in_vc, dest):
+    from repro.core.routing import TorusDOR
+
+    return TorusDOR(NetworkConfig.from_name("torus", 8, 8)).route_vc(
+        coord, in_dir, in_vc, dest
+    )
+
+
+def wire_vc_pair():
+    a = VCRouter(Coord(0, 0), 2, torus_route_vc, [E], 2)
+    b = VCRouter(Coord(1, 0), 2, torus_route_vc, [W], 2)
+    sink_a, sink_b = CountingSink(), CountingSink()
+    a.out_target[E] = (b, W)
+    a.out_target[P] = sink_a
+    b.out_target[P] = sink_b
+    return a, b, sink_a, sink_b
+
+
+class TestVCRouter:
+    def test_single_crossbar_port_per_input(self):
+        """Both VCs of one input hold ready packets; at most one moves
+        per cycle (the Figure 3c bandwidth halving)."""
+        a, b, _sa, _sb = wire_vc_pair()
+        # Load both VC lanes of a's E... inputs are W side; use input W
+        # of router b with two ejecting packets on different VCs.
+        pkt0 = packet(0, (0, 0), (1, 0))
+        pkt1 = packet(1, (0, 0), (1, 0))
+        b.accept(pkt0, W, 0)
+        b.accept(pkt1, W, 1)
+        moves = []
+        b.arbitrate(moves)
+        assert len(moves) == 1
+
+    def test_vc_mux_round_robins_lanes(self):
+        a, b, _sa, _sb = wire_vc_pair()
+        lanes_granted = []
+        for t in range(4):
+            while len(b.in_q[W][0]) < 2:
+                b.accept(packet(10 + t, (0, 0), (1, 0)), W, 0)
+            while len(b.in_q[W][1]) < 2:
+                b.accept(packet(20 + t, (0, 0), (1, 0)), W, 1)
+            moves = []
+            b.arbitrate(moves)
+            assert len(moves) == 1
+            lanes_granted.append(moves[0][2])
+            b.pop(W, moves[0][2])
+        assert lanes_granted.count(0) == 2
+        assert lanes_granted.count(1) == 2
+
+    def test_request_gated_on_downstream_credit(self):
+        """Ready-then-valid: a head whose destination VC is full raises
+        no request even if the switch is idle."""
+        a, b, _sa, _sb = wire_vc_pair()
+        pkt = packet(0, (0, 0), (2, 0))  # goes through b, stays on E
+        a.accept(pkt, P_IDX, 0)
+        target_vc = pkt.out_vc
+        b.in_q[W][target_vc].append(packet(70, (0, 0), (3, 0)))
+        b.in_q[W][target_vc].append(packet(71, (0, 0), (3, 0)))
+        moves = []
+        a.arbitrate(moves)
+        assert moves == []
+        # The other VC being full is irrelevant; freeing the target VC
+        # unblocks the request.
+        b.in_q[W][target_vc].popleft()
+        moves = []
+        a.arbitrate(moves)
+        assert len(moves) == 1
+
+    def test_injection_lane_is_single(self):
+        a, _b, _sa, _sb = wire_vc_pair()
+        assert len(a.in_q[P_IDX]) == 1
+
+    def test_pop_returns_expected_packet(self):
+        a, b, _sa, _sb = wire_vc_pair()
+        pkt = packet(5, (0, 0), (1, 0))
+        b.accept(pkt, W, 1)
+        assert b.pop(W, 1) is pkt
+        assert b.occ == 0
+
+
+class TestMetricsSink:
+    def test_records_into_metrics(self):
+        metrics = RunMetrics()
+        sink = MetricsSink(metrics)
+        pkt = packet(0, (0, 0), (1, 0))
+        pkt.measured = True
+        pkt.inject_cycle = 3
+        sink.deliver(pkt, 10)
+        assert metrics.delivered_measured == 1
+        assert metrics.measured.mean == 7

@@ -1,0 +1,137 @@
+"""Tests for the synthetic-traffic harness and its measurement semantics."""
+
+import math
+
+import pytest
+
+from repro.core.params import NetworkConfig
+from repro.sim.metrics import LatencyStats
+from repro.sim.simulator import (
+    average_hops_by_direction,
+    run_synthetic,
+    sweep_injection_rates,
+    zero_load_latency,
+)
+
+
+class TestLatencyStats:
+    def test_streaming_moments(self):
+        s = LatencyStats()
+        for v in (2, 4, 6):
+            s.add(v)
+        assert s.mean == 4
+        assert s.min == 2 and s.max == 6
+        assert math.isclose(s.stddev, math.sqrt(8 / 3))
+
+    def test_percentiles_require_samples(self):
+        s = LatencyStats()
+        s.add(1)
+        with pytest.raises(ValueError):
+            s.percentile(0.5)
+        s2 = LatencyStats(keep_samples=True)
+        for v in range(100):
+            s2.add(v)
+        assert s2.percentile(0.99) >= 98
+
+    def test_merge(self):
+        a, b = LatencyStats(), LatencyStats()
+        a.add(1)
+        b.add(9)
+        a.merge(b)
+        assert a.count == 2 and a.max == 9 and a.min == 1
+
+
+class TestRunSynthetic:
+    def test_low_load_accepted_matches_offered(self):
+        cfg = NetworkConfig.from_name("mesh", 8, 8)
+        r = run_synthetic(cfg, "uniform_random", 0.05,
+                          warmup=200, measure=600, drain_limit=2000)
+        assert r.drained
+        assert abs(r.accepted_throughput - 0.05) < 0.01
+
+    def test_low_load_latency_matches_zero_load(self):
+        cfg = NetworkConfig.from_name("mesh", 8, 8)
+        r = run_synthetic(cfg, "uniform_random", 0.02,
+                          warmup=200, measure=600)
+        zl = zero_load_latency(cfg, samples=2000)
+        assert abs(r.avg_latency - zl) < 0.8
+
+    def test_oversaturation_reports_undrained(self):
+        cfg = NetworkConfig.from_name("mesh", 8, 8)
+        r = run_synthetic(cfg, "uniform_random", 0.9,
+                          warmup=100, measure=300, drain_limit=100)
+        assert r.saturated
+        assert r.accepted_throughput < 0.9
+
+    def test_deterministic_given_seed(self):
+        cfg = NetworkConfig.from_name("ruche2-depop", 8, 8)
+        a = run_synthetic(cfg, "uniform_random", 0.1, warmup=100,
+                          measure=200, seed=42)
+        b = run_synthetic(cfg, "uniform_random", 0.1, warmup=100,
+                          measure=200, seed=42)
+        assert a.avg_latency == b.avg_latency
+        assert a.delivered_measured == b.delivered_measured
+
+    def test_different_seeds_differ(self):
+        cfg = NetworkConfig.from_name("mesh", 8, 8)
+        a = run_synthetic(cfg, "uniform_random", 0.1, warmup=100,
+                          measure=200, seed=1)
+        b = run_synthetic(cfg, "uniform_random", 0.1, warmup=100,
+                          measure=200, seed=2)
+        assert a.delivered_measured != b.delivered_measured
+
+    def test_per_source_tracking(self):
+        cfg = NetworkConfig.from_name("mesh", 6, 6)
+        r = run_synthetic(cfg, "uniform_random", 0.05, warmup=100,
+                          measure=500, track_per_source=True)
+        means = r.metrics.per_source_means()
+        assert len(means) == 36
+        # Corner tiles see longer average paths than the center.
+        from repro.core.coords import Coord
+        assert means[Coord(0, 0)] > means[Coord(3, 3)]
+
+
+class TestSweep:
+    def test_latency_monotone_under_load(self):
+        cfg = NetworkConfig.from_name("mesh", 8, 8)
+        curve = sweep_injection_rates(
+            cfg, "uniform_random", [0.02, 0.1, 0.2],
+            warmup=150, measure=400, drain_limit=1500,
+        )
+        lats = [p.avg_latency for p in curve]
+        assert lats[0] < lats[1] < lats[2]
+
+    def test_stop_when_saturated(self):
+        cfg = NetworkConfig.from_name("mesh", 8, 8)
+        curve = sweep_injection_rates(
+            cfg, "uniform_random", [0.02, 0.8, 0.9],
+            warmup=100, measure=200, drain_limit=50,
+            stop_when_saturated=True,
+        )
+        assert len(curve) == 2
+        assert curve[-1].saturated
+
+
+class TestZeroLoad:
+    def test_mesh_16x16_uniform_is_about_ten_point_six(self):
+        """Figure 8 anchor: 2-D mesh 16x16 UR mean latency ~= 10.6."""
+        cfg = NetworkConfig.from_name("mesh", 16, 16)
+        zl = zero_load_latency(cfg, samples=4000)
+        assert 10.1 < zl < 11.1
+
+    def test_ruche_reduces_zero_load(self):
+        mesh = zero_load_latency(NetworkConfig.from_name("mesh", 16, 16),
+                                 samples=1500)
+        r3 = zero_load_latency(
+            NetworkConfig.from_name("ruche3-pop", 16, 16), samples=1500
+        )
+        assert r3 < 0.6 * mesh
+
+    def test_direction_histogram_consistent(self):
+        cfg = NetworkConfig.from_name("ruche2-pop", 8, 8)
+        hops = average_hops_by_direction(cfg, samples=800)
+        zl = zero_load_latency(cfg, samples=800)
+        # Total per-direction hops (minus the P ejection) == hop count.
+        from repro.core.coords import Direction
+        total = sum(v for d, v in hops.items() if d != int(Direction.P))
+        assert abs(total - zl) < 0.05

@@ -1,0 +1,114 @@
+"""Traffic pattern tests."""
+
+import pytest
+
+from repro.core.coords import Coord
+from repro.core.params import NetworkConfig
+from repro.errors import ConfigError
+from repro.sim.rng import derive_rng
+from repro.sim.traffic import make_pattern, pattern_names
+
+
+CFG = NetworkConfig.from_name("mesh", 8, 8)
+RNG = derive_rng(1, "traffic")
+
+
+class TestUniformRandom:
+    def test_never_self(self):
+        pat = make_pattern("uniform_random", CFG)
+        for _ in range(500):
+            src = Coord(3, 3)
+            assert pat(src, RNG) != src
+
+    def test_covers_whole_array(self):
+        pat = make_pattern("uniform_random", CFG)
+        dests = {pat(Coord(0, 0), RNG) for _ in range(2000)}
+        assert len(dests) == 63  # everything except the source
+
+
+class TestBitComplement:
+    def test_mirrors_both_axes(self):
+        pat = make_pattern("bit_complement", CFG)
+        assert pat(Coord(0, 0), RNG) == Coord(7, 7)
+        assert pat(Coord(2, 5), RNG) == Coord(5, 2)
+
+    def test_is_an_involution(self):
+        pat = make_pattern("bit_complement", CFG)
+        for src in (Coord(1, 6), Coord(4, 0)):
+            assert pat(pat(src, RNG), RNG) == src
+
+    def test_odd_array_center_does_not_inject(self):
+        cfg = NetworkConfig.from_name("mesh", 7, 7)
+        pat = make_pattern("bit_complement", cfg)
+        assert pat(Coord(3, 3), RNG) is None
+
+
+class TestTranspose:
+    def test_swaps_coordinates(self):
+        pat = make_pattern("transpose", CFG)
+        assert pat(Coord(2, 5), RNG) == Coord(5, 2)
+
+    def test_diagonal_does_not_inject(self):
+        pat = make_pattern("transpose", CFG)
+        assert pat(Coord(4, 4), RNG) is None
+
+    def test_requires_square_array(self):
+        with pytest.raises(ConfigError):
+            make_pattern("transpose", NetworkConfig.from_name("mesh", 16, 8))
+
+
+class TestTornado:
+    def test_halfway_offset(self):
+        pat = make_pattern("tornado", CFG)
+        # ceil(8/2) - 1 = 3 in both dimensions.
+        assert pat(Coord(0, 0), RNG) == Coord(3, 3)
+        assert pat(Coord(6, 7), RNG) == Coord(1, 2)
+
+    def test_wraps_modularly(self):
+        pat = make_pattern("tornado", CFG)
+        assert pat(Coord(7, 7), RNG) == Coord(2, 2)
+
+
+class TestTileToMemory:
+    def test_requires_edge_memory(self):
+        with pytest.raises(ConfigError):
+            make_pattern("tile_to_memory", CFG)
+
+    def test_targets_only_memory_rows(self):
+        cfg = NetworkConfig.from_name("mesh", 16, 8, edge_memory=True)
+        pat = make_pattern("tile_to_memory", cfg)
+        rng = derive_rng(2, "mem")
+        dests = {pat(Coord(5, 3), rng) for _ in range(500)}
+        assert all(d.y in (-1, 8) for d in dests)
+        # Both edges are used.
+        assert any(d.y == -1 for d in dests)
+        assert any(d.y == 8 for d in dests)
+
+
+class TestMisc:
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ConfigError):
+            make_pattern("butterfly", CFG)
+
+    def test_neighbor_stays_adjacent(self):
+        pat = make_pattern("neighbor", CFG)
+        rng = derive_rng(3, "n")
+        for _ in range(100):
+            d = pat(Coord(0, 0), rng)
+            assert Coord(0, 0).manhattan(d) == 1
+
+    def test_hotspot_concentrates_traffic(self):
+        pat = make_pattern("hotspot", CFG)
+        rng = derive_rng(4, "h")
+        hot = Coord(4, 4)
+        hits = sum(1 for _ in range(2000) if pat(Coord(0, 0), rng) == hot)
+        assert hits > 300  # ~20% plus the uniform share
+
+    def test_pattern_names_enumerates_all(self):
+        for name in pattern_names():
+            cfg = (
+                NetworkConfig.from_name("mesh", 8, 8, edge_memory=True)
+                if name == "tile_to_memory"
+                else CFG
+            )
+            assert make_pattern(name, cfg) is not None

@@ -1,0 +1,51 @@
+"""Package-level API surface tests."""
+
+import importlib
+
+import pytest
+
+SUBPACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.sim",
+    "repro.phys",
+    "repro.manycore",
+    "repro.manycore.kernels",
+    "repro.analysis",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+def test_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_top_level_quickstart_helper():
+    import repro
+
+    curve = repro.load_latency_curve(
+        repro.NetworkConfig.from_name("mesh", 4, 4),
+        rates=[0.05],
+        warmup=50,
+        measure=100,
+    )
+    assert len(curve) == 1
+    assert curve[0].avg_latency > 0
+
+
+def test_error_hierarchy():
+    from repro import errors
+
+    for exc in (errors.ConfigError, errors.RoutingError,
+                errors.SimulationError, errors.WorkloadError):
+        assert issubclass(exc, errors.ReproError)
+        assert issubclass(exc, Exception)
