@@ -1,0 +1,42 @@
+"""Graceful degradation under dead links: mesh vs. Full Ruche.
+
+Runs the fault-degradation campaign with JSON checkpointing, prints the
+per-config retention curves, and demonstrates resumability: kill the
+script mid-sweep and rerun it — completed rows load from the
+checkpoint file instead of being recomputed.
+
+Run with::
+
+    python examples/fault_study.py [checkpoint.json]
+"""
+
+import sys
+
+from repro.analysis import (
+    degradation_curves,
+    render_table,
+    worst_case_retention,
+)
+from repro.experiments.fault_degradation import run
+
+
+def main() -> None:
+    checkpoint = sys.argv[1] if len(sys.argv) > 1 else "fault_study.ckpt.json"
+    result = run(scale="smoke", checkpoint=checkpoint)
+    print(result.report())
+
+    curves = degradation_curves(result.rows)
+    print("\nWorst-case throughput retention (1.0 = no degradation):")
+    retention = worst_case_retention(curves)
+    print(render_table([
+        {"config": name, "retention": frac}
+        for name, frac in sorted(retention.items())
+    ]))
+    print(
+        f"\nCheckpoint: {checkpoint} — rerun this script to resume "
+        "instead of recomputing."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -6,6 +6,11 @@ from repro.analysis.bandwidth import (
     minimum_rf_to_match_memory,
     table4,
 )
+from repro.analysis.degradation import (
+    degradation_curves,
+    degradation_rows,
+    worst_case_retention,
+)
 from repro.analysis.fairness import (
     FairnessSummary,
     fairness_comparison,
@@ -40,4 +45,7 @@ __all__ = [
     "format_value",
     "ascii_curve",
     "link_heatmap",
+    "degradation_curves",
+    "degradation_rows",
+    "worst_case_retention",
 ]

@@ -1,0 +1,91 @@
+"""Graceful-degradation curves: performance vs. injected fault count.
+
+Post-processing for fault-injection campaigns.  Each campaign row is a
+dict carrying at least a grouping key (``config``), an x-axis key
+(``fault_count``), and absolute metrics (saturation throughput,
+zero-load latency).  This module normalises those against each group's
+healthy (zero-fault) row, yielding the fraction of fault-free
+performance retained at each fault count — the graceful-degradation
+story: a mesh loses its only minimal path when a link dies, while Ruche
+channels give the fault-aware tables detour diversity, so Ruche curves
+stay near 1.0 where mesh curves dive.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+
+def degradation_curves(
+    rows: Sequence[Dict[str, Any]],
+    *,
+    group_key: str = "config",
+    x_key: str = "fault_count",
+    throughput_key: str = "saturation_throughput",
+    latency_key: str = "zero_load_latency",
+) -> Dict[str, List[Dict[str, Any]]]:
+    """Group campaign rows and normalise against each group's baseline.
+
+    Returns ``{group: [point, ...]}`` with points sorted by ``x_key``.
+    Each point copies the input row plus two derived fields:
+
+    * ``throughput_frac`` — saturation throughput relative to the
+      group's ``x_key == 0`` row;
+    * ``latency_frac`` — zero-load latency relative to the same row
+      (>1.0 means fault detours lengthened paths).
+
+    Rows marked ``failed`` are skipped.  A group without a zero-fault
+    baseline raises ``ValueError`` — a degradation fraction without a
+    healthy reference is meaningless.
+    """
+    groups: Dict[str, List[Dict[str, Any]]] = {}
+    for row in rows:
+        if row.get("failed"):
+            continue
+        groups.setdefault(row[group_key], []).append(row)
+
+    curves: Dict[str, List[Dict[str, Any]]] = {}
+    for group, members in groups.items():
+        members = sorted(members, key=lambda r: r[x_key])
+        baselines = [r for r in members if r[x_key] == 0]
+        if not baselines:
+            raise ValueError(
+                f"group {group!r} has no zero-{x_key} baseline row"
+            )
+        base = baselines[0]
+        base_tp = base[throughput_key]
+        base_lat = base[latency_key]
+        points = []
+        for row in members:
+            point = dict(row)
+            point["throughput_frac"] = (
+                row[throughput_key] / base_tp if base_tp else float("nan")
+            )
+            point["latency_frac"] = (
+                row[latency_key] / base_lat if base_lat else float("nan")
+            )
+            points.append(point)
+        curves[group] = points
+    return curves
+
+
+def worst_case_retention(
+    curves: Dict[str, List[Dict[str, Any]]],
+) -> Dict[str, float]:
+    """Lowest ``throughput_frac`` per group — a one-number resilience
+    summary (1.0 means no measured degradation at any fault count)."""
+    return {
+        group: min(p["throughput_frac"] for p in points)
+        for group, points in curves.items()
+    }
+
+
+def degradation_rows(
+    curves: Dict[str, List[Dict[str, Any]]],
+) -> List[Dict[str, Any]]:
+    """Flatten curves back to a row list (for ``render_table``), keeping
+    the derived fraction columns and group-then-x ordering."""
+    flat: List[Dict[str, Any]] = []
+    for group in sorted(curves):
+        flat.extend(curves[group])
+    return flat

@@ -7,6 +7,7 @@ against (2-D mesh, 2x multi-mesh, folded torus).
 
 from repro.core.connectivity import (
     connectivity_matrix,
+    fault_tolerant_matrix,
     max_mux_inputs,
     output_fanin,
     total_connections,
@@ -14,12 +15,14 @@ from repro.core.connectivity import (
 from repro.core.coords import Coord, Direction
 from repro.core.params import DorOrder, NetworkConfig, TopologyKind
 from repro.core.routing import (
+    FaultAwareTableRouting,
     MeshDOR,
     MultiMeshRouting,
     RoutingAlgorithm,
     RucheDOR,
     RucheOneRouting,
     TorusDOR,
+    make_fault_aware_routing,
     make_routing,
 )
 from repro.core.topology import (
@@ -43,7 +46,10 @@ __all__ = [
     "MultiMeshRouting",
     "TorusDOR",
     "make_routing",
+    "FaultAwareTableRouting",
+    "make_fault_aware_routing",
     "connectivity_matrix",
+    "fault_tolerant_matrix",
     "total_connections",
     "output_fanin",
     "max_mux_inputs",

@@ -189,6 +189,25 @@ def connectivity_matrix(config: NetworkConfig) -> Matrix:
     raise ConfigError(f"no connectivity matrix for {kind!r}")
 
 
+def fault_tolerant_matrix(config: NetworkConfig) -> Matrix:
+    """Fully-connected crossbar for graceful-degradation operation.
+
+    Dimension-ordered crossbars physically lack the turns a detour
+    around a dead link needs (a mesh DOR router cannot turn Y back to
+    X), so a single link failure would partition whole row/column
+    pairs.  Fault-tolerant routing therefore assumes a router whose
+    switch connects every input to every output — including the
+    reverse turn back out the input's own side, which dead-end detours
+    require.  The area cost of that provisioning is measurable with the
+    existing physical models (``max_mux_inputs`` grows to the full port
+    count); see the fault-injection section of ``docs/methodology.md``.
+    """
+    from repro.core.topology import Topology
+
+    ports = frozenset(Topology(config).router_directions)
+    return {inp: ports for inp in ports}
+
+
 # ---------------------------------------------------------------------------
 # Accounting helpers (feed the physical models)
 # ---------------------------------------------------------------------------

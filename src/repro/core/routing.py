@@ -29,11 +29,11 @@ computation and keeps every algorithm deadlock-free:
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.core.coords import Coord, Direction
 from repro.core.params import DorOrder, NetworkConfig, TopologyKind
-from repro.errors import RoutingError
+from repro.errors import ConfigError, RoutingError
 
 # Axis direction tables: (negative local, positive local, negative ruche,
 # positive ruche).  "Positive" means growing coordinate (E for x, S for y).
@@ -349,6 +349,225 @@ class TorusDOR(RoutingAlgorithm):
 
     def _axis_is_ring(self, out: Direction) -> bool:
         return self._x_is_ring if out.is_horizontal else self._y_is_ring
+
+
+#: Tie-break order among equal-distance outputs in the fault-aware BFS.
+#: X-axis moves come first so that, on a healthy array, the recomputed
+#: tables collapse to the same X-Y dimension order the DOR algorithms use
+#: (and therefore inherit their deadlock freedom); detours near faults are
+#: the only deviations.
+_BFS_PRIORITY = {
+    int(d): rank
+    for rank, d in enumerate(
+        (
+            Direction.P,
+            Direction.E,
+            Direction.W,
+            Direction.RE,
+            Direction.RW,
+            Direction.S,
+            Direction.N,
+            Direction.RS,
+            Direction.RN,
+        )
+    )
+}
+
+#: A directed link identified by its source tile and output direction.
+LinkId = Tuple[Coord, Direction]
+
+
+class FaultAwareTableRouting(RoutingAlgorithm):
+    """Table routing recomputed by BFS around dead links and routers.
+
+    For every destination a backward breadth-first search over the
+    *surviving* channel graph produces a next-hop table keyed by
+    ``(tile, input port)``.  Feasible turns come from the
+    fault-tolerant crossbar (:func:`~repro.core.connectivity.
+    fault_tolerant_matrix`): dimension-ordered switches physically lack
+    the Y-to-X turns detours need, so degraded operation provisions the
+    fully-connected switch and pays its area cost.  Paths are shortest
+    feasible paths over the surviving graph.  Parity-subnet disciplines
+    (Ruche-One / multi-mesh) are dropped under faults: every packet is
+    subnet 0 and may use any surviving channel.
+
+    Unlike the healthy DOR algorithms this is not provably deadlock-free
+    once faults bend routes out of dimension order; the simulator's
+    forward-progress watchdog is the backstop (see
+    ``docs/methodology.md``).  Node pairs left with no feasible path are
+    reported by :meth:`partitioned_pairs` rather than routed into a
+    livelock.
+    """
+
+    def __init__(
+        self,
+        config: NetworkConfig,
+        dead_links: Iterable[LinkId] = (),
+        dead_nodes: Iterable[Coord] = (),
+    ) -> None:
+        super().__init__(config)
+        if config.uses_vcs or config.fbfc:
+            raise ConfigError(
+                "fault-aware routing supports wormhole-routed topologies "
+                "only (mesh / Ruche family), not the torus VC/FBFC routers"
+            )
+        if config.edge_memory:
+            raise ConfigError(
+                "fault-aware routing does not model edge-memory endpoints"
+            )
+        from repro.core.connectivity import fault_tolerant_matrix
+        from repro.core.topology import Topology
+
+        topology = Topology(config)
+        self.dead_nodes: FrozenSet[Coord] = frozenset(dead_nodes)
+        self.dead_links: FrozenSet[LinkId] = self._normalize_links(
+            topology, dead_links, self.dead_nodes
+        )
+        self._nodes = [
+            n for n in topology.nodes if n not in self.dead_nodes
+        ]
+        # Degraded operation assumes the fault-tolerant crossbar: a DOR
+        # switch physically lacks the turns detours need (see
+        # fault_tolerant_matrix), and the simulator builds its routers
+        # with the same matrix whenever faults are active.
+        matrix = fault_tolerant_matrix(config)
+        self._tables = self._build_tables(topology, matrix)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _normalize_links(
+        topology, dead_links: Iterable[LinkId], dead_nodes: FrozenSet[Coord]
+    ) -> FrozenSet[LinkId]:
+        """Expand faults to directed link ids, killing both directions.
+
+        A physical link failure takes out the wires in both directions,
+        and a failed router takes out every link touching it.
+        """
+        killed: Set[LinkId] = set()
+        for src, direction in dead_links:
+            dst = topology.channel_map.get((src, direction))
+            if dst is None:
+                raise ConfigError(
+                    f"dead link ({tuple(src)}, {direction.name}) does not "
+                    f"exist in this topology"
+                )
+            killed.add((src, direction))
+            killed.add((dst, direction.opposite))
+        if dead_nodes:
+            for src, direction, dst in topology.channels:
+                if src in dead_nodes or dst in dead_nodes:
+                    killed.add((src, direction))
+                    killed.add((dst, direction.opposite))
+        return frozenset(killed)
+
+    def _build_tables(self, topology, matrix):
+        """Per-destination next-hop tables over (tile, input port) states."""
+        memory = set(topology.memory_nodes)
+        # Forward state graph: (tile, input) --out--> (next, out.opposite).
+        reverse: Dict[Tuple[Coord, int], List] = {}
+        inputs_at: Dict[Coord, List[int]] = {n: [int(Direction.P)] for n in self._nodes}
+        alive: List[Tuple[Coord, Direction, Coord]] = []
+        for src, direction, dst in topology.channels:
+            if src in memory or dst in memory:
+                continue
+            if src in self.dead_nodes or dst in self.dead_nodes:
+                continue
+            if (src, direction) in self.dead_links:
+                continue
+            alive.append((src, direction, dst))
+            inputs_at[dst].append(int(direction.opposite))
+        for src, direction, dst in alive:
+            out = int(direction)
+            succ = (dst, int(direction.opposite))
+            for in_idx in inputs_at[src]:
+                if direction in matrix.get(Direction(in_idx), ()):
+                    reverse.setdefault(succ, []).append(
+                        ((src, in_idx), out)
+                    )
+        tables: Dict[Coord, Dict[Tuple[Coord, int], int]] = {}
+        p_out = int(Direction.P)
+        for dest in self._nodes:
+            next_hop: Dict[Tuple[Coord, int], int] = {}
+            frontier: List[Tuple[Coord, int]] = []
+            for in_idx in inputs_at[dest]:
+                if Direction.P in matrix.get(Direction(in_idx), ()):
+                    next_hop[(dest, in_idx)] = p_out
+                    frontier.append((dest, in_idx))
+            # Level-synchronous BFS with a deterministic, DOR-like
+            # tie-break: among predecessors discovered on the same level,
+            # each state keeps the output ranked first by _BFS_PRIORITY.
+            while frontier:
+                best: Dict[Tuple[Coord, int], int] = {}
+                for state in frontier:
+                    for pred, out in reverse.get(state, ()):
+                        if pred in next_hop:
+                            continue
+                        cur = best.get(pred)
+                        if cur is None or (
+                            _BFS_PRIORITY[out] < _BFS_PRIORITY[cur]
+                        ):
+                            best[pred] = out
+                next_hop.update(best)
+                frontier = list(best)
+            tables[dest] = next_hop
+        return tables
+
+    # ------------------------------------------------------------------
+    # RoutingAlgorithm interface
+    # ------------------------------------------------------------------
+    def route(
+        self, node: Coord, in_dir: Direction, dest: Coord, subnet: int = 0
+    ) -> Direction:
+        table = self._tables.get(dest)
+        if table is None:
+            raise RoutingError(f"destination {dest} is a failed router")
+        out = table.get((node, int(in_dir)))
+        if out is None:
+            raise RoutingError(
+                f"no surviving path from {node} (input "
+                f"{Direction(in_dir).name}) to {dest}"
+            )
+        return Direction(out)
+
+    # ------------------------------------------------------------------
+    # Reachability analysis
+    # ------------------------------------------------------------------
+    def reachable(self, src: Coord, dest: Coord) -> bool:
+        """True when a packet injected at ``src`` can reach ``dest``."""
+        if src in self.dead_nodes or dest in self.dead_nodes:
+            return False
+        if src == dest:
+            return True
+        table = self._tables.get(dest)
+        return table is not None and (src, int(Direction.P)) in table
+
+    def partitioned_pairs(self) -> List[Tuple[Coord, Coord]]:
+        """All (src, dest) pairs of live tiles with no surviving path.
+
+        A campaign checks this *before* injecting so that a partitioned
+        pair is reported as degraded coverage instead of silently
+        livelocking the run.
+        """
+        p_in = int(Direction.P)
+        return [
+            (src, dest)
+            for dest in self._nodes
+            for src in self._nodes
+            if src != dest and (src, p_in) not in self._tables[dest]
+        ]
+
+
+def make_fault_aware_routing(
+    config: NetworkConfig,
+    dead_links: Iterable[LinkId] = (),
+    dead_nodes: Iterable[Coord] = (),
+) -> FaultAwareTableRouting:
+    """Routing tables recomputed around a set of faults."""
+    return FaultAwareTableRouting(
+        config, dead_links=dead_links, dead_nodes=dead_nodes
+    )
 
 
 def make_routing(config: NetworkConfig) -> RoutingAlgorithm:

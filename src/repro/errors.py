@@ -17,5 +17,29 @@ class SimulationError(ReproError):
     """The simulator reached an inconsistent state (e.g. suspected deadlock)."""
 
 
+class DeadlockError(SimulationError):
+    """The forward-progress watchdog declared the network wedged.
+
+    Carries a :class:`repro.sim.watchdog.DeadlockSnapshot` on
+    ``snapshot`` attributing the stall to specific routers (per-router
+    buffered packets, blocked head-of-line moves, invariant audit
+    results).  Subclasses :class:`SimulationError` so existing handlers
+    of the old inline watchdog keep working.
+    """
+
+    def __init__(self, message: str, snapshot=None) -> None:
+        super().__init__(message)
+        self.snapshot = snapshot
+
+
+class SimulationTimeout(SimulationError):
+    """A run exceeded its cycle budget or wall-clock limit.
+
+    Raised by :func:`repro.sim.simulator.run_synthetic` when
+    ``max_cycles`` / ``max_wall_seconds`` are set, so hardened
+    campaigns can bound wedged design points instead of hanging.
+    """
+
+
 class WorkloadError(ReproError):
     """A manycore kernel or dataset was mis-specified."""

@@ -12,6 +12,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+import traceback
 
 from repro.experiments.registry import (
     describe,
@@ -54,11 +55,28 @@ def main(argv=None) -> int:
                             seed=args.seed)
         print(f"wrote {path}")
         return 0
+    failures = []
     for exp_id in ids:
         start = time.time()
-        result = run_experiment(exp_id, scale=args.scale, seed=args.seed)
+        try:
+            result = run_experiment(exp_id, scale=args.scale,
+                                    seed=args.seed)
+        except Exception as exc:
+            summary = traceback.format_exception_only(
+                type(exc), exc
+            )[-1].strip()
+            print(f"[{exp_id}] FAILED: {summary}", file=sys.stderr)
+            failures.append(exp_id)
+            continue
         print(result.report())
         print(f"  [{time.time() - start:.1f}s]\n")
+    if failures:
+        print(
+            f"{len(failures)} experiment(s) failed: "
+            + ", ".join(failures),
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -1,0 +1,166 @@
+"""Hardened sweep campaigns: checkpointing and retry-with-fresh-seed.
+
+Long fault-injection sweeps multiply every axis of an experiment by a
+fault count and a fault seed, so a single campaign can run for hours and
+individual rows can die in ways healthy sweeps never do — a watchdog
+trip (:class:`~repro.errors.DeadlockError`), a blown cycle or wall-clock
+budget (:class:`~repro.errors.SimulationTimeout`), or an invariant audit
+failure.  This module wraps a row-at-a-time runner with two protections:
+
+* **Checkpointing** — every *successful* row is written to a JSON file
+  (atomically: temp file + rename) keyed by its parameter dict, so a
+  killed campaign resumes where it left off instead of recomputing
+  finished rows.  Failed rows are deliberately *not* checkpointed; a
+  rerun retries them.
+* **Retry with a fresh seed** — a row that trips the watchdog is retried
+  with ``seed + retry_seed_stride`` up to ``max_retries`` times before
+  being recorded as failed.  The checkpoint key stays the *original*
+  parameters, so resumption is insensitive to which retry succeeded.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.errors import SimulationError
+
+#: Exception types a campaign converts into retries / failed rows.
+#: Everything else (programming errors) propagates.
+RECOVERABLE = (SimulationError,)
+
+
+def row_key(params: Dict[str, Any]) -> str:
+    """Stable string identity for one row's parameters.
+
+    Sorted-key JSON, so dict insertion order never changes the key and
+    the same parameters always resume the same checkpoint entry.
+    """
+    return json.dumps(params, sort_keys=True, separators=(",", ":"))
+
+
+class CheckpointStore:
+    """Completed campaign rows persisted as one JSON file.
+
+    The file maps :func:`row_key` strings to row dicts.  Writes go
+    through a temp file in the same directory followed by ``os.replace``
+    so a kill mid-write can never corrupt previously saved rows.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._rows: Dict[str, Dict[str, Any]] = {}
+        if os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as fh:
+                try:
+                    self._rows = json.load(fh)
+                except json.JSONDecodeError as exc:
+                    raise ValueError(
+                        f"checkpoint file {path!r} is not valid JSON "
+                        f"({exc}); delete it to restart the campaign"
+                    ) from exc
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._rows
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        return self._rows.get(key)
+
+    def put(self, key: str, row: Dict[str, Any]) -> None:
+        """Record a completed row and flush the store to disk."""
+        self._rows[key] = row
+        self._flush()
+
+    def _flush(self) -> None:
+        directory = os.path.dirname(os.path.abspath(self.path))
+        fd, tmp = tempfile.mkstemp(
+            dir=directory, prefix=".campaign-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(self._rows, fh, indent=1, sort_keys=True)
+            os.replace(tmp, self.path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+
+@dataclasses.dataclass
+class CampaignResult:
+    """Outcome of :func:`run_campaign` with provenance counters."""
+
+    #: One entry per grid point, in grid order.  Failed rows carry
+    #: ``"failed": True`` plus ``"error"`` and ``"attempts"`` fields.
+    rows: List[Dict[str, Any]]
+    #: Rows actually computed by the runner this invocation.
+    computed: int = 0
+    #: Rows served from the checkpoint without recomputation.
+    reused: int = 0
+    #: Rows that exhausted their retries (subset of ``rows``).
+    failures: List[Dict[str, Any]] = dataclasses.field(default_factory=list)
+    #: Recoverable errors that were absorbed by a successful retry.
+    retried: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def run_campaign(
+    grid: Sequence[Dict[str, Any]],
+    runner: Callable[[Dict[str, Any]], Dict[str, Any]],
+    *,
+    checkpoint: Optional[CheckpointStore] = None,
+    max_retries: int = 2,
+    retry_seed_stride: int = 1000,
+) -> CampaignResult:
+    """Run ``runner`` over every parameter dict in ``grid``, hardened.
+
+    ``runner(params)`` must return a JSON-serialisable row dict.  Rows
+    already present in ``checkpoint`` are reused verbatim.  A runner
+    call that raises one of :data:`RECOVERABLE` is retried with the
+    ``"seed"`` entry advanced by ``retry_seed_stride`` (when the params
+    carry a seed); after ``max_retries`` retries the row is recorded as
+    failed — with the error string — but *not* checkpointed, so the next
+    invocation tries it again.
+    """
+    result = CampaignResult(rows=[])
+    for params in grid:
+        key = row_key(params)
+        if checkpoint is not None:
+            cached = checkpoint.get(key)
+            if cached is not None:
+                result.rows.append(cached)
+                result.reused += 1
+                continue
+        row, error, attempts = None, None, 0
+        for attempt in range(max_retries + 1):
+            attempts = attempt + 1
+            trial = dict(params)
+            if attempt and "seed" in trial:
+                trial["seed"] = trial["seed"] + attempt * retry_seed_stride
+            try:
+                row = runner(trial)
+                break
+            except RECOVERABLE as exc:
+                error = f"{type(exc).__name__}: {exc}"
+        if row is not None:
+            if attempts > 1:
+                result.retried += attempts - 1
+            result.rows.append(row)
+            result.computed += 1
+            if checkpoint is not None:
+                checkpoint.put(key, row)
+        else:
+            failed = dict(params)
+            failed.update(failed=True, error=error, attempts=attempts)
+            result.rows.append(failed)
+            result.failures.append(failed)
+    return result

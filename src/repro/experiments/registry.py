@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.experiments import (
+    fault_degradation,
     fig5_connectivity,
     fig6_synthetic_full,
     fig7_area_timing,
@@ -37,6 +38,10 @@ _REGISTRY: Dict[str, Tuple[Callable, str]] = {
     "fig12": (fig12_load_latency.run, "Remote load latency decomposition"),
     "fig13": (fig13_energy.run, "Total energy breakdown"),
     "table6": (table6_geomean.run, "Half Ruche geomean summary"),
+    "faults": (
+        fault_degradation.run,
+        "Graceful degradation under random dead links",
+    ),
 }
 
 

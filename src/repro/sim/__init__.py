@@ -9,10 +9,16 @@ baselines.
 from repro.sim.allocator import WavefrontAllocator
 from repro.sim.arbiter import RoundRobinArbiter
 from repro.sim.channel import PipelinedChannel
+from repro.sim.faults import FaultSchedule, TransientLinkFault
 from repro.sim.fifo import Fifo
 from repro.sim.metrics import LatencyStats, RunMetrics
 from repro.sim.network import Network
 from repro.sim.packet import Packet
+from repro.sim.watchdog import (
+    DeadlockSnapshot,
+    WatchdogConfig,
+    capture_snapshot,
+)
 from repro.sim.router import FbfcRouter, Sink, VCRouter, WormholeRouter
 from repro.sim.simulator import (
     RunResult,
@@ -48,4 +54,9 @@ __all__ = [
     "pattern_names",
     "audit_network",
     "assert_healthy",
+    "FaultSchedule",
+    "TransientLinkFault",
+    "WatchdogConfig",
+    "DeadlockSnapshot",
+    "capture_snapshot",
 ]

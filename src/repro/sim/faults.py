@@ -1,0 +1,239 @@
+"""Deterministic, seeded fault injection for simulated networks.
+
+A :class:`FaultSchedule` describes which parts of a design point are
+broken — permanent dead links, failed routers, transient flit-dropping
+links — and is handed to :class:`~repro.sim.network.Network` (usually via
+``run_synthetic(..., faults=...)``).  The schedule is built from its own
+named RNG streams (``derive_rng(seed, "faults:*")``), so adding or
+removing faults never perturbs the healthy-path ``timing``/``dest``
+streams: a zero-fault schedule reproduces the fault-free run bit for bit.
+
+Fault models
+------------
+
+* **Dead link** — a bidirectional channel failure.  The channel is never
+  wired, and routing is recomputed by BFS around it
+  (:class:`~repro.core.routing.FaultAwareTableRouting`).
+* **Dead router** — every channel touching the tile fails, the tile
+  neither injects nor receives, and all pairs through it reroute.
+* **Transient link fault** — the link stays wired but drops each
+  traversing flit with probability ``drop_prob`` inside an optional
+  ``[start, end)`` cycle window, from a dedicated drop RNG stream.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.coords import Coord, Direction
+from repro.core.params import NetworkConfig
+from repro.core.topology import Topology
+from repro.errors import ConfigError
+from repro.sim.rng import derive_rng
+
+#: A directed link id: (source tile, output direction).
+LinkId = Tuple[Coord, Direction]
+
+
+@dataclasses.dataclass(frozen=True)
+class TransientLinkFault:
+    """A link that drops flits with ``drop_prob`` during a cycle window.
+
+    ``end=None`` means the fault persists for the rest of the run.
+    """
+
+    src: Coord
+    direction: Direction
+    drop_prob: float
+    start: int = 0
+    end: Optional[int] = None
+
+    def active(self, cycle: int) -> bool:
+        if cycle < self.start:
+            return False
+        return self.end is None or cycle < self.end
+
+
+class FaultSchedule:
+    """An immutable description of every injected fault for one run.
+
+    Parameters
+    ----------
+    config:
+        The design point the faults apply to (link ids are validated
+        against its topology).
+    dead_links:
+        Bidirectional permanent link failures, each given as one
+        directed ``(source tile, direction)`` id; the reverse direction
+        dies with it.
+    dead_routers:
+        Failed tiles.
+    transient:
+        :class:`TransientLinkFault` entries (links stay routed; flits
+        are dropped stochastically from the schedule's drop stream).
+    seed:
+        Seeds the drop stream.  Generator classmethods also derive
+        their link/router choices from it.
+    degraded_model:
+        Force the degraded microarchitecture (BFS route tables on the
+        fault-tolerant crossbar) even with zero faults.  Degradation
+        *curves* need this for their baseline row: on depopulated
+        crossbars the fault-tolerant matrix admits turns restricted DOR
+        lacks, so comparing faulted table-routed runs against a healthy
+        DOR run would conflate the routing-model change with the fault
+        impact.
+    """
+
+    def __init__(
+        self,
+        config: NetworkConfig,
+        *,
+        dead_links: Iterable[LinkId] = (),
+        dead_routers: Iterable[Coord] = (),
+        transient: Iterable[TransientLinkFault] = (),
+        seed: int = 0,
+        degraded_model: bool = False,
+    ) -> None:
+        self.config = config
+        self.seed = seed
+        self.degraded_model = degraded_model
+        topology = Topology(config)
+        self.dead_routers: FrozenSet[Coord] = frozenset(dead_routers)
+        for coord in self.dead_routers:
+            if coord not in set(topology.nodes):
+                raise ConfigError(f"dead router {tuple(coord)} is not a tile")
+        self.dead_links: Tuple[LinkId, ...] = tuple(dead_links)
+        killed: Set[LinkId] = set()
+        for src, direction in self.dead_links:
+            dst = topology.channel_map.get((src, direction))
+            if dst is None:
+                raise ConfigError(
+                    f"dead link ({tuple(src)}, {direction.name}) does not "
+                    f"exist in this topology"
+                )
+            killed.add((src, direction))
+            killed.add((dst, direction.opposite))
+        for src, direction, dst in topology.channels:
+            if src in self.dead_routers or dst in self.dead_routers:
+                killed.add((src, direction))
+                killed.add((dst, direction.opposite))
+        #: Every directed channel that must not be wired.
+        self.killed_channels: FrozenSet[LinkId] = frozenset(killed)
+        self.transient: Tuple[TransientLinkFault, ...] = tuple(transient)
+        trans_map: Dict[Tuple[Coord, int], TransientLinkFault] = {}
+        for fault in self.transient:
+            if (fault.src, fault.direction) not in topology.channel_map:
+                raise ConfigError(
+                    f"transient fault on nonexistent link "
+                    f"({tuple(fault.src)}, {fault.direction.name})"
+                )
+            if not 0.0 <= fault.drop_prob <= 1.0:
+                raise ConfigError("drop_prob must be in [0, 1]")
+            if (fault.src, fault.direction) in self.killed_channels:
+                raise ConfigError(
+                    "transient fault overlaps a dead link/router"
+                )
+            trans_map[(fault.src, int(fault.direction))] = fault
+        self._transient_map = trans_map
+
+    # ------------------------------------------------------------------
+    # Queries used by the network and campaigns
+    # ------------------------------------------------------------------
+    @property
+    def affects_routing(self) -> bool:
+        """True when route tables must be recomputed (permanent faults,
+        or ``degraded_model`` pinning the table-routed baseline)."""
+        return bool(self.killed_channels) or self.degraded_model
+
+    @property
+    def has_faults(self) -> bool:
+        return bool(self.killed_channels or self.transient)
+
+    def transient_on(self, src: Coord, out_idx: int) -> Optional[TransientLinkFault]:
+        """The transient fault on a directed link, if any."""
+        if not self._transient_map:
+            return None
+        return self._transient_map.get((src, out_idx))
+
+    def make_drop_rng(self):
+        """A fresh drop-decision stream (one per Network instance)."""
+        return derive_rng(self.seed, "faults:drops")
+
+    def describe(self) -> List[str]:
+        """Human-readable fault list (stable order, for reports/tests)."""
+        lines = [
+            f"dead link {tuple(src)} -{direction.name}-"
+            for src, direction in self.dead_links
+        ]
+        lines += [
+            f"dead router {tuple(coord)}"
+            for coord in sorted(self.dead_routers)
+        ]
+        lines += [
+            f"transient {tuple(f.src)} -{f.direction.name}- "
+            f"p={f.drop_prob} [{f.start}, {f.end})"
+            for f in self.transient
+        ]
+        return lines
+
+    # ------------------------------------------------------------------
+    # Seeded generators
+    # ------------------------------------------------------------------
+    @classmethod
+    def random_dead_links(
+        cls,
+        config: NetworkConfig,
+        n: int,
+        seed: int = 0,
+        *,
+        degraded_model: bool = False,
+    ) -> "FaultSchedule":
+        """``n`` distinct dead links drawn uniformly from the topology.
+
+        Links are sampled as undirected channels (each listed once by
+        its canonical direction), deterministically from the
+        ``faults:links`` stream of ``seed``.
+        """
+        candidates = _undirected_channels(config)
+        if n > len(candidates):
+            raise ConfigError(
+                f"requested {n} dead links but topology has only "
+                f"{len(candidates)} channels"
+            )
+        rng = derive_rng(seed, "faults:links")
+        chosen = rng.sample(candidates, n)
+        return cls(
+            config,
+            dead_links=chosen,
+            seed=seed,
+            degraded_model=degraded_model,
+        )
+
+    @classmethod
+    def random_dead_routers(
+        cls, config: NetworkConfig, n: int, seed: int = 0
+    ) -> "FaultSchedule":
+        """``n`` distinct failed tiles, from the ``faults:routers`` stream."""
+        nodes = Topology(config).nodes
+        if n > len(nodes):
+            raise ConfigError(f"requested {n} dead routers of {len(nodes)}")
+        rng = derive_rng(seed, "faults:routers")
+        return cls(config, dead_routers=rng.sample(nodes, n), seed=seed)
+
+
+def _undirected_channels(config: NetworkConfig) -> List[LinkId]:
+    """Each physical channel once, by its canonical (positive) direction."""
+    topology = Topology(config)
+    memory = set(topology.memory_nodes)
+    seen: Set[FrozenSet] = set()
+    links: List[LinkId] = []
+    for src, direction, dst in topology.channels:
+        if src in memory or dst in memory:
+            continue
+        key = frozenset(((src, direction), (dst, direction.opposite)))
+        if key in seen:
+            continue
+        seen.add(key)
+        links.append((src, direction))
+    return links

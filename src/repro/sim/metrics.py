@@ -87,6 +87,9 @@ class RunMetrics:
         self.delivered_measured = 0
         self.injected_total = 0
         self.injected_measured = 0
+        #: Flits destroyed by transient link faults (fault injection).
+        self.dropped_total = 0
+        self.dropped_measured = 0
         self.hop_counts = [0] * len(Direction)
         self.per_source: Optional[Dict[Coord, LatencyStats]] = (
             {} if track_per_source else None
@@ -114,6 +117,21 @@ class RunMetrics:
         self.injected_total += 1
         if measured:
             self.injected_measured += 1
+
+    # Called by the network when a transient link fault destroys a flit.
+    def record_drop(self, pkt) -> None:
+        self.dropped_total += 1
+        if pkt.measured:
+            self.dropped_measured += 1
+
+    @property
+    def resolved_measured(self) -> int:
+        """Measured packets that left the network (delivered or dropped).
+
+        The drain condition compares this against ``injected_measured``
+        so that a lossy (transient-fault) run can still terminate.
+        """
+        return self.delivered_measured + self.dropped_measured
 
     def per_source_means(self) -> Dict[Coord, float]:
         """Per-tile mean latency (the Figure 8 distribution)."""

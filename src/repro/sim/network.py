@@ -20,12 +20,13 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from repro.core.coords import Coord, Direction
-from repro.core.connectivity import connectivity_matrix
+from repro.core.connectivity import connectivity_matrix, fault_tolerant_matrix
 from repro.core.params import NetworkConfig
-from repro.core.routing import make_routing
+from repro.core.routing import make_fault_aware_routing, make_routing
 from repro.core.topology import Topology
-from repro.errors import SimulationError
+from repro.errors import ConfigError, DeadlockError
 from repro.sim.channel import PipelinedChannel
+from repro.sim.faults import FaultSchedule
 from repro.sim.metrics import RunMetrics
 from repro.sim.packet import Packet
 from repro.sim.router import (
@@ -38,9 +39,11 @@ from repro.sim.router import (
     VCRouter,
     WormholeRouter,
 )
+from repro.sim.watchdog import WatchdogConfig, capture_snapshot
 
 #: Consecutive all-idle cycles with packets in flight before the watchdog
-#: declares a deadlock.  Correct routing never trips this.
+#: declares a deadlock.  Correct routing never trips this.  (Kept as the
+#: default of :class:`~repro.sim.watchdog.WatchdogConfig.stall_window`.)
 DEADLOCK_WATCHDOG_CYCLES = 1000
 
 
@@ -59,6 +62,14 @@ class Network:
     memory_sink_factory:
         Optional ``coord -> Sink`` for the phantom memory endpoints on the
         array's north/south edges (``edge_memory`` configs only).
+    faults:
+        Optional :class:`~repro.sim.faults.FaultSchedule`.  Dead
+        links/routers are left unwired and routing is recomputed around
+        them (routers are then built with the fault-tolerant crossbar);
+        transient faults drop flits in the commit phase.
+    watchdog:
+        Forward-progress thresholds; defaults to the classic
+        1000-idle-cycle stall watchdog with starvation detection off.
     """
 
     def __init__(
@@ -67,21 +78,52 @@ class Network:
         metrics: Optional[RunMetrics] = None,
         sink_factory: Optional[Callable[[Coord], Sink]] = None,
         memory_sink_factory: Optional[Callable[[Coord], Sink]] = None,
+        faults: Optional[FaultSchedule] = None,
+        watchdog: Optional[WatchdogConfig] = None,
     ) -> None:
         self.config = config
         self.topology = Topology(config)
-        self.routing = make_routing(config)
+        self.faults = faults
+        self.watchdog = watchdog if watchdog is not None else WatchdogConfig()
+        if faults is not None and faults.affects_routing:
+            self.routing = make_fault_aware_routing(
+                config,
+                dead_links=faults.dead_links,
+                dead_nodes=faults.dead_routers,
+            )
+        else:
+            self.routing = make_routing(config)
         self.metrics = metrics if metrics is not None else RunMetrics()
         self.cycle = 0
         self.occupancy = 0
         self._idle_cycles = 0
+        self._starved_cycles = 0
         self._next_pid = 0
+        killed = faults.killed_channels if faults is not None else frozenset()
+        self._drop_rng = faults.make_drop_rng() if faults is not None else None
+        self._has_transient = bool(faults is not None and faults.transient)
         default_sink = MetricsSink(self.metrics)
+        if faults is not None and faults.has_faults and (
+            config.uses_vcs or config.fbfc
+        ):
+            raise ConfigError(
+                "fault injection supports wormhole-routed topologies "
+                "only (mesh / Ruche family)"
+            )
+        # Degraded operation needs turns the DOR crossbar lacks; the
+        # routers are provisioned with the fault-tolerant matrix so every
+        # BFS-recomputed detour is switchable (see connectivity module).
+        if faults is not None and faults.affects_routing:
+            matrix = fault_tolerant_matrix(config)
+        else:
+            matrix = connectivity_matrix(config)
 
         self.routers: Dict[Coord, object] = {}
         for coord in self.topology.nodes:
             input_dirs = [
-                int(d) for d in self.topology.output_directions(coord)
+                int(d)
+                for d in self.topology.output_directions(coord)
+                if (coord, d) not in killed
             ]
             if config.uses_vcs:
                 router = VCRouter(
@@ -104,7 +146,7 @@ class Network:
                     config.fifo_depth,
                     self.routing.route,
                     input_dirs,
-                    connectivity_matrix(config),
+                    matrix,
                     ring_axes=ring_axes,
                 )
             else:
@@ -113,7 +155,7 @@ class Network:
                     config.fifo_depth,
                     self.routing.route,
                     input_dirs,
-                    connectivity_matrix(config),
+                    matrix,
                 )
             self.routers[coord] = router
 
@@ -123,6 +165,8 @@ class Network:
         self._edge_entry: Dict[Coord, tuple] = {}
         memory_coords = set(self.topology.memory_nodes)
         for src, direction, dst in self.topology.channels:
+            if (src, direction) in killed:
+                continue  # dead link or failed router: never wired
             if dst in memory_coords:
                 sink = (
                     memory_sink_factory(dst)
@@ -249,6 +293,7 @@ class Network:
         for router in self._router_list:
             if router.occ:
                 router.arbitrate(moves)
+        ejections = 0
         if moves:
             hop_counts = self.metrics.hop_counts
             link_counts = self.metrics.link_counts
@@ -257,6 +302,19 @@ class Network:
                 channel = router.in_channel[in_idx]
                 if channel is not None:
                     channel.credit_return(self.cycle, vc)
+                if self._has_transient and out_idx != P_IDX:
+                    fault = self.faults.transient_on(router.coord, out_idx)
+                    if (
+                        fault is not None
+                        and fault.active(self.cycle)
+                        and self._drop_rng.random() < fault.drop_prob
+                    ):
+                        # The flit dies on the faulty wires: it left its
+                        # FIFO (credit already returned) but never
+                        # arrives anywhere.
+                        self.occupancy -= 1
+                        self.metrics.record_drop(pkt)
+                        continue
                 if link_counts is not None and out_idx != P_IDX:
                     key = (router.coord, out_idx)
                     link_counts[key] = link_counts.get(key, 0) + 1
@@ -266,6 +324,7 @@ class Network:
                         pkt.hops += 1
                         hop_counts[out_idx] += 1
                     self.occupancy -= 1
+                    ejections += 1
                     target.deliver(pkt, self.cycle)
                 elif isinstance(target, PipelinedLink):
                     pkt.hops += 1
@@ -276,15 +335,36 @@ class Network:
                     hop_counts[out_idx] += 1
                     down, idx = target
                     down.accept(pkt, idx, pkt.out_vc)
+        watchdog = self.watchdog
         if moves or arrivals:
             self._idle_cycles = 0
         elif self.occupancy:
             self._idle_cycles += 1
-            if self._idle_cycles >= DEADLOCK_WATCHDOG_CYCLES:
-                raise SimulationError(
-                    f"no packet moved for {self._idle_cycles} cycles with "
-                    f"{self.occupancy} packets in flight: deadlock"
+            if self._idle_cycles >= watchdog.stall_window:
+                snapshot = capture_snapshot(
+                    self, "stall", self._idle_cycles
                 )
+                raise DeadlockError(
+                    f"no packet moved for {self._idle_cycles} cycles with "
+                    f"{self.occupancy} packets in flight: deadlock "
+                    f"[{snapshot.summary()}]",
+                    snapshot=snapshot,
+                )
+        if watchdog.starvation_window is not None:
+            if ejections or not self.occupancy:
+                self._starved_cycles = 0
+            else:
+                self._starved_cycles += 1
+                if self._starved_cycles >= watchdog.starvation_window:
+                    snapshot = capture_snapshot(
+                        self, "starvation", self._starved_cycles
+                    )
+                    raise DeadlockError(
+                        f"no packet ejected for {self._starved_cycles} "
+                        f"cycles with {self.occupancy} packets in flight: "
+                        f"livelock [{snapshot.summary()}]",
+                        snapshot=snapshot,
+                    )
         self.cycle += 1
         return len(moves)
 

@@ -16,15 +16,23 @@ queueing and therefore diverges at saturation.
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.coords import Coord
 from repro.core.params import NetworkConfig
 from repro.core.routing import make_routing
+from repro.errors import SimulationError, SimulationTimeout
+from repro.sim.faults import FaultSchedule
 from repro.sim.metrics import RunMetrics
 from repro.sim.network import Network
 from repro.sim.rng import derive_rng
 from repro.sim.traffic import make_pattern
+from repro.sim.watchdog import WatchdogConfig
+
+#: How often (in cycles) the wall-clock limit is polled; keeps the
+#: common no-limit path free of ``time.monotonic`` calls.
+_WALL_CHECK_EVERY = 256
 
 
 @dataclasses.dataclass
@@ -43,6 +51,10 @@ class RunResult:
     drained: bool
     measure_cycles: int
     avg_hops: float
+    #: Cycles actually simulated (warmup + measurement + drain).
+    total_cycles: int = 0
+    #: Measured packets destroyed by transient link faults.
+    dropped_measured: int = 0
     metrics: Optional[RunMetrics] = dataclasses.field(
         default=None, repr=False
     )
@@ -65,22 +77,93 @@ def run_synthetic(
     track_per_source: bool = False,
     keep_samples: bool = False,
     track_links: bool = False,
+    faults: Optional[FaultSchedule] = None,
+    watchdog: Optional[WatchdogConfig] = None,
+    audit_every: Optional[int] = None,
+    max_cycles: Optional[int] = None,
+    max_wall_seconds: Optional[float] = None,
 ) -> RunResult:
     """Simulate one injection rate and return its measured statistics.
 
     ``rate`` is the per-tile injection probability per cycle (the paper's
     "injection rate" axis, as a fraction of one flit/tile/cycle).
+
+    Robustness knobs (all off by default, so healthy runs are
+    bit-identical to earlier versions):
+
+    * ``faults`` — a :class:`~repro.sim.faults.FaultSchedule`.  Dead
+      routers stop injecting, and destinations a source can no longer
+      reach (reported by the routing's ``partitioned_pairs``) are
+      skipped at injection instead of livelocking the run.  The
+      healthy-path RNG streams are shared with the fault-free run: for
+      link-fault schedules every injected packet keeps the same
+      (src, dest, cycle) it would have had without faults, and a
+      zero-fault schedule reproduces the fault-free run bit for bit.
+    * ``watchdog`` — forward-progress thresholds for the step loop.
+    * ``audit_every`` — run :func:`~repro.sim.validate.audit_network`
+      every N cycles as an invariant tripwire; violations raise
+      :class:`~repro.errors.SimulationError`.
+    * ``max_cycles`` / ``max_wall_seconds`` — per-run budgets; on
+      overrun the run raises :class:`~repro.errors.SimulationTimeout`
+      (hardened campaigns convert that into a retry or a failed row).
     """
     metrics = RunMetrics(
         track_per_source=track_per_source,
         keep_samples=keep_samples,
         track_links=track_links,
     )
-    net = Network(config, metrics=metrics)
+    net = Network(config, metrics=metrics, faults=faults, watchdog=watchdog)
     dest_fn = make_pattern(pattern, config)
     timing_rng = derive_rng(seed, "timing")
     dest_rng = derive_rng(seed, "dest")
     sources = net.topology.nodes
+    if faults is not None and faults.has_faults:
+        dead = faults.dead_routers
+        reachable = getattr(net.routing, "reachable", None)
+        sources = [s for s in sources if s not in dead]
+
+        healthy_fn = dest_fn
+
+        def dest_fn(src, rng):  # noqa: F811 - degraded wrapper
+            dest = healthy_fn(src, rng)
+            if dest is None:
+                return None
+            if reachable is not None and not reachable(src, dest):
+                return None
+            return dest
+
+    cycles_run = 0
+    deadline = (
+        time.monotonic() + max_wall_seconds
+        if max_wall_seconds is not None
+        else None
+    )
+
+    def tick() -> None:
+        """One simulated cycle plus tripwires and budget checks."""
+        nonlocal cycles_run
+        net.step()
+        cycles_run += 1
+        if audit_every is not None and cycles_run % audit_every == 0:
+            from repro.sim.validate import audit_network
+
+            problems = audit_network(net)
+            if problems:
+                raise SimulationError(
+                    f"invariant audit failed at cycle {net.cycle}:\n  "
+                    + "\n  ".join(problems)
+                )
+        if max_cycles is not None and cycles_run >= max_cycles:
+            raise SimulationTimeout(
+                f"run exceeded its {max_cycles}-cycle budget "
+                f"({net.occupancy} packets still in flight)"
+            )
+        if deadline is not None and cycles_run % _WALL_CHECK_EVERY == 0:
+            if time.monotonic() > deadline:
+                raise SimulationTimeout(
+                    f"run exceeded its {max_wall_seconds:.1f}s wall-clock "
+                    f"limit at cycle {net.cycle}"
+                )
 
     def inject_round(measured: bool) -> None:
         for src in sources:
@@ -91,21 +174,23 @@ def run_synthetic(
 
     for _ in range(warmup):
         inject_round(False)
-        net.step()
+        tick()
 
     delivered_before = metrics.delivered_total
     for _ in range(measure):
         inject_round(True)
-        net.step()
+        tick()
     delivered_during = metrics.delivered_total - delivered_before
 
-    drained = metrics.delivered_measured >= metrics.injected_measured
+    # Dropped measured packets count as resolved, so lossy
+    # (transient-fault) runs can still terminate.
+    drained = metrics.resolved_measured >= metrics.injected_measured
     remaining = drain_limit
     while not drained and remaining > 0:
         inject_round(False)
-        net.step()
+        tick()
         remaining -= 1
-        drained = metrics.delivered_measured >= metrics.injected_measured
+        drained = metrics.resolved_measured >= metrics.injected_measured
 
     stats = metrics.measured
     accepted = delivered_during / (len(sources) * measure)
@@ -127,6 +212,8 @@ def run_synthetic(
         drained=drained,
         measure_cycles=measure,
         avg_hops=avg_hops,
+        total_cycles=cycles_run,
+        dropped_measured=metrics.dropped_measured,
         metrics=metrics,
     )
 
@@ -141,11 +228,14 @@ def sweep_injection_rates(
     drain_limit: int = 3000,
     seed: int = 1,
     stop_when_saturated: bool = False,
+    **kwargs,
 ) -> List[RunResult]:
     """A load–latency curve: one :class:`RunResult` per injection rate.
 
     ``stop_when_saturated`` aborts the sweep after the first undrained
-    point, which saves time on steep post-saturation regions.
+    point, which saves time on steep post-saturation regions.  Extra
+    keyword arguments (``faults``, ``watchdog``, budgets, ...) pass
+    through to :func:`run_synthetic`.
     """
     results: List[RunResult] = []
     for rate in rates:
@@ -157,6 +247,7 @@ def sweep_injection_rates(
             measure=measure,
             drain_limit=drain_limit,
             seed=seed,
+            **kwargs,
         )
         results.append(result)
         if stop_when_saturated and result.saturated:

@@ -68,15 +68,11 @@ def audit_network(net: Network) -> List[str]:
             f"network occupancy {net.occupancy} != buffered {buffered} "
             f"+ in-flight {in_flight}"
         )
+    depth = net.config.fifo_depth
     for link in net._channels:
-        channel = link.channel
-        receiver = link.router
-        lanes = receiver.in_q[link.in_idx]
-        lane_list = lanes if isinstance(lanes, tuple) else (lanes,)
-        for lane_idx, credit in enumerate(channel.credits):
+        for credit in link.channel.credits:
             if credit < 0:
                 problems.append("negative channel credit")
-            depth = net.config.fifo_depth
             if credit > depth:
                 problems.append(
                     f"channel credit {credit} exceeds depth {depth}"

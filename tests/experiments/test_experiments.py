@@ -12,7 +12,7 @@ class TestRegistry:
         assert ids == {
             "table1", "fig5", "fig6", "fig7", "table2", "table3",
             "fig8", "fig9", "table4", "fig10", "fig11", "fig12",
-            "fig13", "table6",
+            "fig13", "table6", "faults",
         }
 
     def test_describe(self):
@@ -153,3 +153,20 @@ class TestCli:
         )
         text = path.read_text()
         assert "## table1" in text and "## fig5" in text
+
+
+class TestMainFailurePath:
+    def test_failing_driver_exits_nonzero(self, capsys):
+        from repro.experiments.__main__ import main
+
+        code = main(["fig99", "--scale", "smoke"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "fig99" in err and "FAILED" in err
+
+    def test_successful_driver_exits_zero(self, capsys):
+        from repro.experiments.__main__ import main
+
+        code = main(["fig5", "--scale", "smoke"])
+        assert code == 0
+        assert "[fig5]" in capsys.readouterr().out

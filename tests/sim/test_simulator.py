@@ -135,3 +135,54 @@ class TestZeroLoad:
         from repro.core.coords import Direction
         total = sum(v for d, v in hops.items() if d != int(Direction.P))
         assert abs(total - zl) < 0.05
+
+
+class TestSaturationAndDrain:
+    def test_undrained_run_is_saturated_and_respects_drain_limit(self):
+        cfg = NetworkConfig.from_name("mesh", 8, 8)
+        warmup, measure, drain = 100, 300, 120
+        r = run_synthetic(cfg, "uniform_random", 0.9,
+                          warmup=warmup, measure=measure,
+                          drain_limit=drain)
+        assert r.saturated and not r.drained
+        # The drain loop ran its full budget and then stopped.
+        assert r.total_cycles == warmup + measure + drain
+        assert r.delivered_measured < r.injected_measured
+
+    def test_drained_run_stops_before_drain_limit(self):
+        cfg = NetworkConfig.from_name("mesh", 8, 8)
+        warmup, measure, drain = 100, 300, 5000
+        r = run_synthetic(cfg, "uniform_random", 0.05,
+                          warmup=warmup, measure=measure,
+                          drain_limit=drain)
+        assert r.drained
+        assert warmup + measure <= r.total_cycles < warmup + measure + drain
+
+    def test_zero_drain_limit_reports_undrained(self):
+        cfg = NetworkConfig.from_name("mesh", 8, 8)
+        r = run_synthetic(cfg, "uniform_random", 0.3,
+                          warmup=50, measure=100, drain_limit=0)
+        assert r.total_cycles == 150
+        assert r.saturated
+
+
+class TestMultiSeed:
+    def test_multi_seed_run_deterministic(self):
+        from repro.sim.simulator import multi_seed_run
+
+        cfg = NetworkConfig.from_name("mesh", 8, 8)
+        a = multi_seed_run(cfg, "uniform_random", 0.1,
+                           seeds=(1, 2, 3), warmup=100, measure=200)
+        b = multi_seed_run(cfg, "uniform_random", 0.1,
+                           seeds=(1, 2, 3), warmup=100, measure=200)
+        assert a == b
+        assert a["seeds"] == 3
+
+    def test_multi_seed_spread_nonnegative(self):
+        from repro.sim.simulator import multi_seed_run
+
+        cfg = NetworkConfig.from_name("mesh", 8, 8)
+        stats = multi_seed_run(cfg, "uniform_random", 0.1,
+                               seeds=(4, 5), warmup=100, measure=200)
+        assert stats["latency_spread"] >= 0
+        assert stats["throughput_spread"] >= 0
