@@ -15,9 +15,12 @@ from __future__ import annotations
 import dataclasses
 import enum
 import re
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Any, Optional, Tuple
 
 from repro.errors import ConfigError
+
+if TYPE_CHECKING:
+    from repro.core.coords import Direction
 
 
 class TopologyKind(enum.Enum):
@@ -176,7 +179,7 @@ class NetworkConfig:
         height: int,
         *,
         half: bool = False,
-        **overrides,
+        **overrides: Any,
     ) -> "NetworkConfig":
         """Build a config from a paper-style short name.
 
@@ -261,7 +264,7 @@ class NetworkConfig:
         unless bubble flow control supplies the deadlock freedom)."""
         return self.kind.is_torus and not self.fbfc
 
-    def latency_for(self, direction) -> int:
+    def latency_for(self, direction: Direction) -> int:
         """Channel latency in cycles for a given output direction."""
         if direction.is_ruche and self.ruche_channel_latency is not None:
             return self.ruche_channel_latency
@@ -273,6 +276,6 @@ class NetworkConfig:
             self.channel_latency, self.ruche_channel_latency or 1
         )
 
-    def replace(self, **changes) -> "NetworkConfig":
+    def replace(self, **changes: Any) -> "NetworkConfig":
         """A copy with ``changes`` applied (dataclass ``replace``)."""
         return dataclasses.replace(self, **changes)

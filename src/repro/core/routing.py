@@ -29,16 +29,30 @@ computation and keeps every algorithm deadlock-free:
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.core.coords import Coord, Direction
 from repro.core.params import DorOrder, NetworkConfig, TopologyKind
 from repro.errors import ConfigError, RoutingError
 
+if TYPE_CHECKING:
+    from repro.core.connectivity import Matrix
+    from repro.core.topology import Topology
+
 # Axis direction tables: (negative local, positive local, negative ruche,
 # positive ruche).  "Positive" means growing coordinate (E for x, S for y).
-_X_DIRS = (Direction.W, Direction.E, Direction.RW, Direction.RE)
-_Y_DIRS = (Direction.N, Direction.S, Direction.RN, Direction.RS)
+_AxisDirs = Tuple[Direction, Direction, Direction, Direction]
+_X_DIRS: _AxisDirs = (Direction.W, Direction.E, Direction.RW, Direction.RE)
+_Y_DIRS: _AxisDirs = (Direction.N, Direction.S, Direction.RN, Direction.RS)
 
 _X_AXIS_INPUTS = frozenset(_X_DIRS)
 _Y_AXIS_INPUTS = frozenset(_Y_DIRS)
@@ -174,7 +188,9 @@ class RucheDOR(RoutingAlgorithm):
                 )
         return Direction.P
 
-    def _first_axis(self, d: int, dirs, has_ruche: bool) -> Direction:
+    def _first_axis(
+        self, d: int, dirs: _AxisDirs, has_ruche: bool
+    ) -> Direction:
         """Ruche-first: ride the highway while the distance warrants it.
 
         Fully-populated boards a Ruche channel whenever ``|d| >= RF`` (it
@@ -191,7 +207,12 @@ class RucheDOR(RoutingAlgorithm):
         return pos_local if d > 0 else neg_local
 
     def _second_axis(
-        self, d: int, dirs, has_ruche: bool, in_dir: Direction, axis_inputs
+        self,
+        d: int,
+        dirs: _AxisDirs,
+        has_ruche: bool,
+        in_dir: Direction,
+        axis_inputs: FrozenSet[Direction],
     ) -> Direction:
         """Local-first: local links until the remainder divides the RF.
 
@@ -234,7 +255,7 @@ class _ParitySubnetRouting(RoutingAlgorithm):
         return Direction.P
 
     @staticmethod
-    def _axis_dir(d: int, dirs, ruche_class: bool) -> Direction:
+    def _axis_dir(d: int, dirs: _AxisDirs, ruche_class: bool) -> Direction:
         neg_local, pos_local, neg_ruche, pos_ruche = dirs
         if ruche_class:
             return pos_ruche if d > 0 else neg_ruche
@@ -325,7 +346,7 @@ class TorusDOR(RoutingAlgorithm):
 
     @staticmethod
     def _ring_dir(
-        cur: int, tgt: int, k: int, is_ring: bool, dirs, dest: Coord
+        cur: int, tgt: int, k: int, is_ring: bool, dirs: _AxisDirs, dest: Coord
     ) -> Direction:
         neg_local, pos_local, _nr, _pr = dirs
         if not is_ring:
@@ -438,7 +459,9 @@ class FaultAwareTableRouting(RoutingAlgorithm):
     # ------------------------------------------------------------------
     @staticmethod
     def _normalize_links(
-        topology, dead_links: Iterable[LinkId], dead_nodes: FrozenSet[Coord]
+        topology: "Topology",
+        dead_links: Iterable[LinkId],
+        dead_nodes: FrozenSet[Coord],
     ) -> FrozenSet[LinkId]:
         """Expand faults to directed link ids, killing both directions.
 
@@ -462,11 +485,15 @@ class FaultAwareTableRouting(RoutingAlgorithm):
                     killed.add((dst, direction.opposite))
         return frozenset(killed)
 
-    def _build_tables(self, topology, matrix):
+    def _build_tables(
+        self, topology: "Topology", matrix: "Matrix"
+    ) -> Dict[Coord, Dict[Tuple[Coord, int], int]]:
         """Per-destination next-hop tables over (tile, input port) states."""
         memory = set(topology.memory_nodes)
         # Forward state graph: (tile, input) --out--> (next, out.opposite).
-        reverse: Dict[Tuple[Coord, int], List] = {}
+        reverse: Dict[
+            Tuple[Coord, int], List[Tuple[Tuple[Coord, int], int]]
+        ] = {}
         inputs_at: Dict[Coord, List[int]] = {n: [int(Direction.P)] for n in self._nodes}
         alive: List[Tuple[Coord, Direction, Coord]] = []
         for src, direction, dst in topology.channels:

@@ -15,7 +15,7 @@ channels — the arrangement of the cellular manycore in Section 4.5+.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
 
 from repro.core.coords import (
     ALL_DIRECTIONS,
@@ -261,7 +261,7 @@ _KIND_TO_TABLE1 = {
 }
 
 
-def physical_properties(kind) -> Dict[str, bool]:
+def physical_properties(kind: Union[TopologyKind, str]) -> Dict[str, bool]:
     """Table 1 physical-scalability row for a topology.
 
     ``kind`` may be a :class:`TopologyKind` or one of the reference row
@@ -272,8 +272,10 @@ def physical_properties(kind) -> Dict[str, bool]:
     else:
         try:
             row = _TABLE1_ROWS[str(kind)]
-        except KeyError:
-            raise ConfigError(f"unknown topology for Table 1: {kind!r}")
+        except KeyError as exc:
+            raise ConfigError(
+                f"unknown topology for Table 1: {kind!r}"
+            ) from exc
     return dict(zip(_TABLE1_CRITERIA, row))
 
 

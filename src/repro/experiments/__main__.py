@@ -36,6 +36,11 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--list", action="store_true",
                         help="list experiment ids")
+    parser.add_argument(
+        "--preflight", action="store_true",
+        help="statically verify every design point before campaign "
+             "experiments start simulating (see repro.verify)",
+    )
     parser.add_argument("--output", metavar="FILE",
                         help="write a combined markdown report to FILE")
     args = parser.parse_args(argv)
@@ -60,7 +65,8 @@ def main(argv=None) -> int:
         start = time.time()
         try:
             result = run_experiment(exp_id, scale=args.scale,
-                                    seed=args.seed)
+                                    seed=args.seed,
+                                    preflight=args.preflight)
         except Exception as exc:
             summary = traceback.format_exception_only(
                 type(exc), exc

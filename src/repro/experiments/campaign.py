@@ -16,6 +16,13 @@ failure.  This module wraps a row-at-a-time runner with two protections:
   with ``seed + retry_seed_stride`` up to ``max_retries`` times before
   being recorded as failed.  The checkpoint key stays the *original*
   parameters, so resumption is insensitive to which retry succeeded.
+* **Pre-flight verification** (opt-in) — a ``preflight`` callable runs
+  before the first row; any problems it returns abort the campaign with
+  :class:`~repro.errors.ConfigError` so a misconfigured network fails in
+  seconds, not after hours of checkpointed simulation.  Pair it with
+  :func:`repro.verify.campaign_preflight`, which statically proves
+  deadlock freedom, turn legality, and reachability for every design
+  point in the sweep.
 """
 
 from __future__ import annotations
@@ -26,7 +33,7 @@ import os
 import tempfile
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from repro.errors import SimulationError
+from repro.errors import ConfigError, SimulationError
 
 #: Exception types a campaign converts into retries / failed rows.
 #: Everything else (programming errors) propagates.
@@ -120,6 +127,7 @@ def run_campaign(
     checkpoint: Optional[CheckpointStore] = None,
     max_retries: int = 2,
     retry_seed_stride: int = 1000,
+    preflight: Optional[Callable[[], Sequence[str]]] = None,
 ) -> CampaignResult:
     """Run ``runner`` over every parameter dict in ``grid``, hardened.
 
@@ -130,7 +138,17 @@ def run_campaign(
     carry a seed); after ``max_retries`` retries the row is recorded as
     failed — with the error string — but *not* checkpointed, so the next
     invocation tries it again.
+
+    ``preflight``, when given, runs first and must return a sequence of
+    problem strings (empty = verified); any problem raises
+    :class:`~repro.errors.ConfigError` before a single row is computed.
     """
+    if preflight is not None:
+        problems = list(preflight())
+        if problems:
+            raise ConfigError(
+                "campaign preflight failed:\n  " + "\n  ".join(problems)
+            )
     result = CampaignResult(rows=[])
     for params in grid:
         key = row_key(params)

@@ -143,11 +143,15 @@ def run(
     scale: Optional[str] = None,
     seed: int = 0,
     checkpoint: Optional[str] = None,
+    preflight: bool = False,
 ) -> ExperimentResult:
     """Fault-degradation campaign (experiment id ``faults``).
 
     ``checkpoint`` names a JSON file; when given, completed rows persist
-    there and a rerun resumes instead of recomputing them.
+    there and a rerun resumes instead of recomputing them.  With
+    ``preflight=True``, every healthy design point in the sweep is
+    statically verified (deadlock freedom, turn legality, reachability —
+    see :mod:`repro.verify`) before the first row simulates.
     """
     scale = resolve_scale(scale)
     preset = _PRESETS[scale]
@@ -167,10 +171,19 @@ def run(
         for fault_seed in preset["fault_seeds"]
     ]
     store = CheckpointStore(checkpoint) if checkpoint else None
+    preflight_fn = None
+    if preflight:
+        from repro.verify import campaign_preflight
+
+        preflight_fn = campaign_preflight(
+            NetworkConfig.from_name(name, width, height)
+            for name in preset["configs"]
+        )
     outcome = run_campaign(
         grid,
         lambda params: _run_row(params, preset),
         checkpoint=store,
+        preflight=preflight_fn,
     )
     curves = degradation_curves(outcome.rows)
     rows = degradation_rows(curves)

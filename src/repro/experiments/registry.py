@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+import inspect
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.experiments import (
     fault_degradation,
@@ -20,7 +21,7 @@ from repro.experiments import (
     table3_energy,
     table4_bandwidth,
     table6_geomean,
-)
+)  # noqa: I001 - figure order reads better than lexicographic
 from repro.experiments.base import ExperimentResult
 
 _REGISTRY: Dict[str, Tuple[Callable, str]] = {
@@ -54,14 +55,24 @@ def describe(experiment_id: str) -> str:
 
 
 def run_experiment(
-    experiment_id: str, scale: Optional[str] = None, seed: int = 0
+    experiment_id: str,
+    scale: Optional[str] = None,
+    seed: int = 0,
+    **options: Any,
 ) -> ExperimentResult:
-    """Run one paper experiment by id (e.g. ``"fig6"``, ``"table2"``)."""
+    """Run one paper experiment by id (e.g. ``"fig6"``, ``"table2"``).
+
+    Extra ``options`` (e.g. ``preflight=True``) are forwarded only to
+    drivers whose signature accepts them, so campaign-only switches can
+    be applied to an ``all`` run without breaking simple experiments.
+    """
     try:
         driver, _ = _REGISTRY[experiment_id]
     except KeyError:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; "
             f"choose from {sorted(_REGISTRY)}"
-        )
-    return driver(scale=scale, seed=seed)
+        ) from None
+    parameters = inspect.signature(driver).parameters
+    accepted = {k: v for k, v in options.items() if k in parameters}
+    return driver(scale=scale, seed=seed, **accepted)

@@ -49,8 +49,10 @@ def ipoly_hash(addr: int, num_banks: int) -> int:
         return 0
     try:
         poly = IRREDUCIBLE_POLYS[k]
-    except KeyError:
-        raise ConfigError(f"no irreducible polynomial for degree {k}")
+    except KeyError as exc:
+        raise ConfigError(
+            f"no irreducible polynomial for degree {k}"
+        ) from exc
     rem = 0
     for bit_pos in range(addr.bit_length() - 1, -1, -1):
         rem = (rem << 1) | ((addr >> bit_pos) & 1)

@@ -14,11 +14,6 @@ from repro.sim.fifo import Fifo
 from repro.sim.metrics import LatencyStats, RunMetrics
 from repro.sim.network import Network
 from repro.sim.packet import Packet
-from repro.sim.watchdog import (
-    DeadlockSnapshot,
-    WatchdogConfig,
-    capture_snapshot,
-)
 from repro.sim.router import FbfcRouter, Sink, VCRouter, WormholeRouter
 from repro.sim.simulator import (
     RunResult,
@@ -30,6 +25,11 @@ from repro.sim.simulator import (
 )
 from repro.sim.traffic import make_pattern, pattern_names
 from repro.sim.validate import assert_healthy, audit_network
+from repro.sim.watchdog import (
+    DeadlockSnapshot,
+    WatchdogConfig,
+    capture_snapshot,
+)
 
 __all__ = [
     "Fifo",

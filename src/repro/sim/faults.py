@@ -24,7 +24,7 @@ Fault models
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.core.coords import Coord, Direction
 from repro.core.params import NetworkConfig

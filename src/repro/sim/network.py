@@ -19,8 +19,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
-from repro.core.coords import Coord, Direction
 from repro.core.connectivity import connectivity_matrix, fault_tolerant_matrix
+from repro.core.coords import Coord
 from repro.core.params import NetworkConfig
 from repro.core.routing import make_fault_aware_routing, make_routing
 from repro.core.topology import Topology
@@ -30,10 +30,10 @@ from repro.sim.faults import FaultSchedule
 from repro.sim.metrics import RunMetrics
 from repro.sim.packet import Packet
 from repro.sim.router import (
-    FbfcRouter,
-    Move,
-    MetricsSink,
     P_IDX,
+    FbfcRouter,
+    MetricsSink,
+    Move,
     PipelinedLink,
     Sink,
     VCRouter,
@@ -117,6 +117,10 @@ class Network:
             matrix = fault_tolerant_matrix(config)
         else:
             matrix = connectivity_matrix(config)
+        #: The crossbar matrix every router was provisioned with; the
+        #: runtime audit checks buffered routes against it via the same
+        #: turn-legality predicate as the static verifier.
+        self.matrix = matrix
 
         self.routers: Dict[Coord, object] = {}
         for coord in self.topology.nodes:

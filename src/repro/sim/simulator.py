@@ -134,7 +134,7 @@ def run_synthetic(
 
     cycles_run = 0
     deadline = (
-        time.monotonic() + max_wall_seconds
+        time.monotonic() + max_wall_seconds  # det: allow - wall budget
         if max_wall_seconds is not None
         else None
     )
@@ -159,7 +159,7 @@ def run_synthetic(
                 f"({net.occupancy} packets still in flight)"
             )
         if deadline is not None and cycles_run % _WALL_CHECK_EVERY == 0:
-            if time.monotonic() > deadline:
+            if time.monotonic() > deadline:  # det: allow - wall budget
                 raise SimulationTimeout(
                     f"run exceeded its {max_wall_seconds:.1f}s wall-clock "
                     f"limit at cycle {net.cycle}"

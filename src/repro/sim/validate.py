@@ -11,8 +11,10 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.core.coords import Direction
 from repro.sim.network import Network
 from repro.sim.router import P_IDX, VCRouter
+from repro.verify.turns import format_turn, is_legal_turn
 
 
 def audit_network(net: Network) -> List[str]:
@@ -26,10 +28,13 @@ def audit_network(net: Network) -> List[str]:
       packets;
     * pipelined-channel credits never exceed the receiver depth and
       ``credits + occupancy + receiver backlog`` is conserved;
-    * every buffered packet's cached route targets a wired output.
+    * every buffered packet's cached route is a legal crossbar turn
+      (the same :func:`~repro.verify.turns.is_legal_turn` predicate the
+      static verifier proves exhaustively) targeting a wired output.
     """
     problems: List[str] = []
     buffered = 0
+    matrix = net.matrix
     for coord, router in net.routers.items():
         router_total = 0
         for in_idx in range(len(router.in_q)):
@@ -46,6 +51,13 @@ def audit_network(net: Network) -> List[str]:
                         f"{len(lane)} > depth {depth}"
                     )
                 for pkt in lane:
+                    in_dir = Direction(in_idx)
+                    out_dir = Direction(pkt.out_dir)
+                    if not is_legal_turn(matrix, in_dir, out_dir):
+                        problems.append(
+                            f"packet #{pkt.pid} holds illegal turn "
+                            f"{format_turn(coord, in_dir, out_dir)}"
+                        )
                     if (
                         pkt.out_dir != P_IDX
                         and router.out_target[pkt.out_dir] is None

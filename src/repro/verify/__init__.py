@@ -1,0 +1,58 @@
+"""Static verification of routing correctness, pre-simulation.
+
+The paper's central correctness claim — every routing variant is
+deadlock-free and consistent with its crossbar connectivity matrix
+(Figures 4–5) — is proved here *statically*, before a single cycle is
+simulated.  For any :class:`~repro.core.params.NetworkConfig` the
+verifier exhaustively enumerates the deterministic route computation
+over every reachable ``(node, input port, destination, subnet/VC)``
+state and checks:
+
+* **Deadlock freedom** — the channel dependency graph (VC-extended for
+  the torus dateline scheme) is acyclic; a violation is reported as a
+  concrete cyclic channel chain.
+* **Turn legality** — every turn the routing can emit exists in the
+  crossbar connectivity matrix (the fault-tolerant matrix for
+  :class:`~repro.core.routing.FaultAwareTableRouting`), so crossbar
+  depopulation can never silently drop a needed connection.
+* **Reachability and termination** — every source reaches every
+  destination within a provable hop bound, with minimality audits that
+  flag the expected non-minimal cases (depopulated Ruche) and nothing
+  else.
+
+A stdlib-``ast`` determinism lint (:mod:`repro.verify.determinism`)
+additionally forbids wall-clock / global-RNG nondeterminism and
+unordered-set iteration in ``repro.core`` and ``repro.sim``.
+
+Run ``python -m repro.verify --help`` for the command-line front end,
+or use :func:`repro.verify.preflight.campaign_preflight` to gate long
+checkpointed sweeps on a verified network.
+"""
+
+from repro.verify.determinism import (
+    DEFAULT_LINT_PACKAGES,
+    LintFinding,
+    lint_determinism,
+    lint_file,
+    lint_source,
+)
+from repro.verify.engine import verify_config
+from repro.verify.matrix import paper_matrix, verify_matrix
+from repro.verify.preflight import campaign_preflight
+from repro.verify.report import VerificationReport
+from repro.verify.turns import is_legal_turn, routing_matrix
+
+__all__ = [
+    "DEFAULT_LINT_PACKAGES",
+    "LintFinding",
+    "VerificationReport",
+    "campaign_preflight",
+    "is_legal_turn",
+    "lint_determinism",
+    "lint_file",
+    "lint_source",
+    "paper_matrix",
+    "routing_matrix",
+    "verify_config",
+    "verify_matrix",
+]

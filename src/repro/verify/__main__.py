@@ -1,0 +1,168 @@
+"""Command-line front end for the static verifier.
+
+Examples::
+
+    python -m repro.verify                       # full paper matrix + lint
+    python -m repro.verify --config ruche2-depop --size 16x8
+    python -m repro.verify --sizes 8x8,16x8 --rf 2,3
+    python -m repro.verify --lint-only
+    python -m repro.verify --json report.json    # machine-readable output
+
+Exit codes: 0 = everything verified, 1 = a property failed (the report
+names the cycle / illegal turn / unreached pair), 2 = bad invocation or
+configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.params import DorOrder, NetworkConfig
+from repro.errors import ConfigError
+from repro.verify.determinism import lint_determinism, render_findings
+from repro.verify.engine import verify_config
+from repro.verify.matrix import (
+    DEFAULT_RUCHE_FACTORS,
+    DEFAULT_SIZES,
+    paper_matrix,
+)
+
+
+def _parse_sizes(text: str) -> List[Tuple[int, int]]:
+    sizes = []
+    for token in text.split(","):
+        width, _, height = token.strip().partition("x")
+        try:
+            sizes.append((int(width), int(height)))
+        except ValueError as exc:
+            raise ConfigError(
+                f"bad size {token!r}; expected WxH like 16x8"
+            ) from exc
+    return sizes
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description=(
+            "Statically prove deadlock freedom (CDG acyclicity), turn "
+            "legality, and bounded reachability for Ruche-network routing."
+        ),
+    )
+    parser.add_argument(
+        "--config",
+        metavar="NAME",
+        help="verify one design point by paper-style name "
+        "(mesh, torus, ruche3-depop, ...) instead of the full matrix",
+    )
+    parser.add_argument(
+        "--size", metavar="WxH", default="8x8",
+        help="array size for --config (default 8x8)",
+    )
+    parser.add_argument(
+        "--dor", choices=("xy", "yx"), default="xy",
+        help="dimension order for --config",
+    )
+    parser.add_argument(
+        "--half", action="store_true",
+        help="build Half Ruche variants for --config ruche* names",
+    )
+    parser.add_argument(
+        "--sizes", metavar="W1xH1,W2xH2,...",
+        default=",".join(f"{w}x{h}" for w, h in DEFAULT_SIZES),
+        help="matrix sizes (default: the paper's 8x8,16x8,64x8)",
+    )
+    parser.add_argument(
+        "--rf", metavar="RF1,RF2,...",
+        default=",".join(str(rf) for rf in DEFAULT_RUCHE_FACTORS),
+        help="Ruche Factors for the matrix (default 2,3,4)",
+    )
+    parser.add_argument(
+        "--no-fault-aware", action="store_true",
+        help="skip the fault-aware table-routing entries of the matrix",
+    )
+    parser.add_argument(
+        "--skip-lint", action="store_true",
+        help="skip the determinism lint",
+    )
+    parser.add_argument(
+        "--lint-only", action="store_true",
+        help="run only the determinism lint",
+    )
+    parser.add_argument(
+        "--json", metavar="FILE",
+        help="write the machine-readable JSON report to FILE ('-' = stdout)",
+    )
+    args = parser.parse_args(argv)
+
+    lint_findings = []
+    if not args.skip_lint:
+        lint_findings = lint_determinism()
+
+    reports = []
+    if not args.lint_only:
+        try:
+            if args.config:
+                (width, height), = _parse_sizes(args.size)
+                config = NetworkConfig.from_name(
+                    args.config,
+                    width,
+                    height,
+                    half=args.half,
+                    dor_order=DorOrder(args.dor),
+                )
+                reports = [verify_config(config)]
+            else:
+                grid = paper_matrix(
+                    sizes=_parse_sizes(args.sizes),
+                    ruche_factors=[
+                        int(rf) for rf in args.rf.split(",") if rf.strip()
+                    ],
+                    include_fault_aware=not args.no_fault_aware,
+                )
+                reports = [
+                    verify_config(config, routing) for config, routing in grid
+                ]
+        except (ConfigError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    failed = [report for report in reports if not report.ok]
+    payload = {
+        "ok": not failed and not lint_findings,
+        "verified": len(reports),
+        "failed": len(failed),
+        "lint_findings": [f.render() for f in lint_findings],
+        "reports": [report.to_dict() for report in reports],
+    }
+    if args.json == "-":
+        json.dump(payload, sys.stdout, indent=1, sort_keys=True)
+        print()
+    else:
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=1, sort_keys=True)
+        for report in reports:
+            print(report.summary())
+            for problem in report.problems():
+                print(f"    {problem}")
+            for warning in report.warnings:
+                print(f"    note: {warning}")
+        if lint_findings:
+            print("determinism lint findings:")
+            print(render_findings(lint_findings))
+        verdict = "ok" if payload["ok"] else "FAILED"
+        print(
+            f"verified {len(reports)} design point(s), {len(failed)} "
+            f"failure(s), {len(lint_findings)} lint finding(s): {verdict}"
+        )
+        if args.json:
+            print(f"wrote {args.json}")
+    return 0 if payload["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

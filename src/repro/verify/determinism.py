@@ -1,0 +1,252 @@
+"""AST lint: forbid nondeterminism in the simulation core.
+
+Bit-identical reruns from a seed are a documented guarantee
+(``docs/methodology.md``, "Randomness and reproducibility").  This lint
+statically enforces the coding rules that guarantee rests on, for
+``repro.core`` and ``repro.sim`` (all stochastic draws must flow through
+:mod:`repro.sim.rng`, which is exempt):
+
+* ``DET-RANDOM`` — calls into the module-level :mod:`random` API (the
+  global, unseeded RNG) or unseeded ``random.Random()`` /
+  ``random.SystemRandom``;
+* ``DET-TIME`` — wall-clock reads (``time.time``, ``time.monotonic``,
+  ``perf_counter`` and friends);
+* ``DET-DATE`` — ``datetime.now`` / ``utcnow`` / ``today`` style
+  constructors;
+* ``DET-ENTROPY`` — ``uuid.uuid1``/``uuid4``, ``secrets.*``,
+  ``os.urandom`` / ``os.getrandom``;
+* ``DET-SET-ITER`` — direct iteration over a set display or a bare
+  ``set()`` / ``frozenset()`` call (``for``/comprehensions or
+  ``list``/``tuple``/``enumerate``/``iter`` conversion).  Set iteration
+  order depends on the per-process hash seed for strings; iterate a
+  ``sorted()`` view instead.
+
+A finding is suppressed by putting the pragma ``# det: allow`` on the
+offending line — the two wall-clock budget reads in
+:mod:`repro.sim.simulator` are the intended users.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+#: Packages under ``repro`` that the determinism contract covers.
+DEFAULT_LINT_PACKAGES: Tuple[str, ...] = ("core", "sim")
+
+#: In-line suppression pragma.
+ALLOW_PRAGMA = "det: allow"
+
+#: File basenames exempt from DET-RANDOM (the seeded-RNG factory).
+_EXEMPT_FILES = frozenset({"rng.py"})
+
+_RANDOM_GLOBALS = frozenset({
+    "betavariate", "choice", "choices", "expovariate", "gammavariate",
+    "gauss", "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+    "randbytes", "randint", "random", "randrange", "sample", "seed",
+    "shuffle", "triangular", "uniform", "vonmisesvariate", "weibullvariate",
+})
+
+_TIME_FUNCS = frozenset({
+    "asctime", "clock_gettime", "clock_gettime_ns", "ctime", "gmtime",
+    "localtime", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns", "strftime",
+    "time", "time_ns",
+})
+
+_DATE_CTORS = frozenset({"now", "today", "utcnow"})
+
+_ORDER_SENSITIVE_CONSUMERS = frozenset({"enumerate", "iter", "list", "tuple"})
+
+
+@dataclasses.dataclass(frozen=True)
+class LintFinding:
+    """One determinism violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """True for a set display, set comprehension, or set()/frozenset() call."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+class _DeterminismVisitor(ast.NodeVisitor):
+    def __init__(self, path: str, exempt_random: bool) -> None:
+        self.path = path
+        self.exempt_random = exempt_random
+        self.findings: List[LintFinding] = []
+
+    # -- helpers -------------------------------------------------------
+    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(
+            LintFinding(
+                path=self.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                rule=rule,
+                message=message,
+            )
+        )
+
+    def _flag_set_iter(self, node: ast.AST) -> None:
+        self._flag(
+            node,
+            "DET-SET-ITER",
+            "iteration over an unordered set; iterate sorted(...) instead",
+        )
+
+    # -- call-based rules ----------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            module, attr = func.value.id, func.attr
+            if module == "random" and not self.exempt_random:
+                if attr in _RANDOM_GLOBALS:
+                    self._flag(
+                        node,
+                        "DET-RANDOM",
+                        f"random.{attr}() draws from the global unseeded "
+                        f"RNG; use repro.sim.rng",
+                    )
+                elif attr == "SystemRandom" or (
+                    attr == "Random" and not node.args and not node.keywords
+                ):
+                    self._flag(
+                        node,
+                        "DET-RANDOM",
+                        f"unseeded random.{attr}(); use repro.sim.rng",
+                    )
+            elif module == "time" and attr in _TIME_FUNCS:
+                self._flag(
+                    node,
+                    "DET-TIME",
+                    f"time.{attr}() reads the wall clock",
+                )
+            elif module in ("datetime", "date") and attr in _DATE_CTORS:
+                self._flag(
+                    node,
+                    "DET-DATE",
+                    f"{module}.{attr}() depends on the wall clock",
+                )
+            elif module == "uuid" and attr in ("uuid1", "uuid4"):
+                self._flag(
+                    node, "DET-ENTROPY", f"uuid.{attr}() is nondeterministic"
+                )
+            elif module == "os" and attr in ("urandom", "getrandom"):
+                self._flag(
+                    node, "DET-ENTROPY", f"os.{attr}() reads system entropy"
+                )
+            elif module == "secrets":
+                self._flag(
+                    node, "DET-ENTROPY", f"secrets.{attr}() is nondeterministic"
+                )
+        elif isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Attribute
+        ):
+            # datetime.datetime.now() / datetime.date.today() style.
+            inner = func.value
+            if (
+                isinstance(inner.value, ast.Name)
+                and inner.value.id == "datetime"
+                and inner.attr in ("datetime", "date")
+                and func.attr in _DATE_CTORS
+            ):
+                self._flag(
+                    node,
+                    "DET-DATE",
+                    f"datetime.{inner.attr}.{func.attr}() depends on the "
+                    f"wall clock",
+                )
+        if (
+            isinstance(func, ast.Name)
+            and func.id in _ORDER_SENSITIVE_CONSUMERS
+            and node.args
+            and _is_set_expr(node.args[0])
+        ):
+            self._flag_set_iter(node)
+        self.generic_visit(node)
+
+    # -- iteration-based rules -----------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        if _is_set_expr(node.iter):
+            self._flag_set_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        if _is_set_expr(node.iter):
+            self._flag_set_iter(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: ast.AST) -> None:
+        for generator in getattr(node, "generators", ()):
+            if _is_set_expr(generator.iter):
+                self._flag_set_iter(generator.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+
+def lint_source(
+    source: str, path: str = "<string>", *, exempt_random: bool = False
+) -> List[LintFinding]:
+    """Lint one module's source text; see module docstring for rules."""
+    tree = ast.parse(source, filename=path)
+    visitor = _DeterminismVisitor(path, exempt_random)
+    visitor.visit(tree)
+    lines = source.splitlines()
+    kept = []
+    for finding in visitor.findings:
+        line_text = lines[finding.line - 1] if finding.line <= len(lines) else ""
+        if ALLOW_PRAGMA not in line_text:
+            kept.append(finding)
+    return kept
+
+
+def lint_file(path: Path) -> List[LintFinding]:
+    """Lint one file, honouring the :data:`_EXEMPT_FILES` RNG exemption."""
+    source = path.read_text(encoding="utf-8")
+    return lint_source(
+        source, str(path), exempt_random=path.name in _EXEMPT_FILES
+    )
+
+
+def lint_determinism(
+    root: Optional[Path] = None,
+    packages: Sequence[str] = DEFAULT_LINT_PACKAGES,
+) -> List[LintFinding]:
+    """Lint the determinism-critical packages of an installed tree.
+
+    ``root`` is the ``repro`` package directory (auto-detected from this
+    module's location by default); ``packages`` are subpackage names
+    relative to it.
+    """
+    if root is None:
+        root = Path(__file__).resolve().parent.parent
+    findings: List[LintFinding] = []
+    for package in packages:
+        for path in sorted((root / package).rglob("*.py")):
+            findings.extend(lint_file(path))
+    return findings
+
+
+def render_findings(findings: Iterable[LintFinding]) -> str:
+    return "\n".join(finding.render() for finding in findings)

@@ -1,0 +1,116 @@
+"""The paper's topology / Ruche-Factor verification grid.
+
+:func:`paper_matrix` enumerates every routing variant the paper's
+evaluation exercises — mesh X-Y and Y-X DOR, the VC and FBFC torus
+flavours, multi-mesh, Ruche-One, and the Full/Half Ruche family in
+fully-populated and depopulated forms across Ruche Factors — at the
+array sizes the figures use.  :func:`verify_matrix` runs the static
+verifier over a grid and returns every report; CI runs this as the
+``verify-matrix`` job.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.params import DorOrder, NetworkConfig
+from repro.core.routing import RoutingAlgorithm, make_fault_aware_routing
+from repro.verify.engine import verify_config
+from repro.verify.report import VerificationReport
+
+#: Array sizes the paper's figures evaluate (Figures 6, 9, 11).
+DEFAULT_SIZES: Tuple[Tuple[int, int], ...] = ((8, 8), (16, 8), (64, 8))
+
+#: Ruche Factors swept by the paper (Figures 6–7).
+DEFAULT_RUCHE_FACTORS: Tuple[int, ...] = (2, 3, 4)
+
+
+def paper_matrix(
+    sizes: Sequence[Tuple[int, int]] = DEFAULT_SIZES,
+    ruche_factors: Sequence[int] = DEFAULT_RUCHE_FACTORS,
+    *,
+    include_fault_aware: bool = True,
+) -> List[Tuple[NetworkConfig, Optional[RoutingAlgorithm]]]:
+    """Every (config, routing) pair of the paper's evaluation grid.
+
+    ``routing`` is ``None`` for the deterministic DOR algorithms (the
+    verifier builds them via :func:`~repro.core.routing.make_routing`)
+    and an explicit healthy :class:`FaultAwareTableRouting` for the
+    table-routed entries — included only at the smallest size, where
+    table construction stays cheap (``include_fault_aware=False`` drops
+    them entirely).
+    """
+    grid: List[Tuple[NetworkConfig, Optional[RoutingAlgorithm]]] = []
+    for width, height in sizes:
+        base_names = [
+            "mesh",
+            "torus",
+            "half-torus",
+            "torus-fbfc",
+            "half-torus-fbfc",
+            "multimesh",
+            "ruche1",
+        ]
+        for name in base_names:
+            grid.append((NetworkConfig.from_name(name, width, height), None))
+        grid.append(
+            (
+                NetworkConfig.from_name(
+                    "mesh", width, height, dor_order=DorOrder.YX
+                ),
+                None,
+            )
+        )
+        for rf in ruche_factors:
+            if rf >= max(width, height):
+                continue
+            for pop in ("depop", "pop"):
+                grid.append(
+                    (
+                        NetworkConfig.from_name(
+                            f"ruche{rf}-{pop}", width, height
+                        ),
+                        None,
+                    )
+                )
+                grid.append(
+                    (
+                        NetworkConfig.from_name(
+                            f"ruche{rf}-{pop}", width, height, half=True
+                        ),
+                        None,
+                    )
+                )
+            # The response-network router: Half Ruche with Y-X DOR
+            # (its crossbar is the special HALF_RUCHE_*_YX matrix).
+            grid.append(
+                (
+                    NetworkConfig.from_name(
+                        f"ruche{rf}-depop",
+                        width,
+                        height,
+                        half=True,
+                        dor_order=DorOrder.YX,
+                    ),
+                    None,
+                )
+            )
+    if include_fault_aware:
+        width, height = min(sizes, key=lambda wh: wh[0] * wh[1])
+        for name in ("mesh", "ruche2-depop"):
+            config = NetworkConfig.from_name(name, width, height)
+            grid.append((config, make_fault_aware_routing(config)))
+    return grid
+
+
+def verify_matrix(
+    grid: Optional[
+        Iterable[Tuple[NetworkConfig, Optional[RoutingAlgorithm]]]
+    ] = None,
+) -> List[VerificationReport]:
+    """Run :func:`verify_config` over a grid (default: paper matrix)."""
+    if grid is None:
+        grid = paper_matrix()
+    return [
+        verify_config(config, routing) for config, routing in grid
+    ]

@@ -1,0 +1,49 @@
+"""Campaign pre-flight: verify every design point before simulating.
+
+A hardened sweep (:func:`repro.experiments.campaign.run_campaign`) can
+burn hours on a misconfigured network before the runtime watchdog
+notices.  :func:`campaign_preflight` packages the static verifier as the
+campaign's opt-in ``preflight`` callable: it verifies each distinct
+design point once, and a single failing config aborts the whole campaign
+with concrete witnesses before the first row is simulated.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List
+
+from repro.core.params import NetworkConfig
+from repro.verify.engine import verify_config
+
+
+def preflight_problems(configs: Iterable[NetworkConfig]) -> List[str]:
+    """Statically verify ``configs``; one message per failed property."""
+    problems: List[str] = []
+    seen = set()
+    for config in configs:
+        if config in seen:
+            continue
+        seen.add(config)
+        report = verify_config(config)
+        if not report.ok:
+            for problem in report.problems():
+                problems.append(f"{config.name} {config.shape}: {problem}")
+    return problems
+
+
+def campaign_preflight(
+    configs: Iterable[NetworkConfig],
+) -> Callable[[], List[str]]:
+    """A ``preflight`` callable for :func:`run_campaign`.
+
+    The returned thunk runs the static verifier lazily (at campaign
+    start, not at construction) and returns the list of problems;
+    ``run_campaign`` raises :class:`~repro.errors.ConfigError` when it
+    is non-empty.
+    """
+    frozen = list(configs)
+
+    def preflight() -> List[str]:
+        return preflight_problems(frozen)
+
+    return preflight

@@ -1,0 +1,136 @@
+"""Structured results of one static verification run."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional
+
+
+@dataclasses.dataclass
+class VerificationReport:
+    """Everything the static analysis proved (or refuted) for one config.
+
+    ``ok`` is the pre-flight verdict: a campaign may simulate this
+    design point only when it is ``True``.  Failures carry concrete
+    witnesses — a cyclic channel chain, a named illegal turn, an
+    unreached pair — so a misconfigured network is debuggable from the
+    report alone.
+    """
+
+    #: Paper-style design-point name (``NetworkConfig.name``).
+    config: str
+    width: int
+    height: int
+    #: Routing algorithm class name.
+    algorithm: str
+    #: Dimension order (``"xy"`` / ``"yx"``).
+    dor_order: str
+
+    #: Reachable routing states enumerated: (node, input, dest, subnet/VC).
+    states: int = 0
+    #: Source/destination pairs proved delivered.
+    pairs_checked: int = 0
+    #: Distinct (turn) pairs the routing emitted.
+    turns_used: int = 0
+
+    # --- deadlock freedom -------------------------------------------------
+    #: Whether CDG acyclicity is part of the verdict.  False for FBFC
+    #: (deadlock freedom comes from bubble flow control, so ring CDG
+    #: cycles are expected) and for fault-aware routing with live faults
+    #: (the runtime watchdog is the documented backstop).
+    cdg_required: bool = True
+    cdg_acyclic: bool = True
+    cdg_vertices: int = 0
+    cdg_edges: int = 0
+    #: A concrete cyclic channel chain (rendered), when one exists.
+    cycle: Optional[List[str]] = None
+
+    # --- turn legality ----------------------------------------------------
+    #: Turns emitted by the routing but absent from the crossbar matrix.
+    illegal_turns: List[str] = dataclasses.field(default_factory=list)
+
+    # --- reachability / termination ---------------------------------------
+    #: Pairs that never eject (routing livelock), rendered with the
+    #: repeating state.
+    unreached: List[str] = dataclasses.field(default_factory=list)
+    #: Route computations that raised or ejected at the wrong tile.
+    routing_errors: List[str] = dataclasses.field(default_factory=list)
+    #: Pairs known-partitioned by faults (reported, not a failure).
+    partitioned_pairs: int = 0
+    #: Largest proven hop count over all delivered pairs.
+    max_hops: int = 0
+
+    # --- minimality -------------------------------------------------------
+    #: Whether the minimality audit contributes to the verdict (off for
+    #: fault-aware tables, whose BFS paths are shortest by construction).
+    minimality_checked: bool = True
+    #: True when non-minimal routes are expected (depopulated Ruche).
+    non_minimal_expected: bool = False
+    non_minimal_pairs: int = 0
+    #: Largest excess over the minimal hop count.
+    max_detour: int = 0
+    #: One example non-minimal pair, rendered.
+    non_minimal_example: Optional[str] = None
+
+    #: Non-fatal notes (e.g. why a check was waived).
+    warnings: List[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def minimality_ok(self) -> bool:
+        if not self.minimality_checked or self.non_minimal_expected:
+            return True
+        return self.non_minimal_pairs == 0
+
+    @property
+    def deadlock_free(self) -> bool:
+        return self.cdg_acyclic or not self.cdg_required
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.deadlock_free
+            and not self.illegal_turns
+            and not self.unreached
+            and not self.routing_errors
+            and self.minimality_ok
+        )
+
+    def problems(self) -> List[str]:
+        """Human-readable list of every failed property (empty when ok)."""
+        out: List[str] = []
+        if self.cdg_required and not self.cdg_acyclic:
+            chain = " -> ".join(self.cycle or [])
+            out.append(f"channel dependency cycle: {chain}")
+        for turn in self.illegal_turns:
+            out.append(f"illegal turn: {turn}")
+        for pair in self.unreached:
+            out.append(f"unreached: {pair}")
+        for err in self.routing_errors:
+            out.append(f"routing error: {err}")
+        if not self.minimality_ok:
+            out.append(
+                f"unexpected non-minimal routes: {self.non_minimal_pairs} "
+                f"pairs (worst detour +{self.max_detour} hops, e.g. "
+                f"{self.non_minimal_example})"
+            )
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable rendering (the CLI's machine output)."""
+        data = dataclasses.asdict(self)
+        data["ok"] = self.ok
+        data["deadlock_free"] = self.deadlock_free
+        data["minimality_ok"] = self.minimality_ok
+        data["problems"] = self.problems()
+        return data
+
+    def summary(self) -> str:
+        """One status line for the CLI's text output."""
+        verdict = "ok" if self.ok else "FAIL"
+        return (
+            f"{self.config:16s} {self.width:>3d}x{self.height:<3d} "
+            f"{self.dor_order} {self.algorithm:22s} "
+            f"states={self.states:<7d} turns={self.turns_used:<3d} "
+            f"cdg={self.cdg_vertices}v/{self.cdg_edges}e "
+            f"max_hops={self.max_hops:<3d} {verdict}"
+        )

@@ -1,0 +1,54 @@
+"""The turn-legality predicate shared by static and runtime checks.
+
+A *turn* is an ``(input port, output port)`` pair inside one router.  A
+turn is legal exactly when the crossbar connectivity matrix wires that
+input to that output — :func:`repro.core.connectivity.connectivity_matrix`
+for the healthy dimension-ordered routers, or
+:func:`repro.core.connectivity.fault_tolerant_matrix` once fault-aware
+table routing takes over and detours need the fully-connected switch.
+
+Both the static verifier (:mod:`repro.verify.engine`) and the runtime
+invariant audit (:func:`repro.sim.validate.audit_network`) call
+:func:`is_legal_turn` against the matrix picked by
+:func:`routing_matrix`, so the two layers cannot disagree about which
+moves a crossbar admits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.connectivity import (
+    Matrix,
+    connectivity_matrix,
+    fault_tolerant_matrix,
+)
+from repro.core.coords import Coord, Direction
+from repro.core.params import NetworkConfig
+from repro.core.routing import FaultAwareTableRouting, RoutingAlgorithm
+
+
+def routing_matrix(
+    config: NetworkConfig, routing: Optional[RoutingAlgorithm] = None
+) -> Matrix:
+    """The connectivity matrix the given routing is checked against.
+
+    Healthy deterministic algorithms must respect the (possibly
+    depopulated) crossbar of :func:`connectivity_matrix`; fault-aware
+    table routing runs on routers provisioned with the fully-connected
+    :func:`fault_tolerant_matrix` (mirroring
+    :class:`repro.sim.network.Network`'s construction).
+    """
+    if isinstance(routing, FaultAwareTableRouting):
+        return fault_tolerant_matrix(config)
+    return connectivity_matrix(config)
+
+
+def is_legal_turn(matrix: Matrix, in_dir: Direction, out_dir: Direction) -> bool:
+    """True when the crossbar wires input ``in_dir`` to output ``out_dir``."""
+    return out_dir in matrix.get(in_dir, frozenset())
+
+
+def format_turn(node: Coord, in_dir: Direction, out_dir: Direction) -> str:
+    """Human-readable rendering of one turn, used in reports."""
+    return f"{tuple(node)}: {in_dir.name} -> {out_dir.name}"

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.coords import Coord, Direction
-from repro.core.params import DorOrder, NetworkConfig, TopologyKind
+from repro.core.params import DorOrder, NetworkConfig
 from repro.core.routing import make_routing
 from repro.core.topology import Topology
 

@@ -155,3 +155,77 @@ class TestCheckpointCorruption:
         path.write_text("{broken json")
         with pytest.raises(ValueError, match="not valid JSON"):
             CheckpointStore(str(path))
+
+
+class TestPreflight:
+    def test_clean_preflight_runs_campaign(self):
+        seen = []
+
+        def preflight():
+            seen.append(True)
+            return []
+
+        result = run_campaign(GRID, ok_runner, preflight=preflight)
+        assert seen == [True]
+        assert result.ok and result.computed == len(GRID)
+
+    def test_failing_preflight_aborts_before_any_row(self):
+        from repro.errors import ConfigError
+
+        calls = []
+
+        def runner(params):
+            calls.append(params)
+            return dict(params)
+
+        with pytest.raises(ConfigError, match="preflight failed"):
+            run_campaign(
+                GRID, runner,
+                preflight=lambda: ["mesh 8x8: channel dependency cycle"],
+            )
+        assert calls == []
+
+    def test_campaign_preflight_verifies_real_configs(self):
+        from repro.core.params import NetworkConfig
+        from repro.verify import campaign_preflight
+
+        check = campaign_preflight(
+            NetworkConfig.from_name(name, 4, 4)
+            for name in ("mesh", "ruche2-depop")
+        )
+        assert check() == []
+
+    def test_campaign_preflight_names_broken_config(self, monkeypatch):
+        from repro.core.params import NetworkConfig
+        from repro.verify import preflight as preflight_mod
+        from repro.verify.report import VerificationReport
+
+        def broken_verify(config, routing=None, **kwargs):
+            report = VerificationReport(
+                config=config.name, width=config.width,
+                height=config.height, algorithm="MeshDOR", dor_order="xy",
+            )
+            report.illegal_turns.append("(1, 1): W -> N")
+            return report
+
+        monkeypatch.setattr(preflight_mod, "verify_config", broken_verify)
+        config = NetworkConfig.from_name("mesh", 4, 4)
+        problems = preflight_mod.campaign_preflight([config])()
+        assert len(problems) == 1
+        assert "mesh" in problems[0] and "W -> N" in problems[0]
+
+    def test_preflight_dedups_repeated_design_points(self, monkeypatch):
+        from repro.core.params import NetworkConfig
+        from repro.verify import preflight as preflight_mod
+
+        calls = []
+        real = preflight_mod.verify_config
+
+        def counting_verify(config, routing=None, **kwargs):
+            calls.append(config.name)
+            return real(config, routing, **kwargs)
+
+        monkeypatch.setattr(preflight_mod, "verify_config", counting_verify)
+        config = NetworkConfig.from_name("mesh", 4, 4)
+        assert preflight_mod.campaign_preflight([config, config])() == []
+        assert calls == ["mesh"]

@@ -5,8 +5,8 @@ import pytest
 from repro.core.coords import Coord
 from repro.errors import ConfigError
 from repro.manycore import (
-    MachineConfig,
     Machine,
+    MachineConfig,
     build_workload,
     run_benchmark,
     system_energy,

@@ -4,7 +4,6 @@ configuration is delivered exactly once, across the full config space
 
 from hypothesis import given, settings, strategies as st
 
-from repro.core.coords import Coord
 from repro.core.params import NetworkConfig
 from repro.sim.network import Network
 from repro.sim.rng import derive_rng

@@ -1,11 +1,10 @@
 """Router-level unit tests: arbitration, flow control, VC mechanics,
 exercised directly on hand-wired two-router rigs."""
 
-import pytest
-
 from repro.core.connectivity import MESH_XY, connectivity_matrix
 from repro.core.coords import Coord, Direction
 from repro.core.params import NetworkConfig
+from repro.sim.metrics import RunMetrics
 from repro.sim.packet import Packet
 from repro.sim.router import (
     P_IDX,
@@ -14,7 +13,6 @@ from repro.sim.router import (
     VCRouter,
     WormholeRouter,
 )
-from repro.sim.metrics import RunMetrics
 
 P, W, E, N, S = (int(Direction.P), int(Direction.W), int(Direction.E),
                  int(Direction.N), int(Direction.S))

@@ -1,0 +1,44 @@
+"""CLI tests for ``python -m repro.verify``."""
+
+import json
+
+from repro.verify.__main__ import main
+
+
+class TestSingleConfig:
+    def test_ok_config_exits_zero(self, capsys):
+        assert main(["--config", "mesh", "--size", "4x4"]) == 0
+        out = capsys.readouterr().out
+        assert "mesh" in out and "ok" in out
+
+    def test_json_payload(self, capsys, tmp_path):
+        target = tmp_path / "report.json"
+        code = main(
+            ["--config", "ruche2-depop", "--size", "4x4",
+             "--json", str(target)]
+        )
+        assert code == 0
+        payload = json.loads(target.read_text())
+        assert payload["ok"] is True
+        assert payload["verified"] == 1
+        assert payload["failed"] == 0
+        (report,) = payload["reports"]
+        assert report["config"] == "ruche2-depop"
+        assert report["problems"] == []
+
+    def test_bad_size_is_config_error(self):
+        assert main(["--config", "mesh", "--size", "nonsense"]) == 2
+
+    def test_unknown_config_is_config_error(self):
+        assert main(["--config", "zorp", "--size", "4x4"]) == 2
+
+
+class TestMatrixMode:
+    def test_small_matrix_all_ok(self, capsys):
+        code = main(["--sizes", "4x4", "--rf", "2", "--skip-lint"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ok" in out and "FAIL" not in out
+
+    def test_lint_only_mode(self, capsys):
+        assert main(["--lint-only"]) == 0

@@ -1,0 +1,106 @@
+"""Unit tests for the AST determinism lint, plus repo cleanliness."""
+
+import textwrap
+
+from repro.verify import lint_determinism, lint_source
+
+
+def findings_for(snippet):
+    return lint_source(textwrap.dedent(snippet), "snippet.py")
+
+
+def rules_for(snippet):
+    return [f.rule for f in findings_for(snippet)]
+
+
+class TestRandomRule:
+    def test_global_random_call_flagged(self):
+        assert rules_for("import random\nx = random.random()\n") == [
+            "DET-RANDOM"
+        ]
+
+    def test_unseeded_random_instance_flagged(self):
+        assert rules_for("import random\nr = random.Random()\n") == [
+            "DET-RANDOM"
+        ]
+
+    def test_seeded_random_instance_allowed(self):
+        assert rules_for("import random\nr = random.Random(42)\n") == []
+
+    def test_system_random_flagged(self):
+        assert rules_for("import random\nr = random.SystemRandom()\n") == [
+            "DET-RANDOM"
+        ]
+
+    def test_rng_module_exempt(self):
+        source = "import random\nr = random.Random()\n"
+        assert lint_source(source, "rng.py", exempt_random=True) == []
+
+
+class TestClockRules:
+    def test_time_monotonic_flagged(self):
+        assert rules_for("import time\nt = time.monotonic()\n") == [
+            "DET-TIME"
+        ]
+
+    def test_datetime_now_flagged(self):
+        assert rules_for(
+            "import datetime\nd = datetime.datetime.now()\n"
+        ) == ["DET-DATE"]
+
+    def test_entropy_flagged(self):
+        assert rules_for("import os\nb = os.urandom(8)\n") == ["DET-ENTROPY"]
+        assert rules_for("import uuid\nu = uuid.uuid4()\n") == ["DET-ENTROPY"]
+
+
+class TestSetIterationRule:
+    def test_for_over_set_display_flagged(self):
+        assert rules_for(
+            """
+            for x in {1, 2, 3}:
+                pass
+            """
+        ) == ["DET-SET-ITER"]
+
+    def test_comprehension_over_set_call_flagged(self):
+        assert rules_for("y = [x for x in set(range(3))]\n") == [
+            "DET-SET-ITER"
+        ]
+
+    def test_list_of_set_flagged(self):
+        assert rules_for("y = list({1, 2})\n") == ["DET-SET-ITER"]
+
+    def test_sorted_view_allowed(self):
+        assert rules_for("y = [x for x in sorted({1, 2})]\n") == []
+
+    def test_membership_test_allowed(self):
+        assert rules_for("ok = 3 in {1, 2, 3}\n") == []
+
+
+class TestPragma:
+    def test_allow_pragma_suppresses(self):
+        source = "import time\nt = time.monotonic()  # det: allow - budget\n"
+        assert lint_source(source, "snippet.py") == []
+
+    def test_pragma_is_per_line(self):
+        source = (
+            "import time\n"
+            "a = time.monotonic()  # det: allow\n"
+            "b = time.monotonic()\n"
+        )
+        findings = lint_source(source, "snippet.py")
+        assert [f.line for f in findings] == [3]
+
+
+class TestFindingRendering:
+    def test_render_has_location_and_rule(self):
+        (finding,) = findings_for("import time\nt = time.time()\n")
+        rendered = finding.render()
+        assert "snippet.py:2" in rendered
+        assert "DET-TIME" in rendered
+
+
+def test_repo_core_and_sim_are_clean():
+    """The shipped simulation core must carry zero violations."""
+    findings = lint_determinism()
+    assert findings == [], "\n".join(f.render() for f in findings)

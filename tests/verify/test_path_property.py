@@ -1,0 +1,77 @@
+"""Property tests tying the path helpers to the static verifier.
+
+Across every topology family: ``compute_path`` ends with a ``P``
+ejection at the destination, its length agrees with ``hop_count``, and
+the hop count never exceeds the bound the static verifier proved for
+the whole design point.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.coords import Coord, Direction
+from repro.core.params import NetworkConfig
+from repro.core.routing import make_routing
+from repro.verify import verify_config
+
+#: One representative of each of the six topology families.
+FAMILY_NAMES = (
+    "mesh", "torus", "half-torus", "multimesh", "ruche1", "ruche2-depop",
+)
+
+SIZES = ((8, 8), (16, 8), (5, 7))
+
+configs = st.sampled_from([
+    NetworkConfig.from_name(name, w, h)
+    for name in FAMILY_NAMES
+    for (w, h) in SIZES
+])
+
+#: Proven max_hops per design point, computed once (verification walks
+#: every pair, so per-example reruns would dominate the test's runtime).
+_VERIFIED = {}
+
+
+def verified_max_hops(config):
+    key = (config.name, config.width, config.height)
+    if key not in _VERIFIED:
+        report = verify_config(config)
+        assert report.ok, report.problems()
+        _VERIFIED[key] = report.max_hops
+    return _VERIFIED[key]
+
+
+@st.composite
+def config_and_pair(draw):
+    config = draw(configs)
+    src = Coord(
+        draw(st.integers(0, config.width - 1)),
+        draw(st.integers(0, config.height - 1)),
+    )
+    dest = Coord(
+        draw(st.integers(0, config.width - 1)),
+        draw(st.integers(0, config.height - 1)),
+    )
+    return config, src, dest
+
+
+@settings(max_examples=200, deadline=None)
+@given(config_and_pair())
+def test_path_terminates_at_dest_with_consistent_length(case):
+    config, src, dest = case
+    routing = make_routing(config)
+    path = routing.compute_path(src, dest)
+    last_node, last_out = path[-1]
+    assert last_out is Direction.P
+    assert last_node == dest
+    # Every non-final element is a channel traversal.
+    assert all(out is not Direction.P for _node, out in path[:-1])
+    assert routing.hop_count(src, dest) == len(path) - 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(config_and_pair())
+def test_hop_count_within_verified_bound(case):
+    config, src, dest = case
+    bound = verified_max_hops(config)
+    routing = make_routing(config)
+    assert routing.hop_count(src, dest) <= bound
