@@ -1,0 +1,91 @@
+"""Command-line bench runner.
+
+Examples::
+
+    python -m repro.bench --json BENCH_noc.json        # refresh baseline
+    python -m repro.bench --quick --json report.json \\
+        --baseline BENCH_noc.json                      # CI regression gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import (
+    compare_to_baseline,
+    load_report,
+    run_bench,
+    write_report,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Measure simulator cycles/sec on canonical configs.",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="fewer repeats and no campaign-scaling timing (CI mode); "
+             "cycles/sec stays comparable to full-mode baselines",
+    )
+    parser.add_argument("--json", metavar="FILE",
+                        help="write the report as JSON to FILE")
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="compare against a committed baseline report; exit 1 on "
+             "regression",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.20, metavar="FRAC",
+        help="allowed fractional slowdown vs the baseline "
+             "(default 0.20 = 20%%)",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    mode = "quick" if args.quick else "full"
+    report = run_bench(mode=mode, seed=args.seed)
+
+    for case in report["cases"]:
+        print(
+            f"{case['name']:24s} cycles={case['total_cycles']:6d} "
+            f"best={case['best_seconds']:.3f}s "
+            f"cps={case['cycles_per_sec']:,.0f}"
+        )
+    campaign = report.get("campaign")
+    if campaign is not None:
+        timings = campaign["wall_seconds_by_jobs"]
+        per_jobs = ", ".join(
+            f"jobs={j}: {t:.2f}s" for j, t in timings.items()
+        )
+        print(
+            f"campaign ({campaign['grid_rows']} rows): {per_jobs}; "
+            f"rows identical: {campaign['rows_identical']}"
+        )
+
+    if args.json:
+        write_report(report, args.json)
+        print(f"wrote {args.json}")
+
+    if args.baseline:
+        baseline = load_report(args.baseline)
+        regressions, notes = compare_to_baseline(
+            report, baseline, tolerance=args.tolerance
+        )
+        for note in notes:
+            print(f"NOTE: {note}")
+        if regressions:
+            for regression in regressions:
+                print(f"REGRESSION: {regression}", file=sys.stderr)
+            return 1
+        print(
+            f"bench OK: within {args.tolerance * 100:.0f}% of "
+            f"{args.baseline}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,8 +29,10 @@ computation and keeps every algorithm deadlock-free:
 
 from __future__ import annotations
 
+import functools
 from typing import (
     TYPE_CHECKING,
+    Any,
     Dict,
     FrozenSet,
     Iterable,
@@ -76,6 +78,21 @@ class RoutingAlgorithm:
         self.height = config.height
         first_axis_is_x = config.dor_order is DorOrder.XY
         self._first_axis_is_x = first_axis_is_x
+        self._route_caches: Dict[Coord, Dict[Any, Any]] = {}
+
+    def node_route_cache(self, node: Coord) -> Dict[Any, Any]:
+        """Per-node route memo shared by every router built at ``node``.
+
+        Routing is a pure function of ``(in port, destination, subnet)``
+        at a given tile, so routers memoize their lookups here; because
+        :func:`make_routing` is itself memoized per config, repeated
+        simulations of the same design point (rate/seed sweeps) start
+        with warm tables instead of recomputing every route per packet.
+        """
+        cache = self._route_caches.get(node)
+        if cache is None:
+            cache = self._route_caches[node] = {}
+        return cache
 
     def injection_subnet(self, src: Coord, dest: Coord) -> int:
         """Per-packet subnet class chosen at injection (default: none)."""
@@ -597,8 +614,16 @@ def make_fault_aware_routing(
     )
 
 
+@functools.lru_cache(maxsize=128)
 def make_routing(config: NetworkConfig) -> RoutingAlgorithm:
-    """Factory: the routing algorithm for a design point."""
+    """Factory: the routing algorithm for a design point.
+
+    Memoized per (frozen, hashable) config: every algorithm here is a
+    pure function of the config, so instances — and their per-node route
+    caches — are safely shared across simulations.  Fault-aware tables
+    (:func:`make_fault_aware_routing`) are per-fault-set and stay
+    unmemoized.
+    """
     kind = config.kind
     if kind is TopologyKind.MESH:
         return MeshDOR(config)

@@ -34,6 +34,11 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", choices=("smoke", "quick", "full"),
                         default=None)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for campaign experiments (default 1; "
+             "results are bit-identical to a serial run)",
+    )
     parser.add_argument("--list", action="store_true",
                         help="list experiment ids")
     parser.add_argument(
@@ -66,7 +71,8 @@ def main(argv=None) -> int:
         try:
             result = run_experiment(exp_id, scale=args.scale,
                                     seed=args.seed,
-                                    preflight=args.preflight)
+                                    preflight=args.preflight,
+                                    jobs=args.jobs)
         except Exception as exc:
             summary = traceback.format_exception_only(
                 type(exc), exc

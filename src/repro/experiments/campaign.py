@@ -23,6 +23,11 @@ failure.  This module wraps a row-at-a-time runner with two protections:
   :func:`repro.verify.campaign_preflight`, which statically proves
   deadlock freedom, turn legality, and reachability for every design
   point in the sweep.
+* **Parallel sharding** (``jobs > 1``) — rows are embarrassingly
+  parallel (each seeds its own RNGs from its parameter dict), so
+  :func:`run_campaign` shards them across a process pool with results
+  bit-identical to a serial run; see the function docstring for the
+  determinism argument and the worker-crash retry policy.
 """
 
 from __future__ import annotations
@@ -31,7 +36,9 @@ import dataclasses
 import json
 import os
 import tempfile
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError, SimulationError
 
@@ -92,6 +99,8 @@ class CheckpointStore:
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(self._rows, fh, indent=1, sort_keys=True)
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, self.path)
         except BaseException:
             if os.path.exists(tmp):
@@ -120,6 +129,86 @@ class CampaignResult:
         return not self.failures
 
 
+def _attempt_row(
+    runner: Callable[[Dict[str, Any]], Dict[str, Any]],
+    params: Dict[str, Any],
+    max_retries: int,
+    retry_seed_stride: int,
+) -> Tuple[Optional[Dict[str, Any]], Optional[str], int]:
+    """One row, with the retry-with-fresh-seed loop.
+
+    Module-level (and taking only picklable arguments) so the parallel
+    path can ship it to worker processes; the serial path calls it
+    directly.  Returns ``(row or None, error string, attempts)``.
+    """
+    row, error, attempts = None, None, 0
+    for attempt in range(max_retries + 1):
+        attempts = attempt + 1
+        trial = dict(params)
+        if attempt and "seed" in trial:
+            trial["seed"] = trial["seed"] + attempt * retry_seed_stride
+        try:
+            row = runner(trial)
+            return row, None, attempts
+        except RECOVERABLE as exc:
+            error = f"{type(exc).__name__}: {exc}"
+    return None, error, attempts
+
+
+def _run_parallel(
+    pending: List[Tuple[int, Dict[str, Any], str]],
+    runner: Callable[[Dict[str, Any]], Dict[str, Any]],
+    jobs: int,
+    max_retries: int,
+    retry_seed_stride: int,
+    record: Callable[..., None],
+) -> None:
+    """Shard pending rows across a worker pool, surviving worker death.
+
+    A crashed worker breaks the whole :class:`ProcessPoolExecutor`; the
+    pool is rebuilt and every unfinished row is resubmitted with its
+    crash budget decremented, so one poisoned row cannot take down the
+    campaign — after ``max_retries + 1`` pool rebuilds it is recorded as
+    failed and the rest of the grid completes.
+    """
+    remaining = pending
+    crashes: Dict[int, int] = {}
+    while remaining:
+        executor = ProcessPoolExecutor(max_workers=jobs)
+        unfinished: List[Tuple[int, Dict[str, Any], str]] = []
+        broken = False
+        try:
+            futures = {
+                executor.submit(
+                    _attempt_row, runner, params,
+                    max_retries, retry_seed_stride,
+                ): (idx, params, key)
+                for idx, params, key in remaining
+            }
+            waiting = set(futures)
+            while waiting:
+                done, waiting = wait(waiting, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    idx, params, key = futures[fut]
+                    try:
+                        row, error, attempts = fut.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        crashes[idx] = crashes.get(idx, 0) + 1
+                        if crashes[idx] > max_retries:
+                            record(idx, params, key, None,
+                                   "worker process crashed",
+                                   crashes[idx])
+                        else:
+                            unfinished.append((idx, params, key))
+                        continue
+                    record(idx, params, key, row, error, attempts)
+        finally:
+            # A broken pool cannot run pending work; don't block on it.
+            executor.shutdown(wait=not broken, cancel_futures=True)
+        remaining = unfinished
+
+
 def run_campaign(
     grid: Sequence[Dict[str, Any]],
     runner: Callable[[Dict[str, Any]], Dict[str, Any]],
@@ -128,6 +217,7 @@ def run_campaign(
     max_retries: int = 2,
     retry_seed_stride: int = 1000,
     preflight: Optional[Callable[[], Sequence[str]]] = None,
+    jobs: int = 1,
 ) -> CampaignResult:
     """Run ``runner`` over every parameter dict in ``grid``, hardened.
 
@@ -139,10 +229,24 @@ def run_campaign(
     failed — with the error string — but *not* checkpointed, so the next
     invocation tries it again.
 
+    ``jobs > 1`` shards the uncached rows across a
+    :class:`~concurrent.futures.ProcessPoolExecutor`.  Results are
+    **bit-identical to a serial run**: every row's outcome is a pure
+    function of its own parameter dict (each simulation seeds its own
+    RNGs from ``params["seed"]``), ``result.rows`` is assembled in grid
+    order regardless of completion order, and the checkpoint file is
+    dumped with sorted keys so its bytes never depend on scheduling.
+    ``runner`` must be picklable (a module-level function or a
+    :func:`functools.partial` over one).  A worker crash (e.g. the OOM
+    killer) is retried on a rebuilt pool with the same per-row budget of
+    ``max_retries`` before the row is recorded as failed.
+
     ``preflight``, when given, runs first and must return a sequence of
     problem strings (empty = verified); any problem raises
     :class:`~repro.errors.ConfigError` before a single row is computed.
     """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
     if preflight is not None:
         problems = list(preflight())
         if problems:
@@ -150,35 +254,46 @@ def run_campaign(
                 "campaign preflight failed:\n  " + "\n  ".join(problems)
             )
     result = CampaignResult(rows=[])
-    for params in grid:
+    slots: List[Optional[Dict[str, Any]]] = [None] * len(grid)
+    failed_idx: set = set()
+    pending: List[Tuple[int, Dict[str, Any], str]] = []
+    for idx, params in enumerate(grid):
         key = row_key(params)
         if checkpoint is not None:
             cached = checkpoint.get(key)
             if cached is not None:
-                result.rows.append(cached)
+                slots[idx] = cached
                 result.reused += 1
                 continue
-        row, error, attempts = None, None, 0
-        for attempt in range(max_retries + 1):
-            attempts = attempt + 1
-            trial = dict(params)
-            if attempt and "seed" in trial:
-                trial["seed"] = trial["seed"] + attempt * retry_seed_stride
-            try:
-                row = runner(trial)
-                break
-            except RECOVERABLE as exc:
-                error = f"{type(exc).__name__}: {exc}"
+        pending.append((idx, params, key))
+
+    def record(idx, params, key, row, error, attempts):
         if row is not None:
             if attempts > 1:
                 result.retried += attempts - 1
-            result.rows.append(row)
+            slots[idx] = row
             result.computed += 1
             if checkpoint is not None:
                 checkpoint.put(key, row)
         else:
             failed = dict(params)
             failed.update(failed=True, error=error, attempts=attempts)
-            result.rows.append(failed)
-            result.failures.append(failed)
+            slots[idx] = failed
+            failed_idx.add(idx)
+
+    if jobs > 1 and pending:
+        _run_parallel(
+            pending, runner, jobs, max_retries, retry_seed_stride, record
+        )
+    else:
+        for idx, params, key in pending:
+            row, error, attempts = _attempt_row(
+                runner, params, max_retries, retry_seed_stride
+            )
+            record(idx, params, key, row, error, attempts)
+
+    for idx, row in enumerate(slots):
+        result.rows.append(row)
+        if idx in failed_idx:
+            result.failures.append(row)
     return result

@@ -73,8 +73,14 @@ _PRESETS: Dict[str, dict] = {
 PATTERN = "uniform_random"
 
 
-def _run_row(params: Dict[str, Any], preset: dict) -> Dict[str, Any]:
-    """One campaign row: a full rate sweep at one fault configuration."""
+def _run_row(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One campaign row: a full rate sweep at one fault configuration.
+
+    The preset is recovered from ``params["scale"]`` so the runner is a
+    module-level function of one picklable dict — required for the
+    campaign's ``jobs > 1`` worker processes.
+    """
+    preset = _PRESETS[params["scale"]]
     width, height = preset["size"]
     config = NetworkConfig.from_name(params["config"], width, height)
     # degraded_model pins every row (including the zero-fault baseline)
@@ -144,6 +150,7 @@ def run(
     seed: int = 0,
     checkpoint: Optional[str] = None,
     preflight: bool = False,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Fault-degradation campaign (experiment id ``faults``).
 
@@ -152,6 +159,8 @@ def run(
     ``preflight=True``, every healthy design point in the sweep is
     statically verified (deadlock freedom, turn legality, reachability —
     see :mod:`repro.verify`) before the first row simulates.
+    ``jobs > 1`` shards rows across worker processes with bit-identical
+    results (see :func:`repro.experiments.campaign.run_campaign`).
     """
     scale = resolve_scale(scale)
     preset = _PRESETS[scale]
@@ -181,9 +190,10 @@ def run(
         )
     outcome = run_campaign(
         grid,
-        lambda params: _run_row(params, preset),
+        _run_row,
         checkpoint=store,
         preflight=preflight_fn,
+        jobs=jobs,
     )
     curves = degradation_curves(outcome.rows)
     rows = degradation_rows(curves)

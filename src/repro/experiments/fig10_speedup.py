@@ -14,17 +14,22 @@ from typing import List, Optional
 from repro.experiments.base import ExperimentResult, resolve_scale
 from repro.experiments.manycore_runs import (
     FABRICS,
+    prime_cache,
     run_cached,
     size_for,
     suite_for,
+    suite_keys,
 )
 from repro.manycore.stats import geomean
 
 
-def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
+def run(
+    scale: Optional[str] = None, seed: int = 0, jobs: int = 1
+) -> ExperimentResult:
     scale = resolve_scale(scale)
     width, height = size_for(scale)
     suite = suite_for(scale)
+    prime_cache(suite_keys(scale, width, height), jobs=jobs)
     rows: List[dict] = []
     per_fabric_speedups = {name: [] for name in FABRICS}
     for benchmark in suite:

@@ -14,8 +14,10 @@ from typing import List, Optional
 from repro.experiments.base import ExperimentResult, resolve_scale
 from repro.experiments.manycore_runs import (
     FABRICS,
+    prime_cache,
     run_cached,
     suite_for,
+    suite_keys,
 )
 from repro.manycore.stats import geomean
 
@@ -25,10 +27,18 @@ _SIZES = {"smoke": [(16, 8)], "quick": [(32, 16)],
 _BASE = {"smoke": (8, 4), "quick": (16, 8), "full": (16, 8)}
 
 
-def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
+def run(
+    scale: Optional[str] = None, seed: int = 0, jobs: int = 1
+) -> ExperimentResult:
     scale = resolve_scale(scale)
     base_w, base_h = _BASE[scale]
     suite = suite_for(scale)
+    keys = [
+        (benchmark, "mesh", base_w, base_h, scale) for benchmark in suite
+    ]
+    for width, height in _SIZES[scale]:
+        keys += suite_keys(scale, width, height)
+    prime_cache(keys, jobs=jobs)
     rows: List[dict] = []
     for width, height in _SIZES[scale]:
         work_ratio = (width * height) / (base_w * base_h)

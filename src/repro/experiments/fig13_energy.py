@@ -16,16 +16,21 @@ from repro.experiments.base import ExperimentResult, resolve_scale
 from repro.experiments.manycore_runs import (
     FABRICS,
     machine_config,
+    prime_cache,
     run_cached,
     size_for,
     suite_for,
+    suite_keys,
 )
 from repro.manycore.energy import system_energy
 
 
-def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
+def run(
+    scale: Optional[str] = None, seed: int = 0, jobs: int = 1
+) -> ExperimentResult:
     scale = resolve_scale(scale)
     width, height = size_for(scale)
+    prime_cache(suite_keys(scale, width, height), jobs=jobs)
     rows: List[dict] = []
     for benchmark in suite_for(scale):
         mesh_stats = run_cached(benchmark, "mesh", width, height, scale)

@@ -10,11 +10,12 @@ saturation — except ruche3-depop, which regresses on 8×8.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.analysis.sweeps import saturation_throughput, zero_load_point
 from repro.core.params import NetworkConfig
 from repro.experiments.base import ExperimentResult, resolve_scale
+from repro.experiments.campaign import run_campaign
 from repro.sim.simulator import sweep_injection_rates
 
 CONFIG_NAMES = (
@@ -56,38 +57,70 @@ _PRESETS: Dict[str, dict] = {
 }
 
 
+def _run_row(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One campaign row: a full load-latency sweep for one design point.
+
+    Module-level (and parameterized purely by the picklable ``params``
+    dict) so ``jobs > 1`` can ship rows to worker processes.
+    """
+    preset = _PRESETS[params["scale"]]
+    width, height = params["width"], params["height"]
+    config = NetworkConfig.from_name(params["config"], width, height)
+    curve = sweep_injection_rates(
+        config,
+        params["pattern"],
+        preset["rates"],
+        warmup=preset["warmup"],
+        measure=preset["measure"],
+        drain_limit=preset["drain"],
+        seed=params["seed"],
+    )
+    return {
+        "size": f"{width}x{height}",
+        "pattern": params["pattern"],
+        "config": params["config"],
+        "zero_load_latency": zero_load_point(curve).avg_latency,
+        "saturation_throughput": saturation_throughput(curve),
+    }
+
+
+def make_grid(
+    scale: str,
+    seed: int = 1,
+    sizes: Optional[Sequence[Tuple[int, int]]] = None,
+) -> list:
+    """The fig6 campaign grid (also used by the parallel-equivalence
+    tests and the bench harness)."""
+    preset = _PRESETS[scale]
+    return [
+        {
+            "scale": scale,
+            "width": width,
+            "height": height,
+            "pattern": pattern,
+            "config": name,
+            "seed": seed,
+        }
+        for width, height in (sizes or preset["sizes"])
+        for pattern in preset["patterns"]
+        for name in preset["configs"]
+    ]
+
+
 def run(
     scale: Optional[str] = None,
     seed: int = 1,
     sizes: Optional[Sequence[Tuple[int, int]]] = None,
+    jobs: int = 1,
 ) -> ExperimentResult:
     scale = resolve_scale(scale)
-    preset = _PRESETS[scale]
-    rows: List[dict] = []
-    for width, height in sizes or preset["sizes"]:
-        for pattern in preset["patterns"]:
-            for name in preset["configs"]:
-                config = NetworkConfig.from_name(name, width, height)
-                curve = sweep_injection_rates(
-                    config,
-                    pattern,
-                    preset["rates"],
-                    warmup=preset["warmup"],
-                    measure=preset["measure"],
-                    drain_limit=preset["drain"],
-                    seed=seed,
-                )
-                rows.append({
-                    "size": f"{width}x{height}",
-                    "pattern": pattern,
-                    "config": name,
-                    "zero_load_latency": zero_load_point(curve).avg_latency,
-                    "saturation_throughput": saturation_throughput(curve),
-                })
+    outcome = run_campaign(
+        make_grid(scale, seed=seed, sizes=sizes), _run_row, jobs=jobs
+    )
     return ExperimentResult(
         experiment_id="fig6",
         title="Full Ruche synthetic traffic (load-latency sweeps)",
-        rows=rows,
+        rows=outcome.rows,
         scale=scale,
         notes=(
             "Paper shape: UR saturation mesh < torus < ruche1-pop ~= "

@@ -24,16 +24,31 @@ _PRESETS = {
 }
 
 
-def run(scale: Optional[str] = None, seed: int = 5) -> ExperimentResult:
+def _measure_one(task):
+    """One fairness measurement; module-level so ``jobs > 1`` can ship
+    it to a worker process (FairnessSummary is a plain dataclass)."""
+    name, size, measure, seed = task
+    config = NetworkConfig.from_name(name, size, size)
+    return measure_fairness(config, measure=measure, seed=seed)
+
+
+def run(
+    scale: Optional[str] = None, seed: int = 5, jobs: int = 1
+) -> ExperimentResult:
     scale = resolve_scale(scale)
     preset = _PRESETS[scale]
     size = preset["size"]
-    summaries = {}
-    for name in CONFIG_NAMES:
-        config = NetworkConfig.from_name(name, size, size)
-        summaries[name] = measure_fairness(
-            config, measure=preset["measure"], seed=seed
-        )
+    tasks = [
+        (name, size, preset["measure"], seed) for name in CONFIG_NAMES
+    ]
+    if jobs > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=jobs) as executor:
+            measured = list(executor.map(_measure_one, tasks))
+    else:
+        measured = [_measure_one(task) for task in tasks]
+    summaries = dict(zip(CONFIG_NAMES, measured))
     comparison = fairness_comparison(summaries)
     rows: List[dict] = []
     for name, summary in summaries.items():

@@ -10,11 +10,12 @@ the horizontal bisection bottleneck.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, Optional
 
 from repro.analysis.sweeps import saturation_throughput, zero_load_point
 from repro.core.params import NetworkConfig
 from repro.experiments.base import ExperimentResult, resolve_scale
+from repro.experiments.campaign import run_campaign
 from repro.sim.simulator import sweep_injection_rates
 
 BASE_CONFIGS = (
@@ -60,34 +61,53 @@ def _configs_for(size, names):
     return configs
 
 
-def run(scale: Optional[str] = None, seed: int = 2) -> ExperimentResult:
+def _run_row(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One campaign row: a full rate sweep for one half-Ruche design
+    point (module-level and picklable for ``jobs > 1``)."""
+    preset = _PRESETS[params["scale"]]
+    width, height = params["width"], params["height"]
+    name, pattern = params["config"], params["pattern"]
+    config = NetworkConfig.from_name(
+        name, width, height,
+        half=name.startswith("ruche"),
+        edge_memory=pattern == "tile_to_memory",
+    )
+    curve = sweep_injection_rates(
+        config, pattern, preset["rates"],
+        warmup=preset["warmup"],
+        measure=preset["measure"],
+        drain_limit=preset["drain"],
+        seed=params["seed"],
+    )
+    return {
+        "size": f"{width}x{height}",
+        "pattern": pattern,
+        "config": name,
+        "zero_load_latency": zero_load_point(curve).avg_latency,
+        "saturation_throughput": saturation_throughput(curve),
+    }
+
+
+def run(
+    scale: Optional[str] = None, seed: int = 2, jobs: int = 1
+) -> ExperimentResult:
     scale = resolve_scale(scale)
     preset = _PRESETS[scale]
-    rows: List[dict] = []
-    for size in preset["sizes"]:
-        width, height = size
-        for pattern in preset["patterns"]:
-            edge_memory = pattern == "tile_to_memory"
-            for name in _configs_for(size, preset["configs"]):
-                config = NetworkConfig.from_name(
-                    name, width, height,
-                    half=name.startswith("ruche"),
-                    edge_memory=edge_memory,
-                )
-                curve = sweep_injection_rates(
-                    config, pattern, preset["rates"],
-                    warmup=preset["warmup"],
-                    measure=preset["measure"],
-                    drain_limit=preset["drain"],
-                    seed=seed,
-                )
-                rows.append({
-                    "size": f"{width}x{height}",
-                    "pattern": pattern,
-                    "config": name,
-                    "zero_load_latency": zero_load_point(curve).avg_latency,
-                    "saturation_throughput": saturation_throughput(curve),
-                })
+    grid = [
+        {
+            "scale": scale,
+            "width": size[0],
+            "height": size[1],
+            "pattern": pattern,
+            "config": name,
+            "seed": seed,
+        }
+        for size in preset["sizes"]
+        for pattern in preset["patterns"]
+        for name in _configs_for(size, preset["configs"])
+    ]
+    outcome = run_campaign(grid, _run_row, jobs=jobs)
+    rows = outcome.rows
     return ExperimentResult(
         experiment_id="fig9",
         title="Half Ruche synthetic traffic (16x8 / 32x16 / 64x8)",

@@ -2,13 +2,15 @@
 
 The same (benchmark, network, size) simulations feed several experiment
 drivers; this module memoizes them per process so Table 6 can aggregate
-the Figure 10–13 data without re-simulating.
+the Figure 10–13 data without re-simulating.  :func:`prime_cache` fills
+the memo across worker processes (each run is a pure, deterministic
+function of its key) so the drivers' ``--jobs`` flag parallelizes the
+expensive simulations while every aggregation step stays serial.
 """
 
 from __future__ import annotations
 
-import functools
-from typing import Dict, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.manycore import (
     Machine,
@@ -16,6 +18,9 @@ from repro.manycore import (
     MachineStats,
     build_workload,
 )
+
+#: Cache key: (benchmark, network, width, height, scale).
+RunKey = Tuple[str, str, int, int, str]
 
 #: Manycore fabrics compared in Figures 10-13 (paper order).
 FABRICS = (
@@ -64,7 +69,25 @@ def kernel_params(benchmark: str, scale: str) -> dict:
     return dict(KERNEL_PRESETS[scale].get(kernel, {}))
 
 
-@functools.lru_cache(maxsize=None)
+_CACHE: Dict[RunKey, MachineStats] = {}
+
+
+def _simulate(
+    benchmark: str, network: str, width: int, height: int, scale: str
+) -> MachineStats:
+    """One manycore simulation (pure function of its arguments)."""
+    mcfg = MachineConfig(network=network, width=width, height=height)
+    workload = build_workload(
+        benchmark, mcfg, **kernel_params(benchmark, scale)
+    )
+    return Machine(mcfg, workload).run(max_cycles=3_000_000)
+
+
+def _simulate_key(key: RunKey) -> MachineStats:
+    """Picklable worker entry point for :func:`prime_cache`."""
+    return _simulate(*key)
+
+
 def run_cached(
     benchmark: str,
     network: str,
@@ -73,11 +96,47 @@ def run_cached(
     scale: str,
 ) -> MachineStats:
     """One memoized manycore simulation."""
-    mcfg = MachineConfig(network=network, width=width, height=height)
-    workload = build_workload(
-        benchmark, mcfg, **kernel_params(benchmark, scale)
-    )
-    return Machine(mcfg, workload).run(max_cycles=3_000_000)
+    key = (benchmark, network, width, height, scale)
+    stats = _CACHE.get(key)
+    if stats is None:
+        stats = _CACHE[key] = _simulate(*key)
+    return stats
+
+
+def prime_cache(keys: Iterable[RunKey], jobs: int = 1) -> int:
+    """Fill the memo for ``keys``, optionally across worker processes.
+
+    Returns the number of simulations actually computed.  Each run is
+    deterministic per key, so parallel priming yields the same stats a
+    serial run would; subsequent :func:`run_cached` calls are hits.
+    """
+    missing = [k for k in dict.fromkeys(keys) if k not in _CACHE]
+    if not missing:
+        return 0
+    if jobs <= 1 or len(missing) == 1:
+        for key in missing:
+            run_cached(*key)
+        return len(missing)
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=jobs) as executor:
+        for key, stats in zip(missing, executor.map(_simulate_key, missing)):
+            _CACHE[key] = stats
+    return len(missing)
+
+
+def suite_keys(
+    scale: str,
+    width: int,
+    height: int,
+    fabrics: Sequence[str] = FABRICS,
+) -> List[RunKey]:
+    """All (benchmark, fabric) run keys a figure driver will need."""
+    return [
+        (benchmark, fabric, width, height, scale)
+        for benchmark in suite_for(scale)
+        for fabric in fabrics
+    ]
 
 
 def machine_config(network: str, width: int, height: int) -> MachineConfig:
@@ -85,7 +144,7 @@ def machine_config(network: str, width: int, height: int) -> MachineConfig:
 
 
 def clear_cache() -> None:
-    run_cached.cache_clear()
+    _CACHE.clear()
 
 
 def suite_for(scale: str) -> Tuple[str, ...]:

@@ -15,9 +15,11 @@ from repro.experiments.base import ExperimentResult, resolve_scale
 from repro.experiments.manycore_runs import (
     FABRICS,
     machine_config,
+    prime_cache,
     run_cached,
     size_for,
     suite_for,
+    suite_keys,
 )
 from repro.manycore.energy import system_energy
 from repro.manycore.stats import (
@@ -36,10 +38,13 @@ def _tile_area(fabric: str, width: int, height: int) -> float:
     return tile_area_increase(config)
 
 
-def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
+def run(
+    scale: Optional[str] = None, seed: int = 0, jobs: int = 1
+) -> ExperimentResult:
     scale = resolve_scale(scale)
     width, height = size_for(scale)
     suite = suite_for(scale)
+    prime_cache(suite_keys(scale, width, height), jobs=jobs)
 
     mesh_stats = {
         b: run_cached(b, "mesh", width, height, scale) for b in suite

@@ -24,6 +24,13 @@ class WavefrontAllocator:
         self.num_outputs = num_outputs
         self._priority = 0
         self._span = max(num_inputs, num_outputs)
+        # Scratch free-masks reused across calls (the allocator runs once
+        # per buffered VC router per cycle); reset by slice-assignment
+        # from the immutable templates below.
+        self._in_free = [True] * num_inputs
+        self._out_free = [True] * num_outputs
+        self._in_true = (True,) * num_inputs
+        self._out_true = (True,) * num_outputs
 
     def allocate(
         self, requests: Sequence[Sequence[bool]]
@@ -37,8 +44,10 @@ class WavefrontAllocator:
         """
         if len(requests) != self.num_inputs:
             raise ValueError("request matrix has wrong number of inputs")
-        in_free = [True] * self.num_inputs
-        out_free = [True] * self.num_outputs
+        in_free = self._in_free
+        out_free = self._out_free
+        in_free[:] = self._in_true
+        out_free[:] = self._out_true
         grants: List[Tuple[int, int]] = []
         span = self._span
         base = self._priority

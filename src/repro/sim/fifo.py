@@ -22,6 +22,8 @@ class Fifo(deque):
     bug (two arrivals on one channel in one cycle).
     """
 
+    __slots__ = ("depth",)
+
     def __init__(self, depth: int) -> None:
         super().__init__()
         if depth < 1:

@@ -30,6 +30,8 @@ from repro.sim.faults import FaultSchedule
 from repro.sim.metrics import RunMetrics
 from repro.sim.packet import Packet
 from repro.sim.router import (
+    KIND_DIRECT,
+    KIND_LINK,
     P_IDX,
     FbfcRouter,
     MetricsSink,
@@ -129,6 +131,11 @@ class Network:
                 for d in self.topology.output_directions(coord)
                 if (coord, d) not in killed
             ]
+            # Route decisions are pure functions of (node, input, dest,
+            # subnet); the memo dict is owned by the routing object so a
+            # sweep rebuilding networks for the same design point never
+            # recomputes a route it has already seen.
+            route_cache = self.routing.node_route_cache(coord)
             if config.uses_vcs:
                 router = VCRouter(
                     coord,
@@ -136,6 +143,7 @@ class Network:
                     self.routing.route_vc,
                     input_dirs,
                     config.num_vcs,
+                    route_cache=route_cache,
                 )
             elif config.fbfc:
                 from repro.core.params import TopologyKind
@@ -152,6 +160,7 @@ class Network:
                     input_dirs,
                     matrix,
                     ring_axes=ring_axes,
+                    route_cache=route_cache,
                 )
             else:
                 router = WormholeRouter(
@@ -160,6 +169,7 @@ class Network:
                     self.routing.route,
                     input_dirs,
                     matrix,
+                    route_cache=route_cache,
                 )
             self.routers[coord] = router
 
@@ -206,6 +216,13 @@ class Network:
             router.out_target[P_IDX] = sink
             router.finish_wiring()
         self._router_list = list(self.routers.values())
+        for idx, router in enumerate(self._router_list):
+            router.net_idx = idx
+        # Indexes (into _router_list) of routers currently holding at
+        # least one packet.  The cycle loop arbitrates only these,
+        # iterating a sorted view so the per-cycle order — and with it
+        # the transient-fault RNG stream — is identical to a full scan.
+        self._active: set = set()
 
     # ------------------------------------------------------------------
     # Injection
@@ -230,7 +247,9 @@ class Network:
             payload=payload,
         )
         self._next_pid += 1
-        self.routers[src].accept(pkt, P_IDX)
+        router = self.routers[src]
+        router.accept(pkt, P_IDX)
+        self._active.add(router.net_idx)
         self.occupancy += 1
         self.metrics.record_injection(measured)
         return pkt
@@ -266,6 +285,7 @@ class Network:
             router.accept(pkt, in_idx, 0)
         else:
             router.accept(pkt, in_idx)
+        self._active.add(router.net_idx)
         self.occupancy += 1
         self.metrics.record_injection(measured)
         return True
@@ -288,29 +308,39 @@ class Network:
     def step(self) -> int:
         """Advance one cycle; returns the number of switch traversals."""
         arrivals = 0
+        active = self._active
         if self._channels:
             for link in self._channels:
                 for pkt, lane in link.channel.deliveries(self.cycle):
                     link.router.accept(pkt, link.in_idx, lane)
+                    active.add(link.router.net_idx)
                     arrivals += 1
         moves: List[Move] = []
-        for router in self._router_list:
-            if router.occ:
-                router.arbitrate(moves)
+        if active:
+            router_list = self._router_list
+            # Quiescent routers never enter the active set, so the cycle
+            # loop touches only buffered routers; the sorted view keeps
+            # the arbitration (and hence move/RNG) order deterministic.
+            for idx in sorted(active):
+                router_list[idx].arbitrate(moves)
         ejections = 0
         if moves:
+            cycle = self.cycle
             hop_counts = self.metrics.hop_counts
             link_counts = self.metrics.link_counts
+            has_transient = self._has_transient
             for router, in_idx, vc, out_idx, pkt in moves:
                 router.pop(in_idx, vc)
+                if not router.occ:
+                    active.discard(router.net_idx)
                 channel = router.in_channel[in_idx]
                 if channel is not None:
-                    channel.credit_return(self.cycle, vc)
-                if self._has_transient and out_idx != P_IDX:
+                    channel.credit_return(cycle, vc)
+                if has_transient and out_idx != P_IDX:
                     fault = self.faults.transient_on(router.coord, out_idx)
                     if (
                         fault is not None
-                        and fault.active(self.cycle)
+                        and fault.active(cycle)
                         and self._drop_rng.random() < fault.drop_prob
                     ):
                         # The flit dies on the faulty wires: it left its
@@ -322,23 +352,25 @@ class Network:
                 if link_counts is not None and out_idx != P_IDX:
                     key = (router.coord, out_idx)
                     link_counts[key] = link_counts.get(key, 0) + 1
+                kind = router.out_kind[out_idx]
                 target = router.out_target[out_idx]
-                if isinstance(target, Sink):
+                if kind == KIND_DIRECT:  # router-to-router is the hot case
+                    pkt.hops += 1
+                    hop_counts[out_idx] += 1
+                    down, idx = target
+                    down.accept(pkt, idx, pkt.out_vc)
+                    active.add(down.net_idx)
+                elif kind == KIND_LINK:
+                    pkt.hops += 1
+                    hop_counts[out_idx] += 1
+                    target.channel.send(pkt, cycle, pkt.out_vc)
+                else:  # sink (KIND_SINK / KIND_SINK_FREE)
                     if out_idx != P_IDX:
                         pkt.hops += 1
                         hop_counts[out_idx] += 1
                     self.occupancy -= 1
                     ejections += 1
-                    target.deliver(pkt, self.cycle)
-                elif isinstance(target, PipelinedLink):
-                    pkt.hops += 1
-                    hop_counts[out_idx] += 1
-                    target.channel.send(pkt, self.cycle, pkt.out_vc)
-                else:
-                    pkt.hops += 1
-                    hop_counts[out_idx] += 1
-                    down, idx = target
-                    down.accept(pkt, idx, pkt.out_vc)
+                    target.deliver(pkt, cycle)
         watchdog = self.watchdog
         if moves or arrivals:
             self._idle_cycles = 0

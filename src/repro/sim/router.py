@@ -13,6 +13,15 @@ sharing one crossbar port through a VC mux (Figure 3c — this is what
 halves the peak crossbar bandwidth), requests gated on downstream credit
 availability ("ready-then-valid"), and switch allocation by a wavefront
 allocator with rotating priority.
+
+Hot-path note: arbitration runs once per buffered router per cycle, so
+:meth:`finish_wiring` compiles the wiring into flat per-output plans
+(``(output, candidates, readiness kind, readiness object)`` tuples) that
+the per-cycle loops dispatch on with integer compares instead of
+``isinstance`` chains.  Grant decisions and round-robin pointer updates
+are bit-identical to the straightforward formulation; the cross-check
+against :class:`~repro.sim.arbiter.RoundRobinArbiter` lives in the test
+suite.
 """
 
 from __future__ import annotations
@@ -32,6 +41,14 @@ P_IDX = int(Direction.P)
 #: A committed switch traversal: (router, input port, input VC, output
 #: port, packet).  The network applies all moves of a cycle atomically.
 Move = Tuple["BaseRouter", int, int, int, Packet]
+
+#: Readiness/commit dispatch codes compiled by ``finish_wiring``.
+#: The network's commit loop and the routers' arbitration plans share
+#: these so neither needs ``isinstance`` per flit.
+KIND_SINK = 0       #: a Sink whose ``ready()`` must be consulted
+KIND_LINK = 1       #: a PipelinedLink (multi-cycle, credit-controlled)
+KIND_DIRECT = 2     #: a direct (router, input index) wire
+KIND_SINK_FREE = 3  #: a Sink that is statically always ready
 
 
 class Sink:
@@ -75,6 +92,20 @@ class PipelinedLink:
         self.in_idx = in_idx
 
 
+def _target_kind(target) -> int:
+    """Dispatch code for one wired output target (see KIND_*)."""
+    if isinstance(target, Sink):
+        # A sink whose class never overrode ready() is statically ready;
+        # skipping the method call matters at ejection rates of one flit
+        # per tile per cycle.
+        if type(target).ready is Sink.ready:
+            return KIND_SINK_FREE
+        return KIND_SINK
+    if isinstance(target, PipelinedLink):
+        return KIND_LINK
+    return KIND_DIRECT
+
+
 class BaseRouter:
     """State and wiring shared by both router models."""
 
@@ -83,22 +114,37 @@ class BaseRouter:
         "depth",
         "in_q",
         "out_target",
+        "out_kind",
         "candidates",
         "occ",
         "route_cache",
         "in_channel",
+        "net_idx",
     )
 
-    def __init__(self, coord: Coord, depth: int) -> None:
+    def __init__(self, coord: Coord, depth: int,
+                 route_cache: Optional[Dict] = None) -> None:
         self.coord = coord
         self.depth = depth
         self.occ = 0
-        self.route_cache: Dict = {}
+        # Route memo; the network shares one per-node dict across router
+        # instances of the same config (see RoutingAlgorithm.
+        # node_route_cache) so repeated runs skip recomputation entirely.
+        self.route_cache: Dict = {} if route_cache is None else route_cache
         # out_target[o] is None (port absent), a (router, in_idx) pair, a
         # PipelinedLink, or a Sink.  Filled in by the network's wiring.
         self.out_target: List = [None] * NUM_DIRS
+        # out_kind[o] is the KIND_* code of out_target[o] (None when the
+        # port is absent); compiled by finish_wiring for the commit loop.
+        self.out_kind: List[Optional[int]] = [None] * NUM_DIRS
         # Credit-return hooks for inputs fed by pipelined channels.
         self.in_channel: List[Optional[PipelinedChannel]] = [None] * NUM_DIRS
+        # Position in the network's router list (active-set bookkeeping).
+        self.net_idx = 0
+
+    def _compile_out_kinds(self) -> None:
+        for o, target in enumerate(self.out_target):
+            self.out_kind[o] = None if target is None else _target_kind(target)
 
     def pop(self, in_idx: int, vc: int) -> Packet:
         raise NotImplementedError
@@ -117,7 +163,10 @@ class WormholeRouter(BaseRouter):
     the Ruche router's short critical path.
     """
 
-    __slots__ = ("route_fn", "arb", "active_outputs")
+    __slots__ = (
+        "route_fn", "arb", "active_outputs", "_plan",
+        "_in_list", "_posmap", "_reqmask",
+    )
 
     def __init__(
         self,
@@ -126,8 +175,9 @@ class WormholeRouter(BaseRouter):
         route_fn: Callable,
         input_dirs: Sequence[int],
         matrix: Dict[Direction, frozenset],
+        route_cache: Optional[Dict] = None,
     ) -> None:
-        super().__init__(coord, depth)
+        super().__init__(coord, depth, route_cache)
         self.route_fn = route_fn
         # Input queues: P is the (unbounded) source queue; others are
         # bounded FIFOs, present only where a channel arrives.
@@ -148,12 +198,51 @@ class WormholeRouter(BaseRouter):
             self.candidates[int(out_dir)] = cands
         self.arb = [0] * NUM_DIRS
         self.active_outputs: Tuple[int, ...] = ()
+        # Per-output arbitration plan, compiled by finish_wiring:
+        # (o, cands, len(cands), kind, readiness object, fifo depth).
+        self._plan: Tuple[tuple, ...] = ()
+        # Present input ports, ascending (the candidate-list order).
+        self._in_list: Tuple[int, ...] = tuple(
+            i for i in range(NUM_DIRS) if self.in_q[i] is not None
+        )
+        # _posmap[o * NUM_DIRS + i]: position of input i in candidates[o]
+        # (-1 when the crossbar does not admit the turn).
+        posmap = [-1] * (NUM_DIRS * NUM_DIRS)
+        for o in range(NUM_DIRS):
+            for pos, i in enumerate(self.candidates[o]):
+                posmap[o * NUM_DIRS + i] = pos
+        self._posmap: Tuple[int, ...] = tuple(posmap)
+        # Per-output bitmask of requesting candidate positions, rebuilt
+        # (and cleared) every arbitration cycle.
+        self._reqmask = [0] * NUM_DIRS
 
     def finish_wiring(self) -> None:
-        """Freeze the list of wired outputs once the network connected them."""
+        """Freeze the wired outputs into a flat arbitration plan."""
         self.active_outputs = tuple(
             o for o in range(NUM_DIRS) if self.out_target[o] is not None
         )
+        self._compile_out_kinds()
+        plan = []
+        for o in self.active_outputs:
+            cands = self.candidates[o]
+            if not cands:
+                continue
+            target = self.out_target[o]
+            kind = self.out_kind[o]
+            if kind == KIND_DIRECT:
+                down_router, down_idx = target
+                # The downstream FIFO object is stable after wiring;
+                # binding it here removes two indirections per check.
+                obj = down_router.in_q[down_idx]
+                depth = obj.depth
+            elif kind == KIND_LINK:
+                obj = target.channel
+                depth = 0
+            else:  # sink (free or gated)
+                obj = target
+                depth = 0
+            plan.append((o, cands, len(cands), kind, obj, depth))
+        self._plan = tuple(plan)
 
     def accept(self, pkt: Packet, in_idx: int, in_vc: int = 0) -> None:
         """Enqueue an arriving packet and cache its route decision."""
@@ -175,35 +264,52 @@ class WormholeRouter(BaseRouter):
         return self.in_q[in_idx].popleft()
 
     def arbitrate(self, moves: List[Move]) -> None:
+        """One cycle of per-output round-robin arbitration.
+
+        Request-driven formulation of the per-output round-robin scan:
+        one pass over the occupied input heads builds a bitmask of
+        requesting candidate positions per output, then each requested
+        output resolves its winner — the first set bit cyclically from
+        the round-robin pointer, which is exactly the input the
+        per-output candidate scan would have granted.  Readiness is
+        consulted only for the winner; the pointer advances only on a
+        grant, so grants and pointer trajectories are bit-identical to
+        the straightforward formulation.
+        """
         in_q = self.in_q
-        for o in self.active_outputs:
-            target = self.out_target[o]
-            if isinstance(target, Sink):
-                if not target.ready():
-                    continue
-            elif isinstance(target, PipelinedLink):
-                if not target.channel.can_send(0):
-                    continue
-            else:
-                down_router, down_idx = target
-                down_fifo = down_router.in_q[down_idx]
-                if len(down_fifo) >= down_fifo.depth:
-                    continue
-            cands = self.candidates[o]
-            n = len(cands)
-            if not n:
+        reqmask = self._reqmask
+        posmap = self._posmap
+        for i in self._in_list:
+            q = in_q[i]
+            if q:
+                o = q[0].out_dir
+                pos = posmap[o * NUM_DIRS + i]
+                if pos >= 0:
+                    reqmask[o] |= 1 << pos
+        arb = self.arb
+        for o, cands, n, kind, obj, fifo_depth in self._plan:
+            m = reqmask[o]
+            if not m:
                 continue
-            ptr = self.arb[o]
-            for k in range(n):
-                pos = ptr + k
+            reqmask[o] = 0
+            pos = arb[o]
+            while not (m >> pos) & 1:
+                pos += 1
                 if pos >= n:
-                    pos -= n
-                i = cands[pos]
-                q = in_q[i]
-                if q and q[0].out_dir == o:
-                    self.arb[o] = pos + 1 if pos + 1 < n else 0
-                    moves.append((self, i, 0, o, q[0]))
-                    break
+                    pos = 0
+            if kind == KIND_DIRECT:
+                if len(obj) >= fifo_depth:
+                    continue
+            elif kind == KIND_SINK:
+                if not obj.ready():
+                    continue
+            elif kind == KIND_LINK:
+                if not obj.can_send(0):
+                    continue
+            # KIND_SINK_FREE: always ready.
+            arb[o] = pos + 1 if pos + 1 < n else 0
+            in_idx = cands[pos]
+            moves.append((self, in_idx, 0, o, in_q[in_idx][0]))
 
 
 class FbfcRouter(WormholeRouter):
@@ -227,8 +333,12 @@ class FbfcRouter(WormholeRouter):
         input_dirs: Sequence[int],
         matrix: Dict[Direction, frozenset],
         ring_axes: Sequence[str] = ("x",),
+        route_cache: Optional[Dict] = None,
     ) -> None:
-        super().__init__(coord, depth, route_fn, input_dirs, matrix)
+        super().__init__(
+            coord, depth, route_fn, input_dirs, matrix,
+            route_cache=route_cache,
+        )
         horizontal = {int(Direction.W), int(Direction.E)}
         vertical = {int(Direction.N), int(Direction.S)}
         # _entry_need[o][i]: FIFO slots required for input i to win
@@ -248,26 +358,22 @@ class FbfcRouter(WormholeRouter):
 
     def arbitrate(self, moves: List[Move]) -> None:
         in_q = self.in_q
-        for o in self.active_outputs:
-            target = self.out_target[o]
-            if isinstance(target, Sink):
-                if not target.ready():
+        arb = self.arb
+        for o, cands, n, kind, obj, fifo_depth in self._plan:
+            if kind == KIND_DIRECT:
+                free = fifo_depth - len(obj)
+            elif kind == KIND_LINK:
+                free = obj.credits[0]
+            elif kind == KIND_SINK:
+                if not obj.ready():
                     continue
                 free = self.depth  # ejection is not a ring entry
-            elif isinstance(target, PipelinedLink):
-                free = target.channel.credits[0]
-            else:
-                down_router, down_idx = target
-                down_fifo = down_router.in_q[down_idx]
-                free = down_fifo.depth - len(down_fifo)
+            else:  # KIND_SINK_FREE
+                free = self.depth
             if free <= 0:
                 continue
-            cands = self.candidates[o]
-            n = len(cands)
-            if not n:
-                continue
             needs = self._entry_need[o]
-            ptr = self.arb[o]
+            ptr = arb[o]
             for k in range(n):
                 pos = ptr + k
                 if pos >= n:
@@ -275,7 +381,7 @@ class FbfcRouter(WormholeRouter):
                 i = cands[pos]
                 q = in_q[i]
                 if q and q[0].out_dir == o and free >= needs[i]:
-                    self.arb[o] = pos + 1 if pos + 1 < n else 0
+                    arb[o] = pos + 1 if pos + 1 < n else 0
                     moves.append((self, i, 0, o, q[0]))
                     break
 
@@ -294,7 +400,10 @@ class VCRouter(BaseRouter):
       (wavefront) and a per-input round-robin picks among requesting VCs.
     """
 
-    __slots__ = ("route_vc_fn", "num_ports", "num_vcs", "vc_rr", "alloc", "ports")
+    __slots__ = (
+        "route_vc_fn", "num_ports", "num_vcs", "vc_rr", "alloc", "ports",
+        "_out_space", "_requests", "_candmask", "_touched",
+    )
 
     #: Torus routers use only the five mesh directions.
     NUM_PORTS = 5
@@ -306,8 +415,9 @@ class VCRouter(BaseRouter):
         route_vc_fn: Callable,
         input_dirs: Sequence[int],
         num_vcs: int,
+        route_cache: Optional[Dict] = None,
     ) -> None:
-        super().__init__(coord, depth)
+        super().__init__(coord, depth, route_cache)
         self.route_vc_fn = route_vc_fn
         self.num_vcs = num_vcs
         self.num_ports = self.NUM_PORTS
@@ -321,9 +431,43 @@ class VCRouter(BaseRouter):
         self.ports = tuple(
             i for i in range(self.NUM_PORTS) if self.in_q[i] is not None
         )
+        # Per-output space-check plan: (kind, obj) where obj is the
+        # downstream lane tuple (KIND_DIRECT), channel (KIND_LINK) or
+        # sink; compiled by finish_wiring.
+        self._out_space: List[Optional[tuple]] = [None] * self.NUM_PORTS
+        # Reused per-cycle request state (allocation-free steady state):
+        # the boolean matrix handed to the allocator plus a flat bitmask
+        # of requesting VC lanes per (input, output) pair.
+        nports = self.NUM_PORTS
+        self._requests = [[False] * nports for _ in range(nports)]
+        self._candmask = [0] * (nports * nports)
+        self._touched: List[int] = []
 
     def finish_wiring(self) -> None:
-        pass
+        self._compile_out_kinds()
+        for o in range(self.num_ports):
+            if self.out_target[o] is not None:
+                self._compile_out_space(o)
+
+    def _compile_out_space(self, o: int) -> Optional[tuple]:
+        """Build (and memoize) the space-check plan for one output."""
+        target = self.out_target[o]
+        if target is None:
+            return None
+        kind = _target_kind(target)
+        if kind == KIND_DIRECT:
+            down_router, down_idx = target
+            lanes = down_router.in_q[down_idx]
+            if down_idx == P_IDX:
+                # Injection-side entry: a single unbounded lane.
+                lanes = tuple(lanes[0] for _ in range(self.num_vcs))
+            plan = (kind, lanes)
+        elif kind == KIND_LINK:
+            plan = (kind, target.channel)
+        else:
+            plan = (kind, target)
+        self._out_space[o] = plan
+        return plan
 
     def accept(self, pkt: Packet, in_idx: int, in_vc: int = 0) -> None:
         pkt.vc = in_vc
@@ -348,47 +492,69 @@ class VCRouter(BaseRouter):
         return lanes[lane].popleft()
 
     def _space_downstream(self, pkt: Packet) -> bool:
-        o = pkt.out_dir
-        target = self.out_target[o]
-        if target is None:
-            return False
-        if isinstance(target, Sink):
-            return target.ready()
-        if isinstance(target, PipelinedLink):
-            return target.channel.can_send(pkt.out_vc)
-        down_router, down_idx = target
-        lanes = down_router.in_q[down_idx]
-        if down_idx == P_IDX:
-            fifo = lanes[0]
-        else:
-            fifo = lanes[pkt.out_vc]
-        return len(fifo) < fifo.depth
+        plan = self._out_space[pkt.out_dir]
+        if plan is None:
+            # Lazy compile: unit tests wire outputs by hand without
+            # calling finish_wiring.
+            plan = self._compile_out_space(pkt.out_dir)
+            if plan is None:
+                return False
+        kind, obj = plan
+        if kind == KIND_DIRECT:
+            fifo = obj[pkt.out_vc]
+            return len(fifo) < fifo.depth
+        if kind == KIND_SINK_FREE:
+            return True
+        if kind == KIND_LINK:
+            return obj.can_send(pkt.out_vc)
+        return obj.ready()
 
     def arbitrate(self, moves: List[Move]) -> None:
         nports = self.num_ports
-        requests = [[False] * nports for _ in range(nports)]
-        # candidates[i][o] -> list of VC lane indices with a valid request
-        candidates: List[Dict[int, List[int]]] = [dict() for _ in range(nports)]
+        requests = self._requests
+        candmask = self._candmask
+        touched = self._touched
+        space = self._space_downstream
         any_request = False
         for i in self.ports:
             lanes = self.in_q[i]
+            base = i * nports
             for lane, fifo in enumerate(lanes):
                 if not fifo:
                     continue
                 pkt = fifo[0]
-                if not self._space_downstream(pkt):
+                if not space(pkt):
                     continue
                 o = pkt.out_dir
-                requests[i][o] = True
-                candidates[i].setdefault(o, []).append(lane)
+                idx = base + o
+                if not candmask[idx]:
+                    requests[i][o] = True
+                    touched.append(idx)
+                candmask[idx] |= 1 << lane
                 any_request = True
         if not any_request:
             return
+        num_vcs = self.num_vcs
         for i, o in self.alloc.allocate(requests):
-            lanes = candidates[i][o]
-            # Per-input round-robin among requesting VCs (the VC mux).
+            mask = candmask[i * nports + o]
+            # Per-input round-robin among requesting VCs (the VC mux):
+            # the winning lane minimizes (lane - ptr) mod num_vcs.
             ptr = self.vc_rr[i]
-            lane = min(lanes, key=lambda v: (v - ptr) % self.num_vcs)
-            self.vc_rr[i] = (lane + 1) % self.num_vcs
-            pkt = self.in_q[i][lane][0]
-            moves.append((self, i, lane, o, pkt))
+            best = 0
+            best_key = num_vcs
+            lane = 0
+            while mask:
+                if mask & 1:
+                    key = (lane - ptr) % num_vcs
+                    if key < best_key:
+                        best_key = key
+                        best = lane
+                mask >>= 1
+                lane += 1
+            self.vc_rr[i] = (best + 1) % num_vcs
+            pkt = self.in_q[i][best][0]
+            moves.append((self, i, best, o, pkt))
+        for idx in touched:
+            candmask[idx] = 0
+            requests[idx // nports][idx % nports] = False
+        touched.clear()

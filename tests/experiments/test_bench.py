@@ -1,0 +1,114 @@
+"""Unit tests for the repro.bench microbenchmark harness."""
+
+import pytest
+
+from repro.bench import (
+    CASES,
+    SCHEMA,
+    compare_to_baseline,
+    load_report,
+    measure_case,
+    write_report,
+)
+
+
+def _report(cases, campaign=None):
+    report = {
+        "schema": SCHEMA,
+        "mode": "quick",
+        "cases": [
+            {"name": name, "cycles_per_sec": cps}
+            for name, cps in cases.items()
+        ],
+    }
+    if campaign is not None:
+        report["campaign"] = campaign
+    return report
+
+
+class TestCompareToBaseline:
+    def setup_method(self):
+        self.base = _report({"mesh": 1000.0, "torus": 500.0})
+
+    def test_within_tolerance_passes(self):
+        report = _report({"mesh": 900.0, "torus": 520.0})
+        regressions, notes = compare_to_baseline(
+            report, self.base, tolerance=0.20
+        )
+        assert regressions == [] and notes == []
+
+    def test_slowdown_past_tolerance_is_regression(self):
+        report = _report({"mesh": 700.0, "torus": 500.0})
+        regressions, _ = compare_to_baseline(
+            report, self.base, tolerance=0.20
+        )
+        assert len(regressions) == 1
+        assert "mesh" in regressions[0]
+        assert "below the tolerance floor" in regressions[0]
+
+    def test_missing_case_is_regression(self):
+        report = _report({"mesh": 1000.0})
+        regressions, _ = compare_to_baseline(report, self.base)
+        assert regressions == ["torus: missing from report"]
+
+    def test_improvement_is_note_not_failure(self):
+        report = _report({"mesh": 1500.0, "torus": 500.0})
+        regressions, notes = compare_to_baseline(
+            report, self.base, tolerance=0.20
+        )
+        assert regressions == []
+        assert len(notes) == 1 and "refreshing" in notes[0]
+
+    def test_extra_report_case_ignored(self):
+        report = _report(
+            {"mesh": 1000.0, "torus": 500.0, "newcase": 1.0}
+        )
+        regressions, notes = compare_to_baseline(report, self.base)
+        assert regressions == [] and notes == []
+
+    def test_nonidentical_campaign_rows_are_regression(self):
+        report = _report(
+            {"mesh": 1000.0, "torus": 500.0},
+            campaign={"rows_identical": False},
+        )
+        regressions, _ = compare_to_baseline(report, self.base)
+        assert any("determinism" in r for r in regressions)
+
+    def test_identical_campaign_rows_pass(self):
+        report = _report(
+            {"mesh": 1000.0, "torus": 500.0},
+            campaign={"rows_identical": True},
+        )
+        regressions, _ = compare_to_baseline(report, self.base)
+        assert regressions == []
+
+
+class TestReportIO:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "bench.json")
+        report = _report({"mesh": 1234.5})
+        write_report(report, path)
+        assert load_report(path) == report
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        path = str(tmp_path / "bad.json")
+        write_report(dict(_report({}), schema="something-else"), path)
+        with pytest.raises(ValueError, match="unknown bench schema"):
+            load_report(path)
+
+
+class TestMeasureCase:
+    def test_smallest_case_reports_sane_numbers(self):
+        case = measure_case("mesh-8x8-ur", repeats=1)
+        assert case["name"] == "mesh-8x8-ur"
+        assert case["total_cycles"] > 0
+        assert case["best_seconds"] > 0
+        assert case["cycles_per_sec"] == pytest.approx(
+            case["total_cycles"] / case["best_seconds"], rel=1e-3
+        )
+
+    def test_all_canonical_cases_are_well_formed(self):
+        for name, case in CASES.items():
+            assert case["measure"] > 0 and case["warmup"] >= 0
+            assert case["drain_limit"] >= case["measure"]
+            assert 0.0 < case["rate"] <= 1.0

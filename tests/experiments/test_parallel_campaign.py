@@ -1,0 +1,198 @@
+"""Parallel campaign sharding: determinism, crash recovery, atomicity.
+
+The ``jobs > 1`` path of :func:`repro.experiments.campaign.run_campaign`
+promises results bit-identical to a serial run.  These tests pin that
+contract on a real fig6 slice, on hypothesis-generated grids, and on
+the failure paths a process pool adds: worker crashes (pool rebuild +
+per-row crash budget) and checkpoint writes killed mid-flush.
+"""
+
+import glob
+import json
+import os
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DeadlockError
+from repro.experiments.campaign import (
+    CheckpointStore,
+    row_key,
+    run_campaign,
+)
+from repro.experiments.fig6_synthetic_full import _run_row, make_grid
+
+# --- module-level runners (must be picklable for the pool) -----------
+
+
+def hash_runner(params):
+    """Pure, cheap row: output depends only on the parameter dict."""
+    digest = sum(ord(c) for c in row_key(params))
+    return dict(params, value=digest)
+
+
+def deadlock_until_retried(params):
+    """Recoverable failure until the retry advances the seed."""
+    if params["seed"] < 1000:
+        raise DeadlockError("wedged at original seed")
+    return dict(params, value=params["seed"])
+
+
+def crash_once(params):
+    """Hard worker death on first attempt; clean row once the
+    sentinel exists."""
+    sentinel = params["sentinel"]
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w", encoding="utf-8") as fh:
+            fh.write("crashed\n")
+        os._exit(17)
+    return dict(params, value="recovered")
+
+
+def crash_always(params):
+    if params.get("poison"):
+        os._exit(17)
+    return dict(params, value="fine")
+
+
+# --- serial/parallel equivalence -------------------------------------
+
+
+class TestParallelEquivalence:
+    def test_fig6_slice_identical_to_serial(self):
+        grid = make_grid("smoke", seed=1)[:2]
+        serial = run_campaign(grid, _run_row, jobs=1)
+        parallel = run_campaign(grid, _run_row, jobs=4)
+        assert serial.ok and parallel.ok
+        assert parallel.rows == serial.rows
+        assert parallel.computed == serial.computed == len(grid)
+
+    @settings(max_examples=5, deadline=None)
+    @given(
+        grid=st.lists(
+            st.fixed_dictionaries(
+                {
+                    "config": st.sampled_from(["mesh", "torus"]),
+                    "load": st.integers(0, 5),
+                    "seed": st.integers(0, 3),
+                }
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_property_jobs_is_invisible(self, grid):
+        serial = run_campaign(grid, hash_runner, jobs=1)
+        parallel = run_campaign(grid, hash_runner, jobs=3)
+        assert parallel.rows == serial.rows
+        assert parallel.computed == serial.computed
+        assert parallel.retried == serial.retried
+
+    def test_recoverable_retries_run_inside_workers(self):
+        grid = [{"config": "mesh", "seed": s} for s in (1, 2, 3)]
+        serial = run_campaign(grid, deadlock_until_retried, jobs=1)
+        parallel = run_campaign(grid, deadlock_until_retried, jobs=2)
+        assert parallel.rows == serial.rows
+        assert serial.retried == parallel.retried == 3
+        assert [r["value"] for r in parallel.rows] == [1001, 1002, 1003]
+
+    def test_parallel_checkpoint_bytes_match_serial(self, tmp_path):
+        grid = [{"config": "mesh", "load": n, "seed": 1}
+                for n in range(4)]
+        serial_path = str(tmp_path / "serial.json")
+        parallel_path = str(tmp_path / "parallel.json")
+        run_campaign(grid, hash_runner,
+                     checkpoint=CheckpointStore(serial_path))
+        run_campaign(grid, hash_runner,
+                     checkpoint=CheckpointStore(parallel_path), jobs=3)
+        with open(serial_path, "rb") as fh:
+            serial_bytes = fh.read()
+        with open(parallel_path, "rb") as fh:
+            parallel_bytes = fh.read()
+        assert serial_bytes == parallel_bytes
+
+    def test_jobs_below_one_rejected(self):
+        try:
+            run_campaign([], hash_runner, jobs=0)
+        except ValueError as exc:
+            assert "jobs" in str(exc)
+        else:  # pragma: no cover - failure path
+            raise AssertionError("jobs=0 accepted")
+
+
+# --- worker-crash policy ---------------------------------------------
+
+
+class TestWorkerCrashes:
+    def test_crashed_worker_is_retried_on_fresh_pool(self, tmp_path):
+        sentinel = str(tmp_path / "crashed-once")
+        grid = [{"config": "mesh", "seed": 1, "sentinel": sentinel}]
+        result = run_campaign(grid, crash_once, jobs=2)
+        assert result.ok
+        assert result.rows[0]["value"] == "recovered"
+        assert os.path.exists(sentinel)
+
+    def test_poisoned_row_fails_without_killing_campaign(self):
+        grid = [
+            {"config": "mesh", "seed": 1},
+            {"config": "torus", "seed": 2},
+            {"config": "mesh", "seed": 3, "poison": True},
+        ]
+        result = run_campaign(grid, crash_always, jobs=2, max_retries=2)
+        assert not result.ok
+        assert len(result.failures) == 1
+        poisoned = result.rows[2]
+        assert poisoned["failed"]
+        assert "worker process crashed" in poisoned["error"]
+        # The healthy rows still completed, in grid order.
+        assert result.rows[0]["value"] == "fine"
+        assert result.rows[1]["value"] == "fine"
+
+
+# --- checkpoint atomicity under a kill mid-write ---------------------
+
+
+class TestCheckpointAtomicity:
+    def test_kill_mid_write_preserves_file_and_resumes(
+        self, tmp_path, monkeypatch
+    ):
+        path = str(tmp_path / "ckpt.json")
+        grid = [{"config": "mesh", "load": n, "seed": 1}
+                for n in range(3)]
+
+        store = CheckpointStore(path)
+        store.put(row_key(grid[0]), hash_runner(grid[0]))
+        with open(path, "rb") as fh:
+            good_bytes = fh.read()
+
+        real_dump = json.dump
+
+        def dying_dump(obj, fh, **kwargs):
+            fh.write('{"half-written')
+            fh.flush()
+            raise KeyboardInterrupt("killed mid-write")
+
+        with monkeypatch.context() as patched:
+            patched.setattr(
+                "repro.experiments.campaign.json.dump", dying_dump
+            )
+            try:
+                store.put(row_key(grid[1]), hash_runner(grid[1]))
+            except KeyboardInterrupt:
+                pass
+            else:  # pragma: no cover - failure path
+                raise AssertionError("dying dump did not raise")
+
+        assert json.dump is real_dump
+        # The committed file is untouched and no temp files leak.
+        with open(path, "rb") as fh:
+            assert fh.read() == good_bytes
+        assert glob.glob(str(tmp_path / ".campaign-*")) == []
+
+        # A fresh process resumes cleanly: row 0 reused, rest computed.
+        resumed = run_campaign(
+            grid, hash_runner, checkpoint=CheckpointStore(path)
+        )
+        assert resumed.ok
+        assert resumed.reused == 1 and resumed.computed == 2
+        assert resumed.rows == [hash_runner(p) for p in grid]
