@@ -30,8 +30,7 @@ import json
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.core.params import NetworkConfig
-from repro.sim.simulator import run_synthetic
+from repro.core.spec import NetworkSpec, build_run
 
 SCHEMA = "repro-bench-v1"
 
@@ -60,28 +59,33 @@ CASES: Dict[str, Dict[str, Any]] = {
 REPEATS = {"quick": 2, "full": 4}
 
 
-def _build_config(spec: Tuple[str, int, int, dict]) -> NetworkConfig:
-    name, width, height, kwargs = spec
-    return NetworkConfig.from_name(name, width, height, **kwargs)
+def _case_spec(name: str, seed: int = 1) -> NetworkSpec:
+    """The declarative design point behind one canonical case."""
+    case = CASES[name]
+    config_name, width, height, kwargs = case["config"]
+    return NetworkSpec.for_network(
+        config_name,
+        width,
+        height,
+        pattern=case["pattern"],
+        rate=case["rate"],
+        warmup=case["warmup"],
+        measure=case["measure"],
+        drain_limit=case["drain_limit"],
+        seed=seed,
+        **kwargs,
+    )
 
 
 def measure_case(name: str, repeats: int, seed: int = 1) -> Dict[str, Any]:
     """Best-of-``repeats`` cycles/sec for one canonical case."""
     case = CASES[name]
-    config = _build_config(case["config"])
+    spec = _case_spec(name, seed=seed)
     best_seconds = None
     result = None
     for _ in range(repeats):
         start = time.perf_counter()
-        result = run_synthetic(
-            config,
-            case["pattern"],
-            case["rate"],
-            warmup=case["warmup"],
-            measure=case["measure"],
-            drain_limit=case["drain_limit"],
-            seed=seed,
-        )
+        result = build_run(spec)
         elapsed = time.perf_counter() - start
         if best_seconds is None or elapsed < best_seconds:
             best_seconds = elapsed

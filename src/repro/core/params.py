@@ -204,8 +204,28 @@ class NetworkConfig:
             return cls(TopologyKind.MULTI_MESH, width, height, **overrides)
         match = _NAME_RE.match(lowered)
         if match is None:
+            if lowered.startswith("ruche"):
+                # Name the bad token: ruche<RF> must be digits and the
+                # optional suffix must be -pop or -depop.
+                stem, _, suffix = lowered.partition("-")
+                if not stem[len("ruche"):].isdigit():
+                    raise ConfigError(
+                        f"unrecognized network name: {name!r} "
+                        f"(bad Ruche Factor in {stem!r}; expected "
+                        f"ruche<RF> with RF a positive integer)"
+                    )
+                raise ConfigError(
+                    f"unrecognized network name: {name!r} (bad "
+                    f"population suffix {suffix!r}; expected 'pop' "
+                    f"or 'depop')"
+                )
             raise ConfigError(f"unrecognized network name: {name!r}")
         rf = int(match.group("rf"))
+        if rf == 0:
+            raise ConfigError(
+                f"unrecognized network name: {name!r} (bad Ruche "
+                f"Factor 'ruche0'; RF must be >= 1)"
+            )
         depop = match.group("pop") != "pop"
         if rf == 1 and not half:
             # ruche1 is Ruche-One: fully-populated by definition.

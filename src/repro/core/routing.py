@@ -44,6 +44,7 @@ from typing import (
 
 from repro.core.coords import Coord, Direction
 from repro.core.params import DorOrder, NetworkConfig, TopologyKind
+from repro.core.registry import register_routing
 from repro.errors import ConfigError, RoutingError
 
 if TYPE_CHECKING:
@@ -636,3 +637,39 @@ def make_routing(config: NetworkConfig) -> RoutingAlgorithm:
     if kind.is_torus:
         return TorusDOR(config)
     raise RoutingError(f"no routing algorithm for {kind!r}")
+
+
+def clear_routing_caches() -> None:
+    """Drop the memoized routing instances (and their route tables).
+
+    Long ``--jobs N`` campaign workers call this from their pool
+    initializer so a sweep over many design points cannot accumulate an
+    unbounded set of per-node route caches across worker reuse; the
+    ``lru_cache`` bound (128 configs) caps growth *within* a worker.
+    """
+    make_routing.cache_clear()
+
+
+# Registered names let a spec (or a plugin) pick an algorithm explicitly
+# instead of relying on the config-kind dispatch in make_routing.
+register_routing(
+    "mesh-dor", description="minimal X-Y / Y-X dimension-ordered routing"
+)(MeshDOR)
+register_routing(
+    "ruche-dor",
+    description=(
+        "Ruche-first / local-first DOR (pop and depop, Figure 4)"
+    ),
+)(RucheDOR)
+register_routing(
+    "ruche-one",
+    description="RF=1 dual-subnet routing balanced by path parity",
+)(RucheOneRouting)
+register_routing(
+    "multi-mesh",
+    description="two parallel meshes balanced by path parity",
+)(MultiMeshRouting)
+register_routing(
+    "torus-dor",
+    description="shortest-way ring DOR with dateline VC promotion",
+)(TorusDOR)

@@ -1,0 +1,501 @@
+"""Declarative network specs and the single construction path.
+
+A :class:`NetworkSpec` is a frozen, JSON-serializable description of one
+simulation design point: topology name and dimensions, config options,
+routing/router/allocator overrides, traffic pattern and rate, the
+three-phase measurement window, and the fault/watchdog knobs.  Specs are
+hashable (options are stored as a sorted tuple of pairs), so they can
+key caches and campaign checkpoints directly.
+
+Construction of simulator objects goes through this module and nowhere
+else:
+
+* :func:`build_network` — a wired :class:`~repro.sim.network.Network`
+  from a spec or a bare :class:`~repro.core.params.NetworkConfig`;
+* :func:`build_run` — one open-loop measurement
+  (:func:`~repro.sim.simulator.run_synthetic`) of a spec;
+* :func:`build_routing` / :func:`build_pattern` — the named component
+  lookups behind the network;
+* :func:`network_components` — the (topology, routing, matrix) bundle a
+  :class:`~repro.sim.network.Network` consumes.
+
+Topology names resolve through :data:`repro.core.registry.TOPOLOGIES`,
+so a plugin registered with
+:func:`~repro.core.registry.register_topology` is constructible,
+simulable, and statically verifiable with zero core changes.
+
+Layering: this module lives in ``core`` and therefore never imports
+``repro.sim`` at module level — simulator classes are imported lazily
+inside the build functions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Tuple
+
+from repro.core.connectivity import (
+    Matrix,
+    connectivity_matrix,
+    fault_tolerant_matrix,
+)
+from repro.core.params import NetworkConfig
+from repro.core.registry import (
+    ROUTINGS,
+    TOPOLOGIES,
+    TopologyProvider,
+    register_topology,
+)
+from repro.core.routing import (
+    RoutingAlgorithm,
+    make_fault_aware_routing,
+    make_routing,
+)
+from repro.core.topology import Topology
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:
+    from repro.sim.network import Network
+    from repro.sim.simulator import RunResult
+
+#: Config overrides frozen as a sorted tuple of pairs (hashable).
+Options = Tuple[Tuple[str, Any], ...]
+
+
+def _freeze_options(options: Mapping[str, Any]) -> Options:
+    return tuple(sorted(options.items()))
+
+
+# ----------------------------------------------------------------------
+# The spec
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class NetworkSpec:
+    """One simulation design point, declaratively.
+
+    Only ``topology``, ``width``, and ``height`` are required; the
+    defaults reproduce the open-loop methodology of
+    :func:`~repro.sim.simulator.run_synthetic`.  ``options`` are keyword
+    overrides forwarded to the topology's config factory (for the
+    builtin families: :meth:`~repro.core.params.NetworkConfig.from_name`
+    keywords such as ``half`` or ``edge_memory``).
+    """
+
+    #: Registered topology name (``"mesh"``, ``"ruche2-depop"``, a
+    #: plugin name, ...).
+    topology: str
+    width: int
+    height: int
+    options: Options = ()
+    #: Optional named overrides; ``None`` means the topology's default.
+    routing: Optional[str] = None
+    router: Optional[str] = None
+    allocator: Optional[str] = None
+    #: Traffic.
+    pattern: str = "uniform_random"
+    rate: float = 0.1
+    #: Three-phase measurement window.
+    warmup: int = 500
+    measure: int = 1000
+    drain_limit: int = 3000
+    seed: int = 1
+    #: Fault injection (``FaultSchedule.random_dead_links`` arguments);
+    #: ``fault_links == 0`` without ``degraded_model`` means no faults.
+    fault_links: int = 0
+    fault_seed: int = 0
+    degraded_model: bool = False
+    #: Watchdog thresholds; ``None`` keeps the simulator defaults.
+    stall_window: Optional[int] = None
+    starvation_window: Optional[int] = None
+    #: Tripwires and budgets (see :func:`~repro.sim.simulator.run_synthetic`).
+    audit_every: Optional[int] = None
+    max_cycles: Optional[int] = None
+    max_wall_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.options, tuple):
+            object.__setattr__(
+                self, "options", _freeze_options(dict(self.options))
+            )
+
+    # -- construction helpers ------------------------------------------
+    @classmethod
+    def for_network(
+        cls, topology: str, width: int, height: int, **kwargs: Any
+    ) -> "NetworkSpec":
+        """Build a spec, sorting unknown keywords into ``options``.
+
+        ``NetworkSpec.for_network("ruche2-depop", 16, 8, half=True,
+        pattern="tile_to_memory", edge_memory=True)`` puts ``half`` and
+        ``edge_memory`` into ``options`` and ``pattern`` into the spec
+        field of that name.
+        """
+        field_names = frozenset(
+            f.name for f in dataclasses.fields(cls)
+        )
+        spec_kwargs: Dict[str, Any] = {}
+        options: Dict[str, Any] = {}
+        for key, value in kwargs.items():
+            if key in field_names:
+                spec_kwargs[key] = value
+            else:
+                options[key] = value
+        return cls(
+            topology=topology,
+            width=width,
+            height=height,
+            options=_freeze_options(options),
+            **spec_kwargs,
+        )
+
+    def replace(self, **changes: Any) -> "NetworkSpec":
+        """A copy with ``changes`` applied; ``options`` may be a dict."""
+        if "options" in changes and not isinstance(
+            changes["options"], tuple
+        ):
+            changes["options"] = _freeze_options(dict(changes["options"]))
+        return dataclasses.replace(self, **changes)
+
+    def with_options(self, **options: Any) -> "NetworkSpec":
+        """A copy with ``options`` merged over the existing ones."""
+        merged = dict(self.options)
+        merged.update(options)
+        return dataclasses.replace(
+            self, options=_freeze_options(merged)
+        )
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready dict; round-trips through :meth:`from_dict`."""
+        data: Dict[str, Any] = dataclasses.asdict(self)
+        data["options"] = dict(self.options)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "NetworkSpec":
+        payload = dict(data)
+        raw_options = payload.pop("options", {})
+        if isinstance(raw_options, Mapping):
+            options = _freeze_options(raw_options)
+        else:
+            options = tuple(
+                (str(key), value) for key, value in raw_options
+            )
+        return cls(options=options, **payload)
+
+    # -- resolution ------------------------------------------------------
+    def provider(self) -> TopologyProvider:
+        return resolve_topology(self.topology)
+
+    def config(self) -> NetworkConfig:
+        """The :class:`NetworkConfig` this spec materializes."""
+        return build_config(self)
+
+
+# ----------------------------------------------------------------------
+# Builtin topology families
+# ----------------------------------------------------------------------
+def _from_name(
+    name: str, width: int, height: int, **options: Any
+) -> NetworkConfig:
+    return NetworkConfig.from_name(name, width, height, **options)
+
+
+register_topology(
+    "mesh", description="2D mesh (Figure 1a)"
+)(_from_name)
+register_topology(
+    "torus", description="folded torus, 2 VCs or FBFC (Figure 1b)"
+)(_from_name)
+register_topology(
+    "half-torus",
+    description="horizontal rings only (Figure 1c)",
+    aliases=("halftorus", "half_torus"),
+)(_from_name)
+register_topology(
+    "multimesh",
+    description="two parallel meshes, parity-balanced (Figure 3a)",
+    aliases=("multi-mesh", "multi_mesh"),
+)(_from_name)
+register_topology(
+    "ruche",
+    description=(
+        "Ruche family: ruche<RF>[-pop|-depop], Full or Half "
+        "(Figures 1d-1f)"
+    ),
+)(_from_name)
+
+
+def resolve_topology(name: str) -> TopologyProvider:
+    """The provider for a topology name.
+
+    Exact registrations win (so a plugin can claim any name); otherwise
+    paper-style ``ruche<RF>[-pop|-depop]`` names fall back to the
+    builtin Ruche family, whose config factory parses the grammar.  A
+    miss raises :class:`~repro.errors.ConfigError` listing every
+    registered topology.
+    """
+    lowered = name.strip().lower()
+    if lowered in TOPOLOGIES:
+        return TOPOLOGIES.get(lowered)
+    base = lowered
+    if base.endswith("-fbfc"):
+        base = base[: -len("-fbfc")]
+    if base in TOPOLOGIES:
+        return TOPOLOGIES.get(base)
+    if base.startswith("ruche"):
+        return TOPOLOGIES.get("ruche")
+    return TOPOLOGIES.get(lowered)  # raises with the available names
+
+
+def build_config(spec: NetworkSpec) -> NetworkConfig:
+    """The :class:`NetworkConfig` for a spec, via its provider."""
+    provider = resolve_topology(spec.topology)
+    config = provider.config_factory(
+        spec.topology, spec.width, spec.height, **dict(spec.options)
+    )
+    if not isinstance(config, NetworkConfig):
+        raise ConfigError(
+            f"topology {spec.topology!r}: config factory returned "
+            f"{type(config).__name__}, expected NetworkConfig"
+        )
+    return config
+
+
+def default_router_kind(config: NetworkConfig) -> str:
+    """The registered router kind a config's routers default to."""
+    if config.uses_vcs:
+        return "vc"
+    if config.fbfc:
+        return "fbfc"
+    return "wormhole"
+
+
+# ----------------------------------------------------------------------
+# Component resolution
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class NetworkComponents:
+    """The construction bundle one :class:`Network` consumes."""
+
+    topology: Topology
+    routing: RoutingAlgorithm
+    matrix: Matrix
+
+
+def build_routing(
+    config: NetworkConfig,
+    *,
+    name: Optional[str] = None,
+    faults: Optional[Any] = None,
+) -> RoutingAlgorithm:
+    """The routing algorithm for a design point.
+
+    ``name`` selects a registered algorithm; ``faults`` (a
+    :class:`~repro.sim.faults.FaultSchedule` whose ``affects_routing``
+    is true) switches to BFS detour tables computed around the dead
+    links/routers.  With neither, the config's builtin algorithm is
+    used (memoized per config).
+    """
+    if faults is not None and faults.affects_routing:
+        return make_fault_aware_routing(
+            config,
+            dead_links=faults.dead_links,
+            dead_nodes=faults.dead_routers,
+        )
+    if name is not None:
+        factory = ROUTINGS.get(name)
+        named = factory(config)
+        if not isinstance(named, RoutingAlgorithm):
+            raise ConfigError(
+                f"routing {name!r} built {type(named).__name__}, "
+                f"expected a RoutingAlgorithm"
+            )
+        return named
+    return make_routing(config)
+
+
+def build_pattern(name: str, config: NetworkConfig) -> Any:
+    """The destination function for a registered traffic pattern."""
+    from repro.core.registry import PATTERNS
+
+    import repro.sim.traffic  # noqa: F401 - registers builtin patterns
+
+    factory = PATTERNS.get(name.strip().lower())
+    return factory(config)
+
+
+def network_components(
+    config: NetworkConfig,
+    *,
+    faults: Optional[Any] = None,
+    provider: Optional[TopologyProvider] = None,
+    routing_name: Optional[str] = None,
+) -> NetworkComponents:
+    """Resolve the (topology, routing, matrix) bundle for a network.
+
+    Fault schedules that affect routing force the builtin topology, the
+    fault-aware tables, and the fully-connected crossbar — degraded
+    detours need turns the DOR crossbars lack.  Otherwise the provider's
+    factories (when given) override the builtin components.
+    """
+    if faults is not None and faults.affects_routing:
+        if provider is not None and provider.has_custom_components:
+            raise ConfigError(
+                f"topology {provider.name!r}: fault-aware routing is "
+                f"not supported for plugin topologies"
+            )
+        return NetworkComponents(
+            topology=Topology(config),
+            routing=build_routing(config, faults=faults),
+            matrix=fault_tolerant_matrix(config),
+        )
+    if provider is None:
+        topology = Topology(config)
+        routing = build_routing(config, name=routing_name)
+        matrix = connectivity_matrix(config)
+        return NetworkComponents(topology, routing, matrix)
+    topology_factory = provider.topology_factory
+    topology = (
+        topology_factory(config)
+        if topology_factory is not None
+        else Topology(config)
+    )
+    if routing_name is not None:
+        routing = build_routing(config, name=routing_name)
+    elif provider.routing_factory is not None:
+        routing = provider.routing_factory(config)
+    else:
+        routing = make_routing(config)
+    matrix_factory = provider.matrix_factory
+    matrix = (
+        matrix_factory(config)
+        if matrix_factory is not None
+        else connectivity_matrix(config)
+    )
+    return NetworkComponents(topology, routing, matrix)
+
+
+# ----------------------------------------------------------------------
+# Fault / watchdog materialization
+# ----------------------------------------------------------------------
+def build_faults(spec: NetworkSpec, config: NetworkConfig) -> Optional[Any]:
+    """The spec's :class:`~repro.sim.faults.FaultSchedule` (or None)."""
+    if spec.fault_links <= 0 and not spec.degraded_model:
+        return None
+    from repro.sim.faults import FaultSchedule
+
+    return FaultSchedule.random_dead_links(
+        config,
+        spec.fault_links,
+        seed=spec.fault_seed,
+        degraded_model=spec.degraded_model,
+    )
+
+
+def build_watchdog(spec: NetworkSpec) -> Optional[Any]:
+    """The spec's :class:`~repro.sim.watchdog.WatchdogConfig` (or None)."""
+    if spec.stall_window is None and spec.starvation_window is None:
+        return None
+    from repro.sim.watchdog import WatchdogConfig
+
+    kwargs: Dict[str, Any] = {}
+    if spec.stall_window is not None:
+        kwargs["stall_window"] = spec.stall_window
+    if spec.starvation_window is not None:
+        kwargs["starvation_window"] = spec.starvation_window
+    return WatchdogConfig(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def build_network(
+    target: "Any",
+    *,
+    metrics: Optional[Any] = None,
+    sink_factory: Optional[Any] = None,
+    memory_sink_factory: Optional[Any] = None,
+    faults: Optional[Any] = None,
+    watchdog: Optional[Any] = None,
+) -> "Network":
+    """Materialize a :class:`~repro.sim.network.Network`.
+
+    ``target`` is a :class:`NetworkSpec` or a bare
+    :class:`NetworkConfig`.  For a spec, the topology provider's
+    components, the named routing/router/allocator overrides, and the
+    spec's fault/watchdog options (unless explicitly overridden here)
+    are all resolved through the registries.  This is the only
+    sanctioned construction path for networks in the sim, verify,
+    bench, and experiments layers.
+    """
+    from repro.sim.network import Network
+
+    if isinstance(target, NetworkConfig):
+        return Network(
+            target,
+            metrics=metrics,
+            sink_factory=sink_factory,
+            memory_sink_factory=memory_sink_factory,
+            faults=faults,
+            watchdog=watchdog,
+        )
+    spec: NetworkSpec = target
+    provider = resolve_topology(spec.topology)
+    config = build_config(spec)
+    if faults is None:
+        faults = build_faults(spec, config)
+    if watchdog is None:
+        watchdog = build_watchdog(spec)
+    components = network_components(
+        config,
+        faults=faults,
+        provider=provider,
+        routing_name=spec.routing,
+    )
+    return Network(
+        config,
+        metrics=metrics,
+        sink_factory=sink_factory,
+        memory_sink_factory=memory_sink_factory,
+        faults=faults,
+        watchdog=watchdog,
+        topology=components.topology,
+        routing=components.routing,
+        matrix=components.matrix,
+        router=spec.router,
+        allocator=spec.allocator,
+    )
+
+
+def build_run(
+    spec: NetworkSpec,
+    *,
+    track_per_source: bool = False,
+    keep_samples: bool = False,
+    track_links: bool = False,
+) -> "RunResult":
+    """One open-loop measurement of a spec.
+
+    Expands the spec's traffic, window, fault, and budget fields into a
+    :func:`~repro.sim.simulator.run_synthetic` call; the network itself
+    is built through :func:`build_network`, so plugin topologies and
+    named overrides apply.
+    """
+    from repro.sim.simulator import run_synthetic
+
+    return run_synthetic(
+        spec,
+        spec.pattern,
+        spec.rate,
+        warmup=spec.warmup,
+        measure=spec.measure,
+        drain_limit=spec.drain_limit,
+        seed=spec.seed,
+        track_per_source=track_per_source,
+        keep_samples=keep_samples,
+        track_links=track_links,
+        audit_every=spec.audit_every,
+        max_cycles=spec.max_cycles,
+        max_wall_seconds=spec.max_wall_seconds,
+    )

@@ -73,6 +73,13 @@ def main(argv=None) -> int:
                                     seed=args.seed,
                                     preflight=args.preflight,
                                     jobs=args.jobs)
+        except KeyError as exc:
+            # Unknown experiment id: the registry's message carries the
+            # multi-line menu of available ids; print it verbatim
+            # instead of KeyError's escaped repr.
+            print(f"[{exp_id}] FAILED: {exc.args[0]}", file=sys.stderr)
+            failures.append(exp_id)
+            continue
         except Exception as exc:
             summary = traceback.format_exception_only(
                 type(exc), exc

@@ -155,6 +155,19 @@ def _attempt_row(
     return None, error, attempts
 
 
+def _worker_init() -> None:
+    """Worker-process initializer: start from empty routing caches.
+
+    Long ``--jobs N`` sweeps reuse worker processes across many design
+    points; clearing the (bounded) ``make_routing`` memo at worker
+    startup keeps router-table memory from accumulating across pool
+    rebuilds and keeps workers independent of inherited parent state.
+    """
+    from repro.core.routing import clear_routing_caches
+
+    clear_routing_caches()
+
+
 def _run_parallel(
     pending: List[Tuple[int, Dict[str, Any], str]],
     runner: Callable[[Dict[str, Any]], Dict[str, Any]],
@@ -174,7 +187,9 @@ def _run_parallel(
     remaining = pending
     crashes: Dict[int, int] = {}
     while remaining:
-        executor = ProcessPoolExecutor(max_workers=jobs)
+        executor = ProcessPoolExecutor(
+            max_workers=jobs, initializer=_worker_init
+        )
         unfinished: List[Tuple[int, Dict[str, Any], str]] = []
         broken = False
         try:

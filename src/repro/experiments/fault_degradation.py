@@ -95,11 +95,9 @@ def _run_row(params: Dict[str, Any]) -> Dict[str, Any]:
     )
     partitioned = 0
     if schedule.affects_routing:
-        from repro.core.routing import make_fault_aware_routing
+        from repro.core.spec import build_routing
 
-        routing = make_fault_aware_routing(
-            config, dead_links=schedule.dead_links
-        )
+        routing = build_routing(config, faults=schedule)
         partitioned = len(routing.partitioned_pairs())
 
     points: List[List[float]] = []

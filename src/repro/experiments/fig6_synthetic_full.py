@@ -10,13 +10,11 @@ saturation — except ruche3-depop, which regresses on 8×8.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
-from repro.analysis.sweeps import saturation_throughput, zero_load_point
-from repro.core.params import NetworkConfig
 from repro.experiments.base import ExperimentResult, resolve_scale
 from repro.experiments.campaign import run_campaign
-from repro.sim.simulator import sweep_injection_rates
+from repro.experiments.sweeps import rate_sweep_grid, run_rate_sweep_row
 
 CONFIG_NAMES = (
     "mesh",
@@ -57,31 +55,10 @@ _PRESETS: Dict[str, dict] = {
 }
 
 
-def _run_row(params: Dict[str, Any]) -> Dict[str, Any]:
-    """One campaign row: a full load-latency sweep for one design point.
-
-    Module-level (and parameterized purely by the picklable ``params``
-    dict) so ``jobs > 1`` can ship rows to worker processes.
-    """
-    preset = _PRESETS[params["scale"]]
-    width, height = params["width"], params["height"]
-    config = NetworkConfig.from_name(params["config"], width, height)
-    curve = sweep_injection_rates(
-        config,
-        params["pattern"],
-        preset["rates"],
-        warmup=preset["warmup"],
-        measure=preset["measure"],
-        drain_limit=preset["drain"],
-        seed=params["seed"],
-    )
-    return {
-        "size": f"{width}x{height}",
-        "pattern": params["pattern"],
-        "config": params["config"],
-        "zero_load_latency": zero_load_point(curve).avg_latency,
-        "saturation_throughput": saturation_throughput(curve),
-    }
+#: The fig6 row function: the shared rate-sweep row (kept under the
+#: historical name for the parallel-equivalence tests and the bench
+#: harness).
+_run_row = run_rate_sweep_row
 
 
 def make_grid(
@@ -92,19 +69,17 @@ def make_grid(
     """The fig6 campaign grid (also used by the parallel-equivalence
     tests and the bench harness)."""
     preset = _PRESETS[scale]
-    return [
-        {
-            "scale": scale,
-            "width": width,
-            "height": height,
-            "pattern": pattern,
-            "config": name,
-            "seed": seed,
-        }
-        for width, height in (sizes or preset["sizes"])
-        for pattern in preset["patterns"]
-        for name in preset["configs"]
-    ]
+    return rate_sweep_grid(
+        scale=scale,
+        sizes=list(sizes or preset["sizes"]),
+        patterns=preset["patterns"],
+        configs=preset["configs"],
+        rates=preset["rates"],
+        warmup=preset["warmup"],
+        measure=preset["measure"],
+        drain=preset["drain"],
+        seed=seed,
+    )
 
 
 def run(

@@ -11,9 +11,10 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.analysis.fairness import fairness_comparison, measure_fairness
-from repro.core.params import NetworkConfig
+from repro.analysis.fairness import FairnessSummary, fairness_comparison
 from repro.experiments.base import ExperimentResult, resolve_scale
+from repro.experiments.campaign import run_campaign
+from repro.experiments.sweeps import run_fairness_row
 
 CONFIG_NAMES = ("mesh", "torus", "ruche2-pop", "ruche3-pop")
 
@@ -24,44 +25,44 @@ _PRESETS = {
 }
 
 
-def _measure_one(task):
-    """One fairness measurement; module-level so ``jobs > 1`` can ship
-    it to a worker process (FairnessSummary is a plain dataclass)."""
-    name, size, measure, seed = task
-    config = NetworkConfig.from_name(name, size, size)
-    return measure_fairness(config, measure=measure, seed=seed)
-
-
 def run(
     scale: Optional[str] = None, seed: int = 5, jobs: int = 1
 ) -> ExperimentResult:
     scale = resolve_scale(scale)
     preset = _PRESETS[scale]
     size = preset["size"]
-    tasks = [
-        (name, size, preset["measure"], seed) for name in CONFIG_NAMES
+    grid = [
+        {
+            "config": name,
+            "width": size,
+            "height": size,
+            "measure": preset["measure"],
+            "seed": seed,
+        }
+        for name in CONFIG_NAMES
     ]
-    if jobs > 1:
-        from concurrent.futures import ProcessPoolExecutor
-
-        with ProcessPoolExecutor(max_workers=jobs) as executor:
-            measured = list(executor.map(_measure_one, tasks))
-    else:
-        measured = [_measure_one(task) for task in tasks]
-    summaries = dict(zip(CONFIG_NAMES, measured))
+    outcome = run_campaign(grid, run_fairness_row, jobs=jobs)
+    summaries = {
+        row["config"]: FairnessSummary(
+            config_name=row["config"],
+            mean=row["mean_latency"],
+            stddev=row["stddev"],
+            min_tile=row["min_tile"],
+            max_tile=row["max_tile"],
+        )
+        for row in outcome.rows
+    }
     comparison = fairness_comparison(summaries)
     rows: List[dict] = []
-    for name, summary in summaries.items():
-        rows.append({
-            "config": name,
-            "mean_latency": summary.mean,
-            "stddev": summary.stddev,
-            "min_tile": summary.min_tile,
-            "max_tile": summary.max_tile,
-            "stddev_reduction_vs_mesh":
-                comparison[name]["stddev_reduction_vs_mesh"],
-            "mean_ratio_vs_mesh": comparison[name]["mean_ratio_vs_mesh"],
-        })
+    for row in outcome.rows:
+        name = row["config"]
+        rows.append(dict(
+            row,
+            stddev_reduction_vs_mesh=comparison[name][
+                "stddev_reduction_vs_mesh"
+            ],
+            mean_ratio_vs_mesh=comparison[name]["mean_ratio_vs_mesh"],
+        ))
     return ExperimentResult(
         experiment_id="fig8",
         title=f"Per-tile latency fairness, {size}x{size} uniform random",

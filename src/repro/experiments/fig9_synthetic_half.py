@@ -12,11 +12,9 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional
 
-from repro.analysis.sweeps import saturation_throughput, zero_load_point
-from repro.core.params import NetworkConfig
 from repro.experiments.base import ExperimentResult, resolve_scale
 from repro.experiments.campaign import run_campaign
-from repro.sim.simulator import sweep_injection_rates
+from repro.experiments.sweeps import rate_sweep_grid, run_rate_sweep_row
 
 BASE_CONFIGS = (
     "mesh",
@@ -61,31 +59,17 @@ def _configs_for(size, names):
     return configs
 
 
-def _run_row(params: Dict[str, Any]) -> Dict[str, Any]:
-    """One campaign row: a full rate sweep for one half-Ruche design
-    point (module-level and picklable for ``jobs > 1``)."""
-    preset = _PRESETS[params["scale"]]
-    width, height = params["width"], params["height"]
-    name, pattern = params["config"], params["pattern"]
-    config = NetworkConfig.from_name(
-        name, width, height,
-        half=name.startswith("ruche"),
-        edge_memory=pattern == "tile_to_memory",
-    )
-    curve = sweep_injection_rates(
-        config, pattern, preset["rates"],
-        warmup=preset["warmup"],
-        measure=preset["measure"],
-        drain_limit=preset["drain"],
-        seed=params["seed"],
-    )
-    return {
-        "size": f"{width}x{height}",
-        "pattern": pattern,
-        "config": name,
-        "zero_load_latency": zero_load_point(curve).avg_latency,
-        "saturation_throughput": saturation_throughput(curve),
-    }
+def _options_for(
+    name: str, width: int, height: int, pattern: str
+) -> Dict[str, Any]:
+    """Half-Ruche config options: fig9 names are Half networks, and the
+    tile-to-memory pattern needs the edge-memory endpoints wired."""
+    options: Dict[str, Any] = {}
+    if name.startswith("ruche"):
+        options["half"] = True
+    if pattern == "tile_to_memory":
+        options["edge_memory"] = True
+    return options
 
 
 def run(
@@ -93,20 +77,20 @@ def run(
 ) -> ExperimentResult:
     scale = resolve_scale(scale)
     preset = _PRESETS[scale]
-    grid = [
-        {
-            "scale": scale,
-            "width": size[0],
-            "height": size[1],
-            "pattern": pattern,
-            "config": name,
-            "seed": seed,
-        }
-        for size in preset["sizes"]
-        for pattern in preset["patterns"]
-        for name in _configs_for(size, preset["configs"])
-    ]
-    outcome = run_campaign(grid, _run_row, jobs=jobs)
+    grid = rate_sweep_grid(
+        scale=scale,
+        sizes=preset["sizes"],
+        patterns=preset["patterns"],
+        configs=preset["configs"],
+        rates=preset["rates"],
+        warmup=preset["warmup"],
+        measure=preset["measure"],
+        drain=preset["drain"],
+        seed=seed,
+        configs_for=lambda size: _configs_for(size, preset["configs"]),
+        options_for=_options_for,
+    )
+    outcome = run_campaign(grid, run_rate_sweep_row, jobs=jobs)
     rows = outcome.rows
     return ExperimentResult(
         experiment_id="fig9",

@@ -69,9 +69,13 @@ def run_experiment(
     try:
         driver, _ = _REGISTRY[experiment_id]
     except KeyError:
+        menu = "\n".join(
+            f"  {name:<8} {entry[1]}"
+            for name, entry in sorted(_REGISTRY.items())
+        )
         raise KeyError(
-            f"unknown experiment {experiment_id!r}; "
-            f"choose from {sorted(_REGISTRY)}"
+            f"unknown experiment {experiment_id!r}; available "
+            f"experiments:\n{menu}"
         ) from None
     parameters = inspect.signature(driver).parameters
     accepted = {k: v for k, v in options.items() if k in parameters}

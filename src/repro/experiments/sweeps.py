@@ -1,0 +1,140 @@
+"""Shared open-loop sweep harness for the figure drivers.
+
+fig6 (Full Ruche), fig9 (Half Ruche), and fig8 (fairness) are all the
+same experiment shape: a campaign grid of declarative design points, one
+:class:`~repro.core.spec.NetworkSpec` per row, measured through
+:func:`~repro.core.spec.build_run`.  This module owns the two row
+functions (a load–latency rate sweep and a per-tile fairness
+measurement) plus the grid builder, so each driver shrinks to its preset
+table and its result framing.
+
+Row functions are module-level and parameterized purely by a picklable
+``params`` dict, so ``run_campaign(..., jobs=N)`` can ship rows to
+worker processes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.fairness import summarize_per_tile
+from repro.analysis.sweeps import saturation_throughput, zero_load_point
+from repro.core.spec import NetworkSpec, build_run
+
+#: ``options_for(config, width, height, pattern) -> config options``.
+OptionsFn = Callable[[str, int, int, str], Dict[str, Any]]
+
+
+def _row_spec(params: Dict[str, Any], rate: float) -> NetworkSpec:
+    return NetworkSpec.for_network(
+        params["config"],
+        params["width"],
+        params["height"],
+        pattern=params["pattern"],
+        rate=rate,
+        warmup=params["warmup"],
+        measure=params["measure"],
+        drain_limit=params["drain"],
+        seed=params["seed"],
+        **params.get("options", {}),
+    )
+
+
+def run_rate_sweep_row(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One campaign row: a full load–latency sweep for one design point.
+
+    ``params`` carries the design point (``config``, ``width``,
+    ``height``, ``pattern``, optional config ``options``) and the
+    measurement recipe (``rates``, ``warmup``, ``measure``, ``drain``,
+    ``seed``); the row reports the curve's zero-load latency and
+    saturation throughput.
+    """
+    curve = [
+        build_run(_row_spec(params, rate)) for rate in params["rates"]
+    ]
+    return {
+        "size": f"{params['width']}x{params['height']}",
+        "pattern": params["pattern"],
+        "config": params["config"],
+        "zero_load_latency": zero_load_point(curve).avg_latency,
+        "saturation_throughput": saturation_throughput(curve),
+    }
+
+
+def run_fairness_row(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One campaign row: per-tile latency statistics at low load."""
+    spec = NetworkSpec.for_network(
+        params["config"],
+        params["width"],
+        params["height"],
+        pattern="uniform_random",
+        rate=params.get("rate", 0.02),
+        warmup=params.get("warmup", 300),
+        measure=params["measure"],
+        drain_limit=params.get("drain", 5000),
+        seed=params["seed"],
+    )
+    result = build_run(spec, track_per_source=True)
+    summary = summarize_per_tile(
+        result.config_name, result.metrics.per_source_means()
+    )
+    return {
+        "config": params["config"],
+        "mean_latency": summary.mean,
+        "stddev": summary.stddev,
+        "min_tile": summary.min_tile,
+        "max_tile": summary.max_tile,
+    }
+
+
+def rate_sweep_grid(
+    *,
+    scale: str,
+    sizes: Sequence[Tuple[int, int]],
+    patterns: Sequence[str],
+    configs: Sequence[str],
+    rates: Sequence[float],
+    warmup: int,
+    measure: int,
+    drain: int,
+    seed: int,
+    configs_for: Optional[
+        Callable[[Tuple[int, int]], Sequence[str]]
+    ] = None,
+    options_for: Optional[OptionsFn] = None,
+) -> List[Dict[str, Any]]:
+    """A campaign grid of rate-sweep rows (sizes × patterns × configs).
+
+    ``configs_for`` lets a driver vary the config list per array size
+    (fig9 adds ruche4 on 64×8); ``options_for`` injects per-row config
+    options (fig9's ``half`` / ``edge_memory``).  Iteration order is
+    sizes → patterns → configs, matching the historical drivers so row
+    order — and with it every checkpoint and result file — is stable.
+    """
+    grid: List[Dict[str, Any]] = []
+    for width, height in sizes:
+        for pattern in patterns:
+            names = (
+                configs_for((width, height))
+                if configs_for is not None
+                else configs
+            )
+            for name in names:
+                row: Dict[str, Any] = {
+                    "scale": scale,
+                    "width": width,
+                    "height": height,
+                    "pattern": pattern,
+                    "config": name,
+                    "seed": seed,
+                    "rates": list(rates),
+                    "warmup": warmup,
+                    "measure": measure,
+                    "drain": drain,
+                }
+                if options_for is not None:
+                    options = options_for(name, width, height, pattern)
+                    if options:
+                        row["options"] = options
+                grid.append(row)
+    return grid

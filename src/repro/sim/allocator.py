@@ -13,7 +13,13 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
+from repro.core.registry import register_allocator
 
+
+@register_allocator(
+    "wavefront",
+    description="rotating-diagonal maximal matching (Becker)",
+)
 class WavefrontAllocator:
     """Maximal input/output matching with rotating priority diagonal."""
 

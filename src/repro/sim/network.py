@@ -19,10 +19,12 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
-from repro.core.connectivity import connectivity_matrix, fault_tolerant_matrix
+from repro.core.connectivity import Matrix
 from repro.core.coords import Coord
 from repro.core.params import NetworkConfig
-from repro.core.routing import make_fault_aware_routing, make_routing
+from repro.core.registry import ROUTERS
+from repro.core.routing import RoutingAlgorithm
+from repro.core.spec import default_router_kind, network_components
 from repro.core.topology import Topology
 from repro.errors import ConfigError, DeadlockError
 from repro.sim.channel import PipelinedChannel
@@ -33,13 +35,10 @@ from repro.sim.router import (
     KIND_DIRECT,
     KIND_LINK,
     P_IDX,
-    FbfcRouter,
     MetricsSink,
     Move,
     PipelinedLink,
     Sink,
-    VCRouter,
-    WormholeRouter,
 )
 from repro.sim.watchdog import WatchdogConfig, capture_snapshot
 
@@ -72,6 +71,16 @@ class Network:
     watchdog:
         Forward-progress thresholds; defaults to the classic
         1000-idle-cycle stall watchdog with starvation detection off.
+    topology / routing / matrix:
+        Pre-resolved components, normally supplied by
+        :func:`repro.core.spec.build_network`; any left ``None`` is
+        resolved through :func:`repro.core.spec.network_components`
+        (the builtin components for the config, or the fault-aware
+        variants under a routing-affecting fault schedule).
+    router / allocator:
+        Registered router-kind and switch-allocator names; ``None``
+        selects the config's defaults (see
+        :func:`repro.core.spec.default_router_kind`).
     """
 
     def __init__(
@@ -82,19 +91,33 @@ class Network:
         memory_sink_factory: Optional[Callable[[Coord], Sink]] = None,
         faults: Optional[FaultSchedule] = None,
         watchdog: Optional[WatchdogConfig] = None,
+        *,
+        topology: Optional[Topology] = None,
+        routing: Optional[RoutingAlgorithm] = None,
+        matrix: Optional[Matrix] = None,
+        router: Optional[str] = None,
+        allocator: Optional[str] = None,
     ) -> None:
         self.config = config
-        self.topology = Topology(config)
         self.faults = faults
         self.watchdog = watchdog if watchdog is not None else WatchdogConfig()
-        if faults is not None and faults.affects_routing:
-            self.routing = make_fault_aware_routing(
-                config,
-                dead_links=faults.dead_links,
-                dead_nodes=faults.dead_routers,
+        if faults is not None and faults.has_faults and (
+            config.uses_vcs or config.fbfc
+        ):
+            raise ConfigError(
+                "fault injection supports wormhole-routed topologies "
+                "only (mesh / Ruche family)"
             )
-        else:
-            self.routing = make_routing(config)
+        if topology is None or routing is None or matrix is None:
+            components = network_components(config, faults=faults)
+            if topology is None:
+                topology = components.topology
+            if routing is None:
+                routing = components.routing
+            if matrix is None:
+                matrix = components.matrix
+        self.topology = topology
+        self.routing = routing
         self.metrics = metrics if metrics is not None else RunMetrics()
         self.cycle = 0
         self.occupancy = 0
@@ -105,25 +128,15 @@ class Network:
         self._drop_rng = faults.make_drop_rng() if faults is not None else None
         self._has_transient = bool(faults is not None and faults.transient)
         default_sink = MetricsSink(self.metrics)
-        if faults is not None and faults.has_faults and (
-            config.uses_vcs or config.fbfc
-        ):
-            raise ConfigError(
-                "fault injection supports wormhole-routed topologies "
-                "only (mesh / Ruche family)"
-            )
-        # Degraded operation needs turns the DOR crossbar lacks; the
-        # routers are provisioned with the fault-tolerant matrix so every
-        # BFS-recomputed detour is switchable (see connectivity module).
-        if faults is not None and faults.affects_routing:
-            matrix = fault_tolerant_matrix(config)
-        else:
-            matrix = connectivity_matrix(config)
         #: The crossbar matrix every router was provisioned with; the
         #: runtime audit checks buffered routes against it via the same
         #: turn-legality predicate as the static verifier.
         self.matrix = matrix
 
+        router_kind = (
+            router if router is not None else default_router_kind(config)
+        )
+        build_router = ROUTERS.get(router_kind)
         self.routers: Dict[Coord, object] = {}
         for coord in self.topology.nodes:
             input_dirs = [
@@ -136,42 +149,15 @@ class Network:
             # sweep rebuilding networks for the same design point never
             # recomputes a route it has already seen.
             route_cache = self.routing.node_route_cache(coord)
-            if config.uses_vcs:
-                router = VCRouter(
-                    coord,
-                    config.fifo_depth,
-                    self.routing.route_vc,
-                    input_dirs,
-                    config.num_vcs,
-                    route_cache=route_cache,
-                )
-            elif config.fbfc:
-                from repro.core.params import TopologyKind
-
-                ring_axes = (
-                    ("x", "y")
-                    if config.kind is TopologyKind.FOLDED_TORUS
-                    else ("x",)
-                )
-                router = FbfcRouter(
-                    coord,
-                    config.fifo_depth,
-                    self.routing.route,
-                    input_dirs,
-                    matrix,
-                    ring_axes=ring_axes,
-                    route_cache=route_cache,
-                )
-            else:
-                router = WormholeRouter(
-                    coord,
-                    config.fifo_depth,
-                    self.routing.route,
-                    input_dirs,
-                    matrix,
-                    route_cache=route_cache,
-                )
-            self.routers[coord] = router
+            self.routers[coord] = build_router(
+                coord=coord,
+                config=config,
+                routing=self.routing,
+                input_dirs=input_dirs,
+                matrix=matrix,
+                route_cache=route_cache,
+                allocator=allocator,
+            )
 
         # Pipelined links (only created when channel latency > 1).
         self._channels: List[PipelinedLink] = []

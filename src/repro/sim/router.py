@@ -30,6 +30,10 @@ from collections import deque
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.coords import Coord, Direction
+from repro.core.params import NetworkConfig, TopologyKind
+from repro.core.registry import ALLOCATORS, register_router
+from repro.core.routing import RoutingAlgorithm
+from repro.errors import ConfigError
 from repro.sim.allocator import WavefrontAllocator
 from repro.sim.channel import PipelinedChannel
 from repro.sim.fifo import Fifo
@@ -416,6 +420,7 @@ class VCRouter(BaseRouter):
         input_dirs: Sequence[int],
         num_vcs: int,
         route_cache: Optional[Dict] = None,
+        allocator_factory: Optional[Callable] = None,
     ) -> None:
         super().__init__(coord, depth, route_cache)
         self.route_vc_fn = route_vc_fn
@@ -427,7 +432,9 @@ class VCRouter(BaseRouter):
             if i != P_IDX:
                 self.in_q[i] = tuple(Fifo(depth) for _ in range(num_vcs))
         self.vc_rr = [0] * self.NUM_PORTS
-        self.alloc = WavefrontAllocator(self.NUM_PORTS, self.NUM_PORTS)
+        if allocator_factory is None:
+            allocator_factory = WavefrontAllocator
+        self.alloc = allocator_factory(self.NUM_PORTS, self.NUM_PORTS)
         self.ports = tuple(
             i for i in range(self.NUM_PORTS) if self.in_q[i] is not None
         )
@@ -558,3 +565,104 @@ class VCRouter(BaseRouter):
             candmask[idx] = 0
             requests[idx // nports][idx % nports] = False
         touched.clear()
+
+
+# ----------------------------------------------------------------------
+# Registered router kinds
+# ----------------------------------------------------------------------
+# Builders share one keyword signature so repro.core.spec can construct
+# any registered kind uniformly.  ``allocator`` names a registered switch
+# allocator; only the VC router performs switch allocation, so the other
+# kinds reject it rather than silently ignore it.
+
+
+def _reject_allocator(kind: str, allocator: Optional[str]) -> None:
+    if allocator is not None:
+        raise ConfigError(
+            f"router kind {kind!r} does not use a switch allocator "
+            f"(got allocator={allocator!r}); only 'vc' does"
+        )
+
+
+@register_router(
+    "wormhole",
+    description="single-cycle router without VCs (mesh / Ruche family)",
+)
+def build_wormhole_router(
+    *,
+    coord: Coord,
+    config: NetworkConfig,
+    routing: RoutingAlgorithm,
+    input_dirs: Sequence[int],
+    matrix: Dict[Direction, frozenset],
+    route_cache: Optional[Dict] = None,
+    allocator: Optional[str] = None,
+) -> WormholeRouter:
+    _reject_allocator("wormhole", allocator)
+    return WormholeRouter(
+        coord,
+        config.fifo_depth,
+        routing.route,
+        input_dirs,
+        matrix,
+        route_cache=route_cache,
+    )
+
+
+@register_router(
+    "fbfc",
+    description="torus router with Flit Bubble Flow Control, no VCs",
+)
+def build_fbfc_router(
+    *,
+    coord: Coord,
+    config: NetworkConfig,
+    routing: RoutingAlgorithm,
+    input_dirs: Sequence[int],
+    matrix: Dict[Direction, frozenset],
+    route_cache: Optional[Dict] = None,
+    allocator: Optional[str] = None,
+) -> FbfcRouter:
+    _reject_allocator("fbfc", allocator)
+    ring_axes = (
+        ("x", "y")
+        if config.kind is TopologyKind.FOLDED_TORUS
+        else ("x",)
+    )
+    return FbfcRouter(
+        coord,
+        config.fifo_depth,
+        routing.route,
+        input_dirs,
+        matrix,
+        ring_axes=ring_axes,
+        route_cache=route_cache,
+    )
+
+
+@register_router(
+    "vc",
+    description="2-VC torus router with wavefront switch allocation",
+)
+def build_vc_router(
+    *,
+    coord: Coord,
+    config: NetworkConfig,
+    routing: RoutingAlgorithm,
+    input_dirs: Sequence[int],
+    matrix: Dict[Direction, frozenset],
+    route_cache: Optional[Dict] = None,
+    allocator: Optional[str] = None,
+) -> VCRouter:
+    allocator_factory = (
+        ALLOCATORS.get(allocator) if allocator is not None else None
+    )
+    return VCRouter(
+        coord,
+        config.fifo_depth,
+        routing.route_vc,
+        input_dirs,
+        config.num_vcs,
+        route_cache=route_cache,
+        allocator_factory=allocator_factory,
+    )

@@ -17,17 +17,20 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.coords import Coord
 from repro.core.params import NetworkConfig
-from repro.core.routing import make_routing
+from repro.core.spec import (
+    NetworkSpec,
+    build_network,
+    build_pattern,
+    build_routing,
+)
 from repro.errors import SimulationError, SimulationTimeout
 from repro.sim.faults import FaultSchedule
 from repro.sim.metrics import RunMetrics
-from repro.sim.network import Network
 from repro.sim.rng import derive_rng
-from repro.sim.traffic import make_pattern
 from repro.sim.watchdog import WatchdogConfig
 
 #: How often (in cycles) the wall-clock limit is polled; keeps the
@@ -66,9 +69,9 @@ class RunResult:
 
 
 def run_synthetic(
-    config: NetworkConfig,
-    pattern: str,
-    rate: float,
+    config: Union[NetworkConfig, NetworkSpec],
+    pattern: Optional[str] = None,
+    rate: Optional[float] = None,
     *,
     warmup: int = 500,
     measure: int = 1000,
@@ -87,6 +90,12 @@ def run_synthetic(
 
     ``rate`` is the per-tile injection probability per cycle (the paper's
     "injection rate" axis, as a fraction of one flit/tile/cycle).
+
+    ``config`` may also be a :class:`~repro.core.spec.NetworkSpec`, in
+    which case ``pattern``, ``rate``, and the fault/watchdog options
+    default from the spec and the network is materialized through the
+    component registries (:func:`~repro.core.spec.build_run` is the
+    declarative wrapper over this path).
 
     Robustness knobs (all off by default, so healthy runs are
     bit-identical to earlier versions):
@@ -112,8 +121,27 @@ def run_synthetic(
         keep_samples=keep_samples,
         track_links=track_links,
     )
-    net = Network(config, metrics=metrics, faults=faults, watchdog=watchdog)
-    dest_fn = make_pattern(pattern, config)
+    if isinstance(config, NetworkSpec):
+        spec = config
+        if pattern is None:
+            pattern = spec.pattern
+        if rate is None:
+            rate = spec.rate
+        net = build_network(
+            spec, metrics=metrics, faults=faults, watchdog=watchdog
+        )
+        config = net.config
+        faults = net.faults
+    else:
+        if pattern is None or rate is None:
+            raise TypeError(
+                "run_synthetic(config, ...) requires explicit pattern "
+                "and rate (only NetworkSpec carries defaults)"
+            )
+        net = build_network(
+            config, metrics=metrics, faults=faults, watchdog=watchdog
+        )
+    dest_fn = build_pattern(pattern, config)
     timing_rng = derive_rng(seed, "timing")
     dest_rng = derive_rng(seed, "dest")
     sources = net.topology.nodes
@@ -299,8 +327,8 @@ def zero_load_latency(
     hop count, so the mean routed path length *is* the zero-load latency.
     Sampled (not exhaustive) for tractability on large arrays.
     """
-    routing = make_routing(config)
-    dest_fn = make_pattern(pattern, config)
+    routing = build_routing(config)
+    dest_fn = build_pattern(pattern, config)
     rng = derive_rng(seed, "zero-load")
     nodes = [
         Coord(x, y)
@@ -327,8 +355,8 @@ def average_hops_by_direction(
     seed: int = 7,
 ) -> Dict[int, float]:
     """Mean traversals per packet for each direction (energy modelling)."""
-    routing = make_routing(config)
-    dest_fn = make_pattern(pattern, config)
+    routing = build_routing(config)
+    dest_fn = build_pattern(pattern, config)
     rng = derive_rng(seed, "dir-hops")
     nodes = [
         Coord(x, y)

@@ -19,6 +19,12 @@ Extensions beyond the paper, used by ablation benches:
 
 * ``hotspot`` — a fraction of traffic targets one tile.
 * ``neighbor`` — uniform over the four mesh neighbours.
+
+Every pattern registers itself in
+:data:`repro.core.registry.PATTERNS` as a factory ``(config) ->
+PatternFn``; :func:`make_pattern` is a thin name-normalizing lookup, so
+out-of-tree patterns plug in with
+:func:`~repro.core.registry.register_pattern`.
 """
 
 from __future__ import annotations
@@ -29,122 +35,181 @@ from typing import Callable, List, Optional
 
 from repro.core.coords import Coord
 from repro.core.params import NetworkConfig
+from repro.core.registry import register_pattern
 from repro.errors import ConfigError
 
 PatternFn = Callable[[Coord, random.Random], Optional[Coord]]
 
 
+def _all_nodes(config: NetworkConfig) -> List[Coord]:
+    return [
+        Coord(x, y)
+        for y in range(config.height)
+        for x in range(config.width)
+    ]
+
+
+@register_pattern(
+    "uniform_random",
+    description="all-to-all uniform random",
+    aliases=("uniform", "tile_to_tile"),
+)
+def make_uniform(config: NetworkConfig) -> PatternFn:
+    nodes = _all_nodes(config)
+
+    def uniform(src: Coord, rng: random.Random) -> Optional[Coord]:
+        dest = nodes[rng.randrange(len(nodes))]
+        while dest == src:
+            dest = nodes[rng.randrange(len(nodes))]
+        return dest
+
+    return uniform
+
+
+@register_pattern(
+    "bit_complement", description="destination mirrors both coordinates"
+)
+def make_bit_complement(config: NetworkConfig) -> PatternFn:
+    width, height = config.width, config.height
+
+    def complement(src: Coord, rng: random.Random) -> Optional[Coord]:
+        dest = Coord(width - 1 - src.x, height - 1 - src.y)
+        return None if dest == src else dest
+
+    return complement
+
+
+@register_pattern(
+    "transpose", description="(x, y) -> (y, x); square arrays only"
+)
+def make_transpose(config: NetworkConfig) -> PatternFn:
+    if config.width != config.height:
+        raise ConfigError("transpose requires a square array")
+
+    def transpose(src: Coord, rng: random.Random) -> Optional[Coord]:
+        dest = Coord(src.y, src.x)
+        return None if dest == src else dest
+
+    return transpose
+
+
+@register_pattern(
+    "tornado",
+    description="half-way-around offset in each dimension",
+)
+def make_tornado(config: NetworkConfig) -> PatternFn:
+    width, height = config.width, config.height
+    shift_x = (width + 1) // 2 - 1
+    shift_y = (height + 1) // 2 - 1
+
+    def tornado(src: Coord, rng: random.Random) -> Optional[Coord]:
+        dest = Coord(
+            (src.x + shift_x) % width, (src.y + shift_y) % height
+        )
+        return None if dest == src else dest
+
+    return tornado
+
+
+@register_pattern(
+    "tile_to_memory",
+    description="uniform over north/south edge memory endpoints",
+)
+def make_tile_to_memory(config: NetworkConfig) -> PatternFn:
+    if not config.edge_memory:
+        raise ConfigError(
+            "tile_to_memory requires a config with edge_memory=True"
+        )
+    width, height = config.width, config.height
+    memory: List[Coord] = [Coord(x, -1) for x in range(width)]
+    memory += [Coord(x, height) for x in range(width)]
+
+    def to_memory(src: Coord, rng: random.Random) -> Optional[Coord]:
+        return memory[rng.randrange(len(memory))]
+
+    return to_memory
+
+
+def _make_bit_permutation(
+    config: NetworkConfig, kind: str
+) -> PatternFn:
+    # Index-bit permutations over the node id (classic adversarial
+    # patterns for DOR; require power-of-two node counts).
+    width = config.width
+    n = width * config.height
+    bits = n.bit_length() - 1
+    if n != 1 << bits:
+        raise ConfigError(f"{kind} requires a power-of-two array")
+
+    def permute(idx: int) -> int:
+        if kind == "shuffle":  # rotate left by one bit
+            return ((idx << 1) | (idx >> (bits - 1))) & (n - 1)
+        return int(format(idx, f"0{bits}b")[::-1], 2)
+
+    def bitperm(src: Coord, rng: random.Random) -> Optional[Coord]:
+        idx = src.y * width + src.x
+        out = permute(idx)
+        dest = Coord(out % width, out // width)
+        return None if dest == src else dest
+
+    return bitperm
+
+
+@register_pattern(
+    "shuffle", description="node-id bits rotated left by one"
+)
+def make_shuffle(config: NetworkConfig) -> PatternFn:
+    return _make_bit_permutation(config, "shuffle")
+
+
+@register_pattern(
+    "bit_reverse", description="node-id bit string reversed"
+)
+def make_bit_reverse(config: NetworkConfig) -> PatternFn:
+    return _make_bit_permutation(config, "bit_reverse")
+
+
+@register_pattern(
+    "hotspot",
+    description="20% of traffic targets the center tile",
+)
+def make_hotspot(config: NetworkConfig) -> PatternFn:
+    hot = Coord(config.width // 2, config.height // 2)
+    nodes = _all_nodes(config)
+
+    def hotspot(src: Coord, rng: random.Random) -> Optional[Coord]:
+        if rng.random() < 0.2:
+            return None if hot == src else hot
+        dest = nodes[rng.randrange(len(nodes))]
+        while dest == src:
+            dest = nodes[rng.randrange(len(nodes))]
+        return dest
+
+    return hotspot
+
+
+@register_pattern(
+    "neighbor", description="uniform over the four mesh neighbours"
+)
+def make_neighbor(config: NetworkConfig) -> PatternFn:
+    width, height = config.width, config.height
+
+    def neighbor(src: Coord, rng: random.Random) -> Optional[Coord]:
+        options = [
+            Coord(src.x + dx, src.y + dy)
+            for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1))
+            if 0 <= src.x + dx < width and 0 <= src.y + dy < height
+        ]
+        return options[rng.randrange(len(options))]
+
+    return neighbor
+
+
 def make_pattern(name: str, config: NetworkConfig) -> PatternFn:
     """Build a destination function for pattern ``name`` on ``config``."""
-    width, height = config.width, config.height
-    lowered = name.strip().lower()
+    from repro.core.registry import PATTERNS
 
-    if lowered in ("uniform_random", "uniform", "tile_to_tile"):
-        nodes = [
-            Coord(x, y) for y in range(height) for x in range(width)
-        ]
-
-        def uniform(src: Coord, rng: random.Random) -> Optional[Coord]:
-            dest = nodes[rng.randrange(len(nodes))]
-            while dest == src:
-                dest = nodes[rng.randrange(len(nodes))]
-            return dest
-
-        return uniform
-
-    if lowered == "bit_complement":
-
-        def complement(src: Coord, rng: random.Random) -> Optional[Coord]:
-            dest = Coord(width - 1 - src.x, height - 1 - src.y)
-            return None if dest == src else dest
-
-        return complement
-
-    if lowered == "transpose":
-        if width != height:
-            raise ConfigError("transpose requires a square array")
-
-        def transpose(src: Coord, rng: random.Random) -> Optional[Coord]:
-            dest = Coord(src.y, src.x)
-            return None if dest == src else dest
-
-        return transpose
-
-    if lowered == "tornado":
-        shift_x = (width + 1) // 2 - 1
-        shift_y = (height + 1) // 2 - 1
-
-        def tornado(src: Coord, rng: random.Random) -> Optional[Coord]:
-            dest = Coord(
-                (src.x + shift_x) % width, (src.y + shift_y) % height
-            )
-            return None if dest == src else dest
-
-        return tornado
-
-    if lowered == "tile_to_memory":
-        if not config.edge_memory:
-            raise ConfigError(
-                "tile_to_memory requires a config with edge_memory=True"
-            )
-        memory: List[Coord] = [Coord(x, -1) for x in range(width)]
-        memory += [Coord(x, height) for x in range(width)]
-
-        def to_memory(src: Coord, rng: random.Random) -> Optional[Coord]:
-            return memory[rng.randrange(len(memory))]
-
-        return to_memory
-
-    if lowered in ("shuffle", "bit_reverse"):
-        # Index-bit permutations over the node id (classic adversarial
-        # patterns for DOR; require power-of-two node counts).
-        n = width * height
-        bits = n.bit_length() - 1
-        if n != 1 << bits:
-            raise ConfigError(f"{lowered} requires a power-of-two array")
-
-        def permute(idx: int) -> int:
-            if lowered == "shuffle":  # rotate left by one bit
-                return ((idx << 1) | (idx >> (bits - 1))) & (n - 1)
-            return int(format(idx, f"0{bits}b")[::-1], 2)
-
-        def bitperm(src: Coord, rng: random.Random) -> Optional[Coord]:
-            idx = src.y * width + src.x
-            out = permute(idx)
-            dest = Coord(out % width, out // width)
-            return None if dest == src else dest
-
-        return bitperm
-
-    if lowered == "hotspot":
-        hot = Coord(width // 2, height // 2)
-        nodes = [
-            Coord(x, y) for y in range(height) for x in range(width)
-        ]
-
-        def hotspot(src: Coord, rng: random.Random) -> Optional[Coord]:
-            if rng.random() < 0.2:
-                return None if hot == src else hot
-            dest = nodes[rng.randrange(len(nodes))]
-            while dest == src:
-                dest = nodes[rng.randrange(len(nodes))]
-            return dest
-
-        return hotspot
-
-    if lowered == "neighbor":
-
-        def neighbor(src: Coord, rng: random.Random) -> Optional[Coord]:
-            options = [
-                Coord(src.x + dx, src.y + dy)
-                for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1))
-                if 0 <= src.x + dx < width and 0 <= src.y + dy < height
-            ]
-            return options[rng.randrange(len(options))]
-
-        return neighbor
-
-    raise ConfigError(f"unknown traffic pattern: {name!r}")
+    return PATTERNS.get(name.strip().lower())(config)
 
 
 @functools.lru_cache(maxsize=None)

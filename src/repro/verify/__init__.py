@@ -36,7 +36,7 @@ from repro.verify.determinism import (
     lint_file,
     lint_source,
 )
-from repro.verify.engine import verify_config
+from repro.verify.engine import verify_config, verify_spec
 from repro.verify.matrix import paper_matrix, verify_matrix
 from repro.verify.preflight import campaign_preflight
 from repro.verify.report import VerificationReport
@@ -55,4 +55,5 @@ __all__ = [
     "routing_matrix",
     "verify_config",
     "verify_matrix",
+    "verify_spec",
 ]

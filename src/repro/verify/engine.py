@@ -29,10 +29,13 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 from repro.core.connectivity import Matrix
 from repro.core.coords import Coord, Direction
 from repro.core.params import NetworkConfig, TopologyKind
-from repro.core.routing import (
-    FaultAwareTableRouting,
-    RoutingAlgorithm,
-    make_routing,
+from repro.core.routing import FaultAwareTableRouting, RoutingAlgorithm
+from repro.core.spec import (
+    NetworkSpec,
+    build_config,
+    build_routing,
+    network_components,
+    resolve_topology,
 )
 from repro.core.topology import Topology
 from repro.errors import RoutingError
@@ -92,6 +95,7 @@ class _Enumerator:
         matrix: Matrix,
         report: VerificationReport,
         max_findings: int,
+        topology: Optional[Topology] = None,
     ) -> None:
         self.config = config
         self.routing = routing
@@ -99,7 +103,9 @@ class _Enumerator:
         self.report = report
         self.max_findings = max_findings
         self.uses_vcs = config.uses_vcs
-        self.topology = Topology(config)
+        self.topology = (
+            topology if topology is not None else Topology(config)
+        )
         self.minimal_hops = _minimal_hops_fn(config)
         # Reverse channel lookup: (arrival tile, input port) -> channel.
         self.rev: Dict[Tuple[Coord, int], Tuple[Coord, Direction]] = {}
@@ -299,6 +305,7 @@ def verify_config(
     routing: Optional[RoutingAlgorithm] = None,
     *,
     matrix: Optional[Matrix] = None,
+    topology: Optional[Topology] = None,
     max_findings: int = 8,
 ) -> VerificationReport:
     """Statically verify one design point; see :mod:`repro.verify`.
@@ -308,19 +315,22 @@ def verify_config(
     config:
         The design point to verify.
     routing:
-        Routing algorithm instance; defaults to
-        :func:`~repro.core.routing.make_routing`.  Pass a
+        Routing algorithm instance; defaults to the config's registered
+        algorithm (:func:`~repro.core.spec.build_routing`).  Pass a
         :class:`~repro.core.routing.FaultAwareTableRouting` to verify
         degraded tables (checked against the fault-tolerant crossbar).
     matrix:
         Override the connectivity matrix the turns are checked against
         (used by tests to prove that a mutilated crossbar is rejected).
+    topology:
+        Override the channel set the walk runs on (plugin topologies;
+        see :func:`verify_spec`).
     max_findings:
         Cap on recorded findings per category; counting continues for
         the numeric fields.
     """
     if routing is None:
-        routing = make_routing(config)
+        routing = build_routing(config)
     if matrix is None:
         matrix = routing_matrix(config, routing)
     report = VerificationReport(
@@ -354,7 +364,9 @@ def verify_config(
         and config.depopulated
     )
 
-    enumerator = _Enumerator(config, routing, matrix, report, max_findings)
+    enumerator = _Enumerator(
+        config, routing, matrix, report, max_findings, topology=topology
+    )
     enumerator.run()
 
     cycle = find_cycle(enumerator.dep_edges)
@@ -368,3 +380,30 @@ def verify_config(
         report.cdg_acyclic = False
         report.cycle = [format_channel(channel) for channel in cycle]
     return report
+
+
+def verify_spec(
+    spec: NetworkSpec, *, max_findings: int = 8
+) -> VerificationReport:
+    """Statically verify the design point a spec describes.
+
+    Resolves the spec's topology provider through the registry, so
+    plugin topologies are verified with their own channels, routing, and
+    crossbar matrix — the same components
+    :func:`~repro.core.spec.build_network` simulates with.
+    """
+    provider = resolve_topology(spec.topology)
+    config = build_config(spec)
+    components = network_components(
+        config, provider=provider, routing_name=spec.routing
+    )
+    matrix: Optional[Matrix] = None
+    if provider.matrix_factory is not None:
+        matrix = components.matrix
+    return verify_config(
+        config,
+        components.routing,
+        matrix=matrix,
+        topology=components.topology,
+        max_findings=max_findings,
+    )

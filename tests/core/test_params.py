@@ -45,6 +45,27 @@ class TestFromName:
             assert cfg.name == name
 
 
+class TestMalformedNames:
+    """Malformed names fail with the offending token called out."""
+
+    def test_ruche_zero_names_the_bad_factor(self):
+        with pytest.raises(ConfigError, match="'ruche0'"):
+            NetworkConfig.from_name("ruche0-pop", 8, 8)
+
+    def test_bad_suffix_names_the_token(self):
+        with pytest.raises(ConfigError, match="'oops'"):
+            NetworkConfig.from_name("ruche3-oops", 8, 8)
+
+    def test_non_numeric_factor_names_the_stem(self):
+        with pytest.raises(ConfigError, match="'ruchex'"):
+            NetworkConfig.from_name("ruchex-pop", 8, 8)
+
+    def test_messages_still_name_the_full_input(self):
+        for bad in ("ruche0-pop", "ruche3-oops"):
+            with pytest.raises(ConfigError, match=bad):
+                NetworkConfig.from_name(bad, 8, 8)
+
+
 class TestValidation:
     def test_ruche_one_cannot_be_depopulated(self):
         with pytest.raises(ConfigError):

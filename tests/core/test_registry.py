@@ -1,0 +1,114 @@
+"""Unit tests for the named component registries."""
+
+import pytest
+
+from repro.core.registry import (
+    ROUTINGS,
+    Registry,
+    TopologyProvider,
+    register_routing,
+)
+from repro.errors import ConfigError
+
+
+class TestRegistry:
+    def test_register_and_get_round_trip(self):
+        reg = Registry("widget")
+        reg.register("alpha", 1, description="first")
+        assert reg.get("alpha") == 1
+        assert reg.describe("alpha") == "first"
+        assert "alpha" in reg
+        assert len(reg) == 1
+
+    def test_alias_resolves_but_is_not_listed(self):
+        reg = Registry("widget")
+        reg.register("alpha", 1, aliases=("a", "al"))
+        assert reg.get("a") == 1
+        assert reg.get("al") == 1
+        assert reg.available() == ("alpha",)
+        assert reg.describe("a") == reg.describe("alpha")
+
+    def test_miss_raises_with_menu(self):
+        reg = Registry("widget")
+        reg.register("alpha", 1)
+        reg.register("beta", 2)
+        with pytest.raises(ConfigError) as excinfo:
+            reg.get("gamma")
+        message = str(excinfo.value)
+        assert "unknown widget 'gamma'" in message
+        assert "alpha" in message and "beta" in message
+
+    def test_miss_on_empty_registry(self):
+        reg = Registry("widget")
+        with pytest.raises(ConfigError, match=r"\(none registered\)"):
+            reg.get("anything")
+
+    def test_duplicate_rejected_unless_replace(self):
+        reg = Registry("widget")
+        reg.register("alpha", 1)
+        with pytest.raises(ConfigError, match="already registered"):
+            reg.register("alpha", 2)
+        reg.register("alpha", 2, replace=True)
+        assert reg.get("alpha") == 2
+
+    def test_duplicate_alias_rejected(self):
+        reg = Registry("widget")
+        reg.register("alpha", 1, aliases=("a",))
+        with pytest.raises(ConfigError, match="alias 'a'"):
+            reg.register("beta", 2, aliases=("a",))
+
+    def test_unregister_removes_name_and_aliases(self):
+        reg = Registry("widget")
+        reg.register("alpha", 1, aliases=("a",))
+        reg.unregister("alpha")
+        assert "alpha" not in reg
+        assert "a" not in reg
+        with pytest.raises(ConfigError):
+            reg.get("a")
+
+    def test_add_decorator_returns_item(self):
+        reg = Registry("widget")
+
+        @reg.add("fn", description="a callable")
+        def fn():
+            return 42
+
+        assert fn() == 42
+        assert reg.get("fn") is fn
+
+
+class TestComponentDecorators:
+    def test_register_routing_decorator(self):
+        name = "test-only-routing"
+        try:
+
+            @register_routing(name, description="for this test")
+            def build(config):
+                return None
+
+            assert ROUTINGS.get(name) is build
+            assert ROUTINGS.describe(name) == "for this test"
+        finally:
+            ROUTINGS.unregister(name)
+        assert name not in ROUTINGS
+
+    def test_builtin_routings_registered(self):
+        for name in (
+            "mesh-dor", "ruche-dor", "ruche-one", "multi-mesh", "torus-dor"
+        ):
+            assert name in ROUTINGS
+
+
+class TestTopologyProvider:
+    def test_custom_components_flag(self):
+        bare = TopologyProvider(
+            name="t", description="", config_factory=lambda *a, **k: None
+        )
+        assert not bare.has_custom_components
+        custom = TopologyProvider(
+            name="t",
+            description="",
+            config_factory=lambda *a, **k: None,
+            routing_factory=lambda config: None,
+        )
+        assert custom.has_custom_components

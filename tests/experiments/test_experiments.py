@@ -164,6 +164,19 @@ class TestMainFailurePath:
         err = capsys.readouterr().err
         assert "fig99" in err and "FAILED" in err
 
+    def test_unknown_experiment_prints_menu(self, capsys):
+        """A typo'd id fails with every available id + description."""
+        from repro.experiments.__main__ import main
+        from repro.experiments.registry import describe, experiment_ids
+
+        code = main(["nosuch"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "unknown experiment 'nosuch'" in err
+        for exp_id in experiment_ids():
+            assert exp_id in err
+            assert describe(exp_id) in err
+
     def test_successful_driver_exits_zero(self, capsys):
         from repro.experiments.__main__ import main
 
