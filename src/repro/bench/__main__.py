@@ -5,6 +5,8 @@ Examples::
     python -m repro.bench --json BENCH_noc.json        # refresh baseline
     python -m repro.bench --quick --json report.json \\
         --baseline BENCH_noc.json                      # CI regression gate
+    python -m repro.bench --engine compiled            # one engine only
+    python -m repro.bench --profile torus-64x8-ur      # cProfile a case
 """
 
 from __future__ import annotations
@@ -13,8 +15,11 @@ import argparse
 import sys
 
 from repro.bench import (
+    BENCH_ENGINES,
+    CASES,
     compare_to_baseline,
     load_report,
+    profile_case,
     run_bench,
     write_report,
 )
@@ -43,16 +48,39 @@ def main(argv=None) -> int:
              "(default 0.20 = 20%%)",
     )
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--engine", choices=BENCH_ENGINES + ("both",), default="both",
+        help="simulation engine(s) to measure (default: both)",
+    )
+    parser.add_argument(
+        "--profile", metavar="CASE", choices=tuple(CASES),
+        help="cProfile one canonical case (top 20 by cumulative time) "
+             "instead of benchmarking; honours --engine",
+    )
     args = parser.parse_args(argv)
 
+    engines = (
+        BENCH_ENGINES if args.engine == "both" else (args.engine,)
+    )
+
+    if args.profile:
+        for engine in engines:
+            print(f"== {args.profile} [{engine}] ==")
+            print(profile_case(args.profile, seed=args.seed,
+                               engine=engine))
+        return 0
+
     mode = "quick" if args.quick else "full"
-    report = run_bench(mode=mode, seed=args.seed)
+    report = run_bench(mode=mode, seed=args.seed, engines=engines)
 
     for case in report["cases"]:
+        speedup = case.get("speedup_vs_reference")
+        suffix = f" ({speedup:.2f}x vs reference)" if speedup else ""
         print(
-            f"{case['name']:24s} cycles={case['total_cycles']:6d} "
+            f"{case['name']:24s} [{case['engine']:9s}] "
+            f"cycles={case['total_cycles']:6d} "
             f"best={case['best_seconds']:.3f}s "
-            f"cps={case['cycles_per_sec']:,.0f}"
+            f"cps={case['cycles_per_sec']:,.0f}{suffix}"
         )
     campaign = report.get("campaign")
     if campaign is not None:
@@ -60,9 +88,11 @@ def main(argv=None) -> int:
         per_jobs = ", ".join(
             f"jobs={j}: {t:.2f}s" for j, t in timings.items()
         )
+        speedup = campaign.get("speedup")
+        suffix = f"; speedup {speedup:.2f}x" if speedup else ""
         print(
             f"campaign ({campaign['grid_rows']} rows): {per_jobs}; "
-            f"rows identical: {campaign['rows_identical']}"
+            f"rows identical: {campaign['rows_identical']}{suffix}"
         )
 
     if args.json:

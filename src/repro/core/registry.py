@@ -32,6 +32,7 @@ T = TypeVar("T")
 
 __all__ = [
     "ALLOCATORS",
+    "ENGINES",
     "PATTERNS",
     "ROUTERS",
     "ROUTINGS",
@@ -39,6 +40,7 @@ __all__ = [
     "Registry",
     "TopologyProvider",
     "register_allocator",
+    "register_engine",
     "register_pattern",
     "register_router",
     "register_routing",
@@ -187,6 +189,11 @@ ROUTERS: Registry[Callable[..., Any]] = Registry("router kind")
 PATTERNS: Registry[Callable[..., Any]] = Registry("traffic pattern")
 #: Switch allocator factories ``(num_inputs, num_outputs) -> allocator``.
 ALLOCATORS: Registry[Callable[..., Any]] = Registry("allocator")
+#: Simulation engines sharing run_synthetic's signature: ``"reference"``
+#: (the object-per-flit Network) and ``"compiled"`` (the flat-array
+#: engine of :mod:`repro.sim.fastsim`); both register on import of
+#: :mod:`repro.sim.simulator`.
+ENGINES: Registry[Callable[..., Any]] = Registry("simulation engine")
 
 
 def register_topology(
@@ -278,5 +285,25 @@ def register_allocator(
 ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
     """Register a switch allocator factory ``(inputs, outputs) -> alloc``."""
     return ALLOCATORS.add(
+        name, description=description, aliases=aliases, replace=replace
+    )
+
+
+def register_engine(
+    name: str,
+    *,
+    description: str = "",
+    aliases: Tuple[str, ...] = (),
+    replace: bool = False,
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Register a simulation engine.
+
+    The registered callable must accept the full
+    :func:`repro.sim.simulator.run_synthetic` signature (minus
+    ``engine``) and return a ``RunResult``; engines are interchangeable
+    per the cross-engine equivalence contract (identical metric
+    fingerprints for identical inputs).
+    """
+    return ENGINES.add(
         name, description=description, aliases=aliases, replace=replace
     )

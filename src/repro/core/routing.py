@@ -642,10 +642,10 @@ def make_routing(config: NetworkConfig) -> RoutingAlgorithm:
 def clear_routing_caches() -> None:
     """Drop the memoized routing instances (and their route tables).
 
-    Long ``--jobs N`` campaign workers call this from their pool
-    initializer so a sweep over many design points cannot accumulate an
-    unbounded set of per-node route caches across worker reuse; the
-    ``lru_cache`` bound (128 configs) caps growth *within* a worker.
+    The ``lru_cache`` bound (128 configs) caps growth within a process;
+    this hook exists for callers that need a cold start — the bench
+    harness clears it before timing the first campaign leg, and tests
+    use it to isolate cache effects.
     """
     make_routing.cache_clear()
 

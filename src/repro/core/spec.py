@@ -111,6 +111,10 @@ class NetworkSpec:
     audit_every: Optional[int] = None
     max_cycles: Optional[int] = None
     max_wall_seconds: Optional[float] = None
+    #: Simulation engine (a :data:`repro.core.registry.ENGINES` name);
+    #: ``None`` means the reference engine.  Engines are equivalent by
+    #: contract, so this is a performance knob, not a semantic one.
+    engine: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.options, tuple):
@@ -498,4 +502,5 @@ def build_run(
         audit_every=spec.audit_every,
         max_cycles=spec.max_cycles,
         max_wall_seconds=spec.max_wall_seconds,
+        engine=spec.engine,
     )

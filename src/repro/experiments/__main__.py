@@ -39,6 +39,13 @@ def main(argv=None) -> int:
         help="worker processes for campaign experiments (default 1; "
              "results are bit-identical to a serial run)",
     )
+    parser.add_argument(
+        "--engine", metavar="NAME", default=None,
+        help="simulation engine for sweep experiments (a "
+             "repro.core.registry.ENGINES name, e.g. 'compiled'; "
+             "engines are bit-identical by contract, so this only "
+             "changes wall-clock)",
+    )
     parser.add_argument("--list", action="store_true",
                         help="list experiment ids")
     parser.add_argument(
@@ -72,7 +79,8 @@ def main(argv=None) -> int:
             result = run_experiment(exp_id, scale=args.scale,
                                     seed=args.seed,
                                     preflight=args.preflight,
-                                    jobs=args.jobs)
+                                    jobs=args.jobs,
+                                    engine=args.engine)
         except KeyError as exc:
             # Unknown experiment id: the registry's message carries the
             # multi-line menu of available ids; print it verbatim

@@ -155,17 +155,55 @@ def _attempt_row(
     return None, error, attempts
 
 
-def _worker_init() -> None:
-    """Worker-process initializer: start from empty routing caches.
+def _attempt_chunk(
+    runner: Callable[[Dict[str, Any]], Dict[str, Any]],
+    chunk: List[Tuple[int, Dict[str, Any], str]],
+    max_retries: int,
+    retry_seed_stride: int,
+) -> List[Tuple[int, Optional[Dict[str, Any]], Optional[str], int]]:
+    """A worker's whole share of the grid, one pool task.
 
-    Long ``--jobs N`` sweeps reuse worker processes across many design
-    points; clearing the (bounded) ``make_routing`` memo at worker
-    startup keeps router-table memory from accumulating across pool
-    rebuilds and keeps workers independent of inherited parent state.
+    Submitting one chunk per worker instead of one future per row pays
+    the pool's pickle/IPC round-trip once per worker, so short rows (the
+    compiled engine makes most rows short) are not dominated by
+    scheduling overhead.  Returns ``(idx, row, error, attempts)`` per
+    entry; a worker crash mid-chunk loses only this chunk, which the
+    parent then retries row-at-a-time.
     """
-    from repro.core.routing import clear_routing_caches
+    out = []
+    for idx, params, _key in chunk:
+        row, error, attempts = _attempt_row(
+            runner, params, max_retries, retry_seed_stride
+        )
+        out.append((idx, row, error, attempts))
+    return out
 
-    clear_routing_caches()
+
+def _usable_cpus() -> int:
+    """CPUs this process is actually allowed to schedule on."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
+
+
+def _worker_init() -> None:
+    """Worker-process initializer: pay one-time setup before row one.
+
+    Importing the simulator stack and building the optional native step
+    kernel are the expensive first-row surprises; doing them here keeps
+    every row's wall-clock representative.  Fork-inherited routing
+    caches are deliberately kept warm: each memo entry is a pure
+    function of its design point (the determinism contract), so an
+    inherited entry changes wall-clock, never results, and the memo is
+    bounded so it cannot accumulate across pool rebuilds.
+    """
+    import repro.core.routing  # noqa: F401
+    import repro.core.spec  # noqa: F401
+    import repro.sim.simulator  # noqa: F401
+    from repro.sim import _ckernel
+
+    _ckernel.get_kernel()
 
 
 def _run_parallel(
@@ -176,11 +214,71 @@ def _run_parallel(
     retry_seed_stride: int,
     record: Callable[..., None],
 ) -> None:
-    """Shard pending rows across a worker pool, surviving worker death.
+    """Shard pending rows across a pool, one chunk per worker.
 
-    A crashed worker breaks the whole :class:`ProcessPoolExecutor`; the
-    pool is rebuilt and every unfinished row is resubmitted with its
-    crash budget decremented, so one poisoned row cannot take down the
+    Rows are dealt round-robin (``pending[w::jobs]``) so each worker
+    gets an interleaved — hence load-balanced — slice of the grid and
+    the whole campaign costs ``jobs`` futures instead of ``len(grid)``.
+    A chunk whose worker dies falls back to the row-at-a-time wave
+    (:func:`_run_parallel_rows`), where the per-row crash budget
+    isolates the poisoned row and the healthy remainder completes.
+    """
+    chunks = [c for c in (pending[w::jobs] for w in range(jobs)) if c]
+    # Warm the parent first: under the fork start method every worker
+    # inherits the imported stack and the built kernel for free, and the
+    # initializer call in the child becomes a no-op.
+    _worker_init()
+    executor = ProcessPoolExecutor(
+        max_workers=len(chunks), initializer=_worker_init
+    )
+    crashed: List[Tuple[int, Dict[str, Any], str]] = []
+    broken = False
+    try:
+        futures = {
+            executor.submit(
+                _attempt_chunk, runner, chunk,
+                max_retries, retry_seed_stride,
+            ): chunk
+            for chunk in chunks
+        }
+        waiting = set(futures)
+        while waiting:
+            done, waiting = wait(waiting, return_when=FIRST_COMPLETED)
+            for fut in done:
+                chunk = futures[fut]
+                try:
+                    outcomes = fut.result()
+                except BrokenProcessPool:
+                    broken = True
+                    crashed.extend(chunk)
+                    continue
+                by_idx = {idx: (params, key) for idx, params, key in chunk}
+                for idx, row, error, attempts in outcomes:
+                    params, key = by_idx[idx]
+                    record(idx, params, key, row, error, attempts)
+    finally:
+        executor.shutdown(wait=not broken, cancel_futures=True)
+    if crashed:
+        crashed.sort(key=lambda entry: entry[0])
+        _run_parallel_rows(
+            crashed, runner, jobs, max_retries, retry_seed_stride, record
+        )
+
+
+def _run_parallel_rows(
+    pending: List[Tuple[int, Dict[str, Any], str]],
+    runner: Callable[[Dict[str, Any]], Dict[str, Any]],
+    jobs: int,
+    max_retries: int,
+    retry_seed_stride: int,
+    record: Callable[..., None],
+) -> None:
+    """Row-at-a-time pool wave, surviving worker death.
+
+    The crash-recovery path behind :func:`_run_parallel`: a crashed
+    worker breaks the whole :class:`ProcessPoolExecutor`; the pool is
+    rebuilt and every unfinished row is resubmitted with its crash
+    budget decremented, so one poisoned row cannot take down the
     campaign — after ``max_retries + 1`` pool rebuilds it is recorded as
     failed and the rest of the grid completes.
     """
@@ -245,16 +343,24 @@ def run_campaign(
     invocation tries it again.
 
     ``jobs > 1`` shards the uncached rows across a
-    :class:`~concurrent.futures.ProcessPoolExecutor`.  Results are
+    :class:`~concurrent.futures.ProcessPoolExecutor`, one round-robin
+    chunk of the grid per worker (heavy imports and the native-kernel
+    build happen once per worker, in the pool initializer).  Results are
     **bit-identical to a serial run**: every row's outcome is a pure
     function of its own parameter dict (each simulation seeds its own
     RNGs from ``params["seed"]``), ``result.rows`` is assembled in grid
     order regardless of completion order, and the checkpoint file is
-    dumped with sorted keys so its bytes never depend on scheduling.
+    dumped with sorted keys so its bytes never depend on scheduling
+    (rows land in the checkpoint when their worker's chunk completes,
+    so a killed parallel campaign may recompute up to one in-flight
+    chunk per worker on resume).
     ``runner`` must be picklable (a module-level function or a
     :func:`functools.partial` over one).  A worker crash (e.g. the OOM
-    killer) is retried on a rebuilt pool with the same per-row budget of
-    ``max_retries`` before the row is recorded as failed.
+    killer) drops its chunk to a row-at-a-time wave, where the crashing
+    row is retried on a rebuilt pool with a budget of ``max_retries``
+    before being recorded as failed.  On a host with a single
+    schedulable CPU the rows run inline instead — same results, none of
+    the pool overhead.
 
     ``preflight``, when given, runs first and must return a sequence of
     problem strings (empty = verified); any problem raises
@@ -296,11 +402,15 @@ def run_campaign(
             slots[idx] = failed
             failed_idx.add(idx)
 
-    if jobs > 1 and pending:
+    if jobs > 1 and pending and _usable_cpus() > 1:
         _run_parallel(
             pending, runner, jobs, max_retries, retry_seed_stride, record
         )
     else:
+        # Includes requested jobs > 1 on a single schedulable CPU:
+        # worker processes cannot overlap row computation there, so the
+        # pool would only add fork/IPC overhead on top of the same
+        # serial work.  Results are identical either way.
         for idx, params, key in pending:
             row, error, attempts = _attempt_row(
                 runner, params, max_retries, retry_seed_stride

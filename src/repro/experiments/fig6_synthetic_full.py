@@ -14,7 +14,11 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from repro.experiments.base import ExperimentResult, resolve_scale
 from repro.experiments.campaign import run_campaign
-from repro.experiments.sweeps import rate_sweep_grid, run_rate_sweep_row
+from repro.experiments.sweeps import (
+    grid_preflight,
+    rate_sweep_grid,
+    run_rate_sweep_row,
+)
 
 CONFIG_NAMES = (
     "mesh",
@@ -65,6 +69,7 @@ def make_grid(
     scale: str,
     seed: int = 1,
     sizes: Optional[Sequence[Tuple[int, int]]] = None,
+    engine: Optional[str] = None,
 ) -> list:
     """The fig6 campaign grid (also used by the parallel-equivalence
     tests and the bench harness)."""
@@ -79,6 +84,7 @@ def make_grid(
         measure=preset["measure"],
         drain=preset["drain"],
         seed=seed,
+        engine=engine,
     )
 
 
@@ -87,10 +93,16 @@ def run(
     seed: int = 1,
     sizes: Optional[Sequence[Tuple[int, int]]] = None,
     jobs: int = 1,
+    engine: Optional[str] = None,
+    preflight: bool = False,
 ) -> ExperimentResult:
     scale = resolve_scale(scale)
+    grid = make_grid(scale, seed=seed, sizes=sizes, engine=engine)
     outcome = run_campaign(
-        make_grid(scale, seed=seed, sizes=sizes), _run_row, jobs=jobs
+        grid,
+        _run_row,
+        jobs=jobs,
+        preflight=grid_preflight(grid) if preflight else None,
     )
     return ExperimentResult(
         experiment_id="fig6",

@@ -14,7 +14,7 @@ from typing import List, Optional
 from repro.analysis.fairness import FairnessSummary, fairness_comparison
 from repro.experiments.base import ExperimentResult, resolve_scale
 from repro.experiments.campaign import run_campaign
-from repro.experiments.sweeps import run_fairness_row
+from repro.experiments.sweeps import grid_preflight, run_fairness_row
 
 CONFIG_NAMES = ("mesh", "torus", "ruche2-pop", "ruche3-pop")
 
@@ -26,22 +26,33 @@ _PRESETS = {
 
 
 def run(
-    scale: Optional[str] = None, seed: int = 5, jobs: int = 1
+    scale: Optional[str] = None,
+    seed: int = 5,
+    jobs: int = 1,
+    engine: Optional[str] = None,
+    preflight: bool = False,
 ) -> ExperimentResult:
     scale = resolve_scale(scale)
     preset = _PRESETS[scale]
     size = preset["size"]
-    grid = [
-        {
+    grid = []
+    for name in CONFIG_NAMES:
+        row = {
             "config": name,
             "width": size,
             "height": size,
             "measure": preset["measure"],
             "seed": seed,
         }
-        for name in CONFIG_NAMES
-    ]
-    outcome = run_campaign(grid, run_fairness_row, jobs=jobs)
+        if engine is not None:
+            row["engine"] = engine
+        grid.append(row)
+    outcome = run_campaign(
+        grid,
+        run_fairness_row,
+        jobs=jobs,
+        preflight=grid_preflight(grid) if preflight else None,
+    )
     summaries = {
         row["config"]: FairnessSummary(
             config_name=row["config"],

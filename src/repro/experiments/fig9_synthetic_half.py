@@ -14,7 +14,11 @@ from typing import Any, Dict, Optional
 
 from repro.experiments.base import ExperimentResult, resolve_scale
 from repro.experiments.campaign import run_campaign
-from repro.experiments.sweeps import rate_sweep_grid, run_rate_sweep_row
+from repro.experiments.sweeps import (
+    grid_preflight,
+    rate_sweep_grid,
+    run_rate_sweep_row,
+)
 
 BASE_CONFIGS = (
     "mesh",
@@ -73,7 +77,11 @@ def _options_for(
 
 
 def run(
-    scale: Optional[str] = None, seed: int = 2, jobs: int = 1
+    scale: Optional[str] = None,
+    seed: int = 2,
+    jobs: int = 1,
+    engine: Optional[str] = None,
+    preflight: bool = False,
 ) -> ExperimentResult:
     scale = resolve_scale(scale)
     preset = _PRESETS[scale]
@@ -89,8 +97,14 @@ def run(
         seed=seed,
         configs_for=lambda size: _configs_for(size, preset["configs"]),
         options_for=_options_for,
+        engine=engine,
     )
-    outcome = run_campaign(grid, run_rate_sweep_row, jobs=jobs)
+    outcome = run_campaign(
+        grid,
+        run_rate_sweep_row,
+        jobs=jobs,
+        preflight=grid_preflight(grid) if preflight else None,
+    )
     rows = outcome.rows
     return ExperimentResult(
         experiment_id="fig9",

@@ -36,6 +36,7 @@ def _row_spec(params: Dict[str, Any], rate: float) -> NetworkSpec:
         measure=params["measure"],
         drain_limit=params["drain"],
         seed=params["seed"],
+        engine=params.get("engine"),
         **params.get("options", {}),
     )
 
@@ -73,6 +74,7 @@ def run_fairness_row(params: Dict[str, Any]) -> Dict[str, Any]:
         measure=params["measure"],
         drain_limit=params.get("drain", 5000),
         seed=params["seed"],
+        engine=params.get("engine"),
     )
     result = build_run(spec, track_per_source=True)
     summary = summarize_per_tile(
@@ -102,14 +104,19 @@ def rate_sweep_grid(
         Callable[[Tuple[int, int]], Sequence[str]]
     ] = None,
     options_for: Optional[OptionsFn] = None,
+    engine: Optional[str] = None,
 ) -> List[Dict[str, Any]]:
     """A campaign grid of rate-sweep rows (sizes × patterns × configs).
 
     ``configs_for`` lets a driver vary the config list per array size
     (fig9 adds ruche4 on 64×8); ``options_for`` injects per-row config
-    options (fig9's ``half`` / ``edge_memory``).  Iteration order is
-    sizes → patterns → configs, matching the historical drivers so row
-    order — and with it every checkpoint and result file — is stable.
+    options (fig9's ``half`` / ``edge_memory``).  ``engine`` names the
+    simulation engine every row runs on; ``None`` (the default) leaves
+    the key out entirely, so pre-engine grids — and the checkpoint keys
+    derived from them — are byte-identical to before.  Iteration order
+    is sizes → patterns → configs, matching the historical drivers so
+    row order — and with it every checkpoint and result file — is
+    stable.
     """
     grid: List[Dict[str, Any]] = []
     for width, height in sizes:
@@ -132,9 +139,39 @@ def rate_sweep_grid(
                     "measure": measure,
                     "drain": drain,
                 }
+                if engine is not None:
+                    row["engine"] = engine
                 if options_for is not None:
                     options = options_for(name, width, height, pattern)
                     if options:
                         row["options"] = options
                 grid.append(row)
     return grid
+
+
+def grid_preflight(
+    grid: Sequence[Dict[str, Any]],
+) -> Callable[[], List[str]]:
+    """A campaign ``preflight`` thunk for one sweep grid.
+
+    Statically verifies every distinct design point in the grid and
+    checks every named simulation engine against the
+    :data:`~repro.core.registry.ENGINES` registry, so a typo'd
+    ``--engine`` or an illegal config aborts the campaign before the
+    first row simulates.
+    """
+    from repro.core.params import NetworkConfig
+    from repro.verify import campaign_preflight
+
+    configs = [
+        NetworkConfig.from_name(
+            row["config"],
+            row["width"],
+            row["height"],
+            **row.get("options", {}),
+        )
+        for row in grid
+    ]
+    return campaign_preflight(
+        configs, engines=[row.get("engine") for row in grid]
+    )

@@ -1,0 +1,248 @@
+"""Optional native step kernel for the compiled engine.
+
+The wormhole/FBFC inner loop of :mod:`repro.sim.fastsim` is a few dozen
+integer operations per packet move; in CPython the interpreter dispatch
+around those operations dominates.  This module compiles a single-file C
+translation of that loop with the system C compiler at first use and
+loads it through :mod:`ctypes`.  The C kernel performs exactly the same
+two-phase step (arbitrate every router against cycle-start state, then
+commit every grant in discovery order) on the same flat arrays, so the
+equivalence argument of the pure-Python path carries over unchanged —
+the differential tests exercise both paths.
+
+The kernel is strictly optional: when no C compiler is available, the
+compile fails, or ``REPRO_NO_CKERNEL`` is set in the environment,
+:func:`get_kernel` returns ``None`` and the compiled engine falls back
+to its pure-Python step loops (same results, lower throughput).  The
+shared object lives in a process-lifetime temporary directory; nothing
+is installed.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+import subprocess
+import tempfile
+from typing import Optional
+
+__all__ = ["StepCtx", "get_kernel"]
+
+_I32P = ctypes.POINTER(ctypes.c_int32)
+_I64P = ctypes.POINTER(ctypes.c_int64)
+
+
+class StepCtx(ctypes.Structure):
+    """Mirror of the C ``StepCtx``: one pointer block per simulation run.
+
+    Filling the struct once and passing a single pointer per cycle keeps
+    the per-call ctypes marshalling cost constant instead of linear in
+    the argument count.
+    """
+
+    _fields_ = [
+        ("R", ctypes.c_int32),
+        ("depth", ctypes.c_int32),
+        ("fbfc", ctypes.c_int32),
+        ("track_links", ctypes.c_int32),
+        ("rowlen", ctypes.c_int32),
+        # static tables (per compiled model)
+        ("dn", _I32P),
+        ("ncv", _I32P),
+        ("cands", _I32P),
+        ("pm", _I32P),
+        ("needs", _I32P),
+        ("rowof", _I32P),
+        ("rows", _I32P),
+        # per-run queue state
+        ("buf", _I32P),
+        ("qoff", _I32P),
+        ("qcap", _I32P),
+        ("qhead", _I32P),
+        ("qlen", _I32P),
+        ("arb", _I32P),
+        ("occ", _I32P),
+        # per-packet records (grown by the Python side)
+        ("pout", _I32P),
+        ("pbase", _I32P),
+        ("pdest", _I32P),
+        # counters and per-cycle outputs
+        ("hop", _I64P),
+        ("link", _I64P),
+        ("gsq", _I32P),
+        ("gro", _I32P),
+        ("ej", _I32P),
+        ("nej", _I32P),
+    ]
+
+
+_SOURCE = r"""
+#include <stdint.h>
+
+typedef struct {
+    int32_t R, depth, fbfc, track_links, rowlen;
+    const int32_t *dn, *ncv, *cands, *pm, *needs, *rowof, *rows;
+    int32_t *buf;
+    const int32_t *qoff, *qcap;
+    int32_t *qhead, *qlen, *arb, *occ;
+    int32_t *pout;
+    const int32_t *pbase, *pdest;
+    int64_t *hop, *link;
+    int32_t *gsq, *gro, *ej, *nej;
+} StepCtx;
+
+/* One network cycle for the wormhole / FBFC router kinds.
+ *
+ * Phase 1 arbitrates every output of every occupied router against
+ * cycle-start queue state (request masks over candidate positions,
+ * rotating round-robin winner, downstream space gate — free slot for
+ * wormhole, per-entry bubble need for FBFC).  Phase 2 commits the
+ * grants in discovery order: router ascending, output ascending.  Both
+ * phases are literal translations of the pure-Python step loops in
+ * repro.sim.fastsim; the pointer trajectories and commit order are
+ * identical by construction.  Returns the number of grants; ejected
+ * packet ids are written to ej/nej for the Python side to score.
+ */
+int step_noc(StepCtx *c)
+{
+    const int32_t R = c->R, depth = c->depth, fbfc = c->fbfc;
+    const int32_t *qoff = c->qoff, *qcap = c->qcap;
+    int32_t *qhead = c->qhead, *qlen = c->qlen;
+    int ng = 0, nej = 0;
+    for (int r = 0; r < R; r++) {
+        if (!c->occ[r])
+            continue;
+        int reqm[9] = {0, 0, 0, 0, 0, 0, 0, 0, 0};
+        const int rb = r * 9;
+        const int32_t *pmr = c->pm + r * 81;
+        int anyreq = 0;
+        for (int i = 0; i < 9; i++) {
+            const int qi = rb + i;
+            if (!qlen[qi])
+                continue;
+            const int pid = c->buf[qoff[qi] + qhead[qi]];
+            const int o = c->pout[pid];
+            const int pos = pmr[o * 9 + i];
+            if (pos < 0)
+                continue;
+            reqm[o] |= 1 << pos;
+            anyreq = 1;
+        }
+        if (!anyreq)
+            continue;
+        for (int o = 0; o < 9; o++) {
+            const int m = reqm[o];
+            if (!m)
+                continue;
+            const int ro = rb + o;
+            const int nc = c->ncv[ro];
+            if (nc <= 0)
+                continue;
+            const int d = c->dn[ro];
+            int pos;
+            if (!fbfc) {
+                if (d >= 0 && qlen[d] >= depth)
+                    continue;
+                pos = c->arb[ro];
+                while (!((m >> pos) & 1)) {
+                    pos++;
+                    if (pos >= nc)
+                        pos = 0;
+                }
+            } else {
+                const int avail = d < 0 ? depth : depth - qlen[d];
+                if (avail <= 0)
+                    continue;
+                const int ptr = c->arb[ro];
+                const int32_t *nd = c->needs + ro * 9;
+                pos = -1;
+                for (int k = 0; k < nc; k++) {
+                    int p = ptr + k;
+                    if (p >= nc)
+                        p -= nc;
+                    if (((m >> p) & 1) && avail >= nd[p]) {
+                        pos = p;
+                        break;
+                    }
+                }
+                if (pos < 0)
+                    continue;
+            }
+            c->arb[ro] = pos + 1 < nc ? pos + 1 : 0;
+            c->gsq[ng] = rb + c->cands[ro * 9 + pos];
+            c->gro[ng] = ro;
+            ng++;
+        }
+    }
+    for (int g = 0; g < ng; g++) {
+        const int sq = c->gsq[g], ro = c->gro[g];
+        const int r = ro / 9, o = ro % 9;
+        int h = qhead[sq];
+        const int pid = c->buf[qoff[sq] + h];
+        h++;
+        if (h >= qcap[sq])
+            h = 0;
+        qhead[sq] = h;
+        qlen[sq]--;
+        c->occ[r]--;
+        if (c->track_links && o)
+            c->link[ro]++;
+        const int d = c->dn[ro];
+        if (d < 0) {
+            c->ej[nej++] = pid;
+        } else {
+            c->hop[o]++;
+            c->pout[pid] = c->rows[c->rowof[d] * c->rowlen
+                                   + c->pbase[pid] + c->pdest[pid]];
+            int t = qhead[d] + qlen[d];
+            if (t >= qcap[d])
+                t -= qcap[d];
+            c->buf[qoff[d] + t] = pid;
+            qlen[d]++;
+            c->occ[d / 9]++;
+        }
+    }
+    *c->nej = nej;
+    return ng;
+}
+"""
+
+_lib: Optional[ctypes.CDLL] = None
+_tried = False
+# Keeps the build directory (and its .so) alive for the process.
+_tmpdir: Optional[tempfile.TemporaryDirectory] = None
+
+
+def get_kernel() -> Optional[ctypes.CDLL]:
+    """The loaded step kernel, building it on first call.
+
+    Returns ``None`` (and caches the failure) when ``REPRO_NO_CKERNEL``
+    is set, no working C compiler is on ``PATH``, or the build/load
+    fails for any reason — callers then use the pure-Python step.
+    """
+    global _lib, _tried, _tmpdir
+    if _tried:
+        return _lib
+    _tried = True
+    if os.environ.get("REPRO_NO_CKERNEL"):
+        return None
+    try:
+        _tmpdir = tempfile.TemporaryDirectory(prefix="repro-ckernel-")
+        src = os.path.join(_tmpdir.name, "step_noc.c")
+        out = os.path.join(_tmpdir.name, "step_noc.so")
+        with open(src, "w", encoding="utf-8") as fh:
+            fh.write(_SOURCE)
+        compiler = os.environ.get("CC", "cc")
+        subprocess.run(
+            [compiler, "-O2", "-fPIC", "-shared", "-o", out, src],
+            check=True,
+            capture_output=True,
+            timeout=120,
+        )
+        lib = ctypes.CDLL(out)
+        lib.step_noc.argtypes = [ctypes.POINTER(StepCtx)]
+        lib.step_noc.restype = ctypes.c_int
+        _lib = lib
+    except Exception:
+        _lib = None
+    return _lib

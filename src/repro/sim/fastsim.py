@@ -1,0 +1,1410 @@
+"""Compiled structure-of-arrays simulation engine.
+
+The reference engine (:mod:`repro.sim.network`) spends most of its time
+in per-flit object machinery: a ``Packet`` per flit, a ``Fifo`` per
+port, a method call per router per cycle.  This module lowers a design
+point into flat preallocated integer structures once — per-port FIFO
+queues of packet ids, route tables indexed ``(node, dest) -> output
+port``, packed per-packet records (destination index, inject cycle,
+measured bit) — and steps the whole network with tight loops over those
+structures.  The lowering is *compiled by extraction*: a throwaway
+reference :class:`~repro.sim.network.Network` is built once per config
+and its wiring (candidate lists, arbitration plans, downstream targets)
+is copied out, which guarantees the compiled network is wired
+identically to the one the reference engine would simulate.
+
+Equivalence contract
+--------------------
+For every run the compiled engine accepts, its :class:`RunResult` and
+:class:`~repro.sim.metrics.RunMetrics` are **bit-identical** to the
+reference engine's: same RNG streams and consumption order, same
+injection and arbitration order, same round-robin/wavefront pointer
+trajectories, same per-packet latency multiset and delivery order.  The
+cross-engine differential tests in ``tests/sim/test_fastsim.py`` enforce
+this on the canonical bench cases and on hypothesis-generated specs.
+
+Arbitration is additionally skipped for *clean* routers — routers whose
+queues and downstream occupancies are untouched since they last
+arbitrated.  This is lossless, not approximate: in all three router
+kinds a grantless arbitration mutates no state (round-robin pointers
+advance only on grants; the VC router rotates its wavefront priority
+only when at least one space-gated request exists, and any such request
+always yields a grant), so re-running it would reproduce the same
+nothing.
+
+What falls back
+---------------
+Runs the compiler cannot prove equivalent are transparently delegated to
+the reference engine (the returned result then reports
+``engine == "reference"``): fault injection, ``audit_every`` tripwires,
+plugin topology components, non-builtin routing/router/allocator types,
+edge-memory endpoints, and multi-cycle (pipelined) channels.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import time
+from array import array
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.core.coords import Direction
+from repro.core.params import NetworkConfig, TopologyKind
+from repro.core.routing import (
+    MeshDOR,
+    MultiMeshRouting,
+    RucheDOR,
+    RucheOneRouting,
+    TorusDOR,
+    _ParitySubnetRouting,
+)
+from repro.core.spec import (
+    NetworkSpec,
+    build_config,
+    build_faults,
+    build_network,
+    build_pattern,
+    build_watchdog,
+    resolve_topology,
+)
+from repro.errors import DeadlockError, SimulationTimeout
+from repro.sim import _ckernel
+from repro.sim.allocator import WavefrontAllocator
+from repro.sim.metrics import LatencyStats, RunMetrics
+from repro.sim.rng import derive_rng
+from repro.sim.router import (
+    KIND_DIRECT,
+    KIND_SINK_FREE,
+    NUM_DIRS,
+    P_IDX,
+    FbfcRouter,
+    Sink,
+    VCRouter,
+    WormholeRouter,
+    _target_kind,
+)
+from repro.sim.watchdog import WatchdogConfig
+
+__all__ = ["clear_compile_caches", "run_compiled"]
+
+#: How often (in cycles) the wall-clock limit is polled (must match the
+#: reference engine so budget overruns trip on the same cycle).
+_WALL_CHECK_EVERY = 256
+
+#: Input / output port and diagonal decodings for a flat 5x5 VC request
+#: index (``idx = in_port * 5 + out_port``); _DIAG5 is the wavefront
+#: step on which the allocator visits the pair when its priority is 0.
+_I5 = tuple(idx // 5 for idx in range(25))
+_O5 = tuple(idx % 5 for idx in range(25))
+_DIAG5 = tuple((idx // 5 + idx % 5) % 5 for idx in range(25))
+
+#: _WF_KEYS[priority][idx] orders flat request indices exactly as the
+#: wavefront allocator visits them for that priority: diagonal first,
+#: then input port ascending within a diagonal.
+_WF_KEYS = tuple(
+    tuple(((_DIAG5[idx] - b) % 5) * 5 + _I5[idx] for idx in range(25))
+    for b in range(5)
+)
+
+#: Routing algorithms whose route functions the compiler knows how to
+#: tabulate.  Exact-type matches only: a subclass may override behavior
+#: the tables would not capture, so it falls back.
+_SUPPORTED_ROUTINGS = (
+    MeshDOR,
+    RucheDOR,
+    RucheOneRouting,
+    MultiMeshRouting,
+    TorusDOR,
+)
+
+
+class _Unsupported(Exception):
+    """Raised during compilation when a design point cannot be lowered."""
+
+
+class _CompiledModel:
+    """Immutable per-config lowering shared by every run of that config.
+
+    Holds only static tables (wiring, routes, candidate lists); all
+    mutable simulation state (queues, pointers, counters) is allocated
+    fresh per run by :func:`_execute`.
+    """
+
+    __slots__ = (
+        "kind",
+        "config",
+        "nodes",
+        "node_index",
+        "n",
+        "depth",
+        "num_vcs",
+        "subnet_tab",
+        # wormhole / fbfc
+        "in_lists",
+        "posmaps",
+        "plans",
+        "feeders",
+        "route_rows",
+        # vc
+        "ports",
+        "out_tab",
+        "vcn_tab",
+        "dl_tab",
+        "same_dim",
+        "vc_wiring",
+        # lazily-built flat tables for the native step kernel
+        "carrays",
+    )
+
+
+# Compiled models keyed by (config, routing, router, allocator) names;
+# ``None`` caches a negative result so unsupported design points skip
+# the throwaway-network build on every call.
+_MISSING = object()
+_COMPILE_CACHE: Dict[Tuple, Optional[_CompiledModel]] = {}
+
+
+def clear_compile_caches() -> None:
+    """Drop every compiled model (bench cold-start / test hygiene)."""
+    _COMPILE_CACHE.clear()
+
+
+# ----------------------------------------------------------------------
+# Compilation (by extraction from a throwaway reference network)
+# ----------------------------------------------------------------------
+def _compile(
+    target: Union[NetworkConfig, NetworkSpec],
+    config: NetworkConfig,
+    routing_name: Optional[str],
+    router_name: Optional[str],
+    allocator_name: Optional[str],
+) -> _CompiledModel:
+    key = (config, routing_name, router_name, allocator_name)
+    cached = _COMPILE_CACHE.get(key, _MISSING)
+    if cached is not _MISSING:
+        if cached is None:
+            raise _Unsupported(f"{config.name}: cached as uncompilable")
+        return cached
+    try:
+        model = _build_model(target, config)
+    except _Unsupported:
+        _COMPILE_CACHE[key] = None
+        raise
+    _COMPILE_CACHE[key] = model
+    return model
+
+
+def _direct_target(router, o: int) -> Tuple[int, int]:
+    down, down_idx = router.out_target[o]
+    return down.net_idx, down_idx
+
+
+def _build_model(
+    target: Union[NetworkConfig, NetworkSpec], config: NetworkConfig
+) -> _CompiledModel:
+    net = build_network(target)
+    if net._channels:
+        raise _Unsupported("pipelined channels")
+    if net._edge_entry or net.topology.memory_nodes:
+        raise _Unsupported("edge-memory endpoints")
+    routing = net.routing
+    if type(routing) not in _SUPPORTED_ROUTINGS:
+        raise _Unsupported(f"routing {type(routing).__name__}")
+    routers = net._router_list
+    kinds = {type(r) for r in routers}
+    if kinds == {WormholeRouter}:
+        kind = "wormhole"
+    elif kinds == {FbfcRouter}:
+        kind = "fbfc"
+    elif kinds == {VCRouter}:
+        kind = "vc"
+    else:
+        raise _Unsupported(f"router kinds {sorted(k.__name__ for k in kinds)}")
+
+    model = _CompiledModel()
+    model.kind = kind
+    model.config = config
+    model.carrays = None
+    nodes = tuple(net.topology.nodes)
+    model.nodes = nodes
+    model.node_index = {coord: idx for idx, coord in enumerate(nodes)}
+    model.n = len(nodes)
+    model.depth = config.fifo_depth
+    for idx, router in enumerate(routers):
+        if router.coord != nodes[idx] or router.net_idx != idx:
+            raise _Unsupported("router order diverges from topology order")
+        if router.depth != config.fifo_depth:
+            raise _Unsupported("non-uniform FIFO depth")
+
+    nsub = 2 if isinstance(routing, _ParitySubnetRouting) else 1
+    if nsub == 2:
+        n = model.n
+        tab = [0] * (n * n)
+        for s, src in enumerate(nodes):
+            base = s * n
+            for d, dest in enumerate(nodes):
+                tab[base + d] = routing.injection_subnet(src, dest)
+        model.subnet_tab = tab
+    else:
+        model.subnet_tab = None
+
+    if kind == "vc":
+        _extract_vc(model, net, routers)
+        _tabulate_vc_routes(model, routing)
+    else:
+        _extract_wormhole(model, net, routers, fbfc=(kind == "fbfc"))
+        _tabulate_wormhole_routes(model, routing, nsub)
+    return model
+
+
+def _sink_or_direct(router, o: int) -> Optional[Tuple[int, int]]:
+    """``None`` for an always-ready sink, (down, in) for a direct wire."""
+    target = router.out_target[o]
+    code = _target_kind(target)
+    if code == KIND_SINK_FREE:
+        return None
+    if code == KIND_DIRECT:
+        down_r, down_in = _direct_target(router, o)
+        if down_in == P_IDX:
+            raise _Unsupported("link wired into an injection port")
+        return down_r, down_in
+    raise _Unsupported(
+        "custom sink" if isinstance(target, Sink) else "pipelined link"
+    )
+
+
+def _extract_wormhole(model, net, routers, *, fbfc: bool) -> None:
+    in_lists, posmaps, plans, feeders = [], [], [], []
+    feeder_of: Dict[Tuple[int, int], int] = {}
+    for r, router in enumerate(routers):
+        in_lists.append(router._in_list)
+        posmaps.append(router._posmap)
+        entries = []
+        for o, cands, nc, code, _obj, _depth in router._plan:
+            wired = _sink_or_direct(router, o)
+            if wired is None:
+                down_r = down_in = -1
+                sink = True
+            else:
+                down_r, down_in = wired
+                feeder_of[(down_r, down_in)] = r
+                sink = False
+            needs = (
+                tuple(router._entry_need[o][i] for i in cands)
+                if fbfc
+                else None
+            )
+            entries.append((o, cands, nc, sink, down_r, down_in, needs))
+        plans.append(tuple(entries))
+    for r in range(len(routers)):
+        feeders.append(
+            tuple(feeder_of.get((r, i), -1) for i in range(NUM_DIRS))
+        )
+    model.in_lists = tuple(in_lists)
+    model.posmaps = tuple(posmaps)
+    model.plans = tuple(plans)
+    model.feeders = tuple(feeders)
+    model.num_vcs = 1
+    model.ports = None
+    model.out_tab = model.vcn_tab = model.dl_tab = None
+    model.same_dim = model.vc_wiring = None
+
+
+def _extract_vc(model, net, routers) -> None:
+    config = model.config
+    ports, wiring, feeders = [], [], []
+    feeder_of: Dict[Tuple[int, int], int] = {}
+    num_vcs = config.num_vcs
+    for r, router in enumerate(routers):
+        if type(router.alloc) is not WavefrontAllocator:
+            raise _Unsupported(f"allocator {type(router.alloc).__name__}")
+        if router.num_vcs != num_vcs:
+            raise _Unsupported("non-uniform VC count")
+        ports.append(router.ports)
+        outs: List[Optional[Tuple]] = [None] * VCRouter.NUM_PORTS
+        for o in range(VCRouter.NUM_PORTS):
+            if router.out_target[o] is None:
+                continue
+            wired = _sink_or_direct(router, o)
+            if wired is None:
+                outs[o] = ()  # sink marker
+            else:
+                outs[o] = wired
+                feeder_of[wired] = r
+        wiring.append(tuple(outs))
+    for r in range(len(routers)):
+        feeders.append(
+            tuple(
+                feeder_of.get((r, i), -1)
+                for i in range(VCRouter.NUM_PORTS)
+            )
+        )
+    model.ports = tuple(ports)
+    model.vc_wiring = tuple(wiring)
+    model.feeders = tuple(feeders)
+    model.num_vcs = num_vcs
+    # same_dim[in_port * 5 + out_port], exactly as TorusDOR.route_vc
+    # evaluates it for the five mesh ports.  An injection-port input is
+    # never same-dimension; a P output never consults the flag (the
+    # reference returns (P, 0) before the check), so it is pinned False
+    # and the ejection VC collapses to vcn_tab's 0 at the destination.
+    horiz = (int(Direction.W), int(Direction.E))
+    sd = []
+    for i in range(VCRouter.NUM_PORTS):
+        for o in range(VCRouter.NUM_PORTS):
+            if i == P_IDX or o == P_IDX:
+                sd.append(False)
+            else:
+                sd.append((i in horiz) == (o in horiz))
+    model.same_dim = tuple(sd)
+    model.in_lists = model.posmaps = model.plans = None
+    model.route_rows = None
+
+
+def _tabulate_wormhole_routes(model, routing, nsub: int) -> None:
+    """Per-node route rows, one shared row per input-equivalence class.
+
+    ``route(node, in_dir, dest, subnet)`` depends on ``in_dir`` only
+    through axis membership (and only for :class:`RucheDOR`'s
+    second-axis Ruche-boarding rule), so one representative input per
+    class tabulates every input port exactly.
+    """
+    if type(routing) is RucheDOR:
+        cls_of_in = (0, 1, 1, 2, 2, 1, 1, 2, 2)  # P | x-axis | y-axis
+        reps = (Direction.P, Direction.W, Direction.N)
+    else:
+        cls_of_in = (0,) * NUM_DIRS
+        reps = (Direction.P,)
+    nodes = model.nodes
+    n = model.n
+    route = routing.route
+    route_rows = []
+    for coord in nodes:
+        cls_rows = []
+        for rep in reps:
+            row = [0] * (nsub * n)
+            for sub in range(nsub):
+                off = sub * n
+                for d, dest in enumerate(nodes):
+                    row[off + d] = int(route(coord, rep, dest, sub))
+            cls_rows.append(row)
+        route_rows.append(
+            tuple(cls_rows[cls_of_in[i]] for i in range(NUM_DIRS))
+        )
+    model.route_rows = tuple(route_rows)
+
+
+def _tabulate_vc_routes(model, routing) -> None:
+    """Decompose ``route_vc`` into (output, non-same-dim VC, dateline).
+
+    The output port is a pure function of ``(node, dest)`` (taken
+    straight from :meth:`TorusDOR.route_vc`); the VC depends on the
+    arriving VC only through the same-dimension predicate, which
+    :data:`same_dim` reconstructs at accept time, and the remaining
+    cases — dateline promotion and the ahead/spread choice — are pure
+    ``(node, dest)`` arithmetic mirrored from the reference.
+    """
+    config = model.config
+    nodes = model.nodes
+    n = model.n
+    x_ring = True
+    y_ring = config.kind is TopologyKind.FOLDED_TORUS
+    east, south = int(Direction.E), int(Direction.S)
+    out_tab, vcn_tab, dl_tab = [], [], []
+    for coord in nodes:
+        out_row = [0] * n
+        vcn_row = [0] * n
+        dl_row = [0] * n
+        for d, dest in enumerate(nodes):
+            if dest == coord:
+                continue  # (P, 0): zeros already in place
+            out = int(routing.route_vc(coord, Direction.P, 0, dest)[0])
+            out_row[d] = out
+            horizontal = out in (1, 2)  # W, E
+            cur = coord.x if horizontal else coord.y
+            tgt = dest.x if horizontal else dest.y
+            k = config.width if horizontal else config.height
+            is_ring = x_ring if horizontal else y_ring
+            if out in (east, south):
+                ahead = tgt < cur
+                dateline = is_ring and cur == k - 1
+            else:
+                ahead = tgt > cur
+                dateline = is_ring and cur == 0
+            if is_ring and ahead:
+                vcn = 0
+            elif is_ring:
+                vcn = (dest.x + dest.y) & 1
+            else:
+                vcn = 0
+            vcn_row[d] = vcn
+            dl_row[d] = 1 if dateline else 0
+        out_tab.append(out_row)
+        vcn_tab.append(vcn_row)
+        dl_tab.append(dl_row)
+    model.out_tab = tuple(out_tab)
+    model.vcn_tab = tuple(vcn_tab)
+    model.dl_tab = tuple(dl_tab)
+
+
+# ----------------------------------------------------------------------
+# Native-kernel lowering (wormhole / fbfc only)
+# ----------------------------------------------------------------------
+#: array typecodes must match the kernel's int32/int64 fields exactly.
+_ARRAYS_OK = array("i").itemsize == 4 and array("q").itemsize == 8
+
+
+class _CArrays:
+    """Flat int32 tables handed to the native step kernel.
+
+    Same content as the per-router ``plans`` / ``posmaps`` /
+    ``route_rows`` structures, re-laid-out as contiguous arrays indexed
+    by flat (router, port) ids; built once per compiled model.
+    """
+
+    __slots__ = (
+        "dn", "ncv", "cands", "pm", "needs", "rowof", "rows", "rowlen",
+    )
+
+
+def _ptr32(a: array):
+    return ctypes.cast(a.buffer_info()[0], ctypes.POINTER(ctypes.c_int32))
+
+
+def _ptr64(a: array):
+    return ctypes.cast(a.buffer_info()[0], ctypes.POINTER(ctypes.c_int64))
+
+
+def _c_arrays(model: _CompiledModel) -> _CArrays:
+    ca = model.carrays
+    if ca is not None:
+        return ca
+    R = model.n
+    nq = R * NUM_DIRS
+    dn = [-1] * nq
+    ncv = [0] * nq
+    cands_f = [0] * (nq * NUM_DIRS)
+    needs_f = [0] * (nq * NUM_DIRS)
+    pm_f: List[int] = []
+    for r in range(R):
+        pm_f.extend(model.posmaps[r])
+        rb = r * NUM_DIRS
+        for o, cands, nc, sink, down_r, down_in, needs in model.plans[r]:
+            ro = rb + o
+            ncv[ro] = nc
+            dn[ro] = -1 if sink else down_r * NUM_DIRS + down_in
+            cb = ro * NUM_DIRS
+            for pos, i in enumerate(cands):
+                cands_f[cb + pos] = i
+            if needs is not None:
+                for pos, need in enumerate(needs):
+                    needs_f[cb + pos] = need
+    # Route rows are shared between input ports of one router (one per
+    # input-equivalence class); dedupe by identity so the kernel's rows
+    # table stays one copy per class.
+    row_index: Dict[int, int] = {}
+    rows_f: List[int] = []
+    rowof = [0] * nq
+    for r in range(R):
+        rb = r * NUM_DIRS
+        for i in range(NUM_DIRS):
+            row = model.route_rows[r][i]
+            idx = row_index.get(id(row))
+            if idx is None:
+                idx = len(row_index)
+                row_index[id(row)] = idx
+                rows_f.extend(row)
+            rowof[rb + i] = idx
+    ca = _CArrays()
+    ca.dn = array("i", dn)
+    ca.ncv = array("i", ncv)
+    ca.cands = array("i", cands_f)
+    ca.pm = array("i", pm_f)
+    ca.needs = array("i", needs_f)
+    ca.rowof = array("i", rowof)
+    ca.rows = array("i", rows_f)
+    ca.rowlen = len(model.route_rows[0][0])
+    model.carrays = ca
+    return ca
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def _execute(
+    model: _CompiledModel,
+    config: NetworkConfig,
+    pattern: str,
+    rate: float,
+    *,
+    warmup: int,
+    measure: int,
+    drain_limit: int,
+    seed: int,
+    track_per_source: bool,
+    keep_samples: bool,
+    track_links: bool,
+    watchdog: Optional[WatchdogConfig],
+    max_cycles: Optional[int],
+    max_wall_seconds: Optional[float],
+):
+    from repro.sim.simulator import RunResult
+
+    nodes = model.nodes
+    node_index = model.node_index
+    n = model.n
+    R = n
+    depth = model.depth
+    subnet_tab = model.subnet_tab
+    is_vc = model.kind == "vc"
+    is_fbfc = model.kind == "fbfc"
+    # The wormhole/fbfc step has a native translation (see _ckernel);
+    # the pure-Python loops below remain the no-compiler fallback and
+    # the executable specification the kernel is checked against.
+    kernel = _ckernel.get_kernel() if not is_vc and _ARRAYS_OK else None
+    use_c = kernel is not None
+    # Post-pop queue length at/above which the pop changed something the
+    # upstream feeder's arbitration can observe (and so must re-run):
+    # wormhole/VC read only the full/not-full gate (pre-pop == depth);
+    # FBFC compares free space against entry needs of up to 2.
+    dfull = depth - 2 if is_fbfc else depth - 1
+
+    dest_fn = build_pattern(pattern, config)
+    timing_random = derive_rng(seed, "timing").random
+    dest_rng = derive_rng(seed, "dest")
+
+    wd = watchdog if watchdog is not None else WatchdogConfig()
+    stall_window = wd.stall_window
+    starvation_window = wd.starvation_window
+
+    # -- mutable per-run state -----------------------------------------
+    # Per-packet records, indexed by pid (appended at injection).
+    pdest: List[int] = []
+    pinj: List[int] = []
+    pmeas: List[bool] = []
+    psrc: List[int] = []
+    pout: List[int] = []
+    pbase: List[int] = []  # wormhole/fbfc: subnet * n (route-row offset)
+    povc: List[int] = []  # vc: the VC assigned at the current router
+
+    occ = [0] * R
+    dirty = bytearray([1]) * R
+    hop_counts = [0] * NUM_DIRS
+    link_flat = [0] * (R * NUM_DIRS) if track_links else None
+    per_src: Optional[Dict[int, LatencyStats]] = (
+        {} if track_per_source else None
+    )
+    samples: Optional[List[int]] = [] if keep_samples else None
+
+    occupancy = 0
+    delivered_total = 0
+    delivered_measured = 0
+    injected_total = 0
+    injected_measured = 0
+    lat_count = 0
+    lat_total = 0
+    lat_total_sq = 0
+    lat_min: Optional[int] = None
+    lat_max: Optional[int] = None
+    cycle = 0
+    idle_cycles = 0
+    starved_cycles = 0
+
+    if is_vc:
+        num_vcs = model.num_vcs
+        nports = VCRouter.NUM_PORTS
+        ports = model.ports
+        out_tab = model.out_tab
+        vcn_tab = model.vcn_tab
+        dl_tab = model.dl_tab
+        same_dim = model.same_dim
+        feeders = model.feeders
+        lanes: List[List[Optional[List[List[int]]]]] = []
+        for r in range(R):
+            row: List[Optional[List[List[int]]]] = [None] * nports
+            for i in ports[r]:
+                row[i] = (
+                    [[]]
+                    if i == P_IDX
+                    else [[] for _ in range(num_vcs)]
+                )
+            lanes.append(row)
+        # Flat per-router scan list over every input lane, in the
+        # reference's request order (port order, lanes ascending).
+        qlists = tuple(
+            tuple(
+                (i, lane, lanes[r][i][lane], i * nports)
+                for i in ports[r]
+                for lane in range(len(lanes[r][i]))
+            )
+            for r in range(R)
+        )
+        # Per-output bindings: the downstream lane list for space checks
+        # and the commit tuple (down router, down input x 5, lanes,
+        # route/vc/dateline rows) — ``None`` = ejection into the sink.
+        space_lanes: List[List[Optional[List[List[int]]]]] = []
+        commit_to: List[List[Optional[Tuple]]] = []
+        for r in range(R):
+            srow: List[Optional[List[List[int]]]] = [None] * nports
+            crow: List[Optional[Tuple]] = [None] * nports
+            for o, wired in enumerate(model.vc_wiring[r]):
+                if wired:  # (down_r, down_in); () is the sink marker
+                    down_r, down_in = wired
+                    dlanes = lanes[down_r][down_in]
+                    srow[o] = dlanes
+                    crow[o] = (
+                        down_r,
+                        down_in * nports,
+                        dlanes,
+                        out_tab[down_r],
+                        vcn_tab[down_r],
+                        dl_tab[down_r],
+                    )
+            space_lanes.append(srow)
+            commit_to.append(crow)
+        candmasks = [[0] * (nports * nports) for _ in range(R)]
+        vc_rr = [[0] * nports for _ in range(R)]
+        prio = [0] * R
+    elif use_c:
+        in_lists = model.in_lists
+        route_rows = model.route_rows
+        ca = _c_arrays(model)
+        nq = R * NUM_DIRS
+        # Ring-buffer capacities: an injection (P) queue is unbounded in
+        # the reference engine, but one source can enqueue at most one
+        # packet per injection round, so the round count is a hard cap.
+        inj_cap = warmup + measure + drain_limit + 2
+        qcap_l = [0] * nq
+        qoff_l = [0] * nq
+        off = 0
+        for r in range(R):
+            rb = r * NUM_DIRS
+            for i in in_lists[r]:
+                qcap_l[rb + i] = inj_cap if i == P_IDX else depth
+                qoff_l[rb + i] = off
+                off += qcap_l[rb + i]
+        buf_a = array("i", bytes(4 * off))
+        qoff_a = array("i", qoff_l)
+        qcap_a = array("i", qcap_l)
+        qhead_a = array("i", bytes(4 * nq))
+        qlen_a = array("i", bytes(4 * nq))
+        arb_a = array("i", bytes(4 * nq))
+        occ_a = array("i", bytes(4 * R))
+        hop_a = array("q", bytes(8 * NUM_DIRS))
+        link_a = array(
+            "q", bytes(8 * (nq if track_links else 1))
+        )
+        gsq_a = array("i", bytes(4 * nq))
+        gro_a = array("i", bytes(4 * nq))
+        ej_a = array("i", bytes(4 * R))
+        nej_a = array("i", bytes(4))
+        pk_cap = 4096
+        pdest_a = array("i", bytes(4 * pk_cap))
+        pbase_a = array("i", bytes(4 * pk_cap))
+        pout_a = array("i", bytes(4 * pk_cap))
+        npk = 0
+        ctx = _ckernel.StepCtx()
+        ctx.R = R
+        ctx.depth = depth
+        ctx.fbfc = 1 if is_fbfc else 0
+        ctx.track_links = 1 if track_links else 0
+        ctx.rowlen = ca.rowlen
+        ctx.dn = _ptr32(ca.dn)
+        ctx.ncv = _ptr32(ca.ncv)
+        ctx.cands = _ptr32(ca.cands)
+        ctx.pm = _ptr32(ca.pm)
+        ctx.needs = _ptr32(ca.needs)
+        ctx.rowof = _ptr32(ca.rowof)
+        ctx.rows = _ptr32(ca.rows)
+        ctx.buf = _ptr32(buf_a)
+        ctx.qoff = _ptr32(qoff_a)
+        ctx.qcap = _ptr32(qcap_a)
+        ctx.qhead = _ptr32(qhead_a)
+        ctx.qlen = _ptr32(qlen_a)
+        ctx.arb = _ptr32(arb_a)
+        ctx.occ = _ptr32(occ_a)
+        ctx.pout = _ptr32(pout_a)
+        ctx.pbase = _ptr32(pbase_a)
+        ctx.pdest = _ptr32(pdest_a)
+        ctx.hop = _ptr64(hop_a)
+        ctx.link = _ptr64(link_a)
+        ctx.gsq = _ptr32(gsq_a)
+        ctx.gro = _ptr32(gro_a)
+        ctx.ej = _ptr32(ej_a)
+        ctx.nej = _ptr32(nej_a)
+    else:
+        in_lists = model.in_lists
+        posmaps = model.posmaps
+        feeders = model.feeders
+        route_rows = model.route_rows
+        qs: List[List[Optional[List[int]]]] = []
+        for r in range(R):
+            row: List[Optional[List[int]]] = [None] * NUM_DIRS
+            for i in in_lists[r]:
+                row[i] = []
+            qs.append(row)
+        # Requests are maintained incrementally rather than rescanned:
+        # reqmasks[r][o] holds one bit per candidate position whose
+        # queue head currently wants output o, and romasks[r] is the
+        # bitmask of outputs with any requester.  A queue's head only
+        # changes on a pop or a push-to-empty, so the commit loop (and
+        # injection) are the only writers.  Plan entries bind everything
+        # a grant's commit needs: the downstream queue, route row,
+        # posmap, and request mask.
+        reqmasks = [[0] * NUM_DIRS for _ in range(R)]
+        romasks = [0] * R
+        arbs = [[0] * NUM_DIRS for _ in range(R)]
+        pents: List[List[Optional[Tuple]]] = [
+            [None] * NUM_DIRS for _ in range(R)
+        ]
+        for r in range(R):
+            for o, cands, nc, sink, down_r, down_in, needs in model.plans[r]:
+                if sink:
+                    pents[r][o] = (
+                        o, cands, nc, True, None, -1, None, needs, None, -1,
+                        None,
+                    )
+                else:
+                    pents[r][o] = (
+                        o,
+                        cands,
+                        nc,
+                        False,
+                        qs[down_r][down_in],
+                        down_r,
+                        route_rows[down_r][down_in],
+                        needs,
+                        posmaps[down_r],
+                        down_in,
+                        reqmasks[down_r],
+                    )
+
+    # -- injection ------------------------------------------------------
+    if use_c:
+        def inject_round(measured: bool) -> None:
+            nonlocal injected_total, injected_measured, occupancy
+            nonlocal npk, pk_cap
+            rnd = timing_random
+            nidx = node_index
+            cyc = cycle
+            st = subnet_tab
+            qh = qhead_a
+            ql = qlen_a
+            bf = buf_a
+            rr = model.route_rows
+            for s, src in enumerate(nodes):
+                if rnd() < rate:
+                    dest = dest_fn(src, dest_rng)
+                    if dest is None:
+                        continue
+                    d = nidx[dest]
+                    pid = npk
+                    if pid >= pk_cap:
+                        zeros = bytes(4 * pk_cap)
+                        pdest_a.frombytes(zeros)
+                        pbase_a.frombytes(zeros)
+                        pout_a.frombytes(zeros)
+                        pk_cap *= 2
+                        ctx.pdest = _ptr32(pdest_a)
+                        ctx.pbase = _ptr32(pbase_a)
+                        ctx.pout = _ptr32(pout_a)
+                    npk = pid + 1
+                    base = st[s * n + d] * n if st else 0
+                    pdest_a[pid] = d
+                    pbase_a[pid] = base
+                    pout_a[pid] = rr[s][0][base + d]
+                    pinj.append(cyc)
+                    pmeas.append(measured)
+                    psrc.append(s)
+                    qi = s * NUM_DIRS
+                    tail = qh[qi] + ql[qi]
+                    if tail >= inj_cap:
+                        tail -= inj_cap
+                    bf[qoff_l[qi] + tail] = pid
+                    ql[qi] += 1
+                    occ_a[s] += 1
+                    occupancy += 1
+                    injected_total += 1
+                    if measured:
+                        injected_measured += 1
+    else:
+        if is_vc:
+            inj_q = tuple(lanes[s][0][0] for s in range(R))
+        else:
+            inj_q = tuple(qs[s][0] for s in range(R))
+
+    def _inject_round_py(measured: bool) -> None:
+        nonlocal injected_total, injected_measured, occupancy
+        rnd = timing_random
+        nidx = node_index
+        pd = pdest
+        cyc = cycle
+        dirty_l = dirty
+        occ_l = occ
+        for s, src in enumerate(nodes):
+            if rnd() < rate:
+                dest = dest_fn(src, dest_rng)
+                if dest is None:
+                    continue
+                d = nidx[dest]
+                pid = len(pd)
+                pd.append(d)
+                pinj.append(cyc)
+                pmeas.append(measured)
+                psrc.append(s)
+                if is_vc:
+                    pout.append(out_tab[s][d])
+                    povc.append(1 if dl_tab[s][d] else vcn_tab[s][d])
+                    inj_q[s].append(pid)
+                else:
+                    base = subnet_tab[s * n + d] * n if subnet_tab else 0
+                    pbase.append(base)
+                    out = route_rows[s][0][base + d]
+                    pout.append(out)
+                    q = inj_q[s]
+                    q.append(pid)
+                    if len(q) == 1:  # new head: raise its request
+                        pos = posmaps[s][out * NUM_DIRS]
+                        if pos >= 0:
+                            rq = reqmasks[s]
+                            if not rq[out]:
+                                romasks[s] |= 1 << out
+                            rq[out] |= 1 << pos
+                occ_l[s] += 1
+                dirty_l[s] = 1
+                occupancy += 1
+                injected_total += 1
+                if measured:
+                    injected_measured += 1
+
+    if not use_c:
+        inject_round = _inject_round_py
+
+    # -- one cycle (two-phase: arbitrate all, then commit all) ----------
+    def deliver(pid: int) -> None:
+        nonlocal occupancy, delivered_total, delivered_measured
+        nonlocal lat_count, lat_total, lat_total_sq, lat_min, lat_max
+        occupancy -= 1
+        delivered_total += 1
+        if pmeas[pid]:
+            delivered_measured += 1
+            lat = cycle - pinj[pid]
+            lat_count += 1
+            lat_total += lat
+            lat_total_sq += lat * lat
+            if lat_min is None or lat < lat_min:
+                lat_min = lat
+            if lat_max is None or lat > lat_max:
+                lat_max = lat
+            if samples is not None:
+                samples.append(lat)
+            if per_src is not None:
+                stats = per_src.get(psrc[pid])
+                if stats is None:
+                    stats = per_src[psrc[pid]] = LatencyStats()
+                stats.add(lat)
+
+    def _commit_wh(moves) -> int:
+        # Commits the granted moves and maintains the incremental
+        # request state: clear the popped head's request, raise the new
+        # head's (pop side) and a freshly-headed downstream queue's
+        # (push side), and wake the upstream feeder only when the pop
+        # actually changed what its arbitration can see (queue was full
+        # for wormhole, free space within the largest entry need for
+        # FBFC).
+        ejections = 0
+        pout_l = pout
+        pbase_l = pbase
+        pdest_l = pdest
+        dirty_l = dirty
+        occ_l = occ
+        hop_l = hop_counts
+        lf = link_flat
+        for r, i, q, entry in moves:
+            pid = q.pop(0)
+            occ_l[r] -= 1
+            dirty_l[r] = 1
+            o = entry[0]
+            pm = posmaps[r]
+            rq = reqmasks[r]
+            nm = rq[o] & ~(1 << pm[o * NUM_DIRS + i])
+            rq[o] = nm
+            if not nm:
+                romasks[r] &= ~(1 << o)
+            if q:
+                pid2 = q[0]
+                o2 = pout_l[pid2]
+                pos2 = pm[o2 * NUM_DIRS + i]
+                if pos2 >= 0:
+                    if not rq[o2]:
+                        romasks[r] |= 1 << o2
+                    rq[o2] |= 1 << pos2
+            f = feeders[r][i]
+            if f >= 0 and len(q) >= dfull:
+                dirty_l[f] = 1
+            if lf is not None and o:
+                lf[r * NUM_DIRS + o] += 1
+            if entry[3]:  # sink
+                ejections += 1
+                deliver(pid)
+            else:
+                hop_l[o] += 1
+                out2 = entry[6][pbase_l[pid] + pdest_l[pid]]
+                pout_l[pid] = out2
+                dq = entry[4]
+                dq.append(pid)
+                dr = entry[5]
+                occ_l[dr] += 1
+                dirty_l[dr] = 1
+                if len(dq) == 1:  # new head: raise its request
+                    pos = entry[8][out2 * NUM_DIRS + entry[9]]
+                    if pos >= 0:
+                        drq = entry[10]
+                        if not drq[out2]:
+                            romasks[dr] |= 1 << out2
+                        drq[out2] |= 1 << pos
+        return ejections
+
+    def step_wormhole() -> Tuple[int, int]:
+        moves = []
+        append = moves.append
+        dirty_l = dirty
+        dep = depth
+        for r in range(R):
+            if not dirty_l[r]:
+                continue
+            dirty_l[r] = 0
+            om = romasks[r]
+            if not om:
+                continue
+            arb_r = arbs[r]
+            pent = pents[r]
+            rq = reqmasks[r]
+            qs_r = qs[r]
+            while om:
+                b = om & -om
+                om -= b
+                o = b.bit_length() - 1
+                entry = pent[o]
+                dq = entry[4]
+                if dq is not None and len(dq) >= dep:
+                    continue
+                m = rq[o]
+                nc = entry[2]
+                pos = arb_r[o]
+                while not (m >> pos) & 1:
+                    pos += 1
+                    if pos >= nc:
+                        pos = 0
+                arb_r[o] = pos + 1 if pos + 1 < nc else 0
+                i = entry[1][pos]
+                append((r, i, qs_r[i], entry))
+        return len(moves), _commit_wh(moves)
+
+    def step_fbfc() -> Tuple[int, int]:
+        moves = []
+        append = moves.append
+        dirty_l = dirty
+        dep = depth
+        for r in range(R):
+            if not dirty_l[r]:
+                continue
+            dirty_l[r] = 0
+            om = romasks[r]
+            if not om:
+                continue
+            arb_r = arbs[r]
+            pent = pents[r]
+            rq = reqmasks[r]
+            qs_r = qs[r]
+            while om:
+                b = om & -om
+                om -= b
+                o = b.bit_length() - 1
+                entry = pent[o]
+                dq = entry[4]
+                if dq is None:
+                    free = dep  # ejection is never a ring entry
+                else:
+                    free = dep - len(dq)
+                    if free <= 0:
+                        continue
+                m = rq[o]
+                nc = entry[2]
+                needs = entry[7]
+                ptr = arb_r[o]
+                for k in range(nc):
+                    pos = ptr + k
+                    if pos >= nc:
+                        pos -= nc
+                    if (m >> pos) & 1 and free >= needs[pos]:
+                        arb_r[o] = pos + 1 if pos + 1 < nc else 0
+                        i = entry[1][pos]
+                        append((r, i, qs_r[i], entry))
+                        break
+        return len(moves), _commit_wh(moves)
+
+    def step_vc() -> Tuple[int, int]:
+        moves = []
+        append = moves.append
+        pout_l = pout
+        povc_l = povc
+        dirty_l = dirty
+        occ_l = occ
+        dep = depth
+        nvc = num_vcs
+        nvc2 = nvc == 2
+        i5 = _I5
+        o5 = _O5
+        wf_keys = _WF_KEYS
+        for r in range(R):
+            if not dirty_l[r]:
+                continue
+            dirty_l[r] = 0
+            if not occ_l[r]:
+                continue
+            sl_r = space_lanes[r]
+            cm = candmasks[r]
+            touched = []
+            for i, lane, q, ib in qlists[r]:
+                if not q:
+                    continue
+                pid = q[0]
+                o = pout_l[pid]
+                sl = sl_r[o]
+                if sl is not None and len(sl[povc_l[pid]]) >= dep:
+                    continue
+                idx = ib + o
+                if not cm[idx]:
+                    touched.append(idx)
+                cm[idx] |= 1 << lane
+            if not touched:
+                continue
+            # Wavefront allocation over the requesting pairs only:
+            # sorting the touched (input, output) pairs by the diagonal
+            # the allocator would visit them on (then input ascending)
+            # and granting greedily against the free masks reproduces
+            # WavefrontAllocator.allocate's grant order exactly —
+            # without sweeping all 25 slots — because only requesting
+            # pairs can grant and their visit order is preserved.
+            base_p = prio[r]
+            prio[r] = base_p + 1 if base_p < 4 else 0
+            if len(touched) > 1:
+                touched.sort(key=wf_keys[base_p].__getitem__)
+            vc_rr_r = vc_rr[r]
+            lanes_r = lanes[r]
+            ct_r = commit_to[r]
+            in_free = 31
+            out_free = 31
+            for idx in touched:
+                mask = cm[idx]
+                cm[idx] = 0
+                i = i5[idx]
+                if not (in_free >> i) & 1:
+                    continue
+                o = o5[idx]
+                if not (out_free >> o) & 1:
+                    continue
+                in_free &= ~(1 << i)
+                out_free &= ~(1 << o)
+                if nvc2:
+                    # 2-VC mux: {1,2} -> that lane, 3 -> the round-robin
+                    # preferred lane; rotation flips the pointer.
+                    best = vc_rr_r[i] if mask == 3 else mask - 1
+                    vc_rr_r[i] = 1 - best
+                else:
+                    if mask & (mask - 1):
+                        ptr = vc_rr_r[i]
+                        best = 0
+                        best_key = nvc
+                        lane = 0
+                        while mask:
+                            if mask & 1:
+                                key = lane - ptr
+                                if key < 0:
+                                    key += nvc
+                                if key < best_key:
+                                    best_key = key
+                                    best = lane
+                            mask >>= 1
+                            lane += 1
+                    else:
+                        best = mask.bit_length() - 1
+                    vc_rr_r[i] = best + 1 if best + 1 < nvc else 0
+                append((r, i, lanes_r[i][best], o, ct_r[o]))
+        ejections = 0
+        pdest_l = pdest
+        hop_l = hop_counts
+        sd = same_dim
+        lf = link_flat
+        for r, i, q, o, ct in moves:
+            pid = q.pop(0)
+            occ_l[r] -= 1
+            dirty_l[r] = 1
+            f = feeders[r][i]
+            if f >= 0 and len(q) >= dfull:  # lane was full: gate reopens
+                dirty_l[f] = 1
+            if lf is not None and o:
+                lf[r * NUM_DIRS + o] += 1
+            if ct is None:  # sink
+                ejections += 1
+                deliver(pid)
+            else:
+                hop_l[o] += 1
+                down_r, di5, dlanes, out_row, vcn_row, dl_row = ct
+                d = pdest_l[pid]
+                out2 = out_row[d]
+                avc = povc_l[pid]
+                if dl_row[d]:
+                    v2 = 1
+                elif sd[di5 + out2]:
+                    v2 = avc
+                else:
+                    v2 = vcn_row[d]
+                pout_l[pid] = out2
+                povc_l[pid] = v2
+                dlanes[avc].append(pid)
+                occ_l[down_r] += 1
+                dirty_l[down_r] = 1
+        return len(moves), ejections
+
+    if use_c:
+        step_fn = kernel.step_noc
+        ctx_ref = ctypes.byref(ctx)
+
+        def step_c() -> Tuple[int, int]:
+            moved = step_fn(ctx_ref)
+            ne = nej_a[0]
+            if ne:
+                ej = ej_a
+                for k in range(ne):
+                    deliver(ej[k])
+            return moved, ne
+
+        step = step_c
+    else:
+        step = (
+            step_vc if is_vc else (step_fbfc if is_fbfc else step_wormhole)
+        )
+    deadline = (
+        time.monotonic() + max_wall_seconds  # det: allow - wall budget
+        if max_wall_seconds is not None
+        else None
+    )
+
+    def tick() -> None:
+        nonlocal cycle, idle_cycles, starved_cycles
+        moved, ejections = step()
+        if moved:
+            idle_cycles = 0
+        elif occupancy:
+            idle_cycles += 1
+            if idle_cycles >= stall_window:
+                raise DeadlockError(
+                    f"no packet moved for {idle_cycles} cycles with "
+                    f"{occupancy} packets in flight: deadlock "
+                    f"[compiled engine, cycle {cycle}]"
+                )
+        if starvation_window is not None:
+            if ejections or not occupancy:
+                starved_cycles = 0
+            else:
+                starved_cycles += 1
+                if starved_cycles >= starvation_window:
+                    raise DeadlockError(
+                        f"no packet ejected for {starved_cycles} cycles "
+                        f"with {occupancy} packets in flight: livelock "
+                        f"[compiled engine, cycle {cycle}]"
+                    )
+        cycle += 1
+        if max_cycles is not None and cycle >= max_cycles:
+            raise SimulationTimeout(
+                f"run exceeded its {max_cycles}-cycle budget "
+                f"({occupancy} packets still in flight)"
+            )
+        if deadline is not None and cycle % _WALL_CHECK_EVERY == 0:
+            if time.monotonic() > deadline:  # det: allow - wall budget
+                raise SimulationTimeout(
+                    f"run exceeded its {max_wall_seconds:.1f}s wall-clock "
+                    f"limit at cycle {cycle}"
+                )
+
+    for _ in range(warmup):
+        inject_round(False)
+        tick()
+
+    delivered_before = delivered_total
+    for _ in range(measure):
+        inject_round(True)
+        tick()
+    delivered_during = delivered_total - delivered_before
+
+    drained = delivered_measured >= injected_measured
+    remaining = drain_limit
+    while not drained and remaining > 0:
+        inject_round(False)
+        tick()
+        remaining -= 1
+        drained = delivered_measured >= injected_measured
+
+    # -- finalize into the reference metric structures ------------------
+    if use_c:
+        hop_counts = list(hop_a)
+        if track_links:
+            link_flat = link_a
+    metrics = RunMetrics(
+        track_per_source=track_per_source,
+        keep_samples=keep_samples,
+        track_links=track_links,
+    )
+    stats = metrics.measured
+    stats.count = lat_count
+    stats.total = lat_total
+    stats.total_sq = lat_total_sq
+    stats.min = lat_min
+    stats.max = lat_max
+    if samples is not None:
+        stats._samples = samples
+    metrics.delivered_total = delivered_total
+    metrics.delivered_measured = delivered_measured
+    metrics.injected_total = injected_total
+    metrics.injected_measured = injected_measured
+    metrics.hop_counts = hop_counts
+    if per_src is not None:
+        for s, src_stats in per_src.items():
+            metrics.per_source[nodes[s]] = src_stats
+    if link_flat is not None:
+        link_counts = metrics.link_counts
+        for r in range(R):
+            base = r * NUM_DIRS
+            coord = nodes[r]
+            for o in range(1, NUM_DIRS):
+                count = link_flat[base + o]
+                if count:
+                    link_counts[(coord, o)] = count
+
+    accepted = delivered_during / (len(nodes) * measure)
+    avg_hops = (
+        sum(hop_counts) / delivered_total
+        if delivered_total
+        else float("nan")
+    )
+    return RunResult(
+        config_name=config.name,
+        pattern=pattern,
+        offered_load=rate,
+        accepted_throughput=accepted,
+        avg_latency=stats.mean,
+        stddev_latency=stats.stddev,
+        max_latency=float(lat_max) if lat_max is not None else float("nan"),
+        delivered_measured=delivered_measured,
+        injected_measured=injected_measured,
+        drained=drained,
+        measure_cycles=measure,
+        avg_hops=avg_hops,
+        total_cycles=cycle,
+        dropped_measured=0,
+        metrics=metrics,
+        engine="compiled",
+    )
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def run_compiled(
+    config: Union[NetworkConfig, NetworkSpec],
+    pattern: Optional[str] = None,
+    rate: Optional[float] = None,
+    *,
+    warmup: int = 500,
+    measure: int = 1000,
+    drain_limit: int = 3000,
+    seed: int = 1,
+    track_per_source: bool = False,
+    keep_samples: bool = False,
+    track_links: bool = False,
+    faults: Any = None,
+    watchdog: Optional[WatchdogConfig] = None,
+    audit_every: Optional[int] = None,
+    max_cycles: Optional[int] = None,
+    max_wall_seconds: Optional[float] = None,
+):
+    """The compiled engine: ``run_synthetic`` semantics on flat arrays.
+
+    Accepts the full reference-engine signature.  Runs the compiler
+    cannot lower (see the module docstring) are delegated to
+    :func:`repro.sim.simulator._run_reference` unchanged, and the
+    returned result's ``engine`` field reports which engine actually
+    ran.
+    """
+
+    def fallback():
+        from repro.sim.simulator import _run_reference
+
+        return _run_reference(
+            config,
+            pattern,
+            rate,
+            warmup=warmup,
+            measure=measure,
+            drain_limit=drain_limit,
+            seed=seed,
+            track_per_source=track_per_source,
+            keep_samples=keep_samples,
+            track_links=track_links,
+            faults=faults,
+            watchdog=watchdog,
+            audit_every=audit_every,
+            max_cycles=max_cycles,
+            max_wall_seconds=max_wall_seconds,
+        )
+
+    if faults is not None or audit_every is not None:
+        return fallback()
+    if isinstance(config, NetworkSpec):
+        spec = config
+        if pattern is None:
+            pattern = spec.pattern
+        if rate is None:
+            rate = spec.rate
+        cfg = build_config(spec)
+        if build_faults(spec, cfg) is not None:
+            return fallback()
+        if watchdog is None:
+            watchdog = build_watchdog(spec)
+        if resolve_topology(spec.topology).has_custom_components:
+            return fallback()
+        names = (spec.routing, spec.router, spec.allocator)
+        target: Union[NetworkConfig, NetworkSpec] = spec
+    else:
+        if pattern is None or rate is None:
+            raise TypeError(
+                "run_synthetic(config, ...) requires explicit pattern "
+                "and rate (only NetworkSpec carries defaults)"
+            )
+        cfg = config
+        names = (None, None, None)
+        target = config
+    if cfg.edge_memory or cfg.max_channel_latency > 1:
+        return fallback()
+    try:
+        model = _compile(target, cfg, *names)
+    except _Unsupported:
+        return fallback()
+    return _execute(
+        model,
+        cfg,
+        pattern,
+        rate,
+        warmup=warmup,
+        measure=measure,
+        drain_limit=drain_limit,
+        seed=seed,
+        track_per_source=track_per_source,
+        keep_samples=keep_samples,
+        track_links=track_links,
+        watchdog=watchdog,
+        max_cycles=max_cycles,
+        max_wall_seconds=max_wall_seconds,
+    )

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.coords import Coord
 from repro.core.params import NetworkConfig
+from repro.core.registry import ENGINES, register_engine
 from repro.core.spec import (
     NetworkSpec,
     build_network,
@@ -61,6 +62,10 @@ class RunResult:
     metrics: Optional[RunMetrics] = dataclasses.field(
         default=None, repr=False
     )
+    #: The registered engine that actually produced this result (a
+    #: compiled run that fell back reports ``"reference"``).  Excluded
+    #: from cross-engine fingerprints — it is provenance, not a metric.
+    engine: str = "reference"
 
     @property
     def saturated(self) -> bool:
@@ -69,6 +74,51 @@ class RunResult:
 
 
 def run_synthetic(
+    config: Union[NetworkConfig, NetworkSpec],
+    pattern: Optional[str] = None,
+    rate: Optional[float] = None,
+    *,
+    engine: Optional[str] = None,
+    **kwargs,
+) -> RunResult:
+    """Simulate one injection rate and return its measured statistics.
+
+    ``rate`` is the per-tile injection probability per cycle (the paper's
+    "injection rate" axis, as a fraction of one flit/tile/cycle).
+
+    ``config`` may also be a :class:`~repro.core.spec.NetworkSpec`, in
+    which case ``pattern``, ``rate``, and the fault/watchdog options
+    default from the spec and the network is materialized through the
+    component registries (:func:`~repro.core.spec.build_run` is the
+    declarative wrapper over this path).
+
+    ``engine`` names a registered simulation engine
+    (:data:`repro.core.registry.ENGINES`): ``"reference"`` (default) is
+    the object-per-flit :class:`~repro.sim.network.Network`;
+    ``"compiled"`` is the flat-array engine of
+    :mod:`repro.sim.fastsim`, which produces bit-identical metrics and
+    transparently falls back to the reference engine for runs it cannot
+    compile (fault injection, plugin components, multi-cycle channels).
+    When ``engine`` is ``None`` a spec's ``engine`` field applies.
+
+    Measurement keywords (``warmup``, ``measure``, ``drain_limit``,
+    ``seed``, ``track_per_source``, ``keep_samples``, ``track_links``)
+    and robustness knobs (``faults``, ``watchdog``, ``audit_every``,
+    ``max_cycles``, ``max_wall_seconds``) are forwarded to the engine;
+    see :func:`_run_reference` for their semantics.
+    """
+    if engine is None and isinstance(config, NetworkSpec):
+        engine = config.engine
+    name = (engine or "reference").strip().lower()
+    runner = ENGINES.get(name)
+    return runner(config, pattern, rate, **kwargs)
+
+
+@register_engine(
+    "reference",
+    description="object-per-flit cycle-accurate Network (sim.network)",
+)
+def _run_reference(
     config: Union[NetworkConfig, NetworkSpec],
     pattern: Optional[str] = None,
     rate: Optional[float] = None,
@@ -86,16 +136,7 @@ def run_synthetic(
     max_cycles: Optional[int] = None,
     max_wall_seconds: Optional[float] = None,
 ) -> RunResult:
-    """Simulate one injection rate and return its measured statistics.
-
-    ``rate`` is the per-tile injection probability per cycle (the paper's
-    "injection rate" axis, as a fraction of one flit/tile/cycle).
-
-    ``config`` may also be a :class:`~repro.core.spec.NetworkSpec`, in
-    which case ``pattern``, ``rate``, and the fault/watchdog options
-    default from the spec and the network is materialized through the
-    component registries (:func:`~repro.core.spec.build_run` is the
-    declarative wrapper over this path).
+    """The reference engine: one open-loop run on the object network.
 
     Robustness knobs (all off by default, so healthy runs are
     bit-identical to earlier versions):
@@ -244,6 +285,26 @@ def run_synthetic(
         dropped_measured=metrics.dropped_measured,
         metrics=metrics,
     )
+
+
+@register_engine(
+    "compiled",
+    description=(
+        "flat structure-of-arrays engine (sim.fastsim); falls back to "
+        "reference for faults, plugin components, and multi-cycle links"
+    ),
+)
+def _compiled_engine(
+    config: Union[NetworkConfig, NetworkSpec],
+    pattern: Optional[str] = None,
+    rate: Optional[float] = None,
+    **kwargs,
+) -> RunResult:
+    # Imported lazily: fastsim imports this module for RunResult and
+    # _run_reference, so a top-level import would be circular.
+    from repro.sim.fastsim import run_compiled
+
+    return run_compiled(config, pattern, rate, **kwargs)
 
 
 def sweep_injection_rates(

@@ -38,7 +38,7 @@ from repro.verify.determinism import (
 )
 from repro.verify.engine import verify_config, verify_spec
 from repro.verify.matrix import paper_matrix, verify_matrix
-from repro.verify.preflight import campaign_preflight
+from repro.verify.preflight import campaign_preflight, engine_problems
 from repro.verify.report import VerificationReport
 from repro.verify.turns import is_legal_turn, routing_matrix
 
@@ -47,6 +47,7 @@ __all__ = [
     "LintFinding",
     "VerificationReport",
     "campaign_preflight",
+    "engine_problems",
     "is_legal_turn",
     "lint_determinism",
     "lint_file",

@@ -10,7 +10,7 @@ with concrete witnesses before the first row is simulated.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List
+from typing import Callable, Iterable, List, Optional
 
 from repro.core.params import NetworkConfig
 from repro.verify.engine import verify_config
@@ -31,19 +31,47 @@ def preflight_problems(configs: Iterable[NetworkConfig]) -> List[str]:
     return problems
 
 
+def engine_problems(engines: Iterable[Optional[str]]) -> List[str]:
+    """Validate engine names against the ``ENGINES`` registry.
+
+    ``None`` entries (rows that default to the reference engine) are
+    skipped; each unknown name is reported once with the registry menu,
+    so a typo'd ``--engine compield`` dies before the first row instead
+    of hours into a checkpointed campaign.
+    """
+    from repro.core.registry import ENGINES
+    # Engines register at simulator import; a preflight-only process
+    # must not see an empty registry.
+    import repro.sim.simulator  # noqa: F401
+
+    problems: List[str] = []
+    for name in dict.fromkeys(engines):
+        if name is None or name in ENGINES:
+            continue
+        known = ", ".join(ENGINES.available())
+        problems.append(
+            f"unknown simulation engine {name!r}; known engines: {known}"
+        )
+    return problems
+
+
 def campaign_preflight(
     configs: Iterable[NetworkConfig],
+    engines: Iterable[Optional[str]] = (),
 ) -> Callable[[], List[str]]:
     """A ``preflight`` callable for :func:`run_campaign`.
 
     The returned thunk runs the static verifier lazily (at campaign
     start, not at construction) and returns the list of problems;
     ``run_campaign`` raises :class:`~repro.errors.ConfigError` when it
-    is non-empty.
+    is non-empty.  ``engines`` optionally carries the simulation-engine
+    name of each row (``None`` = reference); unknown names are reported
+    as problems alongside the verifier's findings.
     """
     frozen = list(configs)
+    frozen_engines = list(engines)
 
     def preflight() -> List[str]:
-        return preflight_problems(frozen)
+        return engine_problems(frozen_engines) + preflight_problems(frozen)
 
     return preflight

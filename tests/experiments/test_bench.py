@@ -49,7 +49,7 @@ class TestCompareToBaseline:
     def test_missing_case_is_regression(self):
         report = _report({"mesh": 1000.0})
         regressions, _ = compare_to_baseline(report, self.base)
-        assert regressions == ["torus: missing from report"]
+        assert regressions == ["torus[reference]: missing from report"]
 
     def test_improvement_is_note_not_failure(self):
         report = _report({"mesh": 1500.0, "torus": 500.0})
@@ -112,3 +112,90 @@ class TestMeasureCase:
             assert case["measure"] > 0 and case["warmup"] >= 0
             assert case["drain_limit"] >= case["measure"]
             assert 0.0 < case["rate"] <= 1.0
+
+
+def _case(name, cps, engine=None, **extra):
+    case = {"name": name, "cycles_per_sec": cps}
+    if engine is not None:
+        case["engine"] = engine
+    case.update(extra)
+    return case
+
+
+class TestEngineAwareGate:
+    """Schema-v2 behaviour: cases keyed by (name, engine)."""
+
+    def setup_method(self):
+        self.base = {
+            "schema": SCHEMA,
+            "cases": [
+                _case("mesh", 1000.0, engine="reference"),
+                _case("mesh", 5000.0, engine="compiled"),
+            ],
+        }
+
+    def test_engines_compared_independently(self):
+        report = {
+            "schema": SCHEMA,
+            "cases": [
+                _case("mesh", 1000.0, engine="reference"),
+                _case("mesh", 3000.0, engine="compiled"),
+            ],
+        }
+        regressions, _ = compare_to_baseline(report, self.base)
+        assert len(regressions) == 1
+        assert "mesh[compiled]" in regressions[0]
+
+    def test_missing_engine_entry_is_regression(self):
+        report = {
+            "schema": SCHEMA,
+            "cases": [_case("mesh", 1000.0, engine="reference")],
+        }
+        regressions, _ = compare_to_baseline(report, self.base)
+        assert regressions == ["mesh[compiled]: missing from report"]
+
+    def test_v1_baseline_entries_compare_as_reference(self):
+        v1_base = {"schema": "repro-bench-v1",
+                   "cases": [_case("mesh", 1000.0)]}
+        report = {
+            "schema": SCHEMA,
+            "cases": [_case("mesh", 980.0, engine="reference")],
+        }
+        regressions, notes = compare_to_baseline(report, v1_base)
+        assert regressions == [] and notes == []
+
+    def test_campaign_speedup_below_one_is_regression(self):
+        report = dict(self.base, campaign={
+            "rows_identical": True, "speedup": 0.95,
+        })
+        regressions, _ = compare_to_baseline(report, self.base)
+        assert any("speedup 0.95 < 1.0" in r for r in regressions)
+
+    def test_baseline_without_campaign_section_tolerated(self):
+        report = dict(self.base, campaign={
+            "rows_identical": True, "speedup": 1.4,
+        })
+        regressions, notes = compare_to_baseline(report, self.base)
+        assert regressions == [] and notes == []
+
+    def test_campaign_speedup_decline_is_note_not_failure(self):
+        base = dict(self.base, campaign={"speedup": 2.0,
+                                         "rows_identical": True})
+        report = dict(self.base, campaign={"speedup": 1.1,
+                                           "rows_identical": True})
+        regressions, notes = compare_to_baseline(report, base)
+        assert regressions == []
+        assert len(notes) == 1 and "host-dependent" in notes[0]
+
+
+class TestSchemaCompatibility:
+    def test_v1_reports_still_load(self, tmp_path):
+        path = str(tmp_path / "v1.json")
+        report = dict(_report({"mesh": 1.0}), schema="repro-bench-v1")
+        write_report(report, path)
+        assert load_report(path) == report
+
+    def test_measure_case_records_engine(self):
+        case = measure_case("mesh-8x8-ur", repeats=1, engine="compiled")
+        assert case["engine"] == "compiled"
+        assert case["cycles_per_sec"] > 0

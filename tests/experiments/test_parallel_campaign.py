@@ -15,12 +15,23 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import DeadlockError
+from repro.experiments import campaign
 from repro.experiments.campaign import (
     CheckpointStore,
     row_key,
     run_campaign,
 )
 from repro.experiments.fig6_synthetic_full import _run_row, make_grid
+
+
+def force_pool(monkeypatch):
+    """Pretend the host has spare CPUs so ``jobs > 1`` really shards.
+
+    On a single-CPU host ``run_campaign`` collapses ``jobs > 1`` to the
+    inline serial path; these tests are *about* the pool (chunked
+    submission, crash recovery), so they pin the CPU count up.
+    """
+    monkeypatch.setattr(campaign, "_usable_cpus", lambda: 8)
 
 # --- module-level runners (must be picklable for the pool) -----------
 
@@ -59,7 +70,8 @@ def crash_always(params):
 
 
 class TestParallelEquivalence:
-    def test_fig6_slice_identical_to_serial(self):
+    def test_fig6_slice_identical_to_serial(self, monkeypatch):
+        force_pool(monkeypatch)
         grid = make_grid("smoke", seed=1)[:2]
         serial = run_campaign(grid, _run_row, jobs=1)
         parallel = run_campaign(grid, _run_row, jobs=4)
@@ -88,7 +100,8 @@ class TestParallelEquivalence:
         assert parallel.computed == serial.computed
         assert parallel.retried == serial.retried
 
-    def test_recoverable_retries_run_inside_workers(self):
+    def test_recoverable_retries_run_inside_workers(self, monkeypatch):
+        force_pool(monkeypatch)
         grid = [{"config": "mesh", "seed": s} for s in (1, 2, 3)]
         serial = run_campaign(grid, deadlock_until_retried, jobs=1)
         parallel = run_campaign(grid, deadlock_until_retried, jobs=2)
@@ -96,7 +109,10 @@ class TestParallelEquivalence:
         assert serial.retried == parallel.retried == 3
         assert [r["value"] for r in parallel.rows] == [1001, 1002, 1003]
 
-    def test_parallel_checkpoint_bytes_match_serial(self, tmp_path):
+    def test_parallel_checkpoint_bytes_match_serial(
+        self, tmp_path, monkeypatch
+    ):
+        force_pool(monkeypatch)
         grid = [{"config": "mesh", "load": n, "seed": 1}
                 for n in range(4)]
         serial_path = str(tmp_path / "serial.json")
@@ -111,6 +127,32 @@ class TestParallelEquivalence:
             parallel_bytes = fh.read()
         assert serial_bytes == parallel_bytes
 
+    def test_single_cpu_collapses_to_inline(self, monkeypatch):
+        """On one schedulable CPU, jobs > 1 must not build a pool."""
+        monkeypatch.setattr(campaign, "_usable_cpus", lambda: 1)
+
+        def no_pool(*args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("pool built on a 1-CPU host")
+
+        monkeypatch.setattr(campaign, "ProcessPoolExecutor", no_pool)
+        grid = [{"config": "mesh", "load": n, "seed": 1}
+                for n in range(4)]
+        serial = run_campaign(grid, hash_runner, jobs=1)
+        collapsed = run_campaign(grid, hash_runner, jobs=4)
+        assert collapsed.rows == serial.rows
+        assert collapsed.computed == serial.computed == len(grid)
+
+    def test_chunks_cover_grid_round_robin(self, monkeypatch):
+        """Chunked submission covers every row exactly once, any shape."""
+        force_pool(monkeypatch)
+        for rows, jobs in ((1, 4), (4, 4), (7, 3), (12, 5)):
+            grid = [{"config": "mesh", "load": n, "seed": 1}
+                    for n in range(rows)]
+            serial = run_campaign(grid, hash_runner, jobs=1)
+            parallel = run_campaign(grid, hash_runner, jobs=jobs)
+            assert parallel.rows == serial.rows, (rows, jobs)
+            assert parallel.computed == rows, (rows, jobs)
+
     def test_jobs_below_one_rejected(self):
         try:
             run_campaign([], hash_runner, jobs=0)
@@ -124,7 +166,10 @@ class TestParallelEquivalence:
 
 
 class TestWorkerCrashes:
-    def test_crashed_worker_is_retried_on_fresh_pool(self, tmp_path):
+    def test_crashed_worker_is_retried_on_fresh_pool(
+        self, tmp_path, monkeypatch
+    ):
+        force_pool(monkeypatch)
         sentinel = str(tmp_path / "crashed-once")
         grid = [{"config": "mesh", "seed": 1, "sentinel": sentinel}]
         result = run_campaign(grid, crash_once, jobs=2)
@@ -132,7 +177,10 @@ class TestWorkerCrashes:
         assert result.rows[0]["value"] == "recovered"
         assert os.path.exists(sentinel)
 
-    def test_poisoned_row_fails_without_killing_campaign(self):
+    def test_poisoned_row_fails_without_killing_campaign(
+        self, monkeypatch
+    ):
+        force_pool(monkeypatch)
         grid = [
             {"config": "mesh", "seed": 1},
             {"config": "torus", "seed": 2},

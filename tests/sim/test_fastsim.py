@@ -1,0 +1,214 @@
+"""Cross-engine equivalence: the compiled engine vs the reference.
+
+The contract (see ``docs/architecture.md``, "Simulation engines") is
+bit-identity, not approximation: for every design point the compiled
+engine either produces exactly the reference metrics or transparently
+falls back to the reference engine.  These tests pin that contract on
+the three canonical bench cases, on hypothesis-generated small specs
+across all three router kinds, on the pure-Python fallback path (native
+kernel disabled), and on the fault-injection fallback.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import CASES, _case_spec
+from repro.core.params import NetworkConfig
+from repro.core.registry import ENGINES
+from repro.core.spec import NetworkSpec, build_run
+from repro.sim import fastsim
+from repro.sim.faults import FaultSchedule
+from repro.sim.simulator import run_synthetic
+
+
+def fingerprint(result):
+    """Every metric of a run, excluding provenance (``engine``)."""
+    fields = dataclasses.asdict(result)
+    fields.pop("metrics")
+    fields.pop("engine")
+    measured = result.metrics.measured
+    return (
+        fields,
+        measured.count,
+        measured.total,
+        measured.total_sq,
+        measured.min,
+        measured.max,
+        tuple(result.metrics.hop_counts),
+        result.metrics.delivered_total,
+        result.metrics.injected_total,
+        result.metrics.dropped_total,
+    )
+
+
+def assert_engines_identical(spec):
+    reference = build_run(spec.replace(engine="reference"))
+    compiled = build_run(spec.replace(engine="compiled"))
+    assert compiled.engine == "compiled", (
+        f"{spec.topology} unexpectedly fell back to "
+        f"{compiled.engine!r}"
+    )
+    assert fingerprint(reference) == fingerprint(compiled)
+    return reference, compiled
+
+
+class TestEngineRegistry:
+    def test_both_engines_registered(self):
+        assert "reference" in ENGINES
+        assert "compiled" in ENGINES
+
+    def test_unknown_engine_fails_with_menu(self):
+        from repro.errors import ConfigError
+
+        spec = NetworkSpec.for_network(
+            "mesh", 4, 4, rate=0.1, warmup=10, measure=20,
+            drain_limit=100, engine="warp",
+        )
+        with pytest.raises(ConfigError, match="known simulation engine"):
+            build_run(spec)
+
+
+class TestBenchCaseEquivalence:
+    """Bit-identical fingerprints on the three canonical bench cases."""
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_bench_case_fingerprint(self, name):
+        assert_engines_identical(_case_spec(name))
+
+
+class TestFallbacks:
+    def test_pure_python_path_matches_native_kernel(self, monkeypatch):
+        """The scalar step loops are the kernel's executable spec."""
+        spec = NetworkSpec.for_network(
+            "ruche2-depop", 8, 8, half=True, rate=0.15,
+            warmup=50, measure=100, drain_limit=300,
+        )
+        with_kernel = build_run(spec.replace(engine="compiled"))
+        monkeypatch.setattr(fastsim._ckernel, "get_kernel", lambda: None)
+        fastsim.clear_compile_caches()
+        without_kernel = build_run(spec.replace(engine="compiled"))
+        fastsim.clear_compile_caches()
+        assert with_kernel.engine == without_kernel.engine == "compiled"
+        assert fingerprint(with_kernel) == fingerprint(without_kernel)
+
+    def test_fault_runs_fall_back_to_reference(self):
+        config = NetworkConfig.from_name("mesh", 4, 4)
+        schedule = FaultSchedule.random_dead_links(
+            config, 1, seed=0, degraded_model=True
+        )
+        result = run_synthetic(
+            config, "uniform_random", 0.05,
+            warmup=20, measure=50, drain_limit=200, seed=3,
+            faults=schedule, engine="compiled",
+        )
+        assert result.engine == "reference"
+
+    def test_fault_fallback_matches_reference_metrics(self):
+        config = NetworkConfig.from_name("ruche2-depop", 8, 8)
+        schedule = FaultSchedule.random_dead_links(
+            config, 2, seed=1, degraded_model=True
+        )
+        kwargs = dict(
+            warmup=20, measure=50, drain_limit=200, seed=3,
+            faults=schedule,
+        )
+        via_compiled = run_synthetic(
+            config, "uniform_random", 0.05, engine="compiled", **kwargs
+        )
+        via_reference = run_synthetic(
+            config, "uniform_random", 0.05, engine="reference", **kwargs
+        )
+        assert fingerprint(via_compiled) == fingerprint(via_reference)
+
+
+#: (config name, max width, max height) combos legal at small sizes;
+#: covers the wormhole, FBFC, and VC (dateline torus) router kinds.
+_DESIGNS = (
+    ("mesh", {}),
+    ("multimesh", {}),
+    ("torus", {}),
+    ("torus-fbfc", {}),
+    ("half-torus", {}),
+    ("ruche2-depop", {}),
+    ("ruche2-pop", {}),
+    ("ruche2-depop", {"half": True}),
+)
+
+
+class TestPropertyEquivalence:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        design=st.sampled_from(_DESIGNS),
+        width=st.integers(4, 8),
+        height=st.integers(4, 8),
+        rate=st.sampled_from((0.05, 0.15, 0.3)),
+        seed=st.integers(0, 3),
+    )
+    def test_random_small_specs_identical(
+        self, design, width, height, rate, seed
+    ):
+        name, options = design
+        spec = NetworkSpec.for_network(
+            name, width, height, rate=rate, seed=seed,
+            warmup=20, measure=60, drain_limit=200, **options,
+        )
+        reference, compiled = assert_engines_identical(spec)
+        # The assertion above is full-fingerprint; spell out the
+        # headline quantities the contract names.
+        assert compiled.injected_measured == reference.injected_measured
+        assert compiled.delivered_measured == reference.delivered_measured
+        assert compiled.avg_latency == reference.avg_latency
+
+    def test_p99_latency_identical_from_samples(self):
+        spec = NetworkSpec.for_network(
+            "torus", 8, 4, rate=0.2, warmup=30, measure=80,
+            drain_limit=250, seed=11,
+        )
+        results = {
+            engine: run_synthetic(
+                spec, engine=engine, keep_samples=True
+            )
+            for engine in ("reference", "compiled")
+        }
+        assert results["compiled"].engine == "compiled"
+
+        def p99(result):
+            samples = sorted(result.metrics.measured._samples)
+            assert samples
+            return samples[(len(samples) * 99) // 100]
+
+        assert p99(results["reference"]) == p99(results["compiled"])
+
+    def test_trackers_identical(self):
+        spec = NetworkSpec.for_network(
+            "ruche2-depop", 8, 8, rate=0.15, warmup=30, measure=80,
+            drain_limit=250, seed=7,
+        )
+        kwargs = dict(track_per_source=True, track_links=True)
+        reference = run_synthetic(spec, engine="reference", **kwargs)
+        compiled = run_synthetic(spec, engine="compiled", **kwargs)
+        assert compiled.engine == "compiled"
+        assert sorted(reference.metrics.link_counts.items()) == sorted(
+            compiled.metrics.link_counts.items()
+        )
+        assert set(reference.metrics.per_source) == set(
+            compiled.metrics.per_source
+        )
+        for key, ref_tracker in reference.metrics.per_source.items():
+            comp_tracker = compiled.metrics.per_source[key]
+            assert (
+                ref_tracker.count,
+                ref_tracker.total,
+                ref_tracker.total_sq,
+                ref_tracker.min,
+                ref_tracker.max,
+            ) == (
+                comp_tracker.count,
+                comp_tracker.total,
+                comp_tracker.total_sq,
+                comp_tracker.min,
+                comp_tracker.max,
+            )
