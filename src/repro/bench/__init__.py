@@ -68,6 +68,18 @@ CASES: Dict[str, Dict[str, Any]] = {
         pattern="uniform_random", rate=0.10,
         warmup=200, measure=400, drain_limit=800,
     ),
+    # Fault schedules now compile (this PR's tentpole); this case pins
+    # the compiled engine's advantage *with* an active fault schedule.
+    # Transient-only: VC routers reject permanent-fault rerouting in
+    # both engines, and transient drops force the compiled engine onto
+    # its pure-Python loops — so this is also the canonical pure-Python
+    # compiled measurement.
+    "torus-64x8-ur-faults": dict(
+        config=("torus", 64, 8,
+                {"fault_transient": 4, "fault_drop_prob": 0.01}),
+        pattern="uniform_random", rate=0.10,
+        warmup=200, measure=400, drain_limit=800,
+    ),
 }
 
 #: Repeats per case: quick keeps CI fast, full feeds the baseline.

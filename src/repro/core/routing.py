@@ -576,6 +576,19 @@ class FaultAwareTableRouting(RoutingAlgorithm):
             )
         return Direction(out)
 
+    def next_hop_items(
+        self, dest: Coord
+    ) -> Iterable[Tuple[Tuple[Coord, int], int]]:
+        """All ``((tile, input port), output port)`` entries for ``dest``.
+
+        The tabulated form of :meth:`route`, exposed so the compiled
+        engine (``repro.sim.fastsim``) can pack the BFS tables into flat
+        route rows without probing every (state, dest) pair through the
+        raising accessor.  Empty for a failed-router destination.
+        """
+        table = self._tables.get(dest)
+        return table.items() if table is not None else ()
+
     # ------------------------------------------------------------------
     # Reachability analysis
     # ------------------------------------------------------------------

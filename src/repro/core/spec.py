@@ -99,9 +99,12 @@ class NetworkSpec:
     measure: int = 1000
     drain_limit: int = 3000
     seed: int = 1
-    #: Fault injection (``FaultSchedule.random_dead_links`` arguments);
-    #: ``fault_links == 0`` without ``degraded_model`` means no faults.
+    #: Fault injection (``FaultSchedule.random_mixed`` arguments); all
+    #: counts zero without ``degraded_model`` means no faults.
     fault_links: int = 0
+    fault_routers: int = 0
+    fault_transient: int = 0
+    fault_drop_prob: float = 0.01
     fault_seed: int = 0
     degraded_model: bool = False
     #: Watchdog thresholds; ``None`` keeps the simulator defaults.
@@ -385,13 +388,29 @@ def network_components(
 # ----------------------------------------------------------------------
 def build_faults(spec: NetworkSpec, config: NetworkConfig) -> Optional[Any]:
     """The spec's :class:`~repro.sim.faults.FaultSchedule` (or None)."""
-    if spec.fault_links <= 0 and not spec.degraded_model:
+    if (
+        spec.fault_links <= 0
+        and spec.fault_routers <= 0
+        and spec.fault_transient <= 0
+        and not spec.degraded_model
+    ):
         return None
     from repro.sim.faults import FaultSchedule
 
-    return FaultSchedule.random_dead_links(
+    if spec.fault_routers <= 0 and spec.fault_transient <= 0:
+        # Preserves the pre-mixed-schedule spec semantics byte for byte.
+        return FaultSchedule.random_dead_links(
+            config,
+            spec.fault_links,
+            seed=spec.fault_seed,
+            degraded_model=spec.degraded_model,
+        )
+    return FaultSchedule.random_mixed(
         config,
-        spec.fault_links,
+        links=spec.fault_links,
+        routers=spec.fault_routers,
+        transient=spec.fault_transient,
+        drop_prob=spec.fault_drop_prob,
         seed=spec.fault_seed,
         degraded_model=spec.degraded_model,
     )

@@ -21,10 +21,10 @@ __all__ = [
 ]
 
 
-def run_experiment(experiment_id, scale=None, seed=0):
+def run_experiment(experiment_id, scale=None, seed=0, **options):
     from repro.experiments.registry import run_experiment as _run
 
-    return _run(experiment_id, scale=scale, seed=seed)
+    return _run(experiment_id, scale=scale, seed=seed, **options)
 
 
 def experiment_ids():

@@ -46,6 +46,12 @@ def main(argv=None) -> int:
              "engines are bit-identical by contract, so this only "
              "changes wall-clock)",
     )
+    parser.add_argument(
+        "--watchdog-cycles", type=int, default=None, metavar="N",
+        help="forward-progress watchdog stall window in cycles for "
+             "experiments that take one (overrides their preset; both "
+             "engines honor it identically)",
+    )
     parser.add_argument("--list", action="store_true",
                         help="list experiment ids")
     parser.add_argument(
@@ -80,7 +86,8 @@ def main(argv=None) -> int:
                                     seed=args.seed,
                                     preflight=args.preflight,
                                     jobs=args.jobs,
-                                    engine=args.engine)
+                                    engine=args.engine,
+                                    watchdog_cycles=args.watchdog_cycles)
         except KeyError as exc:
             # Unknown experiment id: the registry's message carries the
             # multi-line menu of available ids; print it verbatim

@@ -36,15 +36,40 @@ import dataclasses
 import json
 import os
 import tempfile
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError, SimulationError
+from repro.sim.rng import derive_rng
 
 #: Exception types a campaign converts into retries / failed rows.
 #: Everything else (programming errors) propagates.
 RECOVERABLE = (SimulationError,)
+
+#: Worker-crash pool-rebuild backoff: first rebuild waits ``_BACKOFF_BASE``
+#: seconds (scaled by jitter), doubling per rebuild wave up to
+#: ``_BACKOFF_CAP``.
+_BACKOFF_BASE = 0.5
+_BACKOFF_CAP = 8.0
+
+
+def _crash_backoff_seconds(
+    wave: int, base: float = _BACKOFF_BASE, cap: float = _BACKOFF_CAP
+) -> float:
+    """Capped exponential backoff before rebuild ``wave`` (1-based).
+
+    A crashed worker is often a symptom of transient pressure (OOM
+    killer, container throttling); hammering a fresh pool straight back
+    into the same conditions re-crashes it.  The delay doubles per wave
+    and is scaled by a deterministic jitter in [0.5, 1.0] drawn from the
+    wave number's own ``campaign:crash-backoff`` stream — reproducible
+    (no wall-clock or PID entropy) yet desynchronized across waves.
+    """
+    delay = min(cap, base * (2.0 ** (wave - 1)))
+    jitter = 0.5 + 0.5 * derive_rng(wave, "campaign:crash-backoff").random()
+    return delay * jitter
 
 
 def row_key(params: Dict[str, Any]) -> str:
@@ -280,11 +305,17 @@ def _run_parallel_rows(
     rebuilt and every unfinished row is resubmitted with its crash
     budget decremented, so one poisoned row cannot take down the
     campaign — after ``max_retries + 1`` pool rebuilds it is recorded as
-    failed and the rest of the grid completes.
+    failed and the rest of the grid completes.  Each rebuild waits
+    :func:`_crash_backoff_seconds` first (capped exponential with
+    deterministic jitter), giving transient host pressure room to clear
+    instead of immediately re-crashing the fresh pool.
     """
     remaining = pending
     crashes: Dict[int, int] = {}
+    wave = 0
     while remaining:
+        wave += 1
+        time.sleep(_crash_backoff_seconds(wave))
         executor = ProcessPoolExecutor(
             max_workers=jobs, initializer=_worker_init
         )

@@ -100,6 +100,7 @@ def _run_row(params: Dict[str, Any]) -> Dict[str, Any]:
         routing = build_routing(config, faults=schedule)
         partitioned = len(routing.partitioned_pairs())
 
+    stall_window = params.get("watchdog_cycles") or preset["stall_window"]
     points: List[List[float]] = []
     deadlock_load: Optional[float] = None
     for rate in preset["rates"]:
@@ -108,12 +109,13 @@ def _run_row(params: Dict[str, Any]) -> Dict[str, Any]:
                 config,
                 PATTERN,
                 rate,
+                engine=params.get("engine"),
                 warmup=preset["warmup"],
                 measure=preset["measure"],
                 drain_limit=preset["drain"],
                 seed=params["seed"],
                 faults=schedule,
-                watchdog=WatchdogConfig(stall_window=preset["stall_window"]),
+                watchdog=WatchdogConfig(stall_window=stall_window),
                 max_cycles=preset["max_cycles"],
                 max_wall_seconds=preset["max_wall_seconds"],
             )
@@ -149,6 +151,8 @@ def run(
     checkpoint: Optional[str] = None,
     preflight: bool = False,
     jobs: int = 1,
+    watchdog_cycles: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> ExperimentResult:
     """Fault-degradation campaign (experiment id ``faults``).
 
@@ -159,10 +163,19 @@ def run(
     see :mod:`repro.verify`) before the first row simulates.
     ``jobs > 1`` shards rows across worker processes with bit-identical
     results (see :func:`repro.experiments.campaign.run_campaign`).
+    ``watchdog_cycles`` overrides the preset's stall window (the CLI's
+    ``--watchdog-cycles``), and ``engine`` pins the simulation engine;
+    both enter the parameter grid — and so the checkpoint key — only
+    when set, keeping existing checkpoints resumable.
     """
     scale = resolve_scale(scale)
     preset = _PRESETS[scale]
     width, height = preset["size"]
+    overrides: Dict[str, Any] = {}
+    if watchdog_cycles is not None:
+        overrides["watchdog_cycles"] = watchdog_cycles
+    if engine is not None:
+        overrides["engine"] = engine
     grid = [
         {
             "config": name,
@@ -172,6 +185,7 @@ def run(
             "fault_count": count,
             "fault_seed": fault_seed,
             "seed": seed + 1,
+            **overrides,
         }
         for name in preset["configs"]
         for count in preset["fault_counts"]

@@ -22,6 +22,7 @@ from repro.experiments import (
     table4_bandwidth,
     table6_geomean,
 )  # noqa: I001 - figure order reads better than lexicographic
+from repro import chaos
 from repro.experiments.base import ExperimentResult
 
 _REGISTRY: Dict[str, Tuple[Callable, str]] = {
@@ -42,6 +43,10 @@ _REGISTRY: Dict[str, Tuple[Callable, str]] = {
     "faults": (
         fault_degradation.run,
         "Graceful degradation under random dead links",
+    ),
+    "chaos": (
+        chaos.run,
+        "Chaos soak: escalating fault tiers at near-saturation load",
     ),
 }
 

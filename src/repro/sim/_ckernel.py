@@ -24,6 +24,7 @@ import ctypes
 import os
 import subprocess
 import tempfile
+import warnings
 from typing import Optional
 
 __all__ = ["StepCtx", "get_kernel"]
@@ -216,9 +217,12 @@ _tmpdir: Optional[tempfile.TemporaryDirectory] = None
 def get_kernel() -> Optional[ctypes.CDLL]:
     """The loaded step kernel, building it on first call.
 
-    Returns ``None`` (and caches the failure) when ``REPRO_NO_CKERNEL``
-    is set, no working C compiler is on ``PATH``, or the build/load
-    fails for any reason — callers then use the pure-Python step.
+    Returns ``None`` when ``REPRO_NO_CKERNEL`` is set, no working C
+    compiler is on ``PATH``, or the build/load fails for any reason —
+    callers then use the pure-Python step.  A failure is cached as a
+    negative result (one :class:`RuntimeWarning`, never a rebuild
+    attempt per run), so a broken toolchain costs one compiler
+    invocation per process, not one per simulation.
     """
     global _lib, _tried, _tmpdir
     if _tried:
@@ -243,6 +247,13 @@ def get_kernel() -> Optional[ctypes.CDLL]:
         lib.step_noc.argtypes = [ctypes.POINTER(StepCtx)]
         lib.step_noc.restype = ctypes.c_int
         _lib = lib
-    except Exception:
+    except Exception as exc:
         _lib = None
+        warnings.warn(
+            f"native step kernel unavailable ({type(exc).__name__}: "
+            f"{exc}); the compiled engine will use its pure-Python "
+            f"loops for this process",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return _lib

@@ -32,13 +32,32 @@ only when at least one space-gated request exists, and any such request
 always yields a grant), so re-running it would reproduce the same
 nothing.
 
+Faults at compiled speed
+------------------------
+:class:`~repro.sim.faults.FaultSchedule` state is lowered rather than
+delegated.  Dead links and routers are masked ports: the throwaway
+extraction network is built *with* the schedule, so killed channels are
+never wired and the packed route tables come straight from
+:class:`~repro.core.routing.FaultAwareTableRouting`'s BFS tables
+(``-1`` marks states a packet can never occupy).  Transient drop faults
+replay the reference's ``faults:drops`` stream inside the commit loop,
+at the exact point the reference engine draws it.  The forward-progress
+watchdog stays a cheap in-loop stall counter; only on a trip is the
+flat queue state rehydrated into a reference-style network to capture a
+full :class:`~repro.sim.watchdog.DeadlockSnapshot`.  Constraint: the
+native step kernel cannot draw from Python's Mersenne RNG, so runs with
+*transient* faults always take the pure-Python step loops (permanent
+faults keep the kernel — masked ports are just absent table entries).
+
 What falls back
 ---------------
 Runs the compiler cannot prove equivalent are transparently delegated to
 the reference engine (the returned result then reports
-``engine == "reference"``): fault injection, ``audit_every`` tripwires,
-plugin topology components, non-builtin routing/router/allocator types,
-edge-memory endpoints, and multi-cycle (pipelined) channels.
+``engine == "reference"``): ``audit_every`` tripwires, plugin topology
+components, non-builtin routing/router/allocator types, edge-memory
+endpoints, multi-cycle (pipelined) channels, and fault-aware rerouting
+on the VC/FBFC torus routers (which the reference engine rejects with
+the same :class:`~repro.errors.ConfigError`).
 """
 
 from __future__ import annotations
@@ -51,6 +70,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 from repro.core.coords import Direction
 from repro.core.params import NetworkConfig, TopologyKind
 from repro.core.routing import (
+    FaultAwareTableRouting,
     MeshDOR,
     MultiMeshRouting,
     RucheDOR,
@@ -139,6 +159,7 @@ class _CompiledModel:
         "depth",
         "num_vcs",
         "subnet_tab",
+        "reachable",
         # wormhole / fbfc
         "in_lists",
         "posmaps",
@@ -157,9 +178,12 @@ class _CompiledModel:
     )
 
 
-# Compiled models keyed by (config, routing, router, allocator) names;
-# ``None`` caches a negative result so unsupported design points skip
-# the throwaway-network build on every call.
+# Compiled models keyed by (config, routing, router, allocator) names
+# plus the routing-relevant fault state (killed channels + degraded
+# flag; transient-only schedules share the healthy model — the wiring
+# is unchanged and drops happen at run time).  ``None`` caches a
+# negative result so unsupported design points skip the
+# throwaway-network build on every call.
 _MISSING = object()
 _COMPILE_CACHE: Dict[Tuple, Optional[_CompiledModel]] = {}
 
@@ -178,20 +202,46 @@ def _compile(
     routing_name: Optional[str],
     router_name: Optional[str],
     allocator_name: Optional[str],
+    faults: Any = None,
 ) -> _CompiledModel:
-    key = (config, routing_name, router_name, allocator_name)
+    fault_key = (
+        (faults.killed_channels, faults.dead_routers, faults.degraded_model)
+        if faults is not None
+        else None
+    )
+    key = (config, routing_name, router_name, allocator_name, fault_key)
     cached = _COMPILE_CACHE.get(key, _MISSING)
     if cached is not _MISSING:
         if cached is None:
             raise _Unsupported(f"{config.name}: cached as uncompilable")
         return cached
     try:
-        model = _build_model(target, config)
+        model = _build_model(target, config, faults)
     except _Unsupported:
         _COMPILE_CACHE[key] = None
         raise
     _COMPILE_CACHE[key] = model
     return model
+
+
+def _extraction_target(
+    target: Union[NetworkConfig, NetworkSpec],
+) -> Union[NetworkConfig, NetworkSpec]:
+    """``target`` with any spec-level fault fields neutralized.
+
+    Extraction passes its :class:`FaultSchedule` (or its absence)
+    explicitly, so a spec target must not re-resolve its own fault
+    fields inside ``build_network`` — an explicit ``faults=None`` must
+    mean *healthy*, not *use the spec's faults*.
+    """
+    if isinstance(target, NetworkSpec):
+        return target.replace(
+            fault_links=0,
+            fault_routers=0,
+            fault_transient=0,
+            degraded_model=False,
+        )
+    return target
 
 
 def _direct_target(router, o: int) -> Tuple[int, int]:
@@ -200,15 +250,24 @@ def _direct_target(router, o: int) -> Tuple[int, int]:
 
 
 def _build_model(
-    target: Union[NetworkConfig, NetworkSpec], config: NetworkConfig
+    target: Union[NetworkConfig, NetworkSpec],
+    config: NetworkConfig,
+    faults: Any = None,
 ) -> _CompiledModel:
-    net = build_network(target)
+    # Building the extraction network *with* the schedule means killed
+    # channels are never wired, so masked ports (shrunk input lists,
+    # absent plan entries, -1 posmap slots) fall out of extraction for
+    # free and stay wired identically to the reference network.
+    net = build_network(_extraction_target(target), faults=faults)
     if net._channels:
         raise _Unsupported("pipelined channels")
     if net._edge_entry or net.topology.memory_nodes:
         raise _Unsupported("edge-memory endpoints")
     routing = net.routing
-    if type(routing) not in _SUPPORTED_ROUTINGS:
+    if type(routing) is FaultAwareTableRouting:
+        if faults is None:
+            raise _Unsupported("fault-aware routing without a schedule")
+    elif type(routing) not in _SUPPORTED_ROUTINGS:
         raise _Unsupported(f"routing {type(routing).__name__}")
     routers = net._router_list
     kinds = {type(r) for r in routers}
@@ -225,6 +284,9 @@ def _build_model(
     model.kind = kind
     model.config = config
     model.carrays = None
+    # Mirrors the reference engine's getattr: only the fault-aware
+    # tables expose reachability, and only faulted runs consult it.
+    model.reachable = getattr(routing, "reachable", None)
     nodes = tuple(net.topology.nodes)
     model.nodes = nodes
     model.node_index = {coord: idx for idx, coord in enumerate(nodes)}
@@ -253,7 +315,10 @@ def _build_model(
         _tabulate_vc_routes(model, routing)
     else:
         _extract_wormhole(model, net, routers, fbfc=(kind == "fbfc"))
-        _tabulate_wormhole_routes(model, routing, nsub)
+        if type(routing) is FaultAwareTableRouting:
+            _tabulate_fault_routes(model, routing)
+        else:
+            _tabulate_wormhole_routes(model, routing, nsub)
     return model
 
 
@@ -391,6 +456,42 @@ def _tabulate_wormhole_routes(model, routing, nsub: int) -> None:
         route_rows.append(
             tuple(cls_rows[cls_of_in[i]] for i in range(NUM_DIRS))
         )
+    model.route_rows = tuple(route_rows)
+
+
+def _tabulate_fault_routes(model, routing) -> None:
+    """Per-(node, input) route rows from the fault-aware BFS tables.
+
+    Unlike the DOR algorithms, :class:`FaultAwareTableRouting` keys its
+    next hop on the exact input port, so every input gets its own row.
+    States absent from a destination's table are packed as ``-1``; they
+    are never consulted at runtime — injection filters unreachable
+    destinations through ``model.reachable``, and the BFS tables are
+    next-hop-closed (a tabled state's successor is also tabled, all the
+    way to ejection).  Identical rows are interned to one shared object
+    so the native kernel's id-deduped ``rows`` table stays near one
+    copy per node (on the fully-connected fault matrix most inputs of a
+    node share a row).
+    """
+    n = model.n
+    node_index = model.node_index
+    blank = [-1] * n
+    by_state: Dict[Tuple[int, int], List[int]] = {}
+    for d, dest in enumerate(model.nodes):
+        for (coord, in_idx), out in routing.next_hop_items(dest):
+            state = (node_index[coord], in_idx)
+            row = by_state.get(state)
+            if row is None:
+                row = by_state[state] = blank.copy()
+            row[d] = out
+    interned: Dict[Tuple[int, ...], List[int]] = {tuple(blank): blank}
+    route_rows = []
+    for r in range(n):
+        per_in = []
+        for i in range(NUM_DIRS):
+            row = by_state.get((r, i), blank)
+            per_in.append(interned.setdefault(tuple(row), row))
+        route_rows.append(tuple(per_in))
     model.route_rows = tuple(route_rows)
 
 
@@ -544,6 +645,8 @@ def _execute(
     track_per_source: bool,
     keep_samples: bool,
     track_links: bool,
+    faults: Any,
+    target: Union[NetworkConfig, NetworkSpec],
     watchdog: Optional[WatchdogConfig],
     max_cycles: Optional[int],
     max_wall_seconds: Optional[float],
@@ -558,10 +661,20 @@ def _execute(
     subnet_tab = model.subnet_tab
     is_vc = model.kind == "vc"
     is_fbfc = model.kind == "fbfc"
+    has_faults = faults is not None and faults.has_faults
+    transient = faults.transient if faults is not None else ()
     # The wormhole/fbfc step has a native translation (see _ckernel);
     # the pure-Python loops below remain the no-compiler fallback and
     # the executable specification the kernel is checked against.
-    kernel = _ckernel.get_kernel() if not is_vc and _ARRAYS_OK else None
+    # Transient faults force the Python loops: the drop decision draws
+    # from Python's Mersenne stream mid-commit, which the kernel cannot
+    # replicate (permanent faults keep the kernel — they are static
+    # table state).
+    kernel = (
+        _ckernel.get_kernel()
+        if not is_vc and _ARRAYS_OK and not transient
+        else None
+    )
     use_c = kernel is not None
     # Post-pop queue length at/above which the pop changed something the
     # upstream feeder's arbitration can observe (and so must re-run):
@@ -572,6 +685,39 @@ def _execute(
     dest_fn = build_pattern(pattern, config)
     timing_random = derive_rng(seed, "timing").random
     dest_rng = derive_rng(seed, "dest")
+
+    # Mirrors the reference engine's degraded-injection discipline bit
+    # for bit: dead routers never draw from the timing stream, and a
+    # destination the fault-aware tables cannot reach is discarded
+    # *after* the healthy pattern consumed its dest-stream draw.
+    if has_faults:
+        dead = faults.dead_routers
+        src_list: Tuple[Tuple[int, Any], ...] = tuple(
+            (s, src) for s, src in enumerate(nodes) if src not in dead
+        )
+        reachable = model.reachable
+        if reachable is not None:
+            healthy_fn = dest_fn
+
+            def dest_fn(src, rng):  # noqa: F811 - degraded wrapper
+                dest = healthy_fn(src, rng)
+                if dest is None or not reachable(src, dest):
+                    return None
+                return dest
+    else:
+        src_list = tuple(enumerate(nodes))
+
+    if transient:
+        drop_rnd = faults.make_drop_rng().random
+        # trans[r * NUM_DIRS + out] -> the TransientLinkFault (or None),
+        # consulted in commit order — which both engines share — so the
+        # inline draws consume the faults:drops stream identically.
+        trans: Optional[List[Any]] = [None] * (R * NUM_DIRS)
+        for tf in transient:
+            trans[node_index[tf.src] * NUM_DIRS + int(tf.direction)] = tf
+    else:
+        drop_rnd = None
+        trans = None
 
     wd = watchdog if watchdog is not None else WatchdogConfig()
     stall_window = wd.stall_window
@@ -601,6 +747,8 @@ def _execute(
     delivered_measured = 0
     injected_total = 0
     injected_measured = 0
+    dropped_total = 0
+    dropped_measured = 0
     lat_count = 0
     lat_total = 0
     lat_total_sq = 0
@@ -792,7 +940,7 @@ def _execute(
             ql = qlen_a
             bf = buf_a
             rr = model.route_rows
-            for s, src in enumerate(nodes):
+            for s, src in src_list:
                 if rnd() < rate:
                     dest = dest_fn(src, dest_rng)
                     if dest is None:
@@ -841,7 +989,7 @@ def _execute(
         cyc = cycle
         dirty_l = dirty
         occ_l = occ
-        for s, src in enumerate(nodes):
+        for s, src in src_list:
             if rnd() < rate:
                 dest = dest_fn(src, dest_rng)
                 if dest is None:
@@ -912,6 +1060,7 @@ def _execute(
         # actually changed what its arbitration can see (queue was full
         # for wormhole, free space within the largest entry need for
         # FBFC).
+        nonlocal occupancy, dropped_total, dropped_measured
         ejections = 0
         pout_l = pout
         pbase_l = pbase
@@ -920,6 +1069,7 @@ def _execute(
         occ_l = occ
         hop_l = hop_counts
         lf = link_flat
+        tr = trans
         for r, i, q, entry in moves:
             pid = q.pop(0)
             occ_l[r] -= 1
@@ -942,6 +1092,18 @@ def _execute(
             f = feeders[r][i]
             if f >= 0 and len(q) >= dfull:
                 dirty_l[f] = 1
+            if tr is not None and o:
+                tf = tr[r * NUM_DIRS + o]
+                if (
+                    tf is not None
+                    and tf.active(cycle)
+                    and drop_rnd() < tf.drop_prob
+                ):
+                    occupancy -= 1
+                    dropped_total += 1
+                    if pmeas[pid]:
+                        dropped_measured += 1
+                    continue
             if lf is not None and o:
                 lf[r * NUM_DIRS + o] += 1
             if entry[3]:  # sink
@@ -1045,6 +1207,7 @@ def _execute(
         return len(moves), _commit_wh(moves)
 
     def step_vc() -> Tuple[int, int]:
+        nonlocal occupancy, dropped_total, dropped_measured
         moves = []
         append = moves.append
         pout_l = pout
@@ -1137,6 +1300,7 @@ def _execute(
         hop_l = hop_counts
         sd = same_dim
         lf = link_flat
+        tr = trans
         for r, i, q, o, ct in moves:
             pid = q.pop(0)
             occ_l[r] -= 1
@@ -1144,6 +1308,18 @@ def _execute(
             f = feeders[r][i]
             if f >= 0 and len(q) >= dfull:  # lane was full: gate reopens
                 dirty_l[f] = 1
+            if tr is not None and o:
+                tf = tr[r * NUM_DIRS + o]
+                if (
+                    tf is not None
+                    and tf.active(cycle)
+                    and drop_rnd() < tf.drop_prob
+                ):
+                    occupancy -= 1
+                    dropped_total += 1
+                    if pmeas[pid]:
+                        dropped_measured += 1
+                    continue
             if lf is not None and o:
                 lf[r * NUM_DIRS + o] += 1
             if ct is None:  # sink
@@ -1192,6 +1368,69 @@ def _execute(
         else None
     )
 
+    def _deadlock(kind: str, window: int) -> DeadlockError:
+        # Slow path, entered at most once per run: rebuild the reference
+        # object model, replay every buffered packet into it, and let the
+        # watchdog's snapshot machinery produce the same forensic report
+        # a reference run would have raised.
+        from repro.sim.packet import Packet
+        from repro.sim.watchdog import capture_snapshot
+
+        model_faults = (
+            faults
+            if faults is not None and faults.affects_routing
+            else None
+        )
+        net = build_network(_extraction_target(target), faults=model_faults)
+        routers = [net.routers[coord] for coord in nodes]
+        pd = pdest_a if use_c else pdest
+        pb = pbase_a if use_c else pbase
+
+        def mk(pid: int) -> Any:
+            return Packet(
+                pid,
+                nodes[psrc[pid]],
+                nodes[pd[pid]],
+                pinj[pid],
+                subnet=(pb[pid] // n) if subnet_tab else 0,
+                measured=pmeas[pid],
+            )
+
+        if is_vc:
+            for r in range(R):
+                for i, lane, q, _ib in qlists[r]:
+                    for pid in q:
+                        routers[r].accept(mk(pid), i, lane)
+        elif use_c:
+            for r in range(R):
+                for i in in_lists[r]:
+                    qi = r * NUM_DIRS + i
+                    off = qoff_l[qi]
+                    cap = qcap_l[qi]
+                    head = qhead_a[qi]
+                    for k in range(qlen_a[qi]):
+                        routers[r].accept(
+                            mk(buf_a[off + (head + k) % cap]), i
+                        )
+        else:
+            for r in range(R):
+                for i in in_lists[r]:
+                    for pid in qs[r][i]:
+                        routers[r].accept(mk(pid), i)
+        net.cycle = cycle
+        net.occupancy = occupancy
+        snapshot = capture_snapshot(net, kind, window)
+        verb, noun = (
+            ("moved", "deadlock")
+            if kind == "stall"
+            else ("ejected", "livelock")
+        )
+        return DeadlockError(
+            f"no packet {verb} for {window} cycles with {occupancy} "
+            f"packets in flight: {noun} [{snapshot.summary()}]",
+            snapshot=snapshot,
+        )
+
     def tick() -> None:
         nonlocal cycle, idle_cycles, starved_cycles
         moved, ejections = step()
@@ -1200,22 +1439,14 @@ def _execute(
         elif occupancy:
             idle_cycles += 1
             if idle_cycles >= stall_window:
-                raise DeadlockError(
-                    f"no packet moved for {idle_cycles} cycles with "
-                    f"{occupancy} packets in flight: deadlock "
-                    f"[compiled engine, cycle {cycle}]"
-                )
+                raise _deadlock("stall", idle_cycles)
         if starvation_window is not None:
             if ejections or not occupancy:
                 starved_cycles = 0
             else:
                 starved_cycles += 1
                 if starved_cycles >= starvation_window:
-                    raise DeadlockError(
-                        f"no packet ejected for {starved_cycles} cycles "
-                        f"with {occupancy} packets in flight: livelock "
-                        f"[compiled engine, cycle {cycle}]"
-                    )
+                    raise _deadlock("starvation", starved_cycles)
         cycle += 1
         if max_cycles is not None and cycle >= max_cycles:
             raise SimulationTimeout(
@@ -1239,13 +1470,15 @@ def _execute(
         tick()
     delivered_during = delivered_total - delivered_before
 
-    drained = delivered_measured >= injected_measured
+    drained = delivered_measured + dropped_measured >= injected_measured
     remaining = drain_limit
     while not drained and remaining > 0:
         inject_round(False)
         tick()
         remaining -= 1
-        drained = delivered_measured >= injected_measured
+        drained = (
+            delivered_measured + dropped_measured >= injected_measured
+        )
 
     # -- finalize into the reference metric structures ------------------
     if use_c:
@@ -1269,6 +1502,8 @@ def _execute(
     metrics.delivered_measured = delivered_measured
     metrics.injected_total = injected_total
     metrics.injected_measured = injected_measured
+    metrics.dropped_total = dropped_total
+    metrics.dropped_measured = dropped_measured
     metrics.hop_counts = hop_counts
     if per_src is not None:
         for s, src_stats in per_src.items():
@@ -1283,7 +1518,7 @@ def _execute(
                 if count:
                     link_counts[(coord, o)] = count
 
-    accepted = delivered_during / (len(nodes) * measure)
+    accepted = delivered_during / (len(src_list) * measure)
     avg_hops = (
         sum(hop_counts) / delivered_total
         if delivered_total
@@ -1303,7 +1538,7 @@ def _execute(
         measure_cycles=measure,
         avg_hops=avg_hops,
         total_cycles=cycle,
-        dropped_measured=0,
+        dropped_measured=dropped_measured,
         metrics=metrics,
         engine="compiled",
     )
@@ -1332,8 +1567,12 @@ def run_compiled(
 ):
     """The compiled engine: ``run_synthetic`` semantics on flat arrays.
 
-    Accepts the full reference-engine signature.  Runs the compiler
-    cannot lower (see the module docstring) are delegated to
+    Accepts the full reference-engine signature, including ``faults``
+    and ``watchdog``.  Fault schedules are compiled in: permanent faults
+    select a fault-aware route-table model, transient drops run in the
+    pure-Python inner loop, and the watchdog raises a reference-format
+    :class:`~repro.errors.DeadlockError` with a full snapshot.  Runs the
+    compiler cannot lower (see the module docstring) are delegated to
     :func:`repro.sim.simulator._run_reference` unchanged, and the
     returned result's ``engine`` field reports which engine actually
     ran.
@@ -1360,7 +1599,7 @@ def run_compiled(
             max_wall_seconds=max_wall_seconds,
         )
 
-    if faults is not None or audit_every is not None:
+    if audit_every is not None:
         return fallback()
     if isinstance(config, NetworkSpec):
         spec = config
@@ -1369,8 +1608,8 @@ def run_compiled(
         if rate is None:
             rate = spec.rate
         cfg = build_config(spec)
-        if build_faults(spec, cfg) is not None:
-            return fallback()
+        if faults is None:
+            faults = build_faults(spec, cfg)
         if watchdog is None:
             watchdog = build_watchdog(spec)
         if resolve_topology(spec.topology).has_custom_components:
@@ -1388,8 +1627,20 @@ def run_compiled(
         target = config
     if cfg.edge_memory or cfg.max_channel_latency > 1:
         return fallback()
+    if (
+        faults is not None
+        and faults.affects_routing
+        and (cfg.uses_vcs or cfg.fbfc)
+    ):
+        # The reference engine raises the identical ConfigError for
+        # fault-aware rerouting on VC/FBFC topologies — delegate so the
+        # error comes from one place.
+        return fallback()
+    model_faults = (
+        faults if faults is not None and faults.affects_routing else None
+    )
     try:
-        model = _compile(target, cfg, *names)
+        model = _compile(target, cfg, *names, faults=model_faults)
     except _Unsupported:
         return fallback()
     return _execute(
@@ -1404,6 +1655,8 @@ def run_compiled(
         track_per_source=track_per_source,
         keep_samples=keep_samples,
         track_links=track_links,
+        faults=faults,
+        target=target,
         watchdog=watchdog,
         max_cycles=max_cycles,
         max_wall_seconds=max_wall_seconds,

@@ -221,6 +221,97 @@ class FaultSchedule:
         rng = derive_rng(seed, "faults:routers")
         return cls(config, dead_routers=rng.sample(nodes, n), seed=seed)
 
+    @classmethod
+    def random_transient(
+        cls,
+        config: NetworkConfig,
+        n: int,
+        seed: int = 0,
+        *,
+        drop_prob: float = 0.01,
+    ) -> "FaultSchedule":
+        """``n`` flit-dropping links from the ``faults:transient`` stream.
+
+        Each chosen channel drops flits in its canonical direction with
+        ``drop_prob`` for the whole run.
+        """
+        return cls.random_mixed(
+            config, transient=n, drop_prob=drop_prob, seed=seed
+        )
+
+    @classmethod
+    def random_mixed(
+        cls,
+        config: NetworkConfig,
+        *,
+        links: int = 0,
+        routers: int = 0,
+        transient: int = 0,
+        drop_prob: float = 0.01,
+        seed: int = 0,
+        degraded_model: bool = False,
+    ) -> "FaultSchedule":
+        """A combined schedule: dead links + dead routers + droppy links.
+
+        Each fault class draws from its own named stream of ``seed``
+        (``faults:links`` / ``faults:routers`` / ``faults:transient``),
+        so ``random_mixed(links=n)`` reproduces
+        :meth:`random_dead_links` bit for bit, and adding routers or
+        transient faults never perturbs the link choices.  Transient
+        candidates exclude channels already killed by the permanent
+        faults (a dead link cannot also drop flits).
+        """
+        link_candidates = _undirected_channels(config)
+        if links > len(link_candidates):
+            raise ConfigError(
+                f"requested {links} dead links but topology has only "
+                f"{len(link_candidates)} channels"
+            )
+        chosen_links = derive_rng(seed, "faults:links").sample(
+            link_candidates, links
+        )
+        nodes = Topology(config).nodes
+        if routers > len(nodes):
+            raise ConfigError(
+                f"requested {routers} dead routers of {len(nodes)}"
+            )
+        chosen_routers = derive_rng(seed, "faults:routers").sample(
+            nodes, routers
+        )
+        base = cls(
+            config,
+            dead_links=chosen_links,
+            dead_routers=chosen_routers,
+            seed=seed,
+            degraded_model=degraded_model,
+        )
+        if not transient:
+            return base
+        survivors = [
+            link
+            for link in link_candidates
+            if link not in base.killed_channels
+        ]
+        if transient > len(survivors):
+            raise ConfigError(
+                f"requested {transient} transient faults but only "
+                f"{len(survivors)} channels survive the permanent faults"
+            )
+        chosen_transient = derive_rng(seed, "faults:transient").sample(
+            survivors, transient
+        )
+        return cls(
+            config,
+            dead_links=chosen_links,
+            dead_routers=chosen_routers,
+            transient=[
+                TransientLinkFault(src, direction, drop_prob)
+                for src, direction in chosen_transient
+            ],
+            seed=seed,
+            degraded_model=degraded_model,
+        )
+
 
 def _undirected_channels(config: NetworkConfig) -> List[LinkId]:
     """Each physical channel once, by its canonical (positive) direction."""

@@ -101,12 +101,13 @@ class Network:
         self.config = config
         self.faults = faults
         self.watchdog = watchdog if watchdog is not None else WatchdogConfig()
-        if faults is not None and faults.has_faults and (
+        if faults is not None and faults.affects_routing and (
             config.uses_vcs or config.fbfc
         ):
             raise ConfigError(
-                "fault injection supports wormhole-routed topologies "
-                "only (mesh / Ruche family)"
+                "dead links/routers (fault-aware rerouting) support "
+                "wormhole-routed topologies only (mesh / Ruche family); "
+                "transient drop faults run on any topology"
             )
         if topology is None or routing is None or matrix is None:
             components = network_components(config, faults=faults)

@@ -96,9 +96,10 @@ def run_synthetic(
     (:data:`repro.core.registry.ENGINES`): ``"reference"`` (default) is
     the object-per-flit :class:`~repro.sim.network.Network`;
     ``"compiled"`` is the flat-array engine of
-    :mod:`repro.sim.fastsim`, which produces bit-identical metrics and
-    transparently falls back to the reference engine for runs it cannot
-    compile (fault injection, plugin components, multi-cycle channels).
+    :mod:`repro.sim.fastsim`, which produces bit-identical metrics —
+    including under fault schedules — and transparently falls back to
+    the reference engine for runs it cannot compile (plugin components,
+    multi-cycle channels, ``audit_every`` tripwires).
     When ``engine`` is ``None`` a spec's ``engine`` field applies.
 
     Measurement keywords (``warmup``, ``measure``, ``drain_limit``,
@@ -290,8 +291,9 @@ def _run_reference(
 @register_engine(
     "compiled",
     description=(
-        "flat structure-of-arrays engine (sim.fastsim); falls back to "
-        "reference for faults, plugin components, and multi-cycle links"
+        "flat structure-of-arrays engine (sim.fastsim) with compiled "
+        "fault schedules; falls back to reference for plugin "
+        "components, multi-cycle links, and audit tripwires"
     ),
 )
 def _compiled_engine(

@@ -14,6 +14,13 @@ routers: per-router buffered occupancy, the head-of-line packet on every
 input with the reason its move is blocked, plus the invariant audit from
 :func:`~repro.sim.validate.audit_network` (so a flow-control bug is
 distinguishable from a genuine routing deadlock).
+
+The compiled engine (:mod:`repro.sim.fastsim`) runs the same two
+counters as cheap in-loop integers and only pays for diagnostics on
+trip: it rebuilds the reference object model, replays every buffered
+packet into it, and calls :func:`capture_snapshot` on the
+reconstruction — so a compiled-engine ``DeadlockError`` carries a
+snapshot identical, field for field, to the reference engine's.
 """
 
 from __future__ import annotations

@@ -12,7 +12,7 @@ class TestRegistry:
         assert ids == {
             "table1", "fig5", "fig6", "fig7", "table2", "table3",
             "fig8", "fig9", "table4", "fig10", "fig11", "fig12",
-            "fig13", "table6", "faults",
+            "fig13", "table6", "faults", "chaos",
         }
 
     def test_describe(self):
@@ -153,6 +153,49 @@ class TestCli:
         )
         text = path.read_text()
         assert "## table1" in text and "## fig5" in text
+
+
+class TestWatchdogOption:
+    """``--watchdog-cycles`` threads end-to-end: CLI -> registry ->
+    campaign drivers -> ``WatchdogConfig(stall_window=...)``."""
+
+    def test_campaign_drivers_accept_watchdog_cycles(self):
+        import inspect
+
+        from repro import chaos
+        from repro.experiments import fault_degradation
+
+        for driver in (fault_degradation.run, chaos.run):
+            parameters = inspect.signature(driver).parameters
+            assert "watchdog_cycles" in parameters
+            assert "engine" in parameters
+
+    def test_option_skipped_for_drivers_without_it(self):
+        # table1 has no watchdog; the registry filters the option out
+        # instead of crashing an `--watchdog-cycles` all-run.
+        result = run_experiment("table1", watchdog_cycles=123)
+        assert result.experiment_id == "table1"
+
+    def test_cli_flag_reaches_the_driver(self, capsys, monkeypatch):
+        from repro.experiments import registry
+        from repro.experiments.__main__ import main
+
+        seen = {}
+        real = registry.run_experiment
+
+        def spy(experiment_id, scale=None, seed=0, **options):
+            seen.update(options, experiment_id=experiment_id)
+            return real(experiment_id, scale=scale, seed=seed, **options)
+
+        monkeypatch.setattr(
+            "repro.experiments.__main__.run_experiment", spy
+        )
+        assert main([
+            "faults", "--scale", "smoke", "--watchdog-cycles", "400",
+        ]) == 0
+        assert seen["watchdog_cycles"] == 400
+        assert seen["experiment_id"] == "faults"
+        capsys.readouterr()
 
 
 class TestMainFailurePath:

@@ -10,6 +10,7 @@ per-row crash budget) and checkpoint writes killed mid-flush.
 import glob
 import json
 import os
+import types
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -195,6 +196,78 @@ class TestWorkerCrashes:
         # The healthy rows still completed, in grid order.
         assert result.rows[0]["value"] == "fine"
         assert result.rows[1]["value"] == "fine"
+
+
+# --- crash backoff ----------------------------------------------------
+
+
+class TestCrashBackoff:
+    """Pool rebuilds wait out a capped exponential backoff, with
+    deterministic seeded jitter — no wall-clock or PID entropy."""
+
+    @staticmethod
+    def record_sleeps(monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(
+            campaign, "time", types.SimpleNamespace(sleep=sleeps.append)
+        )
+        return sleeps
+
+    def test_backoff_deterministic_jittered_capped(self):
+        delays = [
+            campaign._crash_backoff_seconds(w) for w in range(1, 12)
+        ]
+        # Reproducible: the jitter comes from a per-wave seeded stream.
+        assert delays == [
+            campaign._crash_backoff_seconds(w) for w in range(1, 12)
+        ]
+        for wave, delay in enumerate(delays, start=1):
+            ceiling = min(
+                campaign._BACKOFF_CAP,
+                campaign._BACKOFF_BASE * 2.0 ** (wave - 1),
+            )
+            assert 0.5 * ceiling <= delay <= ceiling, (wave, delay)
+        # Jitter desynchronizes waves (not all at the same fraction).
+        fractions = {
+            round(d / min(campaign._BACKOFF_CAP,
+                          campaign._BACKOFF_BASE * 2.0 ** w), 6)
+            for w, d in enumerate(delays)
+        }
+        assert len(fractions) > 1
+
+    def test_healthy_pool_never_backs_off(self, monkeypatch):
+        force_pool(monkeypatch)
+        sleeps = self.record_sleeps(monkeypatch)
+        grid = [{"config": "mesh", "load": n, "seed": 1}
+                for n in range(4)]
+        result = run_campaign(grid, hash_runner, jobs=3)
+        assert result.ok
+        assert sleeps == []
+
+    def test_single_crash_sleeps_one_interval(
+        self, tmp_path, monkeypatch
+    ):
+        force_pool(monkeypatch)
+        sleeps = self.record_sleeps(monkeypatch)
+        sentinel = str(tmp_path / "crashed-once")
+        grid = [{"config": "mesh", "seed": 1, "sentinel": sentinel}]
+        result = run_campaign(grid, crash_once, jobs=2)
+        assert result.ok
+        assert sleeps == [campaign._crash_backoff_seconds(1)]
+
+    def test_poisoned_row_escalates_per_wave(self, monkeypatch):
+        force_pool(monkeypatch)
+        sleeps = self.record_sleeps(monkeypatch)
+        grid = [{"config": "mesh", "seed": 1, "poison": True}]
+        result = run_campaign(grid, crash_always, jobs=2, max_retries=2)
+        assert not result.ok
+        # One sleep per rebuild wave: max_retries + 1 waves, doubling
+        # (modulo jitter) and never above the cap.
+        assert sleeps == [
+            campaign._crash_backoff_seconds(w) for w in (1, 2, 3)
+        ]
+        assert sleeps == sorted(sleeps)
+        assert all(s <= campaign._BACKOFF_CAP for s in sleeps)
 
 
 # --- checkpoint atomicity under a kill mid-write ---------------------

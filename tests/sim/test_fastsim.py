@@ -4,12 +4,15 @@ The contract (see ``docs/architecture.md``, "Simulation engines") is
 bit-identity, not approximation: for every design point the compiled
 engine either produces exactly the reference metrics or transparently
 falls back to the reference engine.  These tests pin that contract on
-the three canonical bench cases, on hypothesis-generated small specs
-across all three router kinds, on the pure-Python fallback path (native
-kernel disabled), and on the fault-injection fallback.
+the canonical bench cases, on hypothesis-generated small specs across
+all three router kinds, on the pure-Python fallback path (native kernel
+disabled), and — since fault schedules now compile too — on every fault
+class (dead links, dead routers, transient drops, mixed), on random
+fault schedules, and on watchdog deadlock snapshots.
 """
 
 import dataclasses
+import warnings
 
 import pytest
 from hypothesis import given, settings
@@ -19,9 +22,11 @@ from repro.bench import CASES, _case_spec
 from repro.core.params import NetworkConfig
 from repro.core.registry import ENGINES
 from repro.core.spec import NetworkSpec, build_run
-from repro.sim import fastsim
+from repro.errors import DeadlockError
+from repro.sim import _ckernel, fastsim
 from repro.sim.faults import FaultSchedule
 from repro.sim.simulator import run_synthetic
+from repro.sim.watchdog import WatchdogConfig
 
 
 def fingerprint(result):
@@ -41,6 +46,7 @@ def fingerprint(result):
         result.metrics.delivered_total,
         result.metrics.injected_total,
         result.metrics.dropped_total,
+        result.metrics.dropped_measured,
     )
 
 
@@ -94,34 +100,226 @@ class TestFallbacks:
         assert with_kernel.engine == without_kernel.engine == "compiled"
         assert fingerprint(with_kernel) == fingerprint(without_kernel)
 
-    def test_fault_runs_fall_back_to_reference(self):
+    def test_audit_tripwires_fall_back_to_reference(self):
+        """``audit_every`` hooks are the one remaining fault-adjacent
+        feature the compiled engine does not lower."""
         config = NetworkConfig.from_name("mesh", 4, 4)
-        schedule = FaultSchedule.random_dead_links(
-            config, 1, seed=0, degraded_model=True
-        )
         result = run_synthetic(
             config, "uniform_random", 0.05,
             warmup=20, measure=50, drain_limit=200, seed=3,
-            faults=schedule, engine="compiled",
+            audit_every=25, engine="compiled",
         )
         assert result.engine == "reference"
 
-    def test_fault_fallback_matches_reference_metrics(self):
-        config = NetworkConfig.from_name("ruche2-depop", 8, 8)
-        schedule = FaultSchedule.random_dead_links(
-            config, 2, seed=1, degraded_model=True
-        )
+    def test_failed_kernel_compile_cached_with_single_warning(
+        self, monkeypatch
+    ):
+        """A poisoned ``CC`` costs one compiler invocation and one
+        warning per process; later calls hit the cached negative."""
+        monkeypatch.setenv("CC", "/nonexistent/compiler")
+        monkeypatch.delenv("REPRO_NO_CKERNEL", raising=False)
+        saved = (_ckernel._tried, _ckernel._lib)
+        _ckernel._tried, _ckernel._lib = False, None
+        try:
+            with pytest.warns(
+                RuntimeWarning, match="native step kernel unavailable"
+            ) as caught:
+                assert _ckernel.get_kernel() is None
+            kernel_warnings = [
+                w for w in caught
+                if "native step kernel unavailable" in str(w.message)
+            ]
+            assert len(kernel_warnings) == 1
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                assert _ckernel.get_kernel() is None
+        finally:
+            _ckernel._tried, _ckernel._lib = saved
+
+
+#: One seeded recipe per fault class, all verified to complete (and
+#: drain) on an 8x8 mesh at the rates used below.
+_FAULT_RECIPES = {
+    "dead-links": lambda cfg: FaultSchedule.random_dead_links(
+        cfg, 4, seed=3, degraded_model=True
+    ),
+    "dead-routers": lambda cfg: FaultSchedule.random_mixed(
+        cfg, routers=2, seed=5, degraded_model=True
+    ),
+    "transient": lambda cfg: FaultSchedule.random_mixed(
+        cfg, transient=3, drop_prob=0.05, seed=7
+    ),
+    "mixed": lambda cfg: FaultSchedule.random_mixed(
+        cfg, links=2, routers=1, transient=2, drop_prob=0.05,
+        seed=9, degraded_model=True,
+    ),
+}
+
+
+class TestFaultEquivalence:
+    """Fault schedules run compiled, bit-identical to the reference."""
+
+    @pytest.mark.parametrize("kind", sorted(_FAULT_RECIPES))
+    def test_fault_classes_stay_compiled_and_identical(self, kind):
+        config = NetworkConfig.from_name("mesh", 8, 8)
+        schedule = _FAULT_RECIPES[kind](config)
         kwargs = dict(
-            warmup=20, measure=50, drain_limit=200, seed=3,
+            warmup=200, measure=400, drain_limit=2000, seed=1,
             faults=schedule,
         )
-        via_compiled = run_synthetic(
-            config, "uniform_random", 0.05, engine="compiled", **kwargs
+        compiled = run_synthetic(
+            config, "uniform_random", 0.15, engine="compiled", **kwargs
         )
-        via_reference = run_synthetic(
-            config, "uniform_random", 0.05, engine="reference", **kwargs
+        reference = run_synthetic(
+            config, "uniform_random", 0.15, engine="reference", **kwargs
         )
-        assert fingerprint(via_compiled) == fingerprint(via_reference)
+        assert compiled.engine == "compiled"
+        assert fingerprint(compiled) == fingerprint(reference)
+
+    @pytest.mark.parametrize("fbfc", [False, True], ids=["vc", "fbfc"])
+    def test_transient_drops_on_torus_stay_compiled(self, fbfc):
+        """Transient faults do not reroute, so they lower even on the
+        VC / FBFC torus baselines."""
+        config = NetworkConfig.from_name("torus", 8, 4, fbfc=fbfc)
+        schedule = FaultSchedule.random_transient(
+            config, 3, seed=2, drop_prob=0.05
+        )
+        kwargs = dict(
+            warmup=100, measure=200, drain_limit=800, seed=1,
+            faults=schedule,
+        )
+        compiled = run_synthetic(
+            config, "uniform_random", 0.1, engine="compiled", **kwargs
+        )
+        reference = run_synthetic(
+            config, "uniform_random", 0.1, engine="reference", **kwargs
+        )
+        assert compiled.engine == "compiled"
+        assert fingerprint(compiled) == fingerprint(reference)
+
+    def test_vc_rerouting_rejected_identically(self):
+        """Permanent faults on the VC torus are rejected by both
+        engines with the same error (the compiled engine defers to the
+        reference rather than invent its own behavior)."""
+        config = NetworkConfig.from_name("torus", 4, 4)
+        schedule = FaultSchedule.random_dead_links(config, 1, seed=0)
+        messages = {}
+        for engine in ("reference", "compiled"):
+            with pytest.raises(Exception) as excinfo:
+                run_synthetic(
+                    config, "uniform_random", 0.05,
+                    warmup=10, measure=20, drain_limit=100, seed=1,
+                    faults=schedule, engine=engine,
+                )
+            messages[engine] = (type(excinfo.value), str(excinfo.value))
+        assert messages["reference"] == messages["compiled"]
+
+    def test_drop_accounting_balances_at_drain(self):
+        """Injected = delivered + dropped + in-flight; a drained run
+        has resolved every measured packet one way or the other."""
+        config = NetworkConfig.from_name("mesh", 8, 8)
+        schedule = FaultSchedule.random_transient(
+            config, 4, seed=11, drop_prob=0.2
+        )
+        result = run_synthetic(
+            config, "uniform_random", 0.1,
+            warmup=100, measure=300, drain_limit=2000, seed=1,
+            faults=schedule, engine="compiled",
+        )
+        assert result.engine == "compiled"
+        assert result.drained
+        metrics = result.metrics
+        assert metrics.dropped_measured > 0
+        assert result.injected_measured == (
+            result.delivered_measured + metrics.dropped_measured
+        )
+        in_flight = (
+            metrics.injected_total
+            - metrics.delivered_total
+            - metrics.dropped_total
+        )
+        assert in_flight >= 0
+
+    def test_watchdog_snapshot_parity(self):
+        """When the watchdog trips, the compiled engine reconstructs a
+        ``DeadlockSnapshot`` field-for-field identical to the one the
+        reference engine captured live."""
+        config = NetworkConfig.from_name("mesh", 8, 8)
+        schedule = FaultSchedule.random_dead_links(
+            config, 6, seed=0, degraded_model=True
+        )
+        kwargs = dict(
+            warmup=2000, measure=2000, drain_limit=2000, seed=1,
+            faults=schedule, watchdog=WatchdogConfig(stall_window=300),
+        )
+        errors = {}
+        for engine in ("reference", "compiled"):
+            with pytest.raises(DeadlockError) as excinfo:
+                run_synthetic(
+                    config, "uniform_random", 0.8, engine=engine,
+                    **kwargs,
+                )
+            errors[engine] = excinfo.value
+        ref, comp = errors["reference"], errors["compiled"]
+        assert str(ref) == str(comp)
+        assert ref.snapshot is not None and comp.snapshot is not None
+        assert comp.snapshot.kind == "stall"
+        for field in (
+            "kind", "cycle", "occupancy", "window",
+            "stalled_routers", "audit_problems",
+        ):
+            assert getattr(ref.snapshot, field) == getattr(
+                comp.snapshot, field
+            ), field
+
+
+#: (name, config options, permanent faults legal).  Permanent faults
+#: require the wormhole rerouting path; the torus rows are clamped to
+#: transient-only below.
+_FAULT_DESIGNS = (
+    ("mesh", {}, True),
+    ("multimesh", {}, True),
+    ("ruche2-depop", {}, True),
+    ("torus", {}, False),
+    ("torus", {"fbfc": True}, False),
+)
+
+
+class TestFaultProperty:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        design=st.sampled_from(_FAULT_DESIGNS),
+        links=st.integers(0, 3),
+        routers=st.integers(0, 1),
+        transient=st.integers(0, 3),
+        drop_prob=st.sampled_from((0.0, 0.02, 0.1)),
+        fault_seed=st.integers(0, 3),
+        seed=st.integers(0, 2),
+    )
+    def test_random_fault_schedules_identical(
+        self, design, links, routers, transient, drop_prob,
+        fault_seed, seed,
+    ):
+        name, options, reroutable = design
+        if not reroutable:
+            links = routers = 0
+        config = NetworkConfig.from_name(name, 8, 4, **options)
+        schedule = FaultSchedule.random_mixed(
+            config, links=links, routers=routers, transient=transient,
+            drop_prob=drop_prob, seed=fault_seed,
+            degraded_model=reroutable and bool(links or routers),
+        )
+        results = {}
+        for engine in ("reference", "compiled"):
+            results[engine] = run_synthetic(
+                config, "uniform_random", 0.1,
+                warmup=50, measure=150, drain_limit=600, seed=seed,
+                faults=schedule, engine=engine,
+            )
+        assert results["compiled"].engine == "compiled"
+        assert fingerprint(results["compiled"]) == fingerprint(
+            results["reference"]
+        )
 
 
 #: (config name, max width, max height) combos legal at small sizes;
