@@ -147,7 +147,7 @@ def demo_spec(
 
 
 def main() -> int:
-    from repro.verify import verify_spec
+    from repro.verify import certify_spec, verify_spec
 
     spec = demo_spec()
     report = verify_spec(spec)
@@ -156,6 +156,20 @@ def main() -> int:
         for problem in report.problems():
             print(f"  {problem}")
         return 1
+    # The table certifier proves the same properties with no 2-D
+    # coordinate assumptions — the path any plugin topology gets even
+    # when the coordinate enumerator does not apply.
+    certified = certify_spec(spec)
+    print(certified.summary())
+    if not certified.ok:
+        for problem in certified.problems():
+            print(f"  {problem}")
+        return 1
+    for diagnostic in certified.lowering:
+        print(
+            f"  falls back to reference engine: "
+            f"{diagnostic['code']}: {diagnostic['detail']}"
+        )
     result = build_run(spec)
     print(
         f"simulated express-mesh {spec.width}x{spec.height}: "

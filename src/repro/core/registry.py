@@ -57,11 +57,31 @@ class Registry(Generic[T]):
     canonical names only, sorted).
     """
 
-    def __init__(self, kind: str) -> None:
+    def __init__(
+        self,
+        kind: str,
+        *,
+        populate: Optional[Callable[[], None]] = None,
+    ) -> None:
         self.kind = kind
         self._items: Dict[str, T] = {}
         self._descriptions: Dict[str, str] = {}
         self._aliases: Dict[str, str] = {}
+        #: Lazy self-population hook: registries whose builtin entries
+        #: live in modules nobody has imported yet (the engines register
+        #: at ``repro.sim.simulator`` import) run it once, before the
+        #: first lookup, so a miss always reports the real menu instead
+        #: of "(none registered)".
+        self._populate = populate
+        self._populated = populate is None
+
+    def _ensure_populated(self) -> None:
+        if not self._populated:
+            # Flip the flag first: the populate hook imports the module
+            # whose registrations land right back here.
+            self._populated = True
+            assert self._populate is not None
+            self._populate()
 
     def register(
         self,
@@ -116,6 +136,7 @@ class Registry(Generic[T]):
         component on a miss, so a typo in a sweep fails with the menu in
         hand instead of a bare KeyError hours in.
         """
+        self._ensure_populated()
         canonical = self._aliases.get(name, name)
         item = self._items.get(canonical)
         if item is None:
@@ -133,12 +154,15 @@ class Registry(Generic[T]):
 
     def available(self) -> Tuple[str, ...]:
         """All canonical names, sorted."""
+        self._ensure_populated()
         return tuple(sorted(self._items))
 
     def __contains__(self, name: object) -> bool:
+        self._ensure_populated()
         return name in self._items or name in self._aliases
 
     def __len__(self) -> int:
+        self._ensure_populated()
         return len(self._items)
 
     def unregister(self, name: str) -> None:
@@ -189,11 +213,18 @@ ROUTERS: Registry[Callable[..., Any]] = Registry("router kind")
 PATTERNS: Registry[Callable[..., Any]] = Registry("traffic pattern")
 #: Switch allocator factories ``(num_inputs, num_outputs) -> allocator``.
 ALLOCATORS: Registry[Callable[..., Any]] = Registry("allocator")
+def _populate_engines() -> None:
+    import repro.sim.simulator  # noqa: F401
+
+
 #: Simulation engines sharing run_synthetic's signature: ``"reference"``
 #: (the object-per-flit Network) and ``"compiled"`` (the flat-array
 #: engine of :mod:`repro.sim.fastsim`); both register on import of
-#: :mod:`repro.sim.simulator`.
-ENGINES: Registry[Callable[..., Any]] = Registry("simulation engine")
+#: :mod:`repro.sim.simulator`, which the registry imports on first
+#: lookup so a miss in a fresh process still prints the engine menu.
+ENGINES: Registry[Callable[..., Any]] = Registry(
+    "simulation engine", populate=_populate_engines
+)
 
 
 def register_topology(

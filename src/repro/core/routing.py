@@ -33,6 +33,7 @@ import functools
 from typing import (
     TYPE_CHECKING,
     Any,
+    Callable,
     Dict,
     FrozenSet,
     Iterable,
@@ -615,6 +616,93 @@ class FaultAwareTableRouting(RoutingAlgorithm):
             for src in self._nodes
             if src != dest and (src, p_in) not in self._tables[dest]
         ]
+
+
+#: A flat routing-table state: (tile, input port index, held VC, subnet).
+TableState = Tuple[Coord, int, int, int]
+
+#: A next-hop decision: (output port index, output VC).
+TableEntry = Tuple[int, int]
+
+
+def tabulate_next_hops(
+    routing: RoutingAlgorithm,
+    topology: "Topology",
+    dest: Coord,
+    *,
+    sources: Optional[Iterable[Coord]] = None,
+    on_error: Optional[Callable[[TableState, RoutingError], None]] = None,
+) -> Dict[TableState, TableEntry]:
+    """Export ``routing``'s next-hop decisions toward ``dest`` as a table.
+
+    This is the flat representation the compiled engine lowers to and
+    the static certifier (:mod:`repro.verify.certify`) analyzes: one
+    ``(tile, input port, held VC, subnet) -> (output port, output VC)``
+    entry per routing state reachable from injection.  The walk uses
+    only the topology's channel graph (``channel_map`` successors) and
+    the routing's own per-hop function — no coordinate arithmetic — so
+    any registered topology, builtin or plugin, and any
+    :class:`RoutingAlgorithm`, closed-form or table-driven
+    (:class:`FaultAwareTableRouting`), exports identically.
+
+    ``sources`` restricts the injection frontier (the certifier passes
+    only fault-reachable sources); default is every topology node.
+    Route computations that raise, and outputs with no wired channel,
+    are reported through ``on_error`` — an unwired output keeps its
+    table entry (the entry *is* the defect), a raising state gets none.
+    Ejections appear as entries whose output port is ``P``.
+    """
+    channel_map = topology.channel_map
+    # Key VC usage on the deployed router discipline, not the routing
+    # class: an FBFC torus instantiates TorusDOR (uses_vcs=True) but its
+    # FbfcRouter consumes single-VC route() — bubble flow control, no
+    # dateline — so the class flag alone would tabulate dateline states
+    # the hardware never visits.
+    routing_config = getattr(routing, "config", None)
+    if routing_config is not None:
+        uses_vcs = routing_config.uses_vcs
+    else:
+        uses_vcs = routing.uses_vcs
+    p_idx = int(Direction.P)
+    table: Dict[TableState, TableEntry] = {}
+    frontier: List[TableState] = [
+        (src, p_idx, 0, routing.injection_subnet(src, dest))
+        for src in (topology.nodes if sources is None else sources)
+    ]
+    while frontier:
+        state = frontier.pop()
+        if state in table:
+            continue
+        node, in_idx, in_vc, subnet = state
+        try:
+            if uses_vcs:
+                out, out_vc = routing.route_vc(
+                    node, Direction(in_idx), in_vc, dest
+                )
+            else:
+                out = routing.route(node, Direction(in_idx), dest, subnet)
+                out_vc = 0
+        except RoutingError as exc:
+            if on_error is not None:
+                on_error(state, exc)
+            continue
+        out_idx = int(out)
+        table[state] = (out_idx, out_vc)
+        if out_idx == p_idx:
+            continue
+        nxt = channel_map.get((node, out))
+        if nxt is None:
+            if on_error is not None:
+                on_error(
+                    state,
+                    RoutingError(
+                        f"{tuple(node)} routed {out.name} but no such "
+                        f"channel is wired"
+                    ),
+                )
+            continue
+        frontier.append((nxt, int(out.opposite), out_vc, subnet))
+    return table
 
 
 def make_fault_aware_routing(

@@ -32,6 +32,8 @@ inside the build functions.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Tuple
 
 from repro.core.connectivity import (
@@ -39,7 +41,7 @@ from repro.core.connectivity import (
     connectivity_matrix,
     fault_tolerant_matrix,
 )
-from repro.core.params import NetworkConfig
+from repro.core.params import DorOrder, NetworkConfig, TopologyKind
 from repro.core.registry import (
     ROUTINGS,
     TOPOLOGIES,
@@ -178,6 +180,21 @@ class NetworkSpec:
         data["options"] = dict(self.options)
         return data
 
+    def content_hash(self) -> str:
+        """Stable content address of this design point (sha256 hex).
+
+        Computed over the canonical JSON rendering (sorted keys, no
+        whitespace), so — unlike ``hash()``, which is salted per process
+        for strings — two processes, or two runs years apart, derive the
+        same digest for the same spec.  This is the join key between
+        certification reports, campaign checkpoints, and the planned
+        content-addressed result store.
+        """
+        payload = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "NetworkSpec":
         payload = dict(data)
@@ -205,6 +222,11 @@ class NetworkSpec:
 def _from_name(
     name: str, width: int, height: int, **options: Any
 ) -> NetworkConfig:
+    # Specs keep options JSON-serializable (content_hash canonicalizes
+    # them), so ``dor_order`` arrives as "xy"/"yx" and is coerced here.
+    dor = options.get("dor_order")
+    if isinstance(dor, str):
+        options["dor_order"] = DorOrder(dor)
     return NetworkConfig.from_name(name, width, height, **options)
 
 
@@ -267,6 +289,58 @@ def build_config(spec: NetworkSpec) -> NetworkConfig:
             f"{type(config).__name__}, expected NetworkConfig"
         )
     return config
+
+
+#: NetworkConfig field defaults, for :func:`spec_for_config` to elide.
+_CONFIG_FIELD_DEFAULTS: Dict[str, Any] = {
+    f.name: f.default
+    for f in dataclasses.fields(NetworkConfig)
+    if f.default is not dataclasses.MISSING
+}
+
+
+def spec_for_config(
+    config: NetworkConfig, **spec_fields: Any
+) -> NetworkSpec:
+    """The :class:`NetworkSpec` that rebuilds ``config``.
+
+    The inverse of :func:`build_config` for the builtin families:
+    ``build_config(spec_for_config(c)) == c`` for every design point
+    :meth:`NetworkConfig.from_name` can express.  This lets reports
+    produced from bare configs (the verifier's paper matrix) carry the
+    same :meth:`NetworkSpec.content_hash` join key as spec-driven runs.
+    ``spec_fields`` forwards additional spec fields (``pattern``,
+    ``rate``, ``seed``, ...).
+    """
+    options: Dict[str, Any] = {}
+    if config.kind is TopologyKind.HALF_RUCHE:
+        options["half"] = True
+    if config.dor_order is not DorOrder.XY:
+        # Stored as the enum's string value: options must stay
+        # JSON-serializable for content_hash (coerced in _from_name).
+        options["dor_order"] = config.dor_order.value
+    if not config.depopulated and config.kind in (
+        TopologyKind.MESH,
+        TopologyKind.FOLDED_TORUS,
+        TopologyKind.HALF_TORUS,
+    ):
+        # Ruche population is encoded in the name (-pop/-depop);
+        # Ruche-One and multi-mesh force fully-populated anyway.
+        options["depopulated"] = False
+    for field in (
+        "channel_width_bits",
+        "fifo_depth",
+        "num_vcs",
+        "edge_memory",
+        "channel_latency",
+        "ruche_channel_latency",
+    ):
+        value = getattr(config, field)
+        if value != _CONFIG_FIELD_DEFAULTS[field]:
+            options[field] = value
+    return NetworkSpec.for_network(
+        config.name, config.width, config.height, **options, **spec_fields
+    )
 
 
 def default_router_kind(config: NetworkConfig) -> str:

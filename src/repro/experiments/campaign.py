@@ -22,7 +22,8 @@ failure.  This module wraps a row-at-a-time runner with two protections:
   seconds, not after hours of checkpointed simulation.  Pair it with
   :func:`repro.verify.campaign_preflight`, which statically proves
   deadlock freedom, turn legality, and reachability for every design
-  point in the sweep.
+  point in the sweep (and, with ``certify=True``, route-table soundness
+  via the table certifier).
 * **Parallel sharding** (``jobs > 1``) — rows are embarrassingly
   parallel (each seeds its own RNGs from its parameter dict), so
   :func:`run_campaign` shards them across a process pool with results

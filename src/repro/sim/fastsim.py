@@ -63,6 +63,7 @@ the same :class:`~repro.errors.ConfigError`).
 from __future__ import annotations
 
 import ctypes
+import dataclasses
 import time
 from array import array
 from typing import Any, Dict, List, Optional, Tuple, Union
@@ -105,7 +106,12 @@ from repro.sim.router import (
 )
 from repro.sim.watchdog import WatchdogConfig
 
-__all__ = ["clear_compile_caches", "run_compiled"]
+__all__ = [
+    "LoweringDiagnostic",
+    "clear_compile_caches",
+    "lowering_problems",
+    "run_compiled",
+]
 
 #: How often (in cycles) the wall-clock limit is polled (must match the
 #: reference engine so budget overruns trip on the same cycle).
@@ -138,8 +144,31 @@ _SUPPORTED_ROUTINGS = (
 )
 
 
+@dataclasses.dataclass(frozen=True)
+class LoweringDiagnostic:
+    """One structured reason a design point cannot lower to this engine.
+
+    ``code`` is a stable machine-readable slug (``"pipelined-channels"``,
+    ``"plugin-components"``, ...); ``detail`` is the human-readable
+    explanation.  Diagnostics come from the same gate checks and
+    compile-time raises that make :func:`run_compiled` fall back, so
+    :func:`lowering_problems` can never disagree with the engine about
+    *why* a run delegated to reference.
+    """
+
+    code: str
+    detail: str
+
+    def render(self) -> str:
+        return f"{self.code}: {self.detail}"
+
+
 class _Unsupported(Exception):
     """Raised during compilation when a design point cannot be lowered."""
+
+    def __init__(self, code: str, detail: str) -> None:
+        super().__init__(f"{code}: {detail}")
+        self.diagnostic = LoweringDiagnostic(code=code, detail=detail)
 
 
 class _CompiledModel:
@@ -181,11 +210,13 @@ class _CompiledModel:
 # Compiled models keyed by (config, routing, router, allocator) names
 # plus the routing-relevant fault state (killed channels + degraded
 # flag; transient-only schedules share the healthy model — the wiring
-# is unchanged and drops happen at run time).  ``None`` caches a
-# negative result so unsupported design points skip the
-# throwaway-network build on every call.
+# is unchanged and drops happen at run time).  An uncompilable design
+# point caches its LoweringDiagnostic so repeat calls skip the
+# throwaway-network build yet still report the original reason.
 _MISSING = object()
-_COMPILE_CACHE: Dict[Tuple, Optional[_CompiledModel]] = {}
+_COMPILE_CACHE: Dict[
+    Tuple, Union[_CompiledModel, LoweringDiagnostic]
+] = {}
 
 
 def clear_compile_caches() -> None:
@@ -212,13 +243,13 @@ def _compile(
     key = (config, routing_name, router_name, allocator_name, fault_key)
     cached = _COMPILE_CACHE.get(key, _MISSING)
     if cached is not _MISSING:
-        if cached is None:
-            raise _Unsupported(f"{config.name}: cached as uncompilable")
+        if isinstance(cached, LoweringDiagnostic):
+            raise _Unsupported(cached.code, cached.detail)
         return cached
     try:
         model = _build_model(target, config, faults)
-    except _Unsupported:
-        _COMPILE_CACHE[key] = None
+    except _Unsupported as exc:
+        _COMPILE_CACHE[key] = exc.diagnostic
         raise
     _COMPILE_CACHE[key] = model
     return model
@@ -260,15 +291,26 @@ def _build_model(
     # free and stay wired identically to the reference network.
     net = build_network(_extraction_target(target), faults=faults)
     if net._channels:
-        raise _Unsupported("pipelined channels")
+        raise _Unsupported(
+            "pipelined-channels",
+            "multi-cycle channel pipelining is not lowered",
+        )
     if net._edge_entry or net.topology.memory_nodes:
-        raise _Unsupported("edge-memory endpoints")
+        raise _Unsupported(
+            "edge-memory", "edge-memory endpoints are not lowered"
+        )
     routing = net.routing
     if type(routing) is FaultAwareTableRouting:
         if faults is None:
-            raise _Unsupported("fault-aware routing without a schedule")
+            raise _Unsupported(
+                "fault-aware-routing",
+                "fault-aware table routing without a FaultSchedule",
+            )
     elif type(routing) not in _SUPPORTED_ROUTINGS:
-        raise _Unsupported(f"routing {type(routing).__name__}")
+        raise _Unsupported(
+            "unsupported-routing",
+            f"no tabulation for routing {type(routing).__name__}",
+        )
     routers = net._router_list
     kinds = {type(r) for r in routers}
     if kinds == {WormholeRouter}:
@@ -278,7 +320,10 @@ def _build_model(
     elif kinds == {VCRouter}:
         kind = "vc"
     else:
-        raise _Unsupported(f"router kinds {sorted(k.__name__ for k in kinds)}")
+        raise _Unsupported(
+            "unsupported-router",
+            f"router kinds {sorted(k.__name__ for k in kinds)}",
+        )
 
     model = _CompiledModel()
     model.kind = kind
@@ -294,9 +339,13 @@ def _build_model(
     model.depth = config.fifo_depth
     for idx, router in enumerate(routers):
         if router.coord != nodes[idx] or router.net_idx != idx:
-            raise _Unsupported("router order diverges from topology order")
+            raise _Unsupported(
+                "router-order", "router order diverges from topology order"
+            )
         if router.depth != config.fifo_depth:
-            raise _Unsupported("non-uniform FIFO depth")
+            raise _Unsupported(
+                "non-uniform-depth", "non-uniform FIFO depth"
+            )
 
     nsub = 2 if isinstance(routing, _ParitySubnetRouting) else 1
     if nsub == 2:
@@ -331,11 +380,13 @@ def _sink_or_direct(router, o: int) -> Optional[Tuple[int, int]]:
     if code == KIND_DIRECT:
         down_r, down_in = _direct_target(router, o)
         if down_in == P_IDX:
-            raise _Unsupported("link wired into an injection port")
+            raise _Unsupported(
+                "injection-wiring", "link wired into an injection port"
+            )
         return down_r, down_in
-    raise _Unsupported(
-        "custom sink" if isinstance(target, Sink) else "pipelined link"
-    )
+    if isinstance(target, Sink):
+        raise _Unsupported("custom-sink", "non-builtin sink on an output")
+    raise _Unsupported("pipelined-link", "pipelined link on an output")
 
 
 def _extract_wormhole(model, net, routers, *, fbfc: bool) -> None:
@@ -382,9 +433,12 @@ def _extract_vc(model, net, routers) -> None:
     num_vcs = config.num_vcs
     for r, router in enumerate(routers):
         if type(router.alloc) is not WavefrontAllocator:
-            raise _Unsupported(f"allocator {type(router.alloc).__name__}")
+            raise _Unsupported(
+                "unsupported-allocator",
+                f"allocator {type(router.alloc).__name__}",
+            )
         if router.num_vcs != num_vcs:
-            raise _Unsupported("non-uniform VC count")
+            raise _Unsupported("non-uniform-vcs", "non-uniform VC count")
         ports.append(router.ports)
         outs: List[Optional[Tuple]] = [None] * VCRouter.NUM_PORTS
         for o in range(VCRouter.NUM_PORTS):
@@ -683,8 +737,8 @@ def _execute(
     dfull = depth - 2 if is_fbfc else depth - 1
 
     dest_fn = build_pattern(pattern, config)
-    timing_random = derive_rng(seed, "timing").random
-    dest_rng = derive_rng(seed, "dest")
+    timing_random = derive_rng(seed, "timing").random  # rng: shared
+    dest_rng = derive_rng(seed, "dest")  # rng: shared
 
     # Mirrors the reference engine's degraded-injection discipline bit
     # for bit: dead routers never draw from the timing stream, and a
@@ -1545,6 +1599,119 @@ def _execute(
 
 
 # ----------------------------------------------------------------------
+# Lowering diagnostics
+# ----------------------------------------------------------------------
+def _gate_diagnostics(
+    cfg: NetworkConfig,
+    faults: Any,
+    audit_every: Optional[int],
+    custom_components: bool,
+) -> List[LoweringDiagnostic]:
+    """The pre-compile fallback gates, as structured diagnostics.
+
+    This is the single source of truth for the checks
+    :func:`run_compiled` performs before attempting compilation; the
+    static analyzer (:func:`lowering_problems`) reports exactly these,
+    so analyzer and engine can never drift apart.
+    """
+    reasons: List[LoweringDiagnostic] = []
+    if audit_every is not None:
+        reasons.append(
+            LoweringDiagnostic(
+                "audit-every",
+                "in-loop network audits (audit_every) only run on the "
+                "reference engine",
+            )
+        )
+    if custom_components:
+        reasons.append(
+            LoweringDiagnostic(
+                "plugin-components",
+                "topology provider supplies custom topology/routing/"
+                "matrix factories the compiler cannot tabulate",
+            )
+        )
+    if cfg.edge_memory:
+        reasons.append(
+            LoweringDiagnostic(
+                "edge-memory", "edge-memory endpoints are not lowered"
+            )
+        )
+    if cfg.max_channel_latency > 1:
+        reasons.append(
+            LoweringDiagnostic(
+                "pipelined-channels",
+                f"pipelined channels (max_channel_latency="
+                f"{cfg.max_channel_latency}) are not lowered",
+            )
+        )
+    if (
+        faults is not None
+        and faults.affects_routing
+        and (cfg.uses_vcs or cfg.fbfc)
+    ):
+        # The reference engine raises the identical ConfigError for
+        # fault-aware rerouting on VC/FBFC topologies — run_compiled
+        # delegates so the error comes from one place.
+        reasons.append(
+            LoweringDiagnostic(
+                "vc-fbfc-rerouting",
+                "fault-aware rerouting on VC/FBFC torus routers is "
+                "rejected (identically) by both engines",
+            )
+        )
+    return reasons
+
+
+def lowering_problems(
+    target: Union[NetworkConfig, NetworkSpec],
+    *,
+    faults: Any = None,
+    audit_every: Optional[int] = None,
+) -> List[LoweringDiagnostic]:
+    """Why ``target`` would fall back to the reference engine.
+
+    A static compilability analysis: an empty list means
+    :func:`run_compiled` will run this design point on the flat-array
+    engine; otherwise each :class:`LoweringDiagnostic` names one exact
+    fallback reason.  For a :class:`NetworkSpec`, fault and
+    ``audit_every`` fields are resolved from the spec (explicit
+    arguments override).  Nothing is simulated: the analysis runs the
+    same pre-compile gates as :func:`run_compiled` and, when those
+    pass, the same (cached) model compilation — so the verdict is the
+    engine's own, not a parallel reimplementation.
+    """
+    if isinstance(target, NetworkSpec):
+        spec = target
+        cfg = build_config(spec)
+        if faults is None:
+            faults = build_faults(spec, cfg)
+        if audit_every is None:
+            audit_every = spec.audit_every
+        custom_components = resolve_topology(
+            spec.topology
+        ).has_custom_components
+        names: Tuple[
+            Optional[str], Optional[str], Optional[str]
+        ] = (spec.routing, spec.router, spec.allocator)
+    else:
+        cfg = target
+        custom_components = False
+        names = (None, None, None)
+    reasons = _gate_diagnostics(cfg, faults, audit_every, custom_components)
+    if reasons:
+        return reasons
+    model_faults = (
+        faults if faults is not None and faults.affects_routing else None
+    )
+    try:
+        _compile(target, cfg, *names, faults=model_faults)
+    except _Unsupported as exc:
+        return [exc.diagnostic]
+    return []
+
+
+# ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
 def run_compiled(
@@ -1599,8 +1766,6 @@ def run_compiled(
             max_wall_seconds=max_wall_seconds,
         )
 
-    if audit_every is not None:
-        return fallback()
     if isinstance(config, NetworkSpec):
         spec = config
         if pattern is None:
@@ -1612,8 +1777,9 @@ def run_compiled(
             faults = build_faults(spec, cfg)
         if watchdog is None:
             watchdog = build_watchdog(spec)
-        if resolve_topology(spec.topology).has_custom_components:
-            return fallback()
+        custom_components = resolve_topology(
+            spec.topology
+        ).has_custom_components
         names = (spec.routing, spec.router, spec.allocator)
         target: Union[NetworkConfig, NetworkSpec] = spec
     else:
@@ -1623,18 +1789,10 @@ def run_compiled(
                 "and rate (only NetworkSpec carries defaults)"
             )
         cfg = config
+        custom_components = False
         names = (None, None, None)
         target = config
-    if cfg.edge_memory or cfg.max_channel_latency > 1:
-        return fallback()
-    if (
-        faults is not None
-        and faults.affects_routing
-        and (cfg.uses_vcs or cfg.fbfc)
-    ):
-        # The reference engine raises the identical ConfigError for
-        # fault-aware rerouting on VC/FBFC topologies — delegate so the
-        # error comes from one place.
+    if _gate_diagnostics(cfg, faults, audit_every, custom_components):
         return fallback()
     model_faults = (
         faults if faults is not None and faults.affects_routing else None

@@ -184,8 +184,8 @@ def _run_reference(
             config, metrics=metrics, faults=faults, watchdog=watchdog
         )
     dest_fn = build_pattern(pattern, config)
-    timing_rng = derive_rng(seed, "timing")
-    dest_rng = derive_rng(seed, "dest")
+    timing_rng = derive_rng(seed, "timing")  # rng: shared
+    dest_rng = derive_rng(seed, "dest")  # rng: shared
     sources = net.topology.nodes
     if faults is not None and faults.has_faults:
         dead = faults.dead_routers

@@ -20,15 +20,35 @@ state and checks:
   flag the expected non-minimal cases (depopulated Ruche) and nothing
   else.
 
-A stdlib-``ast`` determinism lint (:mod:`repro.verify.determinism`)
-additionally forbids wall-clock / global-RNG nondeterminism and
-unordered-set iteration in ``repro.core`` and ``repro.sim``.
+The enumerator is complemented by a topology-agnostic **table
+certifier** (:mod:`repro.verify.certify`): it tabulates every routing —
+builtin DOR, fault-masked BFS tables, or third-party plugins — into
+per-destination next-hop tables and proves route soundness (every entry
+chain ejects, no masked-port escapes, tables agree with the reference
+routing function), deadlock freedom via graph-walk CDG analysis with no
+2-D coordinate assumptions, and engine-lowering safety (structured
+diagnostics naming exactly why a spec would fall back to the reference
+engine).  :func:`cross_validate_spec` checks both analyses reach the
+same verdict on any config the enumerator can handle.
+
+Stdlib-``ast`` lints (:mod:`repro.verify.determinism` and
+:mod:`repro.verify.lints`) additionally forbid wall-clock / global-RNG
+nondeterminism, unordered-set iteration, undisciplined RNG stream
+names, slotless subclasses of slotted simulation classes, and
+description-less registry entries in ``repro.core`` and ``repro.sim``.
 
 Run ``python -m repro.verify --help`` for the command-line front end,
 or use :func:`repro.verify.preflight.campaign_preflight` to gate long
 checkpointed sweeps on a verified network.
 """
 
+from repro.verify.certify import (
+    certify_config,
+    certify_problems,
+    certify_spec,
+    cross_validate_spec,
+    enumerator_agrees,
+)
 from repro.verify.determinism import (
     DEFAULT_LINT_PACKAGES,
     LintFinding,
@@ -37,22 +57,38 @@ from repro.verify.determinism import (
     lint_source,
 )
 from repro.verify.engine import verify_config, verify_spec
-from repro.verify.matrix import paper_matrix, verify_matrix
+from repro.verify.lints import lint_conformance, lint_conformance_source
+from repro.verify.matrix import (
+    certify_matrix,
+    paper_matrix,
+    paper_spec_matrix,
+    verify_matrix,
+)
 from repro.verify.preflight import campaign_preflight, engine_problems
-from repro.verify.report import VerificationReport
+from repro.verify.report import CertificationReport, VerificationReport
 from repro.verify.turns import is_legal_turn, routing_matrix
 
 __all__ = [
     "DEFAULT_LINT_PACKAGES",
+    "CertificationReport",
     "LintFinding",
     "VerificationReport",
     "campaign_preflight",
+    "certify_config",
+    "certify_matrix",
+    "certify_problems",
+    "certify_spec",
+    "cross_validate_spec",
     "engine_problems",
+    "enumerator_agrees",
     "is_legal_turn",
+    "lint_conformance",
+    "lint_conformance_source",
     "lint_determinism",
     "lint_file",
     "lint_source",
     "paper_matrix",
+    "paper_spec_matrix",
     "routing_matrix",
     "verify_config",
     "verify_matrix",

@@ -1,33 +1,56 @@
-"""Command-line front end for the static verifier.
+"""Command-line front end for the static verifier and certifier.
 
 Examples::
 
     python -m repro.verify                       # full paper matrix + lint
     python -m repro.verify --config ruche2-depop --size 16x8
     python -m repro.verify --sizes 8x8,16x8 --rf 2,3
+    python -m repro.verify --certify             # table certifier matrix
+    python -m repro.verify --certify --load my_plugin.py \
+        --spec '{"topology": "my-topology", "width": 16, "height": 8}'
     python -m repro.verify --lint-only
     python -m repro.verify --json report.json    # machine-readable output
 
+``--certify`` switches from the exhaustive 2-D enumerator to the
+topology-agnostic table certifier (:mod:`repro.verify.certify`), runs it
+over the spec-based paper matrix (including seeded fault-masked
+entries), cross-validates every verdict against the enumerator, and
+reports engine-lowering diagnostics per design point.  JSON output
+always carries the spec content hash and a provenance block, so results
+are joinable with campaign checkpoints and the result store.
+
 Exit codes: 0 = everything verified, 1 = a property failed (the report
-names the cycle / illegal turn / unreached pair), 2 = bad invocation or
-configuration.
+names the cycle / illegal turn / unreached pair / disagreement), 2 =
+bad invocation or configuration.
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib.util
 import json
+import platform
 import sys
-from typing import List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+import repro
 from repro.core.params import DorOrder, NetworkConfig
+from repro.core.routing import RoutingAlgorithm
+from repro.core.spec import NetworkSpec, spec_for_config
 from repro.errors import ConfigError
-from repro.verify.determinism import lint_determinism, render_findings
+from repro.verify.determinism import (
+    LintFinding,
+    lint_determinism,
+    render_findings,
+)
 from repro.verify.engine import verify_config
+from repro.verify.lints import lint_conformance
 from repro.verify.matrix import (
     DEFAULT_RUCHE_FACTORS,
     DEFAULT_SIZES,
     paper_matrix,
+    paper_spec_matrix,
 )
 
 
@@ -42,6 +65,55 @@ def _parse_sizes(text: str) -> List[Tuple[int, int]]:
                 f"bad size {token!r}; expected WxH like 16x8"
             ) from exc
     return sizes
+
+
+def _load_plugin(path: str) -> None:
+    """Import a plugin file so its topology registrations run.
+
+    Keyed on the resolved path in ``sys.modules``, so naming the same
+    file twice does not attempt a duplicate registration.
+    """
+    location = Path(path)
+    if not location.is_file():
+        raise ConfigError(f"--load {path!r}: no such file")
+    name = f"_repro_plugin_{location.resolve().stem}"
+    if name in sys.modules:
+        return
+    module_spec = importlib.util.spec_from_file_location(name, location)
+    if module_spec is None or module_spec.loader is None:
+        raise ConfigError(f"--load {path!r}: not an importable module")
+    module = importlib.util.module_from_spec(module_spec)
+    sys.modules[name] = module
+    module_spec.loader.exec_module(module)
+
+
+def _parse_spec(text: str) -> NetworkSpec:
+    """One ``--spec`` JSON object -> :class:`NetworkSpec`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"--spec is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ConfigError("--spec must be a JSON object")
+    try:
+        topology = payload.pop("topology")
+        width = payload.pop("width")
+        height = payload.pop("height")
+    except KeyError as exc:
+        raise ConfigError(f"--spec is missing {exc.args[0]!r}") from exc
+    return NetworkSpec.for_network(topology, width, height, **payload)
+
+
+def _provenance(mode: str) -> Dict[str, Any]:
+    """The joinable identity block of a verification run."""
+    from repro.core.registry import ENGINES
+
+    return {
+        "repro_version": repro.__version__,
+        "python": platform.python_version(),
+        "mode": mode,
+        "engines": list(ENGINES.available()),
+    }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -85,12 +157,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="skip the fault-aware table-routing entries of the matrix",
     )
     parser.add_argument(
+        "--certify", action="store_true",
+        help="run the topology-agnostic table certifier (route-table "
+        "soundness, CDG acyclicity, lowering diagnostics) instead of "
+        "the coordinate enumerator, cross-validated against it",
+    )
+    parser.add_argument(
+        "--no-cross-validate", action="store_true",
+        help="with --certify: skip the enumerator agreement check",
+    )
+    parser.add_argument(
+        "--load", metavar="FILE", action="append", default=[],
+        help="import a plugin module (e.g. examples/plugin_topology.py) "
+        "before building the matrix, so --spec can name its topologies",
+    )
+    parser.add_argument(
+        "--spec", metavar="JSON", action="append", default=[],
+        help="certify an extra design point given as a NetworkSpec JSON "
+        'object, e.g. \'{"topology": "my-topology", "width": 16, '
+        '"height": 8}\'',
+    )
+    parser.add_argument(
         "--skip-lint", action="store_true",
-        help="skip the determinism lint",
+        help="skip the determinism and conformance lints",
     )
     parser.add_argument(
         "--lint-only", action="store_true",
-        help="run only the determinism lint",
+        help="run only the determinism and conformance lints",
     )
     parser.add_argument(
         "--json", metavar="FILE",
@@ -98,45 +191,41 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    lint_findings = []
+    lint_findings: List[LintFinding] = []
     if not args.skip_lint:
-        lint_findings = lint_determinism()
+        lint_findings = lint_determinism() + lint_conformance()
 
-    reports = []
+    report_dicts: List[Dict[str, Any]] = []
+    summaries: List[str] = []
+    failed = 0
+    disagreements = 0
     if not args.lint_only:
         try:
-            if args.config:
-                (width, height), = _parse_sizes(args.size)
-                config = NetworkConfig.from_name(
-                    args.config,
-                    width,
-                    height,
-                    half=args.half,
-                    dor_order=DorOrder(args.dor),
+            for path in args.load:
+                _load_plugin(path)
+            if args.certify:
+                failed, disagreements = _run_certify(
+                    args, report_dicts, summaries
                 )
-                reports = [verify_config(config)]
             else:
-                grid = paper_matrix(
-                    sizes=_parse_sizes(args.sizes),
-                    ruche_factors=[
-                        int(rf) for rf in args.rf.split(",") if rf.strip()
-                    ],
-                    include_fault_aware=not args.no_fault_aware,
-                )
-                reports = [
-                    verify_config(config, routing) for config, routing in grid
-                ]
+                failed = _run_verify(args, report_dicts, summaries)
         except (ConfigError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
 
-    failed = [report for report in reports if not report.ok]
+    mode = (
+        "lint" if args.lint_only
+        else "certify" if args.certify
+        else "verify"
+    )
     payload = {
-        "ok": not failed and not lint_findings,
-        "verified": len(reports),
-        "failed": len(failed),
+        "ok": not failed and not disagreements and not lint_findings,
+        "verified": len(report_dicts),
+        "failed": failed,
+        "disagreements": disagreements,
         "lint_findings": [f.render() for f in lint_findings],
-        "reports": [report.to_dict() for report in reports],
+        "provenance": _provenance(mode),
+        "reports": report_dicts,
     }
     if args.json == "-":
         json.dump(payload, sys.stdout, indent=1, sort_keys=True)
@@ -145,23 +234,128 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.json:
             with open(args.json, "w", encoding="utf-8") as fh:
                 json.dump(payload, fh, indent=1, sort_keys=True)
-        for report in reports:
-            print(report.summary())
-            for problem in report.problems():
-                print(f"    {problem}")
-            for warning in report.warnings:
-                print(f"    note: {warning}")
+        for line in summaries:
+            print(line)
         if lint_findings:
-            print("determinism lint findings:")
+            print("lint findings:")
             print(render_findings(lint_findings))
         verdict = "ok" if payload["ok"] else "FAILED"
+        tail = (
+            f", {disagreements} enumerator disagreement(s)"
+            if args.certify
+            else ""
+        )
         print(
-            f"verified {len(reports)} design point(s), {len(failed)} "
-            f"failure(s), {len(lint_findings)} lint finding(s): {verdict}"
+            f"{mode}: {len(report_dicts)} design point(s), {failed} "
+            f"failure(s){tail}, {len(lint_findings)} lint finding(s): "
+            f"{verdict}"
         )
         if args.json:
             print(f"wrote {args.json}")
     return 0 if payload["ok"] else 1
+
+
+def _describe(
+    report_dict: Dict[str, Any], summary: str, summaries: List[str]
+) -> None:
+    summaries.append(summary)
+    for problem in report_dict["problems"]:
+        summaries.append(f"    {problem}")
+    for warning in report_dict["warnings"]:
+        summaries.append(f"    note: {warning}")
+    for diagnostic in report_dict.get("lowering", []):
+        summaries.append(
+            f"    falls back to reference engine: "
+            f"{diagnostic['code']}: {diagnostic['detail']}"
+        )
+
+
+def _run_verify(
+    args: argparse.Namespace,
+    report_dicts: List[Dict[str, Any]],
+    summaries: List[str],
+) -> int:
+    """Enumerator mode; returns the failure count."""
+    grid: List[Tuple[NetworkConfig, Optional[RoutingAlgorithm]]]
+    if args.config:
+        (width, height), = _parse_sizes(args.size)
+        config = NetworkConfig.from_name(
+            args.config,
+            width,
+            height,
+            half=args.half,
+            dor_order=DorOrder(args.dor),
+        )
+        grid = [(config, None)]
+    else:
+        grid = paper_matrix(
+            sizes=_parse_sizes(args.sizes),
+            ruche_factors=[
+                int(rf) for rf in args.rf.split(",") if rf.strip()
+            ],
+            include_fault_aware=not args.no_fault_aware,
+        )
+    failed = 0
+    for config, routing in grid:
+        report = verify_config(config, routing)
+        if not report.ok:
+            failed += 1
+        report_dict = report.to_dict()
+        # The join key into spec-driven results (certify, campaigns).
+        report_dict["spec_hash"] = spec_for_config(config).content_hash()
+        report_dicts.append(report_dict)
+        _describe(report_dict, report.summary(), summaries)
+    return failed
+
+
+def _run_certify(
+    args: argparse.Namespace,
+    report_dicts: List[Dict[str, Any]],
+    summaries: List[str],
+) -> Tuple[int, int]:
+    """Certifier mode; returns (failures, enumerator disagreements)."""
+    from repro.verify.certify import certify_spec, cross_validate_spec
+
+    if args.config:
+        (width, height), = _parse_sizes(args.size)
+        options: Dict[str, Any] = {}
+        if args.half:
+            options["half"] = True
+        if args.dor != "xy":
+            options["dor_order"] = args.dor
+        specs = [
+            NetworkSpec.for_network(args.config, width, height, **options)
+        ]
+    else:
+        specs = paper_spec_matrix(
+            sizes=_parse_sizes(args.sizes),
+            ruche_factors=[
+                int(rf) for rf in args.rf.split(",") if rf.strip()
+            ],
+            include_fault_aware=not args.no_fault_aware,
+        )
+    specs.extend(_parse_spec(text) for text in args.spec)
+    failed = 0
+    disagreements = 0
+    for spec in specs:
+        if args.no_cross_validate:
+            report = certify_spec(spec)
+            agrees: Optional[bool] = None
+        else:
+            report, agrees = cross_validate_spec(spec)
+        if not report.ok:
+            failed += 1
+        report_dict = report.to_dict()
+        report_dict["enumerator_agrees"] = agrees
+        report_dicts.append(report_dict)
+        _describe(report_dict, report.summary(), summaries)
+        if agrees is False:
+            disagreements += 1
+            summaries.append(
+                "    DISAGREEMENT: table certifier and exhaustive "
+                "enumerator reached different verdicts"
+            )
+    return failed, disagreements
 
 
 if __name__ == "__main__":

@@ -1,0 +1,630 @@
+"""Topology-agnostic static certification of exported route tables.
+
+:mod:`repro.verify.engine` proves its properties by enumerating the
+deterministic route *function* over 2-D coordinates.  This module proves
+the same properties — and three more — from the flat next-hop tables of
+:func:`repro.core.routing.tabulate_next_hops`, the representation the
+compiled engine (:mod:`repro.sim.fastsim`) lowers to.  The walk consults
+only the topology's channel graph and the exported table, never
+coordinate arithmetic, so any registered topology — builtin grid,
+fault-masked BFS tables, or an out-of-tree plugin — certifies through
+the identical code path:
+
+* **Route soundness** — every ``(node, dest)`` entry reaches ``dest`` in
+  finitely many hops; dead ends, wrong-tile ejections, livelock cycles,
+  and escapes through fault-masked ports are concrete findings, and each
+  table entry is re-checked against the reference routing function (a
+  nondeterministic routing cannot certify).
+* **Deadlock freedom** — the VC-extended channel dependency graph is
+  built from table-induced turns and checked for acyclicity by graph
+  traversal (:mod:`repro.verify.cdg`), with the same FBFC and live-fault
+  waivers the enumerator applies.
+* **Minimality** — audited against the monotone closed form for the
+  builtin DOR algorithms (so verdicts agree with the enumerator),
+  informationally against channel-graph BFS distances for plugin
+  routings, and skipped for fault-aware tables (BFS-shortest by
+  construction).
+* **Lowering safety** — :func:`certify_spec` attaches the structured
+  compilability diagnostics of
+  :func:`repro.sim.fastsim.lowering_problems`, naming exactly why a
+  design point would fall back to the reference engine.
+
+``python -m repro.verify --certify`` runs this over the paper matrix
+(plus seeded fault-masked entries and any ``--spec`` extras) and
+cross-validates every verdict against the exhaustive enumerator.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+
+from repro.core.connectivity import Matrix
+from repro.core.coords import Coord, Direction
+from repro.core.params import NetworkConfig, TopologyKind
+from repro.core.routing import (
+    FaultAwareTableRouting,
+    MeshDOR,
+    MultiMeshRouting,
+    RoutingAlgorithm,
+    RucheDOR,
+    RucheOneRouting,
+    TableState,
+    TorusDOR,
+    tabulate_next_hops,
+)
+from repro.core.spec import (
+    NetworkSpec,
+    build_config,
+    build_faults,
+    build_routing,
+    network_components,
+    resolve_topology,
+)
+from repro.core.topology import Topology
+from repro.errors import RoutingError
+from repro.verify.cdg import ChannelV, DepEdge, find_cycle, format_channel
+from repro.verify.engine import minimal_hops_fn, verify_spec
+from repro.verify.report import CertificationReport, VerificationReport
+from repro.verify.turns import format_turn, routing_matrix
+
+_P = int(Direction.P)
+#: Sentinel hop count for states that never reach their destination.
+_INF = -1
+
+#: Routing classes whose minimal hop count is the monotone closed form
+#: of :func:`repro.verify.engine.minimal_hops_fn`.  Matched by exact
+#: type — a plugin subclass with different movement rules must not be
+#: held to a bound it never promised.
+_MONOTONE_ROUTINGS = (
+    MeshDOR,
+    RucheDOR,
+    RucheOneRouting,
+    MultiMeshRouting,
+    TorusDOR,
+)
+
+
+class _TableCertifier:
+    """One certification run: analyzes every destination's table."""
+
+    def __init__(
+        self,
+        config: NetworkConfig,
+        routing: RoutingAlgorithm,
+        matrix: Matrix,
+        topology: Topology,
+        report: CertificationReport,
+        max_findings: int,
+    ) -> None:
+        self.config = config
+        self.routing = routing
+        self.matrix = matrix
+        self.topology = topology
+        self.report = report
+        self.max_findings = max_findings
+        # Same discipline selection as tabulate_next_hops: the config
+        # (router choice) wins over the routing-class flag, so FBFC
+        # tables are rechecked against single-VC route(), not the
+        # dateline route_vc the FbfcRouter never calls.
+        self.uses_vcs = config.uses_vcs
+        self.channel_map = topology.channel_map
+        # Reverse channel lookup: (arrival tile, input port) -> channel.
+        self.rev: Dict[Tuple[Coord, int], Tuple[Coord, Direction]] = {}
+        #: Reverse adjacency (arrival tile -> feeding tiles) for the
+        #: graph-BFS minimality basis; duplicates are harmless.
+        self.preds: Dict[Coord, List[Coord]] = {}
+        for src, direction, dst in topology.channels:
+            key = (dst, int(direction.opposite))
+            if key in self.rev:  # pragma: no cover - topology invariant
+                raise RoutingError(
+                    f"ambiguous input: two channels arrive at {dst} on "
+                    f"{direction.opposite.name}"
+                )
+            self.rev[key] = (src, direction)
+            self.preds.setdefault(dst, []).append(src)
+        self.nodes: List[Coord] = list(topology.nodes)
+        self.fault_aware = isinstance(routing, FaultAwareTableRouting)
+        if isinstance(routing, FaultAwareTableRouting):
+            self.nodes = [
+                n for n in self.nodes if n not in routing.dead_nodes
+            ]
+        self.minimal_hops = minimal_hops_fn(config)
+        #: Turns emitted: (in_idx, out_idx) -> example (node, dest).
+        self.turns: Dict[Tuple[int, int], Tuple[Coord, Coord]] = {}
+        self.dep_edges: Set[DepEdge] = set()
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        report = self.report
+        routing = self.routing
+        graph_basis = report.minimality_basis == "graph-bfs"
+        monotone = report.minimality_basis == "monotone-dor"
+        for dest in self.nodes:
+            sources = self.nodes
+            if self.fault_aware:
+                assert isinstance(routing, FaultAwareTableRouting)
+                live = []
+                for src in self.nodes:
+                    if routing.reachable(src, dest):
+                        live.append(src)
+                    else:
+                        report.partitioned_pairs += 1
+                sources = live
+            table = tabulate_next_hops(
+                routing,
+                self.topology,
+                dest,
+                sources=sources,
+                on_error=lambda s, e, d=dest: self._table_error(d, s, e),
+            )
+            report.states += len(table)
+            # Per-entry static checks seed `hops` with terminal values.
+            hops: Dict[TableState, int] = {}
+            self._scan_entries(dest, table, hops)
+            dist = self._graph_distances(dest) if graph_basis else None
+            for src in sources:
+                start: TableState = (
+                    src,
+                    _P,
+                    0,
+                    routing.injection_subnet(src, dest),
+                )
+                count = self._follow(dest, start, table, hops)
+                if count == _INF:
+                    self._note(
+                        report.unreached,
+                        f"{tuple(src)} -> {tuple(dest)} never ejects",
+                    )
+                    continue
+                report.pairs_checked += 1
+                if count > report.max_hops:
+                    report.max_hops = count
+                if monotone or graph_basis:
+                    if dist is not None:
+                        minimal = dist.get(src, count)
+                    else:
+                        minimal = self.minimal_hops(src, dest)
+                    excess = count - minimal
+                    if excess > 0:
+                        report.non_minimal_pairs += 1
+                        if excess > report.max_detour:
+                            report.max_detour = excess
+                            report.non_minimal_example = (
+                                f"{tuple(src)} -> {tuple(dest)}: {count} "
+                                f"hops, minimal {count - excess}"
+                            )
+        report.turns_used = len(self.turns)
+
+    def _table_error(
+        self, dest: Coord, state: TableState, exc: RoutingError
+    ) -> None:
+        """Record a route computation that failed during table export."""
+        node, in_idx = state[0], state[1]
+        self._note(
+            self.report.routing_errors,
+            f"route({tuple(node)}, {Direction(in_idx).name}, "
+            f"dest={tuple(dest)}) failed: {exc}",
+        )
+
+    # ------------------------------------------------------------------
+    # Per-entry static checks
+    # ------------------------------------------------------------------
+    def _scan_entries(
+        self,
+        dest: Coord,
+        table: Dict[TableState, Tuple[int, int]],
+        hops: Dict[TableState, int],
+    ) -> None:
+        """Check every table entry once; seed terminal hop values.
+
+        Records turn legality, CDG dependencies, wrong-tile ejections,
+        invalid VCs, masked-port escapes, and table/reference agreement.
+        Terminal states (ejections, errors) land in ``hops`` so the
+        chain walk of :meth:`_follow` needs no coordinate knowledge.
+        """
+        report = self.report
+        routing = self.routing
+        num_vcs = max(1, self.config.num_vcs)
+        dead_links = (
+            routing.dead_links
+            if isinstance(routing, FaultAwareTableRouting)
+            else frozenset()
+        )
+        dead_nodes = (
+            routing.dead_nodes
+            if isinstance(routing, FaultAwareTableRouting)
+            else frozenset()
+        )
+        for state, (out_idx, out_vc) in table.items():
+            node, in_idx, in_vc, subnet = state
+            self._recheck(dest, state, out_idx, out_vc)
+            turn = (in_idx, out_idx)
+            if turn not in self.turns:
+                self.turns[turn] = (node, dest)
+                out_dir = Direction(out_idx)
+                legal = out_dir in self.matrix.get(
+                    Direction(in_idx), frozenset()
+                )
+                if not legal:
+                    self._note(
+                        report.illegal_turns,
+                        format_turn(node, Direction(in_idx), out_dir)
+                        + f" (dest {tuple(dest)})",
+                    )
+            if out_idx == _P:
+                if node == dest:
+                    hops[state] = 0
+                else:
+                    self._note(
+                        report.routing_errors,
+                        f"ejected at {tuple(node)} but destination is "
+                        f"{tuple(dest)}",
+                    )
+                    hops[state] = _INF
+                continue
+            if not 0 <= out_vc < num_vcs:
+                self._note(
+                    report.routing_errors,
+                    f"route_vc at {tuple(node)} emitted invalid VC "
+                    f"{out_vc}",
+                )
+                hops[state] = _INF
+                continue
+            out = Direction(out_idx)
+            nxt = self.channel_map.get((node, out))
+            if nxt is None:
+                # tabulate_next_hops already reported the unwired
+                # output through on_error; the state is a dead end.
+                hops[state] = _INF
+                continue
+            # Dead-router check first: node faults also mask every
+            # touching link, and the more specific finding should win.
+            if nxt in dead_nodes:
+                self._note(
+                    report.masked_escapes,
+                    f"{tuple(node)} -{out.name}-> {tuple(nxt)} enters a "
+                    f"dead router (dest {tuple(dest)})",
+                )
+            elif (node, out) in dead_links:
+                self._note(
+                    report.masked_escapes,
+                    f"{tuple(node)} -{out.name}-> {tuple(nxt)} crosses a "
+                    f"masked link (dest {tuple(dest)})",
+                )
+            if in_idx != _P:
+                src_node, src_dir = self.rev[(node, in_idx)]
+                held: ChannelV = (src_node, src_dir, in_vc)
+                requested: ChannelV = (node, out, out_vc)
+                self.dep_edges.add((held, requested))
+
+    def _recheck(
+        self, dest: Coord, state: TableState, out_idx: int, out_vc: int
+    ) -> None:
+        """Re-invoke the reference routing function for one entry.
+
+        The table was exported by calling that function once per state;
+        a second call that answers differently (or raises) means the
+        routing is nondeterministic or its table accessor diverges from
+        its route computation — either way the table proves nothing
+        about what the simulator will do, so it is a finding.
+        """
+        node, in_idx, in_vc, subnet = state
+        try:
+            if self.uses_vcs:
+                again_dir, again_vc = self.routing.route_vc(
+                    node, Direction(in_idx), in_vc, dest
+                )
+            else:
+                again_dir = self.routing.route(
+                    node, Direction(in_idx), dest, subnet
+                )
+                again_vc = 0
+            answer: Optional[Tuple[int, int]] = (int(again_dir), again_vc)
+        except RoutingError:
+            answer = None
+        if answer != (out_idx, out_vc):
+            got = (
+                f"{Direction(answer[0]).name}/vc{answer[1]}"
+                if answer is not None
+                else "a RoutingError"
+            )
+            self._note(
+                self.report.table_mismatches,
+                f"{tuple(node)} in={Direction(in_idx).name} dest="
+                f"{tuple(dest)}: table says "
+                f"{Direction(out_idx).name}/vc{out_vc}, reference "
+                f"returned {got}",
+            )
+
+    # ------------------------------------------------------------------
+    # Table-graph walk (termination proof)
+    # ------------------------------------------------------------------
+    def _follow(
+        self,
+        dest: Coord,
+        start: TableState,
+        table: Dict[TableState, Tuple[int, int]],
+        hops: Dict[TableState, int],
+    ) -> int:
+        """Proven hop count from ``start`` to ejection (``_INF`` = never).
+
+        Follows the table's successor chain, memoizing per destination;
+        a state recurring within the current chain is a routing livelock
+        and poisons the whole chain.  Terminal states were pre-seeded by
+        :meth:`_scan_entries`; a state missing from the table raised
+        during export and counts as a dead end.
+        """
+        chain: List[TableState] = []
+        position: Dict[TableState, int] = {}
+        state = start
+        while True:
+            cached = hops.get(state)
+            if cached is not None:
+                break
+            if state in position:
+                self._record_livelock(dest, chain[position[state]:])
+                for pending in chain:
+                    hops[pending] = _INF
+                return _INF
+            entry = table.get(state)
+            if entry is None:
+                hops[state] = _INF
+                cached = _INF
+                break
+            position[state] = len(chain)
+            chain.append(state)
+            out_idx, out_vc = entry
+            out = Direction(out_idx)
+            nxt = self.channel_map[(state[0], out)]
+            state = (nxt, int(out.opposite), out_vc, state[3])
+        if cached == _INF:
+            for pending in chain:
+                hops[pending] = _INF
+            return _INF
+        value = cached
+        for pending in reversed(chain):
+            value += 1
+            hops[pending] = value
+        return value if chain else cached
+
+    # ------------------------------------------------------------------
+    # Graph-BFS minimality basis
+    # ------------------------------------------------------------------
+    def _graph_distances(self, dest: Coord) -> Dict[Coord, int]:
+        """Channel-hop distance to ``dest`` from every reaching tile.
+
+        Pure backward BFS over the channel graph, ignoring ports, VCs,
+        and crossbar legality — a lower bound any routing is compared
+        against informationally when no closed-form bound applies.
+        """
+        dist: Dict[Coord, int] = {dest: 0}
+        queue: "deque[Coord]" = deque((dest,))
+        while queue:
+            node = queue.popleft()
+            for src in self.preds.get(node, ()):
+                if src not in dist:
+                    dist[src] = dist[node] + 1
+                    queue.append(src)
+        return dist
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def _record_livelock(
+        self, dest: Coord, cycle: List[TableState]
+    ) -> None:
+        rendered = " -> ".join(
+            f"{tuple(s[0])}@{Direction(s[1]).name}" for s in cycle[:8]
+        )
+        self._note(
+            self.report.unreached,
+            f"dest {tuple(dest)}: state cycle {rendered}"
+            + (" ..." if len(cycle) > 8 else ""),
+        )
+
+    def _note(self, bucket: List[str], message: str) -> None:
+        if len(bucket) < self.max_findings:
+            bucket.append(message)
+        elif len(bucket) == self.max_findings:
+            bucket.append("... further findings suppressed")
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def certify_config(
+    config: NetworkConfig,
+    routing: Optional[RoutingAlgorithm] = None,
+    *,
+    matrix: Optional[Matrix] = None,
+    topology: Optional[Topology] = None,
+    max_findings: int = 8,
+    topology_name: Optional[str] = None,
+) -> CertificationReport:
+    """Certify one design point from its exported route tables.
+
+    Mirrors :func:`repro.verify.engine.verify_config`'s parameters and
+    waivers (FBFC rings, live-fault tables, depopulated-Ruche detours)
+    so the two analyses return comparable verdicts; see
+    :class:`~repro.verify.report.CertificationReport` for the extra
+    evidence this pass produces.
+    """
+    if routing is None:
+        routing = build_routing(config)
+    if matrix is None:
+        matrix = routing_matrix(config, routing)
+    topo = topology if topology is not None else Topology(config)
+    report = CertificationReport(
+        config=config.name,
+        width=config.width,
+        height=config.height,
+        algorithm=type(routing).__name__,
+        dor_order=config.dor_order.value,
+        topology=topology_name or config.name,
+    )
+    if config.fbfc:
+        report.cdg_required = False
+        report.warnings.append(
+            "FBFC: deadlock freedom comes from bubble flow control; ring "
+            "CDG cycles are expected and not checked"
+        )
+    if isinstance(routing, FaultAwareTableRouting):
+        report.minimality_checked = False
+        report.minimality_basis = "bfs-tables"
+        if routing.dead_links or routing.dead_nodes:
+            report.cdg_required = False
+            report.warnings.append(
+                "fault-aware routing with live faults is not provably "
+                "deadlock-free; the runtime watchdog is the backstop"
+            )
+    elif type(routing) not in _MONOTONE_ROUTINGS:
+        report.minimality_checked = False
+        report.minimality_basis = "graph-bfs"
+        report.warnings.append(
+            "no closed-form minimal-hop bound for "
+            f"{type(routing).__name__}; minimality audited against "
+            "channel-graph BFS distances (informational, not part of "
+            "the verdict)"
+        )
+    if config.edge_memory:
+        report.warnings.append(
+            "edge-memory endpoints are exercised by runtime audits, not "
+            "this static walk"
+        )
+    report.non_minimal_expected = (
+        config.kind in (TopologyKind.FULL_RUCHE, TopologyKind.HALF_RUCHE)
+        and config.depopulated
+    )
+
+    certifier = _TableCertifier(
+        config, routing, matrix, topo, report, max_findings
+    )
+    certifier.run()
+
+    cycle = find_cycle(certifier.dep_edges)
+    vertices: Set[ChannelV] = set()
+    for held, requested in certifier.dep_edges:
+        vertices.add(held)
+        vertices.add(requested)
+    report.cdg_vertices = len(vertices)
+    report.cdg_edges = len(certifier.dep_edges)
+    if cycle is not None:
+        report.cdg_acyclic = False
+        report.cycle = [format_channel(channel) for channel in cycle]
+    return report
+
+
+def certify_spec(
+    spec: NetworkSpec, *, max_findings: int = 8
+) -> CertificationReport:
+    """Certify the design point a spec describes, faults included.
+
+    Resolves the spec's topology provider, materializes its seeded
+    :class:`~repro.sim.faults.FaultSchedule` (so fault-masked detour
+    tables are certified, not the healthy routing they replaced), and
+    attaches the spec's content hash plus the compiled engine's
+    lowering diagnostics to the report.
+    """
+    provider = resolve_topology(spec.topology)
+    config = build_config(spec)
+    faults = build_faults(spec, config)
+    components = network_components(
+        config,
+        faults=faults,
+        provider=provider,
+        routing_name=spec.routing,
+    )
+    matrix: Optional[Matrix] = None
+    if provider.matrix_factory is not None or (
+        faults is not None and faults.affects_routing
+    ):
+        matrix = components.matrix
+    report = certify_config(
+        config,
+        components.routing,
+        matrix=matrix,
+        topology=components.topology,
+        max_findings=max_findings,
+        topology_name=spec.topology,
+    )
+    report.spec_hash = spec.content_hash()
+    # Lazy: keep `import repro.verify` free of the sim layer.
+    from repro.sim.fastsim import lowering_problems
+
+    diagnostics = lowering_problems(spec, faults=faults)
+    report.lowering = [
+        {"code": d.code, "detail": d.detail} for d in diagnostics
+    ]
+    report.compiles = not diagnostics
+    return report
+
+
+def certify_problems(
+    targets: Iterable[Union[NetworkConfig, NetworkSpec]],
+) -> List[str]:
+    """Certify ``targets``; one message per failed property.
+
+    The certification counterpart of
+    :func:`repro.verify.preflight.preflight_problems`, accepting specs
+    (certified with their faults and provider components) as well as
+    bare configs.
+    """
+    problems: List[str] = []
+    seen: Set[Union[NetworkConfig, NetworkSpec]] = set()
+    for target in targets:
+        if target in seen:
+            continue
+        seen.add(target)
+        if isinstance(target, NetworkSpec):
+            report: CertificationReport = certify_spec(target)
+            label = f"{target.topology} {target.width}x{target.height}"
+        else:
+            report = certify_config(target)
+            label = f"{target.name} {target.shape}"
+        for problem in report.problems():
+            problems.append(f"certify {label}: {problem}")
+    return problems
+
+
+def enumerator_agrees(
+    certified: CertificationReport, enumerated: VerificationReport
+) -> bool:
+    """Do the table certifier and the 2-D enumerator concur?
+
+    Compares the verdict and the load-bearing evidence the two analyses
+    derive independently: overall ``ok``, deadlock freedom, raw CDG
+    acyclicity, the number of delivered pairs, and the proven hop bound.
+    (Minimality bookkeeping is basis-dependent and excluded for
+    non-monotone bases.)
+    """
+    agree = (
+        certified.ok == enumerated.ok
+        and certified.deadlock_free == enumerated.deadlock_free
+        and certified.cdg_acyclic == enumerated.cdg_acyclic
+        and certified.pairs_checked == enumerated.pairs_checked
+        and certified.max_hops == enumerated.max_hops
+    )
+    if agree and certified.minimality_basis == "monotone-dor":
+        agree = (
+            certified.non_minimal_pairs == enumerated.non_minimal_pairs
+            and certified.max_detour == enumerated.max_detour
+        )
+    return agree
+
+
+def cross_validate_spec(
+    spec: NetworkSpec, *, max_findings: int = 8
+) -> Tuple[CertificationReport, bool]:
+    """Certify a spec and check the enumerator reaches the same verdict.
+
+    Returns ``(report, agrees)``; the CLI fails the run when any design
+    point's two independent analyses disagree.
+    """
+    certified = certify_spec(spec, max_findings=max_findings)
+    enumerated = verify_spec(
+        spec, max_findings=max_findings, include_faults=True
+    )
+    return certified, enumerator_agrees(certified, enumerated)

@@ -33,6 +33,7 @@ from repro.core.routing import FaultAwareTableRouting, RoutingAlgorithm
 from repro.core.spec import (
     NetworkSpec,
     build_config,
+    build_faults,
     build_routing,
     network_components,
     resolve_topology,
@@ -51,7 +52,7 @@ _P = int(Direction.P)
 _INF = -1
 
 
-def _minimal_hops_fn(config: NetworkConfig) -> Callable[[Coord, Coord], int]:
+def minimal_hops_fn(config: NetworkConfig) -> Callable[[Coord, Coord], int]:
     """Per-pair minimal channel traversals for this design point.
 
     Minimal means monotone (never moving away from the destination):
@@ -106,7 +107,7 @@ class _Enumerator:
         self.topology = (
             topology if topology is not None else Topology(config)
         )
-        self.minimal_hops = _minimal_hops_fn(config)
+        self.minimal_hops = minimal_hops_fn(config)
         # Reverse channel lookup: (arrival tile, input port) -> channel.
         self.rev: Dict[Tuple[Coord, int], Tuple[Coord, Direction]] = {}
         for src, direction, dst in self.topology.channels:
@@ -383,7 +384,10 @@ def verify_config(
 
 
 def verify_spec(
-    spec: NetworkSpec, *, max_findings: int = 8
+    spec: NetworkSpec,
+    *,
+    max_findings: int = 8,
+    include_faults: bool = False,
 ) -> VerificationReport:
     """Statically verify the design point a spec describes.
 
@@ -391,14 +395,26 @@ def verify_spec(
     plugin topologies are verified with their own channels, routing, and
     crossbar matrix — the same components
     :func:`~repro.core.spec.build_network` simulates with.
+
+    ``include_faults`` additionally materializes the spec's seeded
+    :class:`~repro.sim.faults.FaultSchedule` and verifies the resulting
+    fault-aware detour tables (the healthy routing is verified
+    otherwise); the certifier's cross-validation pass uses this so the
+    enumerator and the table certifier judge the same masked tables.
     """
     provider = resolve_topology(spec.topology)
     config = build_config(spec)
+    faults = build_faults(spec, config) if include_faults else None
     components = network_components(
-        config, provider=provider, routing_name=spec.routing
+        config,
+        faults=faults,
+        provider=provider,
+        routing_name=spec.routing,
     )
     matrix: Optional[Matrix] = None
-    if provider.matrix_factory is not None:
+    if provider.matrix_factory is not None or (
+        faults is not None and faults.affects_routing
+    ):
         matrix = components.matrix
     return verify_config(
         config,

@@ -15,8 +15,10 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.params import DorOrder, NetworkConfig
 from repro.core.routing import RoutingAlgorithm, make_fault_aware_routing
+from repro.core.spec import NetworkSpec
+from repro.verify.certify import certify_spec
 from repro.verify.engine import verify_config
-from repro.verify.report import VerificationReport
+from repro.verify.report import CertificationReport, VerificationReport
 
 #: Array sizes the paper's figures evaluate (Figures 6, 9, 11).
 DEFAULT_SIZES: Tuple[Tuple[int, int], ...] = ((8, 8), (16, 8), (64, 8))
@@ -103,6 +105,81 @@ def paper_matrix(
     return grid
 
 
+def paper_spec_matrix(
+    sizes: Sequence[Tuple[int, int]] = DEFAULT_SIZES,
+    ruche_factors: Sequence[int] = DEFAULT_RUCHE_FACTORS,
+    *,
+    include_fault_aware: bool = True,
+) -> List[NetworkSpec]:
+    """The paper's evaluation grid as :class:`NetworkSpec` entries.
+
+    The certification counterpart of :func:`paper_matrix`: the same
+    topology x size x Ruche-Factor sweep, but expressed as specs so
+    each entry carries a content hash and an engine-lowering analysis.
+    ``include_fault_aware`` adds seeded fault-injection entries at the
+    smallest size — unlike :func:`paper_matrix`'s healthy table-routing
+    rows, these materialize a live
+    :class:`~repro.sim.faults.FaultSchedule`, so the certifier proves
+    the actual masked detour tables a degraded campaign would route on.
+    """
+    specs: List[NetworkSpec] = []
+    for width, height in sizes:
+        for name in (
+            "mesh",
+            "torus",
+            "half-torus",
+            "torus-fbfc",
+            "half-torus-fbfc",
+            "multimesh",
+            "ruche1",
+        ):
+            specs.append(NetworkSpec.for_network(name, width, height))
+        specs.append(
+            NetworkSpec.for_network("mesh", width, height, dor_order="yx")
+        )
+        for rf in ruche_factors:
+            if rf >= max(width, height):
+                continue
+            for pop in ("depop", "pop"):
+                specs.append(
+                    NetworkSpec.for_network(
+                        f"ruche{rf}-{pop}", width, height
+                    )
+                )
+                specs.append(
+                    NetworkSpec.for_network(
+                        f"ruche{rf}-{pop}", width, height, half=True
+                    )
+                )
+            specs.append(
+                NetworkSpec.for_network(
+                    f"ruche{rf}-depop",
+                    width,
+                    height,
+                    half=True,
+                    dor_order="yx",
+                )
+            )
+    if include_fault_aware:
+        width, height = min(sizes, key=lambda wh: wh[0] * wh[1])
+        specs.append(
+            NetworkSpec.for_network(
+                "mesh",
+                width,
+                height,
+                fault_links=4,
+                fault_routers=1,
+                fault_seed=7,
+            )
+        )
+        specs.append(
+            NetworkSpec.for_network(
+                "ruche2-depop", width, height, fault_links=3, fault_seed=7
+            )
+        )
+    return specs
+
+
 def verify_matrix(
     grid: Optional[
         Iterable[Tuple[NetworkConfig, Optional[RoutingAlgorithm]]]
@@ -114,3 +191,12 @@ def verify_matrix(
     return [
         verify_config(config, routing) for config, routing in grid
     ]
+
+
+def certify_matrix(
+    specs: Optional[Iterable[NetworkSpec]] = None,
+) -> List[CertificationReport]:
+    """Run :func:`certify_spec` over specs (default: spec matrix)."""
+    if specs is None:
+        specs = paper_spec_matrix()
+    return [certify_spec(spec) for spec in specs]

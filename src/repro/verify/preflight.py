@@ -39,10 +39,9 @@ def engine_problems(engines: Iterable[Optional[str]]) -> List[str]:
     so a typo'd ``--engine compield`` dies before the first row instead
     of hours into a checkpointed campaign.
     """
+    # ENGINES lazily imports repro.sim.simulator on first lookup, so a
+    # preflight-only process still sees the full engine menu.
     from repro.core.registry import ENGINES
-    # Engines register at simulator import; a preflight-only process
-    # must not see an empty registry.
-    import repro.sim.simulator  # noqa: F401
 
     problems: List[str] = []
     for name in dict.fromkeys(engines):
@@ -58,6 +57,8 @@ def engine_problems(engines: Iterable[Optional[str]]) -> List[str]:
 def campaign_preflight(
     configs: Iterable[NetworkConfig],
     engines: Iterable[Optional[str]] = (),
+    *,
+    certify: bool = False,
 ) -> Callable[[], List[str]]:
     """A ``preflight`` callable for :func:`run_campaign`.
 
@@ -66,12 +67,23 @@ def campaign_preflight(
     ``run_campaign`` raises :class:`~repro.errors.ConfigError` when it
     is non-empty.  ``engines`` optionally carries the simulation-engine
     name of each row (``None`` = reference); unknown names are reported
-    as problems alongside the verifier's findings.
+    as problems alongside the verifier's findings.  ``certify``
+    additionally runs the table certifier
+    (:func:`repro.verify.certify.certify_problems`) over the same
+    configs, so masked-port escapes and table/reference mismatches also
+    gate the campaign.
     """
     frozen = list(configs)
     frozen_engines = list(engines)
 
     def preflight() -> List[str]:
-        return engine_problems(frozen_engines) + preflight_problems(frozen)
+        problems = engine_problems(frozen_engines) + preflight_problems(
+            frozen
+        )
+        if certify:
+            from repro.verify.certify import certify_problems
+
+            problems += certify_problems(frozen)
+        return problems
 
     return preflight

@@ -1,4 +1,4 @@
-"""Structured results of one static verification run."""
+"""Structured results of static verification and certification runs."""
 
 from __future__ import annotations
 
@@ -134,3 +134,61 @@ class VerificationReport:
             f"cdg={self.cdg_vertices}v/{self.cdg_edges}e "
             f"max_hops={self.max_hops:<3d} {verdict}"
         )
+
+
+@dataclasses.dataclass
+class CertificationReport(VerificationReport):
+    """A :class:`VerificationReport` proved from exported route tables.
+
+    Produced by :mod:`repro.verify.certify`, which analyzes the flat
+    next-hop tables of :func:`repro.core.routing.tabulate_next_hops`
+    (the representation the compiled engine lowers to) instead of
+    enumerating 2-D coordinates, and therefore also carries the
+    table-specific evidence: the minimality basis actually used, any
+    escapes through fault-masked ports, table entries that disagree with
+    the reference routing function, and the engine-lowering diagnostics
+    of :func:`repro.sim.fastsim.lowering_problems`.
+    """
+
+    #: Registered topology name the tables were exported from (a spec's
+    #: ``topology`` field; the config's paper name for bare configs).
+    topology: str = ""
+    #: ``NetworkSpec.content_hash()`` when certified from a spec — the
+    #: join key into campaign checkpoints and the future result store.
+    spec_hash: Optional[str] = None
+    #: How minimal hop counts were derived: ``"monotone-dor"`` (the
+    #: closed form the builtin DOR algorithms are held to),
+    #: ``"graph-bfs"`` (channel-graph distances, informational, for
+    #: plugin routings), or ``"bfs-tables"`` (fault-aware tables are
+    #: shortest-path by construction; audit skipped).
+    minimality_basis: str = "monotone-dor"
+    #: Table entries that route into a fault-masked link or dead router.
+    masked_escapes: List[str] = dataclasses.field(default_factory=list)
+    #: Table entries that disagree with re-invoking the reference
+    #: routing function (a nondeterministic or inconsistent routing).
+    table_mismatches: List[str] = dataclasses.field(default_factory=list)
+    #: Structured engine-lowering diagnostics (``code`` / ``detail``
+    #: dicts); empty when the design point compiles.
+    lowering: List[Dict[str, str]] = dataclasses.field(default_factory=list)
+    #: Whether the compiled engine accepts this design point; ``None``
+    #: when lowering was not analyzed (bare config without a spec).
+    compiles: Optional[bool] = None
+
+    @property
+    def ok(self) -> bool:
+        return (
+            super().ok
+            and not self.masked_escapes
+            and not self.table_mismatches
+        )
+
+    def problems(self) -> List[str]:
+        out = super().problems()
+        for escape in self.masked_escapes:
+            out.append(f"masked-port escape: {escape}")
+        for mismatch in self.table_mismatches:
+            out.append(f"table/reference mismatch: {mismatch}")
+        return out
+
+    def summary(self) -> str:
+        return super().summary() + f" basis={self.minimality_basis}"

@@ -112,3 +112,34 @@ class TestTopologyProvider:
             routing_factory=lambda config: None,
         )
         assert custom.has_custom_components
+
+
+class TestEnginesLazyPopulation:
+    def test_fresh_process_menu_on_miss_lists_engines(self):
+        """A process that never imported the simulator still gets the
+        full engine menu on an unknown-engine lookup."""
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.core.registry import ENGINES\n"
+            "from repro.errors import ConfigError\n"
+            "try:\n"
+            "    ENGINES.get('bogus')\n"
+            "except ConfigError as exc:\n"
+            "    print(exc)\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+        assert "bogus" in out
+        assert "reference" in out and "compiled" in out
+
+    def test_available_triggers_population(self):
+        from repro.core.registry import ENGINES
+
+        names = ENGINES.available()
+        assert "reference" in names and "compiled" in names

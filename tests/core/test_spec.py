@@ -175,3 +175,81 @@ class TestSpecRunEquivalence:
             spec, warmup=50, measure=100, drain_limit=300, seed=3
         )
         assert result.avg_latency == build_run(spec).avg_latency
+
+
+class TestSpecForConfig:
+    NAMES = (
+        "mesh", "torus", "half-torus", "torus-fbfc", "half-torus-fbfc",
+        "multimesh", "ruche1", "ruche2-depop", "ruche2-pop",
+        "ruche3-depop",
+    )
+
+    def test_round_trips_builtin_families(self):
+        from repro.core.spec import spec_for_config
+
+        for name in self.NAMES:
+            config = NetworkConfig.from_name(name, 16, 8)
+            spec = spec_for_config(config)
+            assert build_config(spec) == config, name
+
+    def test_round_trips_variants(self):
+        from repro.core.params import DorOrder
+        from repro.core.spec import spec_for_config
+
+        variants = [
+            NetworkConfig.from_name("mesh", 8, 8, dor_order=DorOrder.YX),
+            NetworkConfig.from_name("ruche2-depop", 16, 8, half=True),
+            NetworkConfig.from_name(
+                "ruche2-depop", 16, 8, half=True, dor_order=DorOrder.YX
+            ),
+            NetworkConfig.from_name("mesh", 8, 8, edge_memory=True),
+            NetworkConfig.from_name("mesh", 8, 8, channel_latency=2),
+        ]
+        for config in variants:
+            spec = spec_for_config(config)
+            assert build_config(spec) == config, config.name
+
+    def test_extra_spec_fields_pass_through(self):
+        from repro.core.spec import spec_for_config
+
+        config = NetworkConfig.from_name("mesh", 8, 8)
+        spec = spec_for_config(config, pattern="bit_complement", seed=3)
+        assert spec.pattern == "bit_complement"
+        assert spec.seed == 3
+
+    def test_spec_is_json_serializable(self):
+        import json
+
+        from repro.core.params import DorOrder
+        from repro.core.spec import spec_for_config
+
+        config = NetworkConfig.from_name(
+            "mesh", 8, 8, dor_order=DorOrder.YX
+        )
+        spec = spec_for_config(config)
+        payload = json.dumps(spec.to_dict())
+        rebuilt = NetworkSpec.from_dict(json.loads(payload))
+        assert build_config(rebuilt) == config
+
+
+class TestContentHash:
+    def test_stable_across_identical_specs(self):
+        a = NetworkSpec.for_network("mesh", 8, 8, half=False, seed=1)
+        b = NetworkSpec.for_network("mesh", 8, 8, half=False, seed=1)
+        assert a.content_hash() == b.content_hash()
+
+    def test_differs_on_any_field(self):
+        base = NetworkSpec.for_network("mesh", 8, 8)
+        assert (
+            base.content_hash()
+            != NetworkSpec.for_network("mesh", 8, 8, seed=2).content_hash()
+        )
+        assert (
+            base.content_hash()
+            != NetworkSpec.for_network("torus", 8, 8).content_hash()
+        )
+
+    def test_is_hex_sha256(self):
+        digest = NetworkSpec.for_network("mesh", 4, 4).content_hash()
+        assert len(digest) == 64
+        int(digest, 16)  # raises if not hex

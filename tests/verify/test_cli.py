@@ -42,3 +42,102 @@ class TestMatrixMode:
 
     def test_lint_only_mode(self, capsys):
         assert main(["--lint-only"]) == 0
+
+
+PLUGIN_ARGS = [
+    "--load", "examples/plugin_topology.py",
+    "--spec", '{"topology": "express-mesh", "width": 8, "height": 8}',
+]
+
+
+class TestCertifyMode:
+    def test_single_config_certifies(self, capsys):
+        code = main(
+            ["--certify", "--config", "mesh", "--size", "4x4",
+             "--skip-lint"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "basis=monotone-dor" in out
+        assert "0 enumerator disagreement(s)" in out
+
+    def test_json_payload_has_hash_and_provenance(self, tmp_path):
+        target = tmp_path / "certify.json"
+        code = main(
+            ["--certify", "--config", "ruche2-depop", "--size", "4x4",
+             "--skip-lint", "--json", str(target)]
+        )
+        assert code == 0
+        payload = json.loads(target.read_text())
+        assert payload["ok"] is True
+        assert payload["disagreements"] == 0
+        provenance = payload["provenance"]
+        assert provenance["mode"] == "certify"
+        assert "reference" in provenance["engines"]
+        assert provenance["repro_version"]
+        (report,) = payload["reports"]
+        assert len(report["spec_hash"]) == 64
+        assert report["enumerator_agrees"] is True
+        assert report["compiles"] is True
+
+    def test_small_matrix_certifies(self, capsys):
+        code = main(
+            ["--certify", "--sizes", "4x4", "--rf", "2",
+             "--no-fault-aware", "--skip-lint", "--no-cross-validate"]
+        )
+        assert code == 0
+        assert "FAIL" not in capsys.readouterr().out
+
+    def test_plugin_load_and_spec(self, tmp_path):
+        # Subprocess: the test process may already have the example
+        # registered (tests/examples loads it), and a fresh process is
+        # exactly how CI invokes --load.
+        import subprocess
+        import sys
+
+        target = tmp_path / "certify.json"
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.verify", "--certify",
+             "--config", "mesh", "--size", "4x4", "--skip-lint",
+             "--json", str(target), *PLUGIN_ARGS],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+        payload = json.loads(target.read_text())
+        assert payload["verified"] == 2
+        express = payload["reports"][1]
+        assert express["topology"] == "express-mesh"
+        assert express["minimality_basis"] == "graph-bfs"
+        assert [d["code"] for d in express["lowering"]] == [
+            "plugin-components"
+        ]
+
+    def test_missing_plugin_file_is_config_error(self):
+        assert main(
+            ["--certify", "--skip-lint", "--load", "no/such/file.py"]
+        ) == 2
+
+    def test_bad_spec_json_is_config_error(self):
+        assert main(
+            ["--certify", "--skip-lint", "--spec", "{not json"]
+        ) == 2
+
+    def test_spec_missing_key_is_config_error(self):
+        assert main(
+            ["--certify", "--skip-lint", "--spec", '{"topology": "mesh"}']
+        ) == 2
+
+
+class TestVerifyModeProvenance:
+    def test_verify_reports_carry_spec_hash(self, tmp_path):
+        target = tmp_path / "verify.json"
+        code = main(
+            ["--config", "mesh", "--size", "4x4", "--json", str(target),
+             "--skip-lint"]
+        )
+        assert code == 0
+        payload = json.loads(target.read_text())
+        assert payload["provenance"]["mode"] == "verify"
+        (report,) = payload["reports"]
+        assert len(report["spec_hash"]) == 64

@@ -1,0 +1,156 @@
+"""Tests for the conformance lints (``repro.verify.lints``)."""
+
+from repro.verify.lints import (
+    StreamSite,
+    lint_conformance,
+    lint_conformance_source,
+    shared_stream_findings,
+)
+
+
+def findings_of(source, path="mod.py"):
+    findings, _sites = lint_conformance_source(source, path)
+    return findings
+
+
+def sites_of(source, path="mod.py"):
+    _findings, sites = lint_conformance_source(source, path)
+    return sites
+
+
+class TestRngStreamLiteral:
+    def test_literal_stream_is_clean(self):
+        source = 'rng = derive_rng(seed, "timing")\n'
+        assert findings_of(source) == []
+        (site,) = sites_of(source)
+        assert site.stream == "timing" and not site.shared_ok
+
+    def test_literal_keyword_stream_is_clean(self):
+        assert findings_of('derive_rng(seed, stream="dest")\n') == []
+
+    def test_computed_stream_is_flagged(self):
+        (finding,) = findings_of("derive_rng(seed, name)\n")
+        assert finding.rule == "RNG-STREAM-LITERAL"
+
+    def test_fstring_stream_is_flagged(self):
+        (finding,) = findings_of('derive_rng(seed, f"row{i}")\n')
+        assert finding.rule == "RNG-STREAM-LITERAL"
+
+    def test_attribute_call_is_covered(self):
+        (finding,) = findings_of("rng.derive_rng(seed, name)\n")
+        assert finding.rule == "RNG-STREAM-LITERAL"
+
+    def test_allow_pragma_suppresses(self):
+        source = "derive_rng(seed, name)  # lint: allow\n"
+        assert findings_of(source) == []
+
+
+class TestRngStreamShared:
+    def test_same_stream_in_two_modules_is_flagged(self):
+        sites = sites_of(
+            'derive_rng(seed, "timing")\n', "a.py"
+        ) + sites_of('derive_rng(seed, "timing")\n', "b.py")
+        findings = shared_stream_findings(sites)
+        assert len(findings) == 2
+        assert all(f.rule == "RNG-STREAM-SHARED" for f in findings)
+
+    def test_shared_pragma_waives_a_site(self):
+        sites = sites_of(
+            'derive_rng(seed, "timing")  # rng: shared\n', "a.py"
+        ) + sites_of('derive_rng(seed, "timing")\n', "b.py")
+        findings = shared_stream_findings(sites)
+        (finding,) = findings
+        assert finding.path == "b.py"
+
+    def test_same_module_duplication_is_fine(self):
+        source = 'derive_rng(seed, "x")\nderive_rng(seed, "x")\n'
+        assert shared_stream_findings(sites_of(source)) == []
+
+    def test_stream_site_is_frozen(self):
+        site = StreamSite("s", "a.py", 1, 0, False)
+        assert site.stream == "s"
+
+
+class TestSlotsConformance:
+    def test_slotless_subclass_of_slotted_base_is_flagged(self):
+        source = (
+            "class Base:\n"
+            '    __slots__ = ("x",)\n'
+            "class Child(Base):\n"
+            "    pass\n"
+        )
+        (finding,) = findings_of(source)
+        assert finding.rule == "CONF-SLOTS"
+        assert "Child" in finding.message
+
+    def test_slotted_subclass_is_clean(self):
+        source = (
+            "class Base:\n"
+            '    __slots__ = ("x",)\n'
+            "class Child(Base):\n"
+            '    __slots__ = ("y",)\n'
+        )
+        assert findings_of(source) == []
+
+    def test_transitive_slotting_is_tracked(self):
+        source = (
+            "class A:\n"
+            '    __slots__ = ()\n'
+            "class B(A):\n"
+            '    __slots__ = ()\n'
+            "class C(B):\n"
+            "    pass\n"
+        )
+        (finding,) = findings_of(source)
+        assert "C" in finding.message
+
+    def test_unslotted_hierarchy_is_ignored(self):
+        source = "class A:\n    pass\nclass B(A):\n    pass\n"
+        assert findings_of(source) == []
+
+    def test_allow_pragma_suppresses(self):
+        source = (
+            "class Base:\n"
+            '    __slots__ = ("x",)\n'
+            "class Child(Base):  # lint: allow\n"
+            "    pass\n"
+        )
+        assert findings_of(source) == []
+
+
+class TestRegistryDescriptions:
+    def test_register_without_description_is_flagged(self):
+        (finding,) = findings_of('register_topology("mesh")\n')
+        assert finding.rule == "CONF-REG-DESC"
+
+    def test_empty_description_is_flagged(self):
+        source = 'register_routing("dor", description="")\n'
+        (finding,) = findings_of(source)
+        assert finding.rule == "CONF-REG-DESC"
+
+    def test_computed_description_is_flagged(self):
+        source = 'register_router("vc", description=DESC)\n'
+        (finding,) = findings_of(source)
+        assert finding.rule == "CONF-REG-DESC"
+
+    def test_literal_description_is_clean(self):
+        source = 'register_engine("ref", description="the reference")\n'
+        assert findings_of(source) == []
+
+    def test_uppercase_registry_add_is_covered(self):
+        (finding,) = findings_of('ENGINES.add("x", item=f)\n')
+        assert finding.rule == "CONF-REG-DESC"
+        assert "ENGINES.add" in finding.message
+
+    def test_lowercase_receiver_is_not_a_registry(self):
+        assert findings_of('parser.add("x")\n') == []
+
+    def test_registry_module_is_exempt(self):
+        source = 'register_topology("mesh")\n'
+        assert findings_of(source, path="src/repro/core/registry.py") == []
+
+
+class TestRepoIsClean:
+    def test_lint_covered_packages_have_no_findings(self):
+        findings = lint_conformance()
+        assert findings == [], [f.render() for f in findings]
