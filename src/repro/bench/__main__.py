@@ -7,6 +7,7 @@ Examples::
         --baseline BENCH_noc.json                      # CI regression gate
     python -m repro.bench --engine compiled            # one engine only
     python -m repro.bench --profile torus-64x8-ur      # cProfile a case
+    python -m repro.bench --markdown report.json       # render a report
 """
 
 from __future__ import annotations
@@ -20,6 +21,7 @@ from repro.bench import (
     compare_to_baseline,
     load_report,
     profile_case,
+    render_markdown,
     run_bench,
     write_report,
 )
@@ -57,7 +59,17 @@ def main(argv=None) -> int:
         help="cProfile one canonical case (top 20 by cumulative time) "
              "instead of benchmarking; honours --engine",
     )
+    parser.add_argument(
+        "--markdown", metavar="FILE",
+        help="render FILE (a bench report JSON written by --json) as a "
+             "GitHub-flavoured markdown summary on stdout and exit; "
+             "no benchmarks are run",
+    )
     args = parser.parse_args(argv)
+
+    if args.markdown:
+        print(render_markdown(load_report(args.markdown)), end="")
+        return 0
 
     engines = (
         BENCH_ENGINES if args.engine == "both" else (args.engine,)
@@ -93,6 +105,19 @@ def main(argv=None) -> int:
         print(
             f"campaign ({campaign['grid_rows']} rows): {per_jobs}; "
             f"rows identical: {campaign['rows_identical']}{suffix}"
+        )
+    batched = report.get("campaign_batched")
+    if batched is not None:
+        per_mode = ", ".join(
+            f"{label}: {t:.2f}s"
+            for label, t in batched["wall_seconds"].items()
+        )
+        speedup = batched.get("speedup_vs_unbatched")
+        suffix = f"; speedup {speedup:.2f}x" if speedup else ""
+        print(
+            f"campaign batched ({batched['grid_rows']} rows): "
+            f"{per_mode}; rows identical: "
+            f"{batched['rows_identical']}{suffix}"
         )
 
     if args.json:

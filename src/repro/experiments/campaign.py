@@ -160,15 +160,21 @@ def _attempt_row(
     params: Dict[str, Any],
     max_retries: int,
     retry_seed_stride: int,
+    *,
+    first_attempt: int = 0,
+    prior_error: Optional[str] = None,
 ) -> Tuple[Optional[Dict[str, Any]], Optional[str], int]:
     """One row, with the retry-with-fresh-seed loop.
 
     Module-level (and taking only picklable arguments) so the parallel
     path can ship it to worker processes; the serial path calls it
-    directly.  Returns ``(row or None, error string, attempts)``.
+    directly.  ``first_attempt``/``prior_error`` let the batched path
+    resume the loop after its own attempt 0 failed (the retry seeds and
+    attempt counts stay identical to a purely serial run).  Returns
+    ``(row or None, error string, attempts)``.
     """
-    row, error, attempts = None, None, 0
-    for attempt in range(max_retries + 1):
+    row, error, attempts = None, prior_error, first_attempt
+    for attempt in range(first_attempt, max_retries + 1):
         attempts = attempt + 1
         trial = dict(params)
         if attempt and "seed" in trial:
@@ -186,17 +192,44 @@ def _attempt_chunk(
     chunk: List[Tuple[int, Dict[str, Any], str]],
     max_retries: int,
     retry_seed_stride: int,
+    batch_runner: Optional[
+        Callable[[List[Dict[str, Any]]], List[Tuple[Any, Any]]]
+    ] = None,
 ) -> List[Tuple[int, Optional[Dict[str, Any]], Optional[str], int]]:
     """A worker's whole share of the grid, one pool task.
 
     Submitting one chunk per worker instead of one future per row pays
     the pool's pickle/IPC round-trip once per worker, so short rows (the
     compiled engine makes most rows short) are not dominated by
-    scheduling overhead.  Returns ``(idx, row, error, attempts)`` per
-    entry; a worker crash mid-chunk loses only this chunk, which the
-    parent then retries row-at-a-time.
+    scheduling overhead.  With a ``batch_runner`` the whole chunk is
+    additionally *batched*: attempt 0 of every row runs in one
+    structure-of-arrays kernel invocation (``batch_runner(params_list)``
+    returns an in-order ``(row, exception)`` pair per row), and only
+    rows whose batched attempt failed re-enter the serial
+    retry-with-fresh-seed loop from attempt 1 — the batched attempt is
+    bit-identical to serial attempt 0, so retry seeds, attempt counts,
+    and error strings are unchanged.  Returns ``(idx, row, error,
+    attempts)`` per entry; a worker crash mid-chunk loses only this
+    chunk, which the parent then retries row-at-a-time.
     """
-    out = []
+    out: List[Tuple[int, Optional[Dict[str, Any]], Optional[str], int]] = []
+    if batch_runner is not None and chunk:
+        outcomes = batch_runner([params for _idx, params, _key in chunk])
+        for (idx, params, _key), (row, exc) in zip(chunk, outcomes):
+            if row is not None:
+                out.append((idx, row, None, 1))
+                continue
+            prior = f"{type(exc).__name__}: {exc}"
+            row, error, attempts = _attempt_row(
+                runner,
+                params,
+                max_retries,
+                retry_seed_stride,
+                first_attempt=1,
+                prior_error=prior,
+            )
+            out.append((idx, row, error, attempts))
+        return out
     for idx, params, _key in chunk:
         row, error, attempts = _attempt_row(
             runner, params, max_retries, retry_seed_stride
@@ -239,13 +272,18 @@ def _run_parallel(
     max_retries: int,
     retry_seed_stride: int,
     record: Callable[..., None],
+    batch_runner: Optional[
+        Callable[[List[Dict[str, Any]]], List[Tuple[Any, Any]]]
+    ] = None,
 ) -> None:
     """Shard pending rows across a pool, one chunk per worker.
 
     Rows are dealt round-robin (``pending[w::jobs]``) so each worker
     gets an interleaved — hence load-balanced — slice of the grid and
     the whole campaign costs ``jobs`` futures instead of ``len(grid)``.
-    A chunk whose worker dies falls back to the row-at-a-time wave
+    With a ``batch_runner`` each worker additionally runs its chunk as
+    one batched kernel invocation (see :func:`_attempt_chunk`).  A chunk
+    whose worker dies falls back to the row-at-a-time wave
     (:func:`_run_parallel_rows`), where the per-row crash budget
     isolates the poisoned row and the healthy remainder completes.
     """
@@ -263,7 +301,7 @@ def _run_parallel(
         futures = {
             executor.submit(
                 _attempt_chunk, runner, chunk,
-                max_retries, retry_seed_stride,
+                max_retries, retry_seed_stride, batch_runner,
             ): chunk
             for chunk in chunks
         }
@@ -363,6 +401,9 @@ def run_campaign(
     retry_seed_stride: int = 1000,
     preflight: Optional[Callable[[], Sequence[str]]] = None,
     jobs: int = 1,
+    batch_runner: Optional[
+        Callable[[List[Dict[str, Any]]], List[Tuple[Any, Any]]]
+    ] = None,
 ) -> CampaignResult:
     """Run ``runner`` over every parameter dict in ``grid``, hardened.
 
@@ -397,6 +438,18 @@ def run_campaign(
     ``preflight``, when given, runs first and must return a sequence of
     problem strings (empty = verified); any problem raises
     :class:`~repro.errors.ConfigError` before a single row is computed.
+
+    ``batch_runner``, when given, is the batched counterpart of
+    ``runner``: ``batch_runner(params_list)`` returns one ``(row,
+    exception)`` pair per entry, in order, with each row bit-identical
+    to ``runner(params)``.  Attempt 0 of every pending chunk then runs
+    through it as a single structure-of-arrays kernel invocation
+    (serially: the whole pending list is one chunk; in parallel: one
+    chunk per worker), and only rows whose batched attempt failed
+    re-enter the serial retry-with-fresh-seed loop — so row results,
+    retry accounting, and checkpoint bytes are all identical with or
+    without batching.  Like ``runner`` it must be picklable for
+    ``jobs > 1``.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -436,8 +489,19 @@ def run_campaign(
 
     if jobs > 1 and pending and _usable_cpus() > 1:
         _run_parallel(
-            pending, runner, jobs, max_retries, retry_seed_stride, record
+            pending, runner, jobs, max_retries, retry_seed_stride,
+            record, batch_runner,
         )
+    elif batch_runner is not None and pending:
+        # Includes requested jobs > 1 on a single schedulable CPU (see
+        # below); the batched kernel still amortizes interpreter
+        # overhead across the whole pending list there.
+        by_idx = {idx: (params, key) for idx, params, key in pending}
+        for idx, row, error, attempts in _attempt_chunk(
+            runner, pending, max_retries, retry_seed_stride, batch_runner
+        ):
+            params, key = by_idx[idx]
+            record(idx, params, key, row, error, attempts)
     else:
         # Includes requested jobs > 1 on a single schedulable CPU:
         # worker processes cannot overlap row computation there, so the

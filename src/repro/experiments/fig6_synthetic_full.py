@@ -18,6 +18,7 @@ from repro.experiments.sweeps import (
     grid_preflight,
     rate_sweep_grid,
     run_rate_sweep_row,
+    run_rate_sweep_rows,
 )
 
 CONFIG_NAMES = (
@@ -103,6 +104,7 @@ def run(
         _run_row,
         jobs=jobs,
         preflight=grid_preflight(grid) if preflight else None,
+        batch_runner=run_rate_sweep_rows,
     )
     return ExperimentResult(
         experiment_id="fig6",

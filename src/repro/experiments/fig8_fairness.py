@@ -14,7 +14,11 @@ from typing import List, Optional
 from repro.analysis.fairness import FairnessSummary, fairness_comparison
 from repro.experiments.base import ExperimentResult, resolve_scale
 from repro.experiments.campaign import run_campaign
-from repro.experiments.sweeps import grid_preflight, run_fairness_row
+from repro.experiments.sweeps import (
+    grid_preflight,
+    run_fairness_row,
+    run_fairness_rows,
+)
 
 CONFIG_NAMES = ("mesh", "torus", "ruche2-pop", "ruche3-pop")
 
@@ -52,6 +56,7 @@ def run(
         run_fairness_row,
         jobs=jobs,
         preflight=grid_preflight(grid) if preflight else None,
+        batch_runner=run_fairness_rows,
     )
     summaries = {
         row["config"]: FairnessSummary(

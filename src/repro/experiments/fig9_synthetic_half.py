@@ -18,6 +18,7 @@ from repro.experiments.sweeps import (
     grid_preflight,
     rate_sweep_grid,
     run_rate_sweep_row,
+    run_rate_sweep_rows,
 )
 
 BASE_CONFIGS = (
@@ -104,6 +105,7 @@ def run(
         run_rate_sweep_row,
         jobs=jobs,
         preflight=grid_preflight(grid) if preflight else None,
+        batch_runner=run_rate_sweep_rows,
     )
     rows = outcome.rows
     return ExperimentResult(

@@ -41,6 +41,18 @@ def _row_spec(params: Dict[str, Any], rate: float) -> NetworkSpec:
     )
 
 
+def _rate_sweep_row_from_curve(
+    params: Dict[str, Any], curve: Sequence[Any]
+) -> Dict[str, Any]:
+    return {
+        "size": f"{params['width']}x{params['height']}",
+        "pattern": params["pattern"],
+        "config": params["config"],
+        "zero_load_latency": zero_load_point(curve).avg_latency,
+        "saturation_throughput": saturation_throughput(curve),
+    }
+
+
 def run_rate_sweep_row(params: Dict[str, Any]) -> Dict[str, Any]:
     """One campaign row: a full load–latency sweep for one design point.
 
@@ -53,18 +65,50 @@ def run_rate_sweep_row(params: Dict[str, Any]) -> Dict[str, Any]:
     curve = [
         build_run(_row_spec(params, rate)) for rate in params["rates"]
     ]
-    return {
-        "size": f"{params['width']}x{params['height']}",
-        "pattern": params["pattern"],
-        "config": params["config"],
-        "zero_load_latency": zero_load_point(curve).avg_latency,
-        "saturation_throughput": saturation_throughput(curve),
-    }
+    return _rate_sweep_row_from_curve(params, curve)
 
 
-def run_fairness_row(params: Dict[str, Any]) -> Dict[str, Any]:
-    """One campaign row: per-tile latency statistics at low load."""
-    spec = NetworkSpec.for_network(
+def run_rate_sweep_rows(
+    params_list: Sequence[Dict[str, Any]],
+) -> List[Tuple[Optional[Dict[str, Any]], Optional[Exception]]]:
+    """Many rate-sweep rows through one compiled batch.
+
+    The batch ``runner`` counterpart of :func:`run_rate_sweep_row`: the
+    specs of every row's every rate point are stacked into a single
+    :func:`~repro.sim.fastsim.run_compiled_batch` invocation (rows the
+    batch gate rejects transparently run per-spec inside it), and the
+    outcomes are re-sliced into per-row curves.  Returns one
+    ``(row, error)`` pair per entry of ``params_list``, in order: a row
+    dict equal to what :func:`run_rate_sweep_row` would have produced,
+    or the first exception (in rate order) the row's specs raised —
+    exactly the error a serial run would have surfaced first.
+    """
+    from repro.sim.fastsim import run_compiled_batch
+
+    specs: List[NetworkSpec] = []
+    spans: List[Tuple[int, int]] = []
+    for params in params_list:
+        start = len(specs)
+        specs.extend(
+            _row_spec(params, rate) for rate in params["rates"]
+        )
+        spans.append((start, len(specs)))
+    outcomes = run_compiled_batch(specs)
+    out: List[Tuple[Optional[Dict[str, Any]], Optional[Exception]]] = []
+    for params, (start, end) in zip(params_list, spans):
+        slice_ = outcomes[start:end]
+        error = next(
+            (o for o in slice_ if isinstance(o, Exception)), None
+        )
+        if error is not None:
+            out.append((None, error))
+        else:
+            out.append((_rate_sweep_row_from_curve(params, slice_), None))
+    return out
+
+
+def _fairness_spec(params: Dict[str, Any]) -> NetworkSpec:
+    return NetworkSpec.for_network(
         params["config"],
         params["width"],
         params["height"],
@@ -76,7 +120,11 @@ def run_fairness_row(params: Dict[str, Any]) -> Dict[str, Any]:
         seed=params["seed"],
         engine=params.get("engine"),
     )
-    result = build_run(spec, track_per_source=True)
+
+
+def _fairness_row_from_result(
+    params: Dict[str, Any], result: Any
+) -> Dict[str, Any]:
     summary = summarize_per_tile(
         result.config_name, result.metrics.per_source_means()
     )
@@ -87,6 +135,32 @@ def run_fairness_row(params: Dict[str, Any]) -> Dict[str, Any]:
         "min_tile": summary.min_tile,
         "max_tile": summary.max_tile,
     }
+
+
+def run_fairness_row(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One campaign row: per-tile latency statistics at low load."""
+    result = build_run(_fairness_spec(params), track_per_source=True)
+    return _fairness_row_from_result(params, result)
+
+
+def run_fairness_rows(
+    params_list: Sequence[Dict[str, Any]],
+) -> List[Tuple[Optional[Dict[str, Any]], Optional[Exception]]]:
+    """Many fairness rows through one compiled batch.
+
+    Batch counterpart of :func:`run_fairness_row`; see
+    :func:`run_rate_sweep_rows` for the outcome contract.
+    """
+    from repro.sim.fastsim import run_compiled_batch
+
+    specs = [_fairness_spec(params) for params in params_list]
+    outcomes = run_compiled_batch(specs, track_per_source=True)
+    return [
+        (None, o)
+        if isinstance(o, Exception)
+        else (_fairness_row_from_result(params, o), None)
+        for params, o in zip(params_list, outcomes)
+    ]
 
 
 def rate_sweep_grid(

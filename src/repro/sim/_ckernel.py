@@ -10,6 +10,25 @@ commit every grant in discovery order) on the same flat arrays, so the
 equivalence argument of the pure-Python path carries over unchanged —
 the differential tests exercise both paths.
 
+Three kernel surfaces are exported:
+
+``step_noc(StepCtx*)``
+    One cycle of the wormhole/FBFC step loop.
+
+``step_vc(VcCtx*)``
+    One cycle of the dateline-VC (torus) step loop: per-router wavefront
+    allocation over the touched (input, output) pairs, round-robin VC
+    muxing, and the dateline/same-dimension VC transition rules — a
+    literal translation of ``fastsim.step_vc``.
+
+``run_block_noc(StepCtx*, BlockCtx*)`` / ``run_block_vc(VcCtx*, BlockCtx*)``
+    Whole-phase drivers for batched execution: injection (replicating
+    CPython's Mersenne Twister so the timing/destination streams are
+    consumed bit-identically — see ``mt_next``), the step, ejection
+    logging, and the stall/starvation/cycle-budget watchdogs run
+    entirely in C for up to ``count`` cycles, so a batch of runs pays
+    one ctypes call per horizon instead of two Python calls per cycle.
+
 The kernel is strictly optional: when no C compiler is available, the
 compile fails, or ``REPRO_NO_CKERNEL`` is set in the environment,
 :func:`get_kernel` returns ``None`` and the compiled engine falls back
@@ -27,10 +46,11 @@ import tempfile
 import warnings
 from typing import Optional
 
-__all__ = ["StepCtx", "get_kernel"]
+__all__ = ["BlockCtx", "StepCtx", "VcCtx", "get_kernel"]
 
 _I32P = ctypes.POINTER(ctypes.c_int32)
 _I64P = ctypes.POINTER(ctypes.c_int64)
+_U32P = ctypes.POINTER(ctypes.c_uint32)
 
 
 class StepCtx(ctypes.Structure):
@@ -77,6 +97,116 @@ class StepCtx(ctypes.Structure):
     ]
 
 
+class VcCtx(ctypes.Structure):
+    """Mirror of the C ``VcCtx``: the dateline-VC router state block.
+
+    Queue state is flattened over ``(router, input, lane)`` with lane
+    stride ``nvc`` (the P injection port owns a single lane).  Static
+    tables mirror the compiled model: ``dn[r*5+o]`` is the downstream
+    ``down_r*5+down_in`` (or -1 for the ejection sink), ``out_tab`` /
+    ``vcn_tab`` / ``dl_tab`` are the per-destination route/VC/dateline
+    rows, and ``sd`` is the 5x5 same-dimension predicate.
+    """
+
+    _fields_ = [
+        ("R", ctypes.c_int32),
+        ("depth", ctypes.c_int32),
+        ("nvc", ctypes.c_int32),
+        ("track_links", ctypes.c_int32),
+        ("n", ctypes.c_int32),
+        # static tables (per compiled model)
+        ("plist", _I32P),
+        ("pofs", _I32P),
+        ("pcnt", _I32P),
+        ("dn", _I32P),
+        ("feed", _I32P),
+        ("out_tab", _I32P),
+        ("vcn_tab", _I32P),
+        ("dl_tab", _I32P),
+        ("sd", _I32P),
+        # per-run queue state
+        ("buf", _I32P),
+        ("qoff", _I32P),
+        ("qcap", _I32P),
+        ("qhead", _I32P),
+        ("qlen", _I32P),
+        ("vc_rr", _I32P),
+        ("prio", _I32P),
+        ("occ", _I32P),
+        ("dirty", _I32P),
+        # per-packet records (grown by the Python side)
+        ("pout", _I32P),
+        ("povc", _I32P),
+        ("pdest", _I32P),
+        # counters and per-cycle outputs
+        ("hop", _I64P),
+        ("link", _I64P),
+        ("gsq", _I32P),
+        ("gro", _I32P),
+        ("ej", _I32P),
+        ("nej", _I32P),
+    ]
+
+
+class BlockCtx(ctypes.Structure):
+    """Mirror of the C ``BlockCtx``: one batched run's phase driver.
+
+    ``t_mt``/``d_mt`` are CPython Mersenne Twister states (624 words +
+    the output index, exactly ``random.Random.getstate()[1]``) for the
+    timing and destination streams.  ``st`` is the 12-slot ``int64``
+    counter block shared with the Python side: cycle, occupancy,
+    injected total/measured, delivered total/measured, idle cycles,
+    starved cycles, packet count, ejection-log length, stop code, and
+    cycles ran this block.
+    """
+
+    _fields_ = [
+        ("t_mt", _U32P),
+        ("d_mt", _U32P),
+        ("rate", ctypes.c_double),
+        ("n", ctypes.c_int32),
+        ("mode", ctypes.c_int32),
+        ("ubits", ctypes.c_int32),
+        ("count", ctypes.c_int32),
+        ("measured", ctypes.c_int32),
+        ("drain", ctypes.c_int32),
+        ("stall_window", ctypes.c_int32),
+        ("starve_window", ctypes.c_int32),
+        ("target", ctypes.c_int64),
+        ("maxc", ctypes.c_int64),
+        ("dtab", _I32P),
+        ("perm", _I32P),
+        ("subnet", _I32P),
+        ("psrc", _I32P),
+        ("pinj", _I32P),
+        ("pmeas", _I32P),
+        ("st", _I64P),
+        ("ejlog", _I32P),
+    ]
+
+
+# st[] slot indices shared between the C drivers and the Python side.
+ST_CYCLE = 0
+ST_OCC = 1
+ST_INJ_TOTAL = 2
+ST_INJ_MEAS = 3
+ST_DEL_TOTAL = 4
+ST_DEL_MEAS = 5
+ST_IDLE = 6
+ST_STARVED = 7
+ST_NPK = 8
+ST_NEJLOG = 9
+ST_STOP = 10
+ST_RAN = 11
+ST_LEN = 12
+
+# Stop codes written to st[ST_STOP] by the block drivers.
+STOP_BUDGET = 0  # ran `count` cycles
+STOP_STALL = 1
+STOP_STARVE = 2
+STOP_DRAINED = 3
+STOP_MAX_CYCLES = 6
+
 _SOURCE = r"""
 #include <stdint.h>
 
@@ -86,11 +216,90 @@ typedef struct {
     int32_t *buf;
     const int32_t *qoff, *qcap;
     int32_t *qhead, *qlen, *arb, *occ;
-    int32_t *pout;
-    const int32_t *pbase, *pdest;
+    int32_t *pout, *pbase, *pdest;
     int64_t *hop, *link;
     int32_t *gsq, *gro, *ej, *nej;
 } StepCtx;
+
+typedef struct {
+    int32_t R, depth, nvc, track_links, n;
+    const int32_t *plist, *pofs, *pcnt;
+    const int32_t *dn, *feed;
+    const int32_t *out_tab, *vcn_tab, *dl_tab, *sd;
+    int32_t *buf;
+    const int32_t *qoff, *qcap;
+    int32_t *qhead, *qlen, *vc_rr, *prio, *occ, *dirty;
+    int32_t *pout, *povc, *pdest;
+    int64_t *hop, *link;
+    int32_t *gsq, *gro, *ej, *nej;
+} VcCtx;
+
+typedef struct {
+    uint32_t *t_mt, *d_mt;
+    double rate;
+    int32_t n, mode, ubits, count, measured, drain;
+    int32_t stall_window, starve_window;
+    int64_t target, maxc;
+    const int32_t *dtab, *perm, *subnet;
+    int32_t *psrc, *pinj, *pmeas;
+    int64_t *st;
+    int32_t *ejlog;
+} BlockCtx;
+
+/* CPython's Mersenne Twister (_randommodule.c genrand_uint32), operating
+ * on the 625-word state random.Random.getstate()[1] hands out: 624 state
+ * words followed by the output index.  Replicating the generator rather
+ * than calling back into Python lets a whole injection phase run in C
+ * while consuming the timing/destination streams bit-identically.
+ */
+#define MT_N 624
+#define MT_M 397
+
+static uint32_t mt_next(uint32_t *mt)
+{
+    uint32_t idx = mt[MT_N];
+    uint32_t y;
+    if (idx >= MT_N) {
+        static const uint32_t mag[2] = {0u, 0x9908b0dfu};
+        int kk;
+        for (kk = 0; kk < MT_N - MT_M; kk++) {
+            y = (mt[kk] & 0x80000000u) | (mt[kk + 1] & 0x7fffffffu);
+            mt[kk] = mt[kk + MT_M] ^ (y >> 1) ^ mag[y & 1u];
+        }
+        for (; kk < MT_N - 1; kk++) {
+            y = (mt[kk] & 0x80000000u) | (mt[kk + 1] & 0x7fffffffu);
+            mt[kk] = mt[kk + (MT_M - MT_N)] ^ (y >> 1) ^ mag[y & 1u];
+        }
+        y = (mt[MT_N - 1] & 0x80000000u) | (mt[0] & 0x7fffffffu);
+        mt[MT_N - 1] = mt[MT_M - 1] ^ (y >> 1) ^ mag[y & 1u];
+        idx = 0;
+    }
+    y = mt[idx];
+    mt[MT_N] = idx + 1;
+    y ^= y >> 11;
+    y ^= (y << 7) & 0x9d2c5680u;
+    y ^= (y << 15) & 0xefc60000u;
+    y ^= y >> 18;
+    return y;
+}
+
+/* random.Random.random(): 53-bit double in [0, 1). */
+static double mt_random(uint32_t *mt)
+{
+    const uint32_t a = mt_next(mt) >> 5;
+    const uint32_t b = mt_next(mt) >> 6;
+    return (a * 67108864.0 + b) * (1.0 / 9007199254740992.0);
+}
+
+/* random.Random._randbelow(nmax) for nmax < 2**31: draw kbits
+ * (= nmax.bit_length()) top bits, rejecting draws >= nmax. */
+static int32_t mt_below(uint32_t *mt, int32_t nmax, int32_t kbits)
+{
+    uint32_t r = mt_next(mt) >> (32 - kbits);
+    while (r >= (uint32_t)nmax)
+        r = mt_next(mt) >> (32 - kbits);
+    return (int32_t)r;
+}
 
 /* One network cycle for the wormhole / FBFC router kinds.
  *
@@ -102,7 +311,7 @@ typedef struct {
  * phases are literal translations of the pure-Python step loops in
  * repro.sim.fastsim; the pointer trajectories and commit order are
  * identical by construction.  Returns the number of grants; ejected
- * packet ids are written to ej/nej for the Python side to score.
+ * packet ids are written to ej/nej for the caller to score.
  */
 int step_noc(StepCtx *c)
 {
@@ -206,6 +415,316 @@ int step_noc(StepCtx *c)
     *c->nej = nej;
     return ng;
 }
+
+/* One network cycle for the dateline-VC (torus) router kind.
+ *
+ * Per dirty router: collect the requesting (input, output) pairs with a
+ * per-pair lane candidate mask (queue heads only, gated on downstream
+ * lane space), visit them in the wavefront allocator's diagonal order
+ * (rotating priority, input ascending within a diagonal), grant
+ * greedily against the input/output free masks with round-robin VC
+ * muxing, then commit all grants in discovery order applying the
+ * dateline / same-dimension / new-dimension VC transition.  A literal
+ * translation of fastsim.step_vc.
+ */
+int step_vc(VcCtx *c)
+{
+    const int32_t R = c->R, depth = c->depth, nvc = c->nvc, n = c->n;
+    const int32_t *qoff = c->qoff, *qcap = c->qcap;
+    int32_t *qhead = c->qhead, *qlen = c->qlen;
+    int ng = 0, nej = 0;
+    for (int r = 0; r < R; r++) {
+        if (!c->dirty[r])
+            continue;
+        c->dirty[r] = 0;
+        if (!c->occ[r])
+            continue;
+        int cm[25] = {0};
+        int touched[25];
+        int ntouched = 0;
+        const int rb5 = r * 5;
+        const int pc = c->pcnt[r];
+        const int po = c->pofs[r];
+        for (int pi = 0; pi < pc; pi++) {
+            const int i = c->plist[po + pi];
+            const int nlanes = i == 0 ? 1 : nvc;
+            const int lb = (rb5 + i) * nvc;
+            for (int lane = 0; lane < nlanes; lane++) {
+                const int q = lb + lane;
+                if (!qlen[q])
+                    continue;
+                const int pid = c->buf[qoff[q] + qhead[q]];
+                const int o = c->pout[pid];
+                const int code = c->dn[rb5 + o];
+                if (code >= 0
+                    && qlen[code * nvc + c->povc[pid]] >= depth)
+                    continue;
+                const int idx = i * 5 + o;
+                if (!cm[idx])
+                    touched[ntouched++] = idx;
+                cm[idx] |= 1 << lane;
+            }
+        }
+        if (!ntouched)
+            continue;
+        const int base_p = c->prio[r];
+        c->prio[r] = base_p < 4 ? base_p + 1 : 0;
+        /* insertion sort by the wavefront visit key
+         * ((input + output - priority) mod 5, input); keys are unique
+         * per pair so stability is moot. */
+        for (int a = 1; a < ntouched; a++) {
+            const int idx = touched[a];
+            const int key =
+                ((idx / 5 + idx % 5 - base_p + 5) % 5) * 5 + idx / 5;
+            int b = a - 1;
+            while (b >= 0) {
+                const int jdx = touched[b];
+                const int jkey =
+                    ((jdx / 5 + jdx % 5 - base_p + 5) % 5) * 5 + jdx / 5;
+                if (jkey <= key)
+                    break;
+                touched[b + 1] = jdx;
+                b--;
+            }
+            touched[b + 1] = idx;
+        }
+        int in_free = 31, out_free = 31;
+        for (int t = 0; t < ntouched; t++) {
+            const int idx = touched[t];
+            int mask = cm[idx];
+            cm[idx] = 0;
+            const int i = idx / 5;
+            if (!((in_free >> i) & 1))
+                continue;
+            const int o = idx % 5;
+            if (!((out_free >> o) & 1))
+                continue;
+            in_free &= ~(1 << i);
+            out_free &= ~(1 << o);
+            int best;
+            if (mask & (mask - 1)) {
+                const int ptr = c->vc_rr[rb5 + i];
+                int best_key = nvc;
+                int lane = 0;
+                best = 0;
+                while (mask) {
+                    if (mask & 1) {
+                        int key = lane - ptr;
+                        if (key < 0)
+                            key += nvc;
+                        if (key < best_key) {
+                            best_key = key;
+                            best = lane;
+                        }
+                    }
+                    mask >>= 1;
+                    lane++;
+                }
+            } else {
+                best = 0;
+                while (!((mask >> best) & 1))
+                    best++;
+            }
+            c->vc_rr[rb5 + i] = best + 1 < nvc ? best + 1 : 0;
+            c->gsq[ng] = (rb5 + i) * nvc + best;
+            c->gro[ng] = rb5 + o;
+            ng++;
+        }
+    }
+    for (int g = 0; g < ng; g++) {
+        const int sq = c->gsq[g], ro = c->gro[g];
+        const int r = ro / 5, o = ro % 5;
+        const int i = sq / nvc % 5;
+        int h = qhead[sq];
+        const int pid = c->buf[qoff[sq] + h];
+        h++;
+        if (h >= qcap[sq])
+            h = 0;
+        qhead[sq] = h;
+        qlen[sq]--;
+        c->occ[r]--;
+        c->dirty[r] = 1;
+        const int f = c->feed[r * 5 + i];
+        if (f >= 0 && qlen[sq] >= depth - 1)
+            c->dirty[f] = 1;
+        if (c->track_links && o)
+            c->link[r * 9 + o]++;
+        const int code = c->dn[ro];
+        if (code < 0) {
+            c->ej[nej++] = pid;
+        } else {
+            c->hop[o]++;
+            const int down_r = code / 5;
+            const int row = down_r * n + c->pdest[pid];
+            const int out2 = c->out_tab[row];
+            const int avc = c->povc[pid];
+            int v2;
+            if (c->dl_tab[row])
+                v2 = 1;
+            else if (c->sd[(code % 5) * 5 + out2])
+                v2 = avc;
+            else
+                v2 = c->vcn_tab[row];
+            c->pout[pid] = out2;
+            c->povc[pid] = v2;
+            const int dq = code * nvc + avc;
+            int t = qhead[dq] + qlen[dq];
+            if (t >= qcap[dq])
+                t -= qcap[dq];
+            c->buf[qoff[dq] + t] = pid;
+            qlen[dq]++;
+            c->occ[down_r]++;
+            c->dirty[down_r] = 1;
+        }
+    }
+    *c->nej = nej;
+    return ng;
+}
+
+/* Whole-phase block drivers for batched execution.
+ *
+ * Each call runs up to b->count cycles of one phase (warmup, measure,
+ * or drain — blocks never span phases, so b->measured and b->drain are
+ * per-block constants): the injection round (timing draw, destination
+ * draw or table lookup, FIFO push), the router step, the ejection log,
+ * and the stall/starvation/cycle-budget watchdogs — all in the exact
+ * order of fastsim's inject_round()/tick().  Counters live in the
+ * 12-slot int64 st[] block (see the Python-side ST_* constants); the
+ * stop code tells the caller why the block ended:
+ *   0 budget exhausted, 1 stall trip, 2 starvation trip, 3 drained,
+ *   6 max_cycles trip.
+ * On a watchdog/budget trip the loop breaks BEFORE the cycle counter
+ * increments, matching the reference raise points.
+ */
+static int inject_block(void *sctx, VcCtx *vc, BlockCtx *b)
+{
+    /* Injection round shared by both drivers; sctx is the StepCtx when
+     * vc is NULL, else unused. */
+    StepCtx *sc = (StepCtx *)sctx;
+    const int n = b->n;
+    const int measured = b->measured;
+    const int64_t cycle = b->st[0];
+    for (int s = 0; s < n; s++) {
+        if (!(mt_random(b->t_mt) < b->rate))
+            continue;
+        int d;
+        if (b->mode == 0) {
+            d = b->dtab[s];
+            if (d < 0)
+                continue;
+        } else {
+            int idx = mt_below(b->d_mt, n, b->ubits);
+            while (b->perm[idx] == s)
+                idx = mt_below(b->d_mt, n, b->ubits);
+            d = b->perm[idx];
+        }
+        const int pid = (int)b->st[8];
+        b->st[8] = pid + 1;
+        b->psrc[pid] = s;
+        b->pinj[pid] = (int32_t)cycle;
+        b->pmeas[pid] = measured;
+        if (vc) {
+            const int row = s * n + d;
+            vc->pdest[pid] = d;
+            vc->pout[pid] = vc->out_tab[row];
+            vc->povc[pid] = vc->dl_tab[row] ? 1 : vc->vcn_tab[row];
+            const int q = s * 5 * vc->nvc;  /* P port, lane 0 */
+            int t = vc->qhead[q] + vc->qlen[q];
+            if (t >= vc->qcap[q])
+                t -= vc->qcap[q];
+            vc->buf[vc->qoff[q] + t] = pid;
+            vc->qlen[q]++;
+            vc->occ[s]++;
+            vc->dirty[s] = 1;
+        } else {
+            const int base = b->subnet ? b->subnet[s * n + d] * n : 0;
+            sc->pdest[pid] = d;
+            sc->pbase[pid] = base;
+            sc->pout[pid] = sc->rows[sc->rowof[s * 9] * sc->rowlen
+                                     + base + d];
+            const int q = s * 9;  /* P injection queue */
+            int t = sc->qhead[q] + sc->qlen[q];
+            if (t >= sc->qcap[q])
+                t -= sc->qcap[q];
+            sc->buf[sc->qoff[q] + t] = pid;
+            sc->qlen[q]++;
+            sc->occ[s]++;
+        }
+        b->st[1]++;
+        b->st[2]++;
+        if (measured)
+            b->st[3]++;
+    }
+    return 0;
+}
+
+static int run_block(StepCtx *sc, VcCtx *vc, BlockCtx *b)
+{
+    int64_t *st = b->st;
+    const int32_t *ej = vc ? vc->ej : sc->ej;
+    const int32_t *nejp = vc ? vc->nej : sc->nej;
+    int32_t ran = 0;
+    int stop = 0;
+    while (ran < b->count) {
+        inject_block(sc, vc, b);
+        const int moved = vc ? step_vc(vc) : step_noc(sc);
+        const int ne = *nejp;
+        for (int k = 0; k < ne; k++) {
+            const int pid = ej[k];
+            const int at = 2 * (int)st[9];
+            b->ejlog[at] = pid;
+            b->ejlog[at + 1] = (int32_t)st[0];
+            st[9]++;
+            st[1]--;
+            st[4]++;
+            if (b->pmeas[pid])
+                st[5]++;
+        }
+        if (moved) {
+            st[6] = 0;
+        } else if (st[1]) {
+            st[6]++;
+            if (st[6] >= b->stall_window) {
+                stop = 1;
+                break;
+            }
+        }
+        if (b->starve_window >= 0) {
+            if (ne || !st[1]) {
+                st[7] = 0;
+            } else {
+                st[7]++;
+                if (st[7] >= b->starve_window) {
+                    stop = 2;
+                    break;
+                }
+            }
+        }
+        st[0]++;
+        ran++;
+        if (b->maxc >= 0 && st[0] >= b->maxc) {
+            stop = 6;
+            break;
+        }
+        if (b->drain && st[5] >= b->target) {
+            stop = 3;
+            break;
+        }
+    }
+    st[10] = stop;
+    st[11] = ran;
+    return stop;
+}
+
+int run_block_noc(StepCtx *sc, BlockCtx *b)
+{
+    return run_block(sc, (VcCtx *)0, b);
+}
+
+int run_block_vc(VcCtx *vc, BlockCtx *b)
+{
+    return run_block((StepCtx *)0, vc, b);
+}
 """
 
 _lib: Optional[ctypes.CDLL] = None
@@ -246,6 +765,18 @@ def get_kernel() -> Optional[ctypes.CDLL]:
         lib = ctypes.CDLL(out)
         lib.step_noc.argtypes = [ctypes.POINTER(StepCtx)]
         lib.step_noc.restype = ctypes.c_int
+        lib.step_vc.argtypes = [ctypes.POINTER(VcCtx)]
+        lib.step_vc.restype = ctypes.c_int
+        lib.run_block_noc.argtypes = [
+            ctypes.POINTER(StepCtx),
+            ctypes.POINTER(BlockCtx),
+        ]
+        lib.run_block_noc.restype = ctypes.c_int
+        lib.run_block_vc.argtypes = [
+            ctypes.POINTER(VcCtx),
+            ctypes.POINTER(BlockCtx),
+        ]
+        lib.run_block_vc.restype = ctypes.c_int
         _lib = lib
     except Exception as exc:
         _lib = None

@@ -66,9 +66,9 @@ import ctypes
 import dataclasses
 import time
 from array import array
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.core.coords import Direction
+from repro.core.coords import Coord, Direction
 from repro.core.params import NetworkConfig, TopologyKind
 from repro.core.routing import (
     FaultAwareTableRouting,
@@ -90,6 +90,7 @@ from repro.core.spec import (
 )
 from repro.errors import DeadlockError, SimulationTimeout
 from repro.sim import _ckernel
+from repro.sim.faults import FaultSchedule
 from repro.sim.allocator import WavefrontAllocator
 from repro.sim.metrics import LatencyStats, RunMetrics
 from repro.sim.rng import derive_rng
@@ -108,9 +109,11 @@ from repro.sim.watchdog import WatchdogConfig
 
 __all__ = [
     "LoweringDiagnostic",
+    "batching_problems",
     "clear_compile_caches",
     "lowering_problems",
     "run_compiled",
+    "run_compiled_batch",
 ]
 
 #: How often (in cycles) the wall-clock limit is polled (must match the
@@ -204,6 +207,8 @@ class _CompiledModel:
         "vc_wiring",
         # lazily-built flat tables for the native step kernel
         "carrays",
+        "cvarrays",
+        "csubnet",
     )
 
 
@@ -222,6 +227,7 @@ _COMPILE_CACHE: Dict[
 def clear_compile_caches() -> None:
     """Drop every compiled model (bench cold-start / test hygiene)."""
     _COMPILE_CACHE.clear()
+    _PATTERN_CACHE.clear()
 
 
 # ----------------------------------------------------------------------
@@ -329,6 +335,8 @@ def _build_model(
     model.kind = kind
     model.config = config
     model.carrays = None
+    model.cvarrays = None
+    model.csubnet = None
     # Mirrors the reference engine's getattr: only the fault-aware
     # tables expose reachability, and only faulted runs consult it.
     model.reachable = getattr(routing, "reachable", None)
@@ -683,6 +691,131 @@ def _c_arrays(model: _CompiledModel) -> _CArrays:
     return ca
 
 
+class _VcArrays:
+    """Flat int32 tables handed to the native dateline-VC kernel.
+
+    Same content as the per-router ``ports`` / ``vc_wiring`` /
+    ``feeders`` / route-table structures, re-laid-out as contiguous
+    arrays indexed by flat ``(router, port)`` ids (stride 5) and flat
+    ``(router, dest)`` route rows; built once per compiled model.
+    """
+
+    __slots__ = (
+        "plist", "pofs", "pcnt", "dn", "feed", "out", "vcn", "dl", "sd",
+    )
+
+
+def _vc_arrays(model: _CompiledModel) -> _VcArrays:
+    va = model.cvarrays
+    if va is not None:
+        return va
+    R = model.n
+    nports = VCRouter.NUM_PORTS
+    plist: List[int] = []
+    pofs = [0] * R
+    pcnt = [0] * R
+    for r in range(R):
+        pofs[r] = len(plist)
+        plist.extend(model.ports[r])
+        pcnt[r] = len(model.ports[r])
+    dn = [-1] * (R * nports)
+    for r in range(R):
+        for o, wired in enumerate(model.vc_wiring[r]):
+            if wired:  # (down_r, down_in); () sink marker stays -1
+                down_r, down_in = wired
+                dn[r * nports + o] = down_r * nports + down_in
+    feed = [
+        model.feeders[r][i] for r in range(R) for i in range(nports)
+    ]
+    out_f: List[int] = []
+    vcn_f: List[int] = []
+    dl_f: List[int] = []
+    for r in range(R):
+        out_f.extend(model.out_tab[r])
+        vcn_f.extend(model.vcn_tab[r])
+        dl_f.extend(model.dl_tab[r])
+    va = _VcArrays()
+    va.plist = array("i", plist)
+    va.pofs = array("i", pofs)
+    va.pcnt = array("i", pcnt)
+    va.dn = array("i", dn)
+    va.feed = array("i", feed)
+    va.out = array("i", out_f)
+    va.vcn = array("i", vcn_f)
+    va.dl = array("i", dl_f)
+    va.sd = array("i", [1 if f else 0 for f in model.same_dim])
+    model.cvarrays = va
+    return va
+
+
+def _c_subnet(model: _CompiledModel) -> Optional[array]:
+    """The flat subnet table as an int32 array (multimesh only)."""
+    if model.subnet_tab is None:
+        return None
+    tab = model.csubnet
+    if tab is None:
+        tab = model.csubnet = array("i", model.subnet_tab)
+    return tab
+
+
+def _deadlock_error(
+    target: Any,
+    faults: Optional[FaultSchedule],
+    kind: str,
+    window: int,
+    cycle: int,
+    occupancy: int,
+    nodes: Sequence[Coord],
+    n: int,
+    subnet_tab: Any,
+    psrc: Sequence[int],
+    pinj: Sequence[int],
+    pmeas: Sequence[Any],
+    pdest: Sequence[int],
+    pbase: Sequence[int],
+    fill: Any,
+) -> DeadlockError:
+    """Build the reference-identical ``DeadlockError`` for a tripped run.
+
+    Shared by the serial engine and the batch scheduler: rebuilds the
+    object-model network, replays every buffered packet into it via the
+    caller-supplied ``fill(routers, mk)`` callback, and lets the
+    watchdog's snapshot machinery produce the same forensic report a
+    reference run would have raised.
+    """
+    from repro.sim.packet import Packet
+    from repro.sim.watchdog import capture_snapshot
+
+    model_faults = (
+        faults if faults is not None and faults.affects_routing else None
+    )
+    net = build_network(_extraction_target(target), faults=model_faults)
+    routers = [net.routers[coord] for coord in nodes]
+
+    def mk(pid: int) -> Any:
+        return Packet(
+            pid,
+            nodes[psrc[pid]],
+            nodes[pdest[pid]],
+            pinj[pid],
+            subnet=(pbase[pid] // n) if subnet_tab else 0,
+            measured=bool(pmeas[pid]),
+        )
+
+    fill(routers, mk)
+    net.cycle = cycle
+    net.occupancy = occupancy
+    snapshot = capture_snapshot(net, kind, window)
+    verb, noun = (
+        ("moved", "deadlock") if kind == "stall" else ("ejected", "livelock")
+    )
+    return DeadlockError(
+        f"no packet {verb} for {window} cycles with {occupancy} "
+        f"packets in flight: {noun} [{snapshot.summary()}]",
+        snapshot=snapshot,
+    )
+
+
 # ----------------------------------------------------------------------
 # Execution
 # ----------------------------------------------------------------------
@@ -717,7 +850,7 @@ def _execute(
     is_fbfc = model.kind == "fbfc"
     has_faults = faults is not None and faults.has_faults
     transient = faults.transient if faults is not None else ()
-    # The wormhole/fbfc step has a native translation (see _ckernel);
+    # Every router kind has a native step translation (see _ckernel);
     # the pure-Python loops below remain the no-compiler fallback and
     # the executable specification the kernel is checked against.
     # Transient faults force the Python loops: the drop decision draws
@@ -726,10 +859,11 @@ def _execute(
     # table state).
     kernel = (
         _ckernel.get_kernel()
-        if not is_vc and _ARRAYS_OK and not transient
+        if _ARRAYS_OK and not transient
         else None
     )
-    use_c = kernel is not None
+    use_c = kernel is not None and not is_vc
+    use_c_vc = kernel is not None and is_vc
     # Post-pop queue length at/above which the pop changed something the
     # upstream feeder's arbitration can observe (and so must re-run):
     # wormhole/VC read only the full/not-full gate (pre-pop == depth);
@@ -812,7 +946,86 @@ def _execute(
     idle_cycles = 0
     starved_cycles = 0
 
-    if is_vc:
+    if use_c_vc:
+        num_vcs = model.num_vcs
+        nports = VCRouter.NUM_PORTS
+        ports = model.ports
+        out_tab = model.out_tab
+        vcn_tab = model.vcn_tab
+        dl_tab = model.dl_tab
+        va = _vc_arrays(model)
+        # Flat lane ids: (r * 5 + in_port) * num_vcs + lane; the P
+        # injection port owns a single lane (mirroring the reference's
+        # one injection FIFO), capped by the injection-round count.
+        nl = R * nports * num_vcs
+        inj_cap = warmup + measure + drain_limit + 2
+        qcap_l = [0] * nl
+        qoff_l = [0] * nl
+        off = 0
+        for r in range(R):
+            for i in ports[r]:
+                lb = (r * nports + i) * num_vcs
+                nlanes = 1 if i == P_IDX else num_vcs
+                for lane in range(nlanes):
+                    qcap_l[lb + lane] = inj_cap if i == P_IDX else depth
+                    qoff_l[lb + lane] = off
+                    off += qcap_l[lb + lane]
+        buf_a = array("i", bytes(4 * off))
+        qoff_a = array("i", qoff_l)
+        qcap_a = array("i", qcap_l)
+        qhead_a = array("i", bytes(4 * nl))
+        qlen_a = array("i", bytes(4 * nl))
+        vc_rr_a = array("i", bytes(4 * R * nports))
+        prio_a = array("i", bytes(4 * R))
+        occ_a = array("i", bytes(4 * R))
+        dirty_a = array("i", [1] * R)
+        hop_a = array("q", bytes(8 * NUM_DIRS))
+        link_a = array(
+            "q", bytes(8 * (R * NUM_DIRS if track_links else 1))
+        )
+        gsq_a = array("i", bytes(4 * R * nports))
+        gro_a = array("i", bytes(4 * R * nports))
+        ej_a = array("i", bytes(4 * R))
+        nej_a = array("i", bytes(4))
+        pk_cap = 4096
+        pdest_a = array("i", bytes(4 * pk_cap))
+        pout_a = array("i", bytes(4 * pk_cap))
+        povc_a = array("i", bytes(4 * pk_cap))
+        npk = 0
+        vctx = _ckernel.VcCtx()
+        vctx.R = R
+        vctx.depth = depth
+        vctx.nvc = num_vcs
+        vctx.track_links = 1 if track_links else 0
+        vctx.n = n
+        vctx.plist = _ptr32(va.plist)
+        vctx.pofs = _ptr32(va.pofs)
+        vctx.pcnt = _ptr32(va.pcnt)
+        vctx.dn = _ptr32(va.dn)
+        vctx.feed = _ptr32(va.feed)
+        vctx.out_tab = _ptr32(va.out)
+        vctx.vcn_tab = _ptr32(va.vcn)
+        vctx.dl_tab = _ptr32(va.dl)
+        vctx.sd = _ptr32(va.sd)
+        vctx.buf = _ptr32(buf_a)
+        vctx.qoff = _ptr32(qoff_a)
+        vctx.qcap = _ptr32(qcap_a)
+        vctx.qhead = _ptr32(qhead_a)
+        vctx.qlen = _ptr32(qlen_a)
+        vctx.vc_rr = _ptr32(vc_rr_a)
+        vctx.prio = _ptr32(prio_a)
+        vctx.occ = _ptr32(occ_a)
+        vctx.dirty = _ptr32(dirty_a)
+        vctx.pout = _ptr32(pout_a)
+        vctx.povc = _ptr32(povc_a)
+        vctx.pdest = _ptr32(pdest_a)
+        vctx.hop = _ptr64(hop_a)
+        vctx.link = _ptr64(link_a)
+        vctx.gsq = _ptr32(gsq_a)
+        vctx.gro = _ptr32(gro_a)
+        vctx.ej = _ptr32(ej_a)
+        vctx.nej = _ptr32(nej_a)
+    elif is_vc:
         num_vcs = model.num_vcs
         nports = VCRouter.NUM_PORTS
         ports = model.ports
@@ -1029,6 +1242,51 @@ def _execute(
                     injected_total += 1
                     if measured:
                         injected_measured += 1
+    elif use_c_vc:
+        def inject_round(measured: bool) -> None:
+            nonlocal injected_total, injected_measured, occupancy
+            nonlocal npk, pk_cap
+            rnd = timing_random
+            nidx = node_index
+            cyc = cycle
+            qh = qhead_a
+            ql = qlen_a
+            bf = buf_a
+            for s, src in src_list:
+                if rnd() < rate:
+                    dest = dest_fn(src, dest_rng)
+                    if dest is None:
+                        continue
+                    d = nidx[dest]
+                    pid = npk
+                    if pid >= pk_cap:
+                        zeros = bytes(4 * pk_cap)
+                        pdest_a.frombytes(zeros)
+                        pout_a.frombytes(zeros)
+                        povc_a.frombytes(zeros)
+                        pk_cap *= 2
+                        vctx.pdest = _ptr32(pdest_a)
+                        vctx.pout = _ptr32(pout_a)
+                        vctx.povc = _ptr32(povc_a)
+                    npk = pid + 1
+                    pdest_a[pid] = d
+                    pout_a[pid] = out_tab[s][d]
+                    povc_a[pid] = 1 if dl_tab[s][d] else vcn_tab[s][d]
+                    pinj.append(cyc)
+                    pmeas.append(measured)
+                    psrc.append(s)
+                    qi = s * nports * num_vcs  # P port, lane 0
+                    tail = qh[qi] + ql[qi]
+                    if tail >= inj_cap:
+                        tail -= inj_cap
+                    bf[qoff_l[qi] + tail] = pid
+                    ql[qi] += 1
+                    occ_a[s] += 1
+                    dirty_a[s] = 1
+                    occupancy += 1
+                    injected_total += 1
+                    if measured:
+                        injected_measured += 1
     else:
         if is_vc:
             inj_q = tuple(lanes[s][0][0] for s in range(R))
@@ -1079,7 +1337,7 @@ def _execute(
                 if measured:
                     injected_measured += 1
 
-    if not use_c:
+    if not use_c and not use_c_vc:
         inject_round = _inject_round_py
 
     # -- one cycle (two-phase: arbitrate all, then commit all) ----------
@@ -1412,6 +1670,20 @@ def _execute(
             return moved, ne
 
         step = step_c
+    elif use_c_vc:
+        vstep_fn = kernel.step_vc
+        vctx_ref = ctypes.byref(vctx)
+
+        def step_c_vc() -> Tuple[int, int]:
+            moved = vstep_fn(vctx_ref)
+            ne = nej_a[0]
+            if ne:
+                ej = ej_a
+                for k in range(ne):
+                    deliver(ej[k])
+            return moved, ne
+
+        step = step_c_vc
     else:
         step = (
             step_vc if is_vc else (step_fbfc if is_fbfc else step_wormhole)
@@ -1427,62 +1699,62 @@ def _execute(
         # object model, replay every buffered packet into it, and let the
         # watchdog's snapshot machinery produce the same forensic report
         # a reference run would have raised.
-        from repro.sim.packet import Packet
-        from repro.sim.watchdog import capture_snapshot
-
-        model_faults = (
-            faults
-            if faults is not None and faults.affects_routing
-            else None
-        )
-        net = build_network(_extraction_target(target), faults=model_faults)
-        routers = [net.routers[coord] for coord in nodes]
-        pd = pdest_a if use_c else pdest
+        pd = pdest_a if use_c or use_c_vc else pdest
         pb = pbase_a if use_c else pbase
 
-        def mk(pid: int) -> Any:
-            return Packet(
-                pid,
-                nodes[psrc[pid]],
-                nodes[pd[pid]],
-                pinj[pid],
-                subnet=(pb[pid] // n) if subnet_tab else 0,
-                measured=pmeas[pid],
-            )
+        def fill(routers: List[Any], mk: Any) -> None:
+            if use_c_vc:
+                for r in range(R):
+                    for i in ports[r]:
+                        for lane in range(1 if i == P_IDX else num_vcs):
+                            qi = (r * nports + i) * num_vcs + lane
+                            off = qoff_l[qi]
+                            cap = qcap_l[qi]
+                            head = qhead_a[qi]
+                            for k in range(qlen_a[qi]):
+                                routers[r].accept(
+                                    mk(buf_a[off + (head + k) % cap]),
+                                    i,
+                                    lane,
+                                )
+            elif is_vc:
+                for r in range(R):
+                    for i, lane, q, _ib in qlists[r]:
+                        for pid in q:
+                            routers[r].accept(mk(pid), i, lane)
+            elif use_c:
+                for r in range(R):
+                    for i in in_lists[r]:
+                        qi = r * NUM_DIRS + i
+                        off = qoff_l[qi]
+                        cap = qcap_l[qi]
+                        head = qhead_a[qi]
+                        for k in range(qlen_a[qi]):
+                            routers[r].accept(
+                                mk(buf_a[off + (head + k) % cap]), i
+                            )
+            else:
+                for r in range(R):
+                    for i in in_lists[r]:
+                        for pid in qs[r][i]:
+                            routers[r].accept(mk(pid), i)
 
-        if is_vc:
-            for r in range(R):
-                for i, lane, q, _ib in qlists[r]:
-                    for pid in q:
-                        routers[r].accept(mk(pid), i, lane)
-        elif use_c:
-            for r in range(R):
-                for i in in_lists[r]:
-                    qi = r * NUM_DIRS + i
-                    off = qoff_l[qi]
-                    cap = qcap_l[qi]
-                    head = qhead_a[qi]
-                    for k in range(qlen_a[qi]):
-                        routers[r].accept(
-                            mk(buf_a[off + (head + k) % cap]), i
-                        )
-        else:
-            for r in range(R):
-                for i in in_lists[r]:
-                    for pid in qs[r][i]:
-                        routers[r].accept(mk(pid), i)
-        net.cycle = cycle
-        net.occupancy = occupancy
-        snapshot = capture_snapshot(net, kind, window)
-        verb, noun = (
-            ("moved", "deadlock")
-            if kind == "stall"
-            else ("ejected", "livelock")
-        )
-        return DeadlockError(
-            f"no packet {verb} for {window} cycles with {occupancy} "
-            f"packets in flight: {noun} [{snapshot.summary()}]",
-            snapshot=snapshot,
+        return _deadlock_error(
+            target,
+            faults,
+            kind,
+            window,
+            cycle,
+            occupancy,
+            nodes,
+            n,
+            subnet_tab,
+            psrc,
+            pinj,
+            pmeas,
+            pd,
+            pb,
+            fill,
         )
 
     def tick() -> None:
@@ -1535,7 +1807,7 @@ def _execute(
         )
 
     # -- finalize into the reference metric structures ------------------
-    if use_c:
+    if use_c or use_c_vc:
         hop_counts = list(hop_a)
         if track_links:
             link_flat = link_a
@@ -1819,3 +2091,872 @@ def run_compiled(
         max_cycles=max_cycles,
         max_wall_seconds=max_wall_seconds,
     )
+
+
+# ----------------------------------------------------------------------
+# Batched execution
+# ----------------------------------------------------------------------
+# A batch stacks the flat per-run state of N design points — FIFO rings,
+# flit records, route tables, Mersenne Twister states — into one
+# structure-of-arrays arena and steps every run in whole-phase blocks of
+# the native kernel (`run_block_noc` / `run_block_vc`), retiring each
+# run the moment it finishes.  The per-run setup that dominates short
+# campaign rows (ctypes marshalling, Python-loop injection, per-cycle
+# FFI calls) is paid once per block instead of once per cycle.
+#
+# The bit-identity contract extends unchanged: a batched run consumes
+# the same `timing` / `dest` RNG streams in the same order as a serial
+# run of the same spec (the kernel replicates CPython's MT19937,
+# including `random()`'s 53-bit recipe and `randrange`'s top-bits
+# rejection loop), so every counter, latency, and checkpoint byte
+# matches the serial compiled engine — which in turn matches reference.
+# `RunResult.engine` reports `"compiled-batch"` for provenance.
+
+
+class _PoisonPattern(Exception):
+    """Raised when a probed pattern touches its RNG (not tabulable)."""
+
+
+class _PoisonRng:
+    """An RNG stand-in whose every use raises :class:`_PoisonPattern`."""
+
+    __slots__ = ()
+
+    def __getattr__(self, name: str) -> Any:
+        raise _PoisonPattern(name)
+
+
+_POISON_RNG = _PoisonRng()
+
+#: (config, pattern name) -> batch injection plan: ``("table", dtab)``
+#: for deterministic patterns (``-1`` = self-addressed, skipped after
+#: the timing draw), ``("uniform", perm, ubits)`` for the builtin
+#: uniform-random pattern, or ``None`` when the pattern draws from the
+#: dest stream in a way the block kernel cannot replicate.
+_PATTERN_CACHE: Dict[Tuple, Optional[Tuple]] = {}
+
+
+def _pattern_plan(
+    model: _CompiledModel, config: NetworkConfig, pattern: str
+) -> Optional[Tuple]:
+    key = (config, pattern)
+    cached = _PATTERN_CACHE.get(key, _MISSING)
+    if cached is not _MISSING:
+        return cached
+    plan: Optional[Tuple] = None
+    nidx = model.node_index
+    try:
+        fn = build_pattern(pattern, config)
+        vals = array("i", bytes(4 * model.n))
+        for s, src in enumerate(model.nodes):
+            dest = fn(src, _POISON_RNG)
+            vals[s] = -1 if dest is None else nidx[dest]
+        plan = ("table", vals)
+    except _PoisonPattern:
+        # Draws from the dest stream: only the builtin uniform pattern
+        # has a kernel translation (identity check — a plugin override
+        # registered under the same name must not silently batch).
+        from repro.core.registry import PATTERNS
+        from repro.errors import ConfigError
+        from repro.sim import traffic
+
+        try:
+            factory = PATTERNS.get(pattern)
+        except ConfigError:
+            factory = None
+        if factory is traffic.make_uniform:
+            pnodes = traffic._all_nodes(config)
+            if len(pnodes) == model.n:
+                perm = array("i", (nidx[c] for c in pnodes))
+                plan = ("uniform", perm, len(pnodes).bit_length())
+    except Exception:
+        plan = None
+    _PATTERN_CACHE[key] = plan
+    return plan
+
+
+def batching_problems(
+    target: Union[NetworkConfig, NetworkSpec],
+    *,
+    faults: Any = None,
+) -> List[LoweringDiagnostic]:
+    """Why ``target`` cannot join a batched kernel invocation.
+
+    An empty list means :func:`run_compiled_batch` will run this design
+    point inside the shared arena; otherwise each diagnostic names one
+    exact reason it falls back to a per-row serial run.  The batch gate
+    is a strict superset of :func:`lowering_problems`: everything that
+    cannot lower cannot batch, and batching additionally requires a
+    :class:`~repro.core.spec.NetworkSpec` that selects the compiled
+    engine, no fault schedule, no wall-clock budget, a working native
+    block kernel, and a pattern the kernel can replicate.
+    """
+    if not isinstance(target, NetworkSpec):
+        return [
+            LoweringDiagnostic(
+                "engine-not-compiled",
+                "batching requires a NetworkSpec selecting the compiled "
+                "engine (plain configs carry no engine/window fields)",
+            )
+        ]
+    spec = target
+    reasons: List[LoweringDiagnostic] = []
+    if spec.engine != "compiled":
+        reasons.append(
+            LoweringDiagnostic(
+                "engine-not-compiled",
+                f"spec selects engine {spec.engine!r}; batches run only "
+                f"explicitly compiled design points",
+            )
+        )
+    if spec.max_wall_seconds is not None:
+        reasons.append(
+            LoweringDiagnostic(
+                "wall-clock-budget",
+                "wall-clock budgets are polled per cycle by the serial "
+                "engines; block execution cannot honor them",
+            )
+        )
+    cfg = build_config(spec)
+    if faults is None:
+        faults = build_faults(spec, cfg)
+    if faults is not None and faults.has_faults:
+        reasons.append(
+            LoweringDiagnostic(
+                "fault-schedule",
+                "fault schedules (drop streams, degraded injection) run "
+                "per-row on the serial engines",
+            )
+        )
+    reasons.extend(lowering_problems(spec, faults=faults))
+    if reasons:
+        return reasons
+    kernel = _ckernel.get_kernel() if _ARRAYS_OK else None
+    if (
+        kernel is None
+        or not hasattr(kernel, "run_block_noc")
+        or array("I").itemsize != 4
+    ):
+        return [
+            LoweringDiagnostic(
+                "no-native-kernel",
+                "the native block kernel is unavailable (no C compiler, "
+                "REPRO_NO_CKERNEL, or exotic array widths)",
+            )
+        ]
+    model = _compile(
+        spec, cfg, spec.routing, spec.router, spec.allocator, faults=None
+    )
+    if _pattern_plan(model, cfg, spec.pattern) is None:
+        return [
+            LoweringDiagnostic(
+                "pattern-not-batchable",
+                f"pattern {spec.pattern!r} draws from the dest stream in "
+                f"a way the block kernel cannot replicate",
+            )
+        ]
+    return []
+
+
+class _Arena:
+    """One structure-of-arrays allocation backing a whole batch.
+
+    Runs stage their segment layouts (`add32`/`add64`/`addu32` return
+    element offsets) and `seal()` freezes the staging lists into three
+    contiguous arrays — int32 queue/table state, int64 counters, uint32
+    Mersenne Twister states — that every run's ctypes context points
+    into.  Per-packet logs are deliberately *not* arena-resident: their
+    worst case (every injection round hitting) would dwarf the steady
+    state, so they stay growable per-run arrays.
+    """
+
+    __slots__ = ("_s32", "_s64", "_su32", "a32", "a64", "au32")
+
+    def __init__(self) -> None:
+        self._s32: List[int] = []
+        self._s64: List[int] = []
+        self._su32: List[int] = []
+        self.a32: Optional[array] = None
+        self.a64: Optional[array] = None
+        self.au32: Optional[array] = None
+
+    def add32(self, init: Union[int, Sequence[int]]) -> int:
+        off = len(self._s32)
+        if isinstance(init, int):
+            self._s32.extend([0] * init)
+        else:
+            self._s32.extend(init)
+        return off
+
+    def add64(self, size: int) -> int:
+        off = len(self._s64)
+        self._s64.extend([0] * size)
+        return off
+
+    def addu32(self, data: Sequence[int]) -> int:
+        off = len(self._su32)
+        self._su32.extend(data)
+        return off
+
+    def seal(self) -> None:
+        self.a32 = array("i", self._s32)
+        self.a64 = array("q", self._s64)
+        self.au32 = array("I", self._su32)
+        self._s32 = self._s64 = self._su32 = []
+
+    def p32(self, off: int):
+        return ctypes.cast(
+            self.a32.buffer_info()[0] + 4 * off,
+            ctypes.POINTER(ctypes.c_int32),
+        )
+
+    def p64(self, off: int):
+        return ctypes.cast(
+            self.a64.buffer_info()[0] + 8 * off,
+            ctypes.POINTER(ctypes.c_int64),
+        )
+
+    def pu32(self, off: int):
+        return ctypes.cast(
+            self.au32.buffer_info()[0] + 4 * off,
+            ctypes.POINTER(ctypes.c_uint32),
+        )
+
+    def view64(self, off: int, size: int):
+        return memoryview(self.a64)[off:off + size]
+
+
+_PK_CAP0 = 4096  # initial per-run packet-record capacity (doubles)
+_EJ_CAP0 = 8192  # initial per-run ejection-log capacity, in int32 slots
+
+
+class _BatchRun:
+    """One design point's lowered state inside a batch arena."""
+
+    __slots__ = (
+        "spec", "cfg", "model", "plan",
+        "track_per_source", "keep_samples", "track_links",
+        "warmup", "measure", "drain_limit", "seed", "max_cycles",
+        "stall_window", "starvation_window", "is_vc",
+        "qcap_l", "qoff_l", "inj_cap",
+        "buf_off", "qoff_off", "qcap_off", "qhead_off", "qlen_off",
+        "arb_off", "vc_rr_off", "prio_off", "occ_off", "dirty_off",
+        "gsq_off", "gro_off", "ej_off", "nej_off", "tab_off",
+        "hop_off", "link_off", "st_off", "tmt_off", "dmt_off",
+        "i32", "st",
+        "pdest_a", "pbase_a", "pout_a", "povc_a",
+        "psrc_a", "pinj_a", "pmeas_a", "ejlog_a", "pk_cap",
+        "sctx", "vctx", "bctx", "sref", "vref", "bref",
+        "phase", "phase_remaining", "delivered_before",
+        "delivered_during", "drained", "error", "result",
+        "lat_count", "lat_total", "lat_total_sq", "lat_min", "lat_max",
+        "samples", "per_src",
+    )
+
+    def __init__(
+        self,
+        spec: NetworkSpec,
+        cfg: NetworkConfig,
+        model: _CompiledModel,
+        plan: Tuple,
+        *,
+        track_per_source: bool,
+        keep_samples: bool,
+        track_links: bool,
+    ) -> None:
+        self.spec = spec
+        self.cfg = cfg
+        self.model = model
+        self.plan = plan
+        self.track_per_source = track_per_source
+        self.keep_samples = keep_samples
+        self.track_links = track_links
+        self.warmup = spec.warmup
+        self.measure = spec.measure
+        self.drain_limit = spec.drain_limit
+        self.seed = spec.seed
+        self.max_cycles = spec.max_cycles
+        wd = build_watchdog(spec) or WatchdogConfig()
+        self.stall_window = wd.stall_window
+        self.starvation_window = wd.starvation_window
+        self.is_vc = model.kind == "vc"
+        self.phase = 0
+        self.phase_remaining = self.warmup
+        self.delivered_before = 0
+        self.delivered_during = 0
+        self.drained = False
+        self.error: Optional[Exception] = None
+        self.result: Optional[Any] = None
+        self.lat_count = 0
+        self.lat_total = 0
+        self.lat_total_sq = 0
+        self.lat_min: Optional[int] = None
+        self.lat_max: Optional[int] = None
+        self.samples: Optional[List[int]] = [] if keep_samples else None
+        self.per_src: Optional[Dict[int, LatencyStats]] = (
+            {} if track_per_source else None
+        )
+
+    # -- arena layout ---------------------------------------------------
+    def reserve(self, arena: _Arena) -> None:
+        model = self.model
+        R = model.n
+        depth = model.depth
+        self.inj_cap = self.warmup + self.measure + self.drain_limit + 2
+        if self.is_vc:
+            nports = VCRouter.NUM_PORTS
+            num_vcs = model.num_vcs
+            nl = R * nports * num_vcs
+            qcap_l = [0] * nl
+            qoff_l = [0] * nl
+            off = 0
+            for r in range(R):
+                for i in model.ports[r]:
+                    lb = (r * nports + i) * num_vcs
+                    for lane in range(1 if i == P_IDX else num_vcs):
+                        qcap_l[lb + lane] = (
+                            self.inj_cap if i == P_IDX else depth
+                        )
+                        qoff_l[lb + lane] = off
+                        off += qcap_l[lb + lane]
+            nq = nl
+            narb = R * nports
+        else:
+            nq = R * NUM_DIRS
+            qcap_l = [0] * nq
+            qoff_l = [0] * nq
+            off = 0
+            for r in range(R):
+                rb = r * NUM_DIRS
+                for i in model.in_lists[r]:
+                    qcap_l[rb + i] = (
+                        self.inj_cap if i == P_IDX else depth
+                    )
+                    qoff_l[rb + i] = off
+                    off += qcap_l[rb + i]
+            narb = nq
+        self.qcap_l = qcap_l
+        self.qoff_l = qoff_l
+        self.buf_off = arena.add32(off)
+        self.qoff_off = arena.add32(qoff_l)
+        self.qcap_off = arena.add32(qcap_l)
+        self.qhead_off = arena.add32(nq)
+        self.qlen_off = arena.add32(nq)
+        if self.is_vc:
+            self.vc_rr_off = arena.add32(narb)
+            self.prio_off = arena.add32(R)
+            self.dirty_off = arena.add32([1] * R)
+        else:
+            self.arb_off = arena.add32(narb)
+        self.occ_off = arena.add32(R)
+        self.gsq_off = arena.add32(narb)
+        self.gro_off = arena.add32(narb)
+        self.ej_off = arena.add32(R)
+        self.nej_off = arena.add32(1)
+        self.tab_off = arena.add32(self.plan[1])
+        self.hop_off = arena.add64(NUM_DIRS)
+        self.link_off = arena.add64(
+            R * NUM_DIRS if self.track_links else 1
+        )
+        self.st_off = arena.add64(_ckernel.ST_LEN)
+        seed = self.seed
+        self.tmt_off = arena.addu32(
+            derive_rng(seed, "timing").getstate()[1]  # rng: shared
+        )
+        self.dmt_off = arena.addu32(
+            derive_rng(seed, "dest").getstate()[1]  # rng: shared
+        )
+
+    # -- ctypes binding -------------------------------------------------
+    def bind(self, arena: _Arena, kernel: Any) -> None:
+        model = self.model
+        self.i32 = arena.a32
+        self.st = arena.view64(self.st_off, _ckernel.ST_LEN)
+        self.pk_cap = _PK_CAP0
+        zeros = bytes(4 * _PK_CAP0)
+        self.pdest_a = array("i", zeros)
+        self.pout_a = array("i", zeros)
+        self.psrc_a = array("i", zeros)
+        self.pinj_a = array("i", zeros)
+        self.pmeas_a = array("i", zeros)
+        self.ejlog_a = array("i", bytes(4 * _EJ_CAP0))
+        if self.is_vc:
+            self.povc_a = array("i", zeros)
+            va = _vc_arrays(model)
+            c = self.vctx = _ckernel.VcCtx()
+            c.R = model.n
+            c.depth = model.depth
+            c.nvc = model.num_vcs
+            c.track_links = 1 if self.track_links else 0
+            c.n = model.n
+            c.plist = _ptr32(va.plist)
+            c.pofs = _ptr32(va.pofs)
+            c.pcnt = _ptr32(va.pcnt)
+            c.dn = _ptr32(va.dn)
+            c.feed = _ptr32(va.feed)
+            c.out_tab = _ptr32(va.out)
+            c.vcn_tab = _ptr32(va.vcn)
+            c.dl_tab = _ptr32(va.dl)
+            c.sd = _ptr32(va.sd)
+            c.buf = arena.p32(self.buf_off)
+            c.qoff = arena.p32(self.qoff_off)
+            c.qcap = arena.p32(self.qcap_off)
+            c.qhead = arena.p32(self.qhead_off)
+            c.qlen = arena.p32(self.qlen_off)
+            c.vc_rr = arena.p32(self.vc_rr_off)
+            c.prio = arena.p32(self.prio_off)
+            c.occ = arena.p32(self.occ_off)
+            c.dirty = arena.p32(self.dirty_off)
+            c.pout = _ptr32(self.pout_a)
+            c.povc = _ptr32(self.povc_a)
+            c.pdest = _ptr32(self.pdest_a)
+            c.hop = arena.p64(self.hop_off)
+            c.link = arena.p64(self.link_off)
+            c.gsq = arena.p32(self.gsq_off)
+            c.gro = arena.p32(self.gro_off)
+            c.ej = arena.p32(self.ej_off)
+            c.nej = arena.p32(self.nej_off)
+            self.vref = ctypes.byref(c)
+        else:
+            self.pbase_a = array("i", zeros)
+            ca = _c_arrays(model)
+            c = self.sctx = _ckernel.StepCtx()
+            c.R = model.n
+            c.depth = model.depth
+            c.fbfc = 1 if model.kind == "fbfc" else 0
+            c.track_links = 1 if self.track_links else 0
+            c.rowlen = ca.rowlen
+            c.dn = _ptr32(ca.dn)
+            c.ncv = _ptr32(ca.ncv)
+            c.cands = _ptr32(ca.cands)
+            c.pm = _ptr32(ca.pm)
+            c.needs = _ptr32(ca.needs)
+            c.rowof = _ptr32(ca.rowof)
+            c.rows = _ptr32(ca.rows)
+            c.buf = arena.p32(self.buf_off)
+            c.qoff = arena.p32(self.qoff_off)
+            c.qcap = arena.p32(self.qcap_off)
+            c.qhead = arena.p32(self.qhead_off)
+            c.qlen = arena.p32(self.qlen_off)
+            c.arb = arena.p32(self.arb_off)
+            c.occ = arena.p32(self.occ_off)
+            c.pout = _ptr32(self.pout_a)
+            c.pbase = _ptr32(self.pbase_a)
+            c.pdest = _ptr32(self.pdest_a)
+            c.hop = arena.p64(self.hop_off)
+            c.link = arena.p64(self.link_off)
+            c.gsq = arena.p32(self.gsq_off)
+            c.gro = arena.p32(self.gro_off)
+            c.ej = arena.p32(self.ej_off)
+            c.nej = arena.p32(self.nej_off)
+            self.sref = ctypes.byref(c)
+        b = self.bctx = _ckernel.BlockCtx()
+        b.t_mt = arena.pu32(self.tmt_off)
+        b.d_mt = arena.pu32(self.dmt_off)
+        b.rate = self.spec.rate
+        b.n = model.n
+        if self.plan[0] == "table":
+            b.mode = 0
+            b.ubits = 0
+            b.dtab = arena.p32(self.tab_off)
+        else:
+            b.mode = 1
+            b.ubits = self.plan[2]
+            b.perm = arena.p32(self.tab_off)
+        b.stall_window = self.stall_window
+        b.starve_window = (
+            -1 if self.starvation_window is None else self.starvation_window
+        )
+        b.target = 0
+        b.maxc = -1 if self.max_cycles is None else self.max_cycles
+        subnet = None if self.is_vc else _c_subnet(model)
+        if subnet is not None:
+            b.subnet = _ptr32(subnet)
+        b.psrc = _ptr32(self.psrc_a)
+        b.pinj = _ptr32(self.pinj_a)
+        b.pmeas = _ptr32(self.pmeas_a)
+        b.st = arena.p64(self.st_off)
+        b.ejlog = _ptr32(self.ejlog_a)
+        self.bref = ctypes.byref(b)
+
+    # -- growable per-packet logs ---------------------------------------
+    def _ensure_capacity(self, count: int) -> None:
+        st = self.st
+        need_pk = st[_ckernel.ST_NPK] + self.model.n * count
+        if need_pk > self.pk_cap:
+            newcap = self.pk_cap
+            while newcap < need_pk:
+                newcap *= 2
+            grow = bytes(4 * (newcap - self.pk_cap))
+            self.pk_cap = newcap
+            b = self.bctx
+            for a in (self.psrc_a, self.pinj_a, self.pmeas_a):
+                a.frombytes(grow)
+            b.psrc = _ptr32(self.psrc_a)
+            b.pinj = _ptr32(self.pinj_a)
+            b.pmeas = _ptr32(self.pmeas_a)
+            self.pdest_a.frombytes(grow)
+            self.pout_a.frombytes(grow)
+            if self.is_vc:
+                self.povc_a.frombytes(grow)
+                c = self.vctx
+                c.pdest = _ptr32(self.pdest_a)
+                c.pout = _ptr32(self.pout_a)
+                c.povc = _ptr32(self.povc_a)
+            else:
+                self.pbase_a.frombytes(grow)
+                c = self.sctx
+                c.pdest = _ptr32(self.pdest_a)
+                c.pout = _ptr32(self.pout_a)
+                c.pbase = _ptr32(self.pbase_a)
+        need_ej = 2 * (st[_ckernel.ST_OCC] + self.model.n * count)
+        if need_ej > len(self.ejlog_a):
+            newcap = len(self.ejlog_a)
+            while newcap < need_ej:
+                newcap *= 2
+            self.ejlog_a.frombytes(
+                bytes(4 * (newcap - len(self.ejlog_a)))
+            )
+            self.bctx.ejlog = _ptr32(self.ejlog_a)
+
+    # -- block scheduling -----------------------------------------------
+    def advance(self, kernel: Any, budget: int) -> bool:
+        """Run up to ``budget`` cycles; True when this run is finished."""
+        st = self.st
+        while budget > 0:
+            if self.phase == 3:
+                return True
+            if self.phase_remaining <= 0:
+                if self._next_phase():
+                    return True
+                continue
+            count = min(budget, self.phase_remaining)
+            b = self.bctx
+            b.count = count
+            b.measured = 1 if self.phase == 1 else 0
+            b.drain = 1 if self.phase == 2 else 0
+            if self.phase == 2:
+                b.target = st[_ckernel.ST_INJ_MEAS]
+            self._ensure_capacity(count)
+            st[_ckernel.ST_NEJLOG] = 0
+            if self.is_vc:
+                stop = kernel.run_block_vc(self.vref, self.bref)
+            else:
+                stop = kernel.run_block_noc(self.sref, self.bref)
+            ran = st[_ckernel.ST_RAN]
+            self.phase_remaining -= ran
+            budget -= max(ran, 1)
+            self._replay_ejections()
+            if stop == _ckernel.STOP_STALL:
+                self.error = self._watchdog_error(
+                    "stall", int(st[_ckernel.ST_IDLE])
+                )
+            elif stop == _ckernel.STOP_STARVE:
+                self.error = self._watchdog_error(
+                    "starvation", int(st[_ckernel.ST_STARVED])
+                )
+            elif stop == _ckernel.STOP_MAX_CYCLES:
+                self.error = SimulationTimeout(
+                    f"run exceeded its {self.max_cycles}-cycle budget "
+                    f"({int(st[_ckernel.ST_OCC])} packets still in "
+                    f"flight)"
+                )
+            elif stop == _ckernel.STOP_DRAINED:
+                self.drained = True
+                self._finish()
+                return True
+            if self.error is not None:
+                self.phase = 3
+                return True
+        return self.phase == 3
+
+    def _next_phase(self) -> bool:
+        st = self.st
+        if self.phase == 0:
+            self.delivered_before = int(st[_ckernel.ST_DEL_TOTAL])
+            self.phase = 1
+            self.phase_remaining = self.measure
+            return False
+        drained = (
+            st[_ckernel.ST_DEL_MEAS] >= st[_ckernel.ST_INJ_MEAS]
+        )
+        if self.phase == 1:
+            self.delivered_during = (
+                int(st[_ckernel.ST_DEL_TOTAL]) - self.delivered_before
+            )
+            self.phase = 2
+            if drained or self.drain_limit <= 0:
+                self.drained = drained
+                self._finish()
+                return True
+            self.phase_remaining = self.drain_limit
+            return False
+        # Drain budget exhausted without reaching the target.
+        self.drained = drained
+        self._finish()
+        return True
+
+    def _replay_ejections(self) -> None:
+        st = self.st
+        nlog = st[_ckernel.ST_NEJLOG]
+        if not nlog:
+            return
+        ejlog = self.ejlog_a
+        pmeas = self.pmeas_a
+        pinj = self.pinj_a
+        psrc = self.psrc_a
+        samples = self.samples
+        per_src = self.per_src
+        for k in range(nlog):
+            pid = ejlog[2 * k]
+            if not pmeas[pid]:
+                continue
+            lat = ejlog[2 * k + 1] - pinj[pid]
+            self.lat_count += 1
+            self.lat_total += lat
+            self.lat_total_sq += lat * lat
+            if self.lat_min is None or lat < self.lat_min:
+                self.lat_min = lat
+            if self.lat_max is None or lat > self.lat_max:
+                self.lat_max = lat
+            if samples is not None:
+                samples.append(lat)
+            if per_src is not None:
+                stats = per_src.get(psrc[pid])
+                if stats is None:
+                    stats = per_src[psrc[pid]] = LatencyStats()
+                stats.add(lat)
+
+    # -- terminal states ------------------------------------------------
+    def _watchdog_error(self, kind: str, window: int) -> DeadlockError:
+        model = self.model
+        R = model.n
+        i32 = self.i32
+        qoff_l = self.qoff_l
+        qcap_l = self.qcap_l
+        qhead_off = self.qhead_off
+        qlen_off = self.qlen_off
+        buf_off = self.buf_off
+
+        if self.is_vc:
+            nports = VCRouter.NUM_PORTS
+            num_vcs = model.num_vcs
+
+            def fill(routers: List[Any], mk: Any) -> None:
+                for r in range(R):
+                    for i in model.ports[r]:
+                        for lane in range(1 if i == P_IDX else num_vcs):
+                            qi = (r * nports + i) * num_vcs + lane
+                            off = qoff_l[qi]
+                            cap = qcap_l[qi]
+                            head = i32[qhead_off + qi]
+                            for k in range(i32[qlen_off + qi]):
+                                routers[r].accept(
+                                    mk(
+                                        i32[
+                                            buf_off + off
+                                            + (head + k) % cap
+                                        ]
+                                    ),
+                                    i,
+                                    lane,
+                                )
+        else:
+
+            def fill(routers: List[Any], mk: Any) -> None:
+                for r in range(R):
+                    for i in model.in_lists[r]:
+                        qi = r * NUM_DIRS + i
+                        off = qoff_l[qi]
+                        cap = qcap_l[qi]
+                        head = i32[qhead_off + qi]
+                        for k in range(i32[qlen_off + qi]):
+                            routers[r].accept(
+                                mk(i32[buf_off + off + (head + k) % cap]),
+                                i,
+                            )
+
+        return _deadlock_error(
+            self.spec,
+            None,
+            kind,
+            window,
+            int(self.st[_ckernel.ST_CYCLE]),
+            int(self.st[_ckernel.ST_OCC]),
+            model.nodes,
+            model.n,
+            model.subnet_tab,
+            self.psrc_a,
+            self.pinj_a,
+            self.pmeas_a,
+            self.pdest_a,
+            self.pbase_a if not self.is_vc else self.pdest_a,
+            fill,
+        )
+
+    def _finish(self) -> None:
+        from repro.sim.simulator import RunResult
+
+        st = self.st
+        model = self.model
+        self.phase = 3
+        hop_counts = [
+            int(v)
+            for v in memoryview(self.i64_src())[
+                self.hop_off:self.hop_off + NUM_DIRS
+            ]
+        ]
+        metrics = RunMetrics(
+            track_per_source=self.track_per_source,
+            keep_samples=self.keep_samples,
+            track_links=self.track_links,
+        )
+        stats = metrics.measured
+        stats.count = self.lat_count
+        stats.total = self.lat_total
+        stats.total_sq = self.lat_total_sq
+        stats.min = self.lat_min
+        stats.max = self.lat_max
+        if self.samples is not None:
+            stats._samples = self.samples
+        metrics.delivered_total = int(st[_ckernel.ST_DEL_TOTAL])
+        metrics.delivered_measured = int(st[_ckernel.ST_DEL_MEAS])
+        metrics.injected_total = int(st[_ckernel.ST_INJ_TOTAL])
+        metrics.injected_measured = int(st[_ckernel.ST_INJ_MEAS])
+        metrics.dropped_total = 0
+        metrics.dropped_measured = 0
+        metrics.hop_counts = hop_counts
+        if self.per_src is not None:
+            for s, src_stats in self.per_src.items():
+                metrics.per_source[model.nodes[s]] = src_stats
+        if self.track_links:
+            link_counts = metrics.link_counts
+            lv = memoryview(self.i64_src())[
+                self.link_off:self.link_off + model.n * NUM_DIRS
+            ]
+            for r in range(model.n):
+                base = r * NUM_DIRS
+                coord = model.nodes[r]
+                for o in range(1, NUM_DIRS):
+                    count = lv[base + o]
+                    if count:
+                        link_counts[(coord, o)] = int(count)
+        delivered_total = metrics.delivered_total
+        accepted = self.delivered_during / (model.n * self.measure)
+        avg_hops = (
+            sum(hop_counts) / delivered_total
+            if delivered_total
+            else float("nan")
+        )
+        self.result = RunResult(
+            config_name=self.cfg.name,
+            pattern=self.spec.pattern,
+            offered_load=self.spec.rate,
+            accepted_throughput=accepted,
+            avg_latency=stats.mean,
+            stddev_latency=stats.stddev,
+            max_latency=(
+                float(self.lat_max)
+                if self.lat_max is not None
+                else float("nan")
+            ),
+            delivered_measured=metrics.delivered_measured,
+            injected_measured=metrics.injected_measured,
+            drained=self.drained,
+            measure_cycles=self.measure,
+            avg_hops=avg_hops,
+            total_cycles=int(st[_ckernel.ST_CYCLE]),
+            dropped_measured=0,
+            metrics=metrics,
+            engine="compiled-batch",
+        )
+
+    def i64_src(self) -> array:
+        # self.st is a slice view; the link/hop segments live in the
+        # same backing array, reachable through the view's .obj.
+        return self.st.obj
+
+
+def run_compiled_batch(
+    specs: Sequence[NetworkSpec],
+    *,
+    track_per_source: bool = False,
+    keep_samples: bool = False,
+    track_links: bool = False,
+    horizon: int = 4096,
+):
+    """Run many design points through one structure-of-arrays batch.
+
+    Returns one entry per spec, **in order**: a
+    :class:`~repro.sim.simulator.RunResult` on success or the
+    :class:`~repro.errors.SimulationError` the run raised (watchdog
+    trips and cycle-budget overruns are data in a sweep, and one bad
+    design point must not poison its batchmates).  Specs the batch gate
+    rejects (see :func:`batching_problems`) transparently fall back to a
+    per-row :func:`~repro.core.spec.build_run`, so their provenance —
+    ``"compiled"`` or ``"reference"`` instead of ``"compiled-batch"`` —
+    is visible in ``RunResult.engine``.
+
+    Batched runs are scheduled round-robin with a ``horizon``-cycle
+    slice each and retired the moment they finish; results are
+    bit-identical to running each spec serially (same RNG streams, same
+    counters, same error messages), which the differential tests and
+    the campaign checkpoint-byte contract pin down.
+    """
+    from collections import deque
+
+    from repro.core.spec import build_run
+    from repro.errors import SimulationError
+
+    results: List[Any] = [None] * len(specs)
+    batch: List[Tuple[int, _BatchRun]] = []
+    for idx, spec in enumerate(specs):
+        if batching_problems(spec):
+            try:
+                results[idx] = build_run(
+                    spec,
+                    track_per_source=track_per_source,
+                    keep_samples=keep_samples,
+                    track_links=track_links,
+                )
+            except SimulationError as exc:
+                results[idx] = exc
+            continue
+        cfg = build_config(spec)
+        model = _compile(
+            spec, cfg, spec.routing, spec.router, spec.allocator,
+            faults=None,
+        )
+        plan = _pattern_plan(model, cfg, spec.pattern)
+        batch.append(
+            (
+                idx,
+                _BatchRun(
+                    spec,
+                    cfg,
+                    model,
+                    plan,
+                    track_per_source=track_per_source,
+                    keep_samples=keep_samples,
+                    track_links=track_links,
+                ),
+            )
+        )
+    if batch:
+        kernel = _ckernel.get_kernel()
+        arena = _Arena()
+        for _idx, run in batch:
+            run.reserve(arena)
+        arena.seal()
+        for _idx, run in batch:
+            run.bind(arena, kernel)
+        active = deque(batch)
+        while active:
+            idx, run = active.popleft()
+            if run.advance(kernel, horizon):
+                results[idx] = (
+                    run.error if run.error is not None else run.result
+                )
+            else:
+                active.append((idx, run))
+    return results

@@ -268,6 +268,17 @@ def _describe(
             f"    falls back to reference engine: "
             f"{diagnostic['code']}: {diagnostic['detail']}"
         )
+    lowering_codes = {
+        diagnostic["code"]
+        for diagnostic in report_dict.get("lowering", [])
+    }
+    for diagnostic in report_dict.get("batching", []):
+        if diagnostic["code"] in lowering_codes:
+            continue  # already reported as a lowering fallback above
+        summaries.append(
+            f"    excluded from batched execution: "
+            f"{diagnostic['code']}: {diagnostic['detail']}"
+        )
 
 
 def _run_verify(

@@ -552,13 +552,24 @@ def certify_spec(
     )
     report.spec_hash = spec.content_hash()
     # Lazy: keep `import repro.verify` free of the sim layer.
-    from repro.sim.fastsim import lowering_problems
+    from repro.sim.fastsim import batching_problems, lowering_problems
 
     diagnostics = lowering_problems(spec, faults=faults)
     report.lowering = [
         {"code": d.code, "detail": d.detail} for d in diagnostics
     ]
     report.compiles = not diagnostics
+    # Batchability is judged on the compiled engine regardless of the
+    # spec's own engine choice: the question the report answers is "may
+    # this design point join a structure-of-arrays batch", not "was it
+    # asked to".
+    batch_diagnostics = batching_problems(
+        spec.replace(engine="compiled"), faults=faults
+    )
+    report.batching = [
+        {"code": d.code, "detail": d.detail} for d in batch_diagnostics
+    ]
+    report.batchable = not batch_diagnostics
     return report
 
 

@@ -173,6 +173,14 @@ class CertificationReport(VerificationReport):
     #: Whether the compiled engine accepts this design point; ``None``
     #: when lowering was not analyzed (bare config without a spec).
     compiles: Optional[bool] = None
+    #: Structured batchability diagnostics
+    #: (:func:`repro.sim.fastsim.batching_problems` ``code`` / ``detail``
+    #: dicts, lowering codes included); empty when the design point can
+    #: join a structure-of-arrays batch on the compiled engine.
+    batching: List[Dict[str, str]] = dataclasses.field(default_factory=list)
+    #: Whether the batched compiled engine accepts this design point;
+    #: ``None`` when batchability was not analyzed (bare config).
+    batchable: Optional[bool] = None
 
     @property
     def ok(self) -> bool:

@@ -3,11 +3,15 @@
 import pytest
 
 from repro.bench import (
+    BATCHED_SPEEDUP_FLOOR,
+    CAMPAIGN_JOBS_SPEEDUP_FLOOR,
     CASES,
     SCHEMA,
+    SPEEDUP_FLOORS,
     compare_to_baseline,
     load_report,
     measure_case,
+    render_markdown,
     write_report,
 )
 
@@ -186,6 +190,190 @@ class TestEngineAwareGate:
         regressions, notes = compare_to_baseline(report, base)
         assert regressions == []
         assert len(notes) == 1 and "host-dependent" in notes[0]
+
+
+class TestSpeedupFloors:
+    """Pinned engine-level wins gate on speedup_vs_reference."""
+
+    def setup_method(self):
+        self.base = {
+            "schema": SCHEMA,
+            "cases": [
+                _case("torus-64x8-ur", 250.0, engine="reference"),
+                _case("torus-64x8-ur", 5000.0, engine="compiled",
+                      speedup_vs_reference=20.0),
+            ],
+        }
+
+    def test_floor_is_pinned_for_vc_case(self):
+        assert SPEEDUP_FLOORS[("torus-64x8-ur", "compiled")] == 5.0
+
+    def test_speedup_above_floor_passes(self):
+        regressions, _ = compare_to_baseline(self.base, self.base)
+        assert regressions == []
+
+    def test_speedup_below_floor_is_regression(self):
+        report = {
+            "schema": SCHEMA,
+            "cases": [
+                _case("torus-64x8-ur", 250.0, engine="reference"),
+                _case("torus-64x8-ur", 5000.0, engine="compiled",
+                      speedup_vs_reference=3.1),
+            ],
+        }
+        regressions, _ = compare_to_baseline(report, self.base)
+        assert any("pinned floor 5.0x" in r for r in regressions)
+
+    def test_missing_speedup_not_gated(self):
+        """A compiled-only run carries no speedup; the floor cannot
+        apply without a same-run reference measurement."""
+        report = {
+            "schema": SCHEMA,
+            "cases": [
+                _case("torus-64x8-ur", 250.0, engine="reference"),
+                _case("torus-64x8-ur", 5000.0, engine="compiled"),
+            ],
+        }
+        regressions, _ = compare_to_baseline(report, self.base)
+        assert regressions == []
+
+
+class TestCampaignCpuAwareGate:
+    def setup_method(self):
+        self.base = _report({"mesh": 1000.0})
+
+    def _campaign(self, speedup, usable_cpus):
+        return {
+            "rows_identical": True,
+            "speedup": speedup,
+            "usable_cpus": usable_cpus,
+        }
+
+    def test_single_cpu_host_tolerates_speedup_below_one(self):
+        report = _report(
+            {"mesh": 1000.0}, campaign=self._campaign(0.94, 1)
+        )
+        regressions, _ = compare_to_baseline(report, self.base)
+        assert regressions == []
+
+    def test_multi_cpu_host_gates_speedup_below_one(self):
+        report = _report(
+            {"mesh": 1000.0}, campaign=self._campaign(0.94, 2)
+        )
+        regressions, _ = compare_to_baseline(report, self.base)
+        assert any("speedup 0.94 < 1.0" in r for r in regressions)
+
+    def test_four_cpu_host_gates_jobs_floor(self):
+        report = _report(
+            {"mesh": 1000.0}, campaign=self._campaign(1.5, 4)
+        )
+        regressions, _ = compare_to_baseline(report, self.base)
+        assert any(
+            f"below the floor {CAMPAIGN_JOBS_SPEEDUP_FLOOR}x" in r
+            for r in regressions
+        )
+
+    def test_four_cpu_host_passes_above_jobs_floor(self):
+        report = _report(
+            {"mesh": 1000.0}, campaign=self._campaign(2.8, 4)
+        )
+        regressions, _ = compare_to_baseline(report, self.base)
+        assert regressions == []
+
+    def test_two_cpu_host_not_held_to_jobs_floor(self):
+        report = _report(
+            {"mesh": 1000.0}, campaign=self._campaign(1.5, 2)
+        )
+        regressions, _ = compare_to_baseline(report, self.base)
+        assert regressions == []
+
+
+class TestBatchedCampaignGate:
+    def setup_method(self):
+        self.base = _report({"mesh": 1000.0})
+        self.base["campaign_batched"] = {
+            "rows_identical": True, "speedup_vs_unbatched": 2.5,
+        }
+
+    def test_healthy_batched_section_passes(self):
+        report = _report({"mesh": 1000.0})
+        report["campaign_batched"] = {
+            "rows_identical": True, "speedup_vs_unbatched": 2.4,
+        }
+        regressions, _ = compare_to_baseline(report, self.base)
+        assert regressions == []
+
+    def test_nonidentical_batched_rows_are_regression(self):
+        report = _report({"mesh": 1000.0})
+        report["campaign_batched"] = {
+            "rows_identical": False, "speedup_vs_unbatched": 3.0,
+        }
+        regressions, _ = compare_to_baseline(report, self.base)
+        assert any("bit-identity" in r for r in regressions)
+
+    def test_batched_speedup_below_floor_is_regression(self):
+        report = _report({"mesh": 1000.0})
+        report["campaign_batched"] = {
+            "rows_identical": True,
+            "speedup_vs_unbatched": BATCHED_SPEEDUP_FLOOR - 0.5,
+        }
+        regressions, _ = compare_to_baseline(report, self.base)
+        assert any(
+            f"below the floor {BATCHED_SPEEDUP_FLOOR}x" in r
+            for r in regressions
+        )
+
+    def test_dropped_batched_section_is_regression(self):
+        report = _report({"mesh": 1000.0})
+        regressions, _ = compare_to_baseline(report, self.base)
+        assert any(
+            "campaign_batched section missing" in r for r in regressions
+        )
+
+    def test_baseline_without_batched_section_tolerated(self):
+        report = _report({"mesh": 1000.0})
+        regressions, _ = compare_to_baseline(
+            report, _report({"mesh": 1000.0})
+        )
+        assert regressions == []
+
+
+class TestRenderMarkdown:
+    def test_renders_cases_and_campaign_sections(self):
+        report = {
+            "schema": SCHEMA,
+            "mode": "full",
+            "cases": [
+                dict(_case("mesh-8x8-ur", 4500.0, engine="reference"),
+                     total_cycles=617, best_seconds=0.137),
+                dict(_case("mesh-8x8-ur", 27000.0, engine="compiled",
+                           speedup_vs_reference=6.0),
+                     total_cycles=617, best_seconds=0.023),
+            ],
+            "campaign": {
+                "grid_rows": 4,
+                "usable_cpus": 1,
+                "rows_identical": True,
+                "speedup": 0.97,
+                "wall_seconds_by_jobs": {"1": 0.14, "4": 0.15},
+            },
+            "campaign_batched": {
+                "grid_rows": 4,
+                "rows_identical": True,
+                "speedup_vs_unbatched": 2.6,
+                "wall_seconds": {"per_row": 0.4, "batched": 0.15},
+            },
+        }
+        text = render_markdown(report)
+        assert "| mesh-8x8-ur | compiled |" in text
+        assert "6.00x" in text
+        assert "**Campaign scaling**" in text
+        assert "**Batched campaign**" in text
+        assert "2.60x vs per-row" in text
+
+    def test_minimal_report_renders(self):
+        text = render_markdown({"mode": "quick", "cases": []})
+        assert text.startswith("### Bench (quick mode)")
 
 
 class TestSchemaCompatibility:

@@ -10,6 +10,7 @@ per-row crash budget) and checkpoint writes killed mid-flush.
 import glob
 import json
 import os
+import tempfile
 import types
 
 from hypothesis import given, settings
@@ -23,6 +24,7 @@ from repro.experiments.campaign import (
     run_campaign,
 )
 from repro.experiments.fig6_synthetic_full import _run_row, make_grid
+from repro.experiments.sweeps import run_rate_sweep_rows
 
 
 def force_pool(monkeypatch):
@@ -65,6 +67,23 @@ def crash_always(params):
     if params.get("poison"):
         os._exit(17)
     return dict(params, value="fine")
+
+
+def hash_batch_runner(params_list):
+    """Batched counterpart of :func:`hash_runner`: same rows, no errors."""
+    return [(hash_runner(p), None) for p in params_list]
+
+
+def flaky_batch_runner(params_list):
+    """Batched counterpart of :func:`deadlock_until_retried`: attempt 0
+    fails for original seeds, exactly as the serial runner would."""
+    out = []
+    for p in params_list:
+        if p["seed"] < 1000:
+            out.append((None, DeadlockError("wedged at original seed")))
+        else:
+            out.append((dict(p, value=p["seed"]), None))
+    return out
 
 
 # --- serial/parallel equivalence -------------------------------------
@@ -161,6 +180,172 @@ class TestParallelEquivalence:
             assert "jobs" in str(exc)
         else:  # pragma: no cover - failure path
             raise AssertionError("jobs=0 accepted")
+
+
+# --- batched submission ----------------------------------------------
+
+
+class TestBatchedCampaign:
+    """``batch_runner`` must be invisible in every observable output:
+    rows, checkpoint bytes, retry accounting, failure records."""
+
+    def test_fig6_slice_batched_identical_to_serial(self):
+        grid = make_grid("smoke", seed=1, engine="compiled")
+        serial = run_campaign(grid, _run_row)
+        batched = run_campaign(
+            grid, _run_row, batch_runner=run_rate_sweep_rows
+        )
+        assert serial.ok and batched.ok
+        assert batched.rows == serial.rows
+        assert batched.computed == serial.computed == len(grid)
+
+    def test_mixed_batchable_grid_identical(self):
+        """Rows the batch gate rejects (reference engine, engine-less)
+        fall back per-row inside the batch runner; the campaign output
+        is indistinguishable."""
+        grid = make_grid("smoke", seed=1, engine="compiled")[:2]
+        grid += [dict(row) for row in make_grid("smoke", seed=1)[:1]]
+        grid += [
+            dict(row, engine="reference")
+            for row in make_grid("smoke", seed=1)[1:2]
+        ]
+        serial = run_campaign(grid, _run_row)
+        batched = run_campaign(
+            grid, _run_row, batch_runner=run_rate_sweep_rows
+        )
+        assert batched.rows == serial.rows
+
+    def test_batched_checkpoint_bytes_match_serial(self, tmp_path):
+        grid = make_grid("smoke", seed=1, engine="compiled")[:3]
+        serial_path = str(tmp_path / "serial.json")
+        batched_path = str(tmp_path / "batched.json")
+        run_campaign(grid, _run_row,
+                     checkpoint=CheckpointStore(serial_path))
+        run_campaign(grid, _run_row,
+                     checkpoint=CheckpointStore(batched_path),
+                     batch_runner=run_rate_sweep_rows)
+        with open(serial_path, "rb") as fh:
+            serial_bytes = fh.read()
+        with open(batched_path, "rb") as fh:
+            batched_bytes = fh.read()
+        assert serial_bytes == batched_bytes
+
+    def test_batch_failure_resumes_serial_retry_loop(self):
+        """A row whose batched attempt 0 fails re-enters the serial
+        retry loop at attempt 1: same retry seeds, same counters."""
+        grid = [{"config": "mesh", "seed": s} for s in (1, 2, 3)]
+        serial = run_campaign(grid, deadlock_until_retried)
+        batched = run_campaign(
+            grid, deadlock_until_retried,
+            batch_runner=flaky_batch_runner,
+        )
+        assert batched.rows == serial.rows
+        assert batched.retried == serial.retried == 3
+        assert [r["value"] for r in batched.rows] == [1001, 1002, 1003]
+
+    def test_batch_error_is_final_when_retries_exhausted(self):
+        grid = [{"config": "mesh", "seed": 7}]
+        serial = run_campaign(
+            grid, deadlock_until_retried, max_retries=0
+        )
+        batched = run_campaign(
+            grid, deadlock_until_retried, max_retries=0,
+            batch_runner=flaky_batch_runner,
+        )
+        assert batched.rows == serial.rows
+        failed = batched.rows[0]
+        assert failed["failed"] and failed["attempts"] == 1
+        assert "DeadlockError: wedged at original seed" in failed["error"]
+
+    def test_single_row_batch(self):
+        grid = [{"config": "mesh", "load": 0, "seed": 1}]
+        serial = run_campaign(grid, hash_runner)
+        batched = run_campaign(
+            grid, hash_runner, batch_runner=hash_batch_runner
+        )
+        assert batched.rows == serial.rows
+        assert batched.computed == 1
+
+    def test_uneven_final_chunk_under_pool(self, monkeypatch):
+        """7 rows over 3 workers: round-robin chunks of 3/2/2, each
+        submitted as one batch; coverage and order must hold."""
+        force_pool(monkeypatch)
+        grid = [{"config": "mesh", "load": n, "seed": 1}
+                for n in range(7)]
+        serial = run_campaign(grid, hash_runner)
+        parallel = run_campaign(
+            grid, hash_runner, jobs=3,
+            batch_runner=hash_batch_runner,
+        )
+        assert parallel.rows == serial.rows
+        assert parallel.computed == 7
+
+    def test_checkpointed_rows_never_resubmitted_to_batch(
+        self, tmp_path
+    ):
+        grid = [{"config": "mesh", "load": n, "seed": 1}
+                for n in range(4)]
+        path = str(tmp_path / "ckpt.json")
+        store = CheckpointStore(path)
+        store.put(row_key(grid[0]), hash_runner(grid[0]))
+        seen = []
+
+        def recording_batch_runner(params_list):
+            seen.extend(p["load"] for p in params_list)
+            return hash_batch_runner(params_list)
+
+        resumed = run_campaign(
+            grid, hash_runner, checkpoint=CheckpointStore(path),
+            batch_runner=recording_batch_runner,
+        )
+        assert resumed.reused == 1 and resumed.computed == 3
+        assert seen == [1, 2, 3]
+        assert resumed.rows == [hash_runner(p) for p in grid]
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        grid=st.lists(
+            st.fixed_dictionaries(
+                {
+                    "config": st.sampled_from(["mesh", "torus"]),
+                    "load": st.integers(0, 5),
+                    "seed": st.integers(0, 2000),
+                }
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_property_batching_is_invisible(self, grid):
+        """Batched ≡ serial on arbitrary grids — rows, counters, and
+        checkpoint bytes — including rows whose batched attempt fails
+        (seeds < 1000) and rows that fail outright (no retry headroom
+        would be seed >= 1000 already succeeding, so use default)."""
+        with tempfile.TemporaryDirectory() as td:
+            serial_path = os.path.join(td, "serial.json")
+            batched_path = os.path.join(td, "batched.json")
+            serial = run_campaign(
+                grid, deadlock_until_retried,
+                checkpoint=CheckpointStore(serial_path),
+            )
+            batched = run_campaign(
+                grid, deadlock_until_retried,
+                checkpoint=CheckpointStore(batched_path),
+                batch_runner=flaky_batch_runner,
+            )
+            assert batched.rows == serial.rows
+            assert batched.computed == serial.computed
+            assert batched.retried == serial.retried
+            assert len(batched.failures) == len(serial.failures)
+            serial_bytes = (
+                open(serial_path, "rb").read()
+                if os.path.exists(serial_path) else b""
+            )
+            batched_bytes = (
+                open(batched_path, "rb").read()
+                if os.path.exists(batched_path) else b""
+            )
+            assert serial_bytes == batched_bytes
 
 
 # --- worker-crash policy ---------------------------------------------
