@@ -13,7 +13,7 @@ import dataclasses
 from typing import List, Optional, Tuple
 
 from repro.core.params import NetworkConfig
-from repro.core.topology import Topology
+from repro.core.topology import make_topology
 
 
 @dataclasses.dataclass(frozen=True)
@@ -42,7 +42,7 @@ def _ratio(a: int, b: int) -> str:
 
 def bandwidth_row(config: NetworkConfig) -> BandwidthRow:
     """Table 4 row for one design point (Half Ruche / mesh / half-torus)."""
-    topo = Topology(config)
+    topo = make_topology(config)
     width, height = config.width, config.height
     return BandwidthRow(
         network_size=f"{width}x{height}",

@@ -80,6 +80,14 @@ CASES: Dict[str, Dict[str, Any]] = {
         pattern="uniform_random", rate=0.10,
         warmup=200, measure=400, drain_limit=800,
     ),
+    # Beyond-2-D pack: 256 nodes across 4 stacked layers, lowered from
+    # the port-graph IR through the generic route tabulation (no 2-D
+    # closed form anywhere on this path).
+    "torus3d-8x8x4-ur": dict(
+        config=("torus3d", 8, 8, {"depth": 4}),
+        pattern="uniform_random", rate=0.10,
+        warmup=200, measure=400, drain_limit=800,
+    ),
 }
 
 #: Repeats per case: quick keeps CI fast, full feeds the baseline.

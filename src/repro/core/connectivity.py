@@ -186,7 +186,26 @@ def connectivity_matrix(config: NetworkConfig) -> Matrix:
         return (
             HALF_RUCHE_DEPOP_YX if config.depopulated else HALF_RUCHE_POP_YX
         )
+    if kind.is_3d:
+        # Imported lazily: the 3-D pack depends on this module.
+        from repro.core.topo3d import connectivity_matrix_3d
+
+        return connectivity_matrix_3d(config)
     raise ConfigError(f"no connectivity matrix for {kind!r}")
+
+
+def port_turns(matrix: Matrix) -> Dict[int, FrozenSet[int]]:
+    """A connectivity matrix as integer port-id turn sets.
+
+    The port-graph-IR view of a crossbar: ``in_port -> {out_port}``
+    with :class:`~repro.core.coords.Direction` erased, which is what
+    the table certifier consumes (it never sees coordinates or
+    directions, only port ids).
+    """
+    return {
+        int(inp): frozenset(int(out) for out in outs)
+        for inp, outs in matrix.items()
+    }
 
 
 def fault_tolerant_matrix(config: NetworkConfig) -> Matrix:
@@ -202,9 +221,9 @@ def fault_tolerant_matrix(config: NetworkConfig) -> Matrix:
     existing physical models (``max_mux_inputs`` grows to the full port
     count); see the fault-injection section of ``docs/methodology.md``.
     """
-    from repro.core.topology import Topology
+    from repro.core.topology import make_topology
 
-    ports = frozenset(Topology(config).router_directions)
+    ports = frozenset(make_topology(config).router_directions)
     return {inp: ports for inp in ports}
 
 

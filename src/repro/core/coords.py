@@ -170,3 +170,47 @@ class Coord(Tuple[int, int]):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Coord({self[0]}, {self[1]})"
+
+
+class Coord3(Coord):
+    """An immutable ``(x, y, z)`` tile coordinate for 3-D topologies.
+
+    Extends the 2-D convention with ``z`` growing *upward* through the
+    stack; the 3-D topology pack (:mod:`repro.core.topo3d`) rides its
+    ``z`` channels on the otherwise-unused vertical Ruche port pair, so
+    ``Coord3`` nodes flow through the same 9-port machinery as 2-D
+    tiles.  Subclassing :class:`Coord` keeps every coordinate a plain
+    tuple (port-graph fingerprints and route tables hash it
+    canonically) while ``x``/``y`` accessors keep working.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, x: int, y: int, z: int) -> "Coord3":
+        return tuple.__new__(cls, (x, y, z))
+
+    def _xyz(self) -> Tuple[int, int, int]:
+        # Widen away Coord's fixed 2-tuple typing before indexing z.
+        widened: Tuple[int, ...] = self
+        return widened[0], widened[1], widened[2]
+
+    @property
+    def z(self) -> int:
+        return self._xyz()[2]
+
+    def manhattan(self, other: "Coord") -> int:
+        """Manhattan distance over every shared axis."""
+        return sum(abs(a - b) for a, b in zip(self, other))
+
+    def offset(self, dx: int, dy: int) -> "Coord3":
+        """A new coordinate displaced by ``(dx, dy)`` in the same layer."""
+        x, y, z = self._xyz()
+        return Coord3(x + dx, y + dy, z)
+
+    def offset3(self, dx: int, dy: int, dz: int) -> "Coord3":
+        """A new coordinate displaced by ``(dx, dy, dz)``."""
+        x, y, z = self._xyz()
+        return Coord3(x + dx, y + dy, z + dz)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "Coord3({}, {}, {})".format(*self._xyz())

@@ -33,6 +33,8 @@ class TopologyKind(enum.Enum):
     HALF_RUCHE = "half-ruche"
     RUCHE_ONE = "ruche-one"
     MULTI_MESH = "multimesh"
+    MESH3D = "mesh3d"
+    TORUS3D = "torus3d"
 
     @property
     def is_ruche(self) -> bool:
@@ -45,7 +47,16 @@ class TopologyKind(enum.Enum):
 
     @property
     def is_torus(self) -> bool:
+        """The 2-D torus family (VC or FBFC rings).
+
+        Deliberately excludes :data:`TORUS3D`, whose deadlock freedom is
+        always bubble flow control — the 5-port VC router does not apply.
+        """
         return self in (TopologyKind.FOLDED_TORUS, TopologyKind.HALF_TORUS)
+
+    @property
+    def is_3d(self) -> bool:
+        return self in (TopologyKind.MESH3D, TopologyKind.TORUS3D)
 
 
 class DorOrder(enum.Enum):
@@ -115,6 +126,9 @@ class NetworkConfig:
     #: Latency of the long-range Ruche channels, when their wire delay
     #: exceeds a cycle; defaults to ``channel_latency``.
     ruche_channel_latency: Optional[int] = None
+    #: Z extent (layers) for the 3-D topology pack; must be >= 2 for
+    #: ``MESH3D`` / ``TORUS3D`` and exactly 1 for every 2-D family.
+    depth: int = 1
 
     def __post_init__(self) -> None:
         if self.channel_latency < 1:
@@ -149,12 +163,34 @@ class NetworkConfig:
                 )
         else:
             object.__setattr__(self, "ruche_factor", 0)
-        if self.fbfc and not self.kind.is_torus:
+        if self.kind.is_3d:
+            if self.depth < 2:
+                raise ConfigError(
+                    f"{self.kind.value} needs depth >= 2 layers, got "
+                    f"{self.depth} (pass depth=<layers>)"
+                )
+        elif self.depth != 1:
+            raise ConfigError(
+                f"depth applies only to 3-D topologies, got depth="
+                f"{self.depth} for {self.kind.value}"
+            )
+        if self.fbfc and not (self.kind.is_torus or self.kind.is_3d):
+            raise ConfigError("fbfc applies only to torus networks")
+        if self.kind is TopologyKind.TORUS3D and not self.fbfc:
+            raise ConfigError(
+                "torus3d requires fbfc=True: its rings span all three "
+                "axes, beyond the 5-port VC router"
+            )
+        if self.kind is TopologyKind.MESH3D and self.fbfc:
             raise ConfigError("fbfc applies only to torus networks")
         if self.kind.is_torus and not self.fbfc and self.num_vcs < 2:
             raise ConfigError(
                 "torus networks need >= 2 VCs for deadlock freedom "
                 "(or fbfc=True for bubble flow control)"
+            )
+        if self.edge_memory and self.kind.is_3d:
+            raise ConfigError(
+                "edge_memory is not supported for 3-D topologies"
             )
         if self.edge_memory and (
             self.has_vertical_ruche or self.kind is TopologyKind.FOLDED_TORUS
@@ -199,6 +235,11 @@ class NetworkConfig:
             return cls(TopologyKind.FOLDED_TORUS, width, height, **overrides)
         if lowered in ("half-torus", "halftorus", "half_torus"):
             return cls(TopologyKind.HALF_TORUS, width, height, **overrides)
+        if lowered == "mesh3d":
+            return cls(TopologyKind.MESH3D, width, height, **overrides)
+        if lowered == "torus3d":
+            overrides.setdefault("fbfc", True)
+            return cls(TopologyKind.TORUS3D, width, height, **overrides)
         if lowered in ("multimesh", "multi-mesh", "multi_mesh"):
             overrides.setdefault("depopulated", False)
             return cls(TopologyKind.MULTI_MESH, width, height, **overrides)
@@ -246,6 +287,11 @@ class NetworkConfig:
         """Paper-style short name of this design point."""
         if self.kind is TopologyKind.MESH:
             return "mesh"
+        if self.kind is TopologyKind.MESH3D:
+            return "mesh3d"
+        if self.kind is TopologyKind.TORUS3D:
+            # fbfc is mandatory for torus3d, so the name needs no suffix.
+            return "torus3d"
         suffix = "-fbfc" if self.fbfc else ""
         if self.kind is TopologyKind.FOLDED_TORUS:
             return "torus" + suffix
@@ -260,7 +306,7 @@ class NetworkConfig:
 
     @property
     def num_nodes(self) -> int:
-        return self.width * self.height
+        return self.width * self.height * self.depth
 
     @property
     def shape(self) -> Tuple[int, int]:

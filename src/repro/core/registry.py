@@ -157,6 +157,27 @@ class Registry(Generic[T]):
         self._ensure_populated()
         return tuple(sorted(self._items))
 
+    def aliases_of(self, name: str) -> Tuple[str, ...]:
+        """The aliases resolving to canonical ``name``, sorted."""
+        self._ensure_populated()
+        return tuple(
+            sorted(a for a, c in self._aliases.items() if c == name)
+        )
+
+    def menu(self) -> Tuple[Tuple[str, Tuple[str, ...], str], ...]:
+        """``(name, aliases, description)`` rows, sorted by name.
+
+        The registry's printable catalogue — assembled purely from
+        registration metadata, so listing a menu never constructs a
+        component (a registered factory with a heavy import or a
+        validation-time failure still lists cleanly).
+        """
+        self._ensure_populated()
+        return tuple(
+            (name, self.aliases_of(name), self._descriptions[name])
+            for name in self.available()
+        )
+
     def __contains__(self, name: object) -> bool:
         self._ensure_populated()
         return name in self._items or name in self._aliases

@@ -38,18 +38,27 @@ from typing import (
     FrozenSet,
     Iterable,
     List,
+    Mapping,
     Optional,
     Set,
     Tuple,
+    cast,
 )
 
 from repro.core.coords import Coord, Direction
 from repro.core.params import DorOrder, NetworkConfig, TopologyKind
+from repro.core.portgraph import (
+    NodeId,
+    PortChannel,
+    PortGraph,
+    ensure_port_graph,
+)
 from repro.core.registry import register_routing
 from repro.errors import ConfigError, RoutingError
 
 if TYPE_CHECKING:
-    from repro.core.connectivity import Matrix
+    from typing import Union
+
     from repro.core.topology import Topology
 
 # Axis direction tables: (negative local, positive local, negative ruche,
@@ -413,8 +422,8 @@ _BFS_PRIORITY = {
     )
 }
 
-#: A directed link identified by its source tile and output direction.
-LinkId = Tuple[Coord, Direction]
+#: A directed link identified by its source node and output direction.
+LinkId = Tuple[NodeId, Direction]
 
 
 class FaultAwareTableRouting(RoutingAlgorithm):
@@ -455,30 +464,33 @@ class FaultAwareTableRouting(RoutingAlgorithm):
             raise ConfigError(
                 "fault-aware routing does not model edge-memory endpoints"
             )
-        from repro.core.connectivity import fault_tolerant_matrix
-        from repro.core.topology import Topology
+        from repro.core.connectivity import (
+            fault_tolerant_matrix,
+            port_turns,
+        )
+        from repro.core.topology import make_topology
 
-        topology = Topology(config)
+        graph = make_topology(config).port_graph()
         self.dead_nodes: FrozenSet[Coord] = frozenset(dead_nodes)
         self.dead_links: FrozenSet[LinkId] = self._normalize_links(
-            topology, dead_links, self.dead_nodes
+            graph, dead_links, self.dead_nodes
         )
         self._nodes = [
-            n for n in topology.nodes if n not in self.dead_nodes
+            n for n in graph.nodes if n not in self.dead_nodes
         ]
         # Degraded operation assumes the fault-tolerant crossbar: a DOR
         # switch physically lacks the turns detours need (see
         # fault_tolerant_matrix), and the simulator builds its routers
         # with the same matrix whenever faults are active.
-        matrix = fault_tolerant_matrix(config)
-        self._tables = self._build_tables(topology, matrix)
+        turns = port_turns(fault_tolerant_matrix(config))
+        self._tables = self._build_tables(graph, turns)
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     @staticmethod
     def _normalize_links(
-        topology: "Topology",
+        graph: PortGraph,
         dead_links: Iterable[LinkId],
         dead_nodes: FrozenSet[Coord],
     ) -> FrozenSet[LinkId]:
@@ -489,63 +501,68 @@ class FaultAwareTableRouting(RoutingAlgorithm):
         """
         killed: Set[LinkId] = set()
         for src, direction in dead_links:
-            dst = topology.channel_map.get((src, direction))
-            if dst is None:
+            hop = graph.out_map.get((src, int(direction)))
+            if hop is None:
                 raise ConfigError(
                     f"dead link ({tuple(src)}, {direction.name}) does not "
                     f"exist in this topology"
                 )
             killed.add((src, direction))
-            killed.add((dst, direction.opposite))
+            killed.add((hop[0], direction.opposite))
         if dead_nodes:
-            for src, direction, dst in topology.channels:
-                if src in dead_nodes or dst in dead_nodes:
-                    killed.add((src, direction))
-                    killed.add((dst, direction.opposite))
+            for channel in graph.channels:
+                if channel.src in dead_nodes or channel.dst in dead_nodes:
+                    killed.add((channel.src, Direction(channel.out_port)))
+                    killed.add((channel.dst, Direction(channel.in_port)))
         return frozenset(killed)
 
     def _build_tables(
-        self, topology: "Topology", matrix: "Matrix"
-    ) -> Dict[Coord, Dict[Tuple[Coord, int], int]]:
-        """Per-destination next-hop tables over (tile, input port) states."""
-        memory = set(topology.memory_nodes)
-        # Forward state graph: (tile, input) --out--> (next, out.opposite).
+        self, graph: PortGraph, turns: Mapping[int, FrozenSet[int]]
+    ) -> Dict[NodeId, Dict[Tuple[NodeId, int], int]]:
+        """Per-destination next-hop tables over (node, input port) states.
+
+        Pure port-graph construction: channels come from the IR in
+        emitter order (the BFS tie-breaks depend on it), turn legality
+        from the integer turn sets of
+        :func:`~repro.core.connectivity.port_turns`.
+        """
+        routable = frozenset(self._nodes)
+        # Forward state graph: (node, input) --out--> (next, in_port).
         reverse: Dict[
-            Tuple[Coord, int], List[Tuple[Tuple[Coord, int], int]]
+            Tuple[NodeId, int], List[Tuple[Tuple[NodeId, int], int]]
         ] = {}
-        inputs_at: Dict[Coord, List[int]] = {n: [int(Direction.P)] for n in self._nodes}
-        alive: List[Tuple[Coord, Direction, Coord]] = []
-        for src, direction, dst in topology.channels:
-            if src in memory or dst in memory:
+        p_out = graph.ejection_port
+        inputs_at: Dict[NodeId, List[int]] = {
+            n: [p_out] for n in self._nodes
+        }
+        alive: List[PortChannel] = []
+        for channel in graph.channels:
+            if channel.src not in routable or channel.dst not in routable:
                 continue
-            if src in self.dead_nodes or dst in self.dead_nodes:
+            if (channel.src, Direction(channel.out_port)) in self.dead_links:
                 continue
-            if (src, direction) in self.dead_links:
-                continue
-            alive.append((src, direction, dst))
-            inputs_at[dst].append(int(direction.opposite))
-        for src, direction, dst in alive:
-            out = int(direction)
-            succ = (dst, int(direction.opposite))
-            for in_idx in inputs_at[src]:
-                if direction in matrix.get(Direction(in_idx), ()):
+            alive.append(channel)
+            inputs_at[channel.dst].append(channel.in_port)
+        for channel in alive:
+            succ = (channel.dst, channel.in_port)
+            for in_idx in inputs_at[channel.src]:
+                if channel.out_port in turns.get(in_idx, ()):
                     reverse.setdefault(succ, []).append(
-                        ((src, in_idx), out)
+                        ((channel.src, in_idx), channel.out_port)
                     )
-        tables: Dict[Coord, Dict[Tuple[Coord, int], int]] = {}
-        p_out = int(Direction.P)
+        tables: Dict[NodeId, Dict[Tuple[NodeId, int], int]] = {}
         for dest in self._nodes:
-            next_hop: Dict[Tuple[Coord, int], int] = {}
-            frontier: List[Tuple[Coord, int]] = []
+            next_hop: Dict[Tuple[NodeId, int], int] = {}
+            frontier: List[Tuple[NodeId, int]] = []
             for in_idx in inputs_at[dest]:
-                if Direction.P in matrix.get(Direction(in_idx), ()):
+                if p_out in turns.get(in_idx, ()):
                     next_hop[(dest, in_idx)] = p_out
                     frontier.append((dest, in_idx))
             # Level-synchronous BFS with a deterministic, DOR-like
             # tie-break: among predecessors discovered on the same level,
             # each state keeps the output ranked first by _BFS_PRIORITY.
             while frontier:
-                best: Dict[Tuple[Coord, int], int] = {}
+                best: Dict[Tuple[NodeId, int], int] = {}
                 for state in frontier:
                     for pred, out in reverse.get(state, ()):
                         if pred in next_hop:
@@ -579,7 +596,7 @@ class FaultAwareTableRouting(RoutingAlgorithm):
 
     def next_hop_items(
         self, dest: Coord
-    ) -> Iterable[Tuple[Tuple[Coord, int], int]]:
+    ) -> Iterable[Tuple[Tuple[NodeId, int], int]]:
         """All ``((tile, input port), output port)`` entries for ``dest``.
 
         The tabulated form of :meth:`route`, exposed so the compiled
@@ -602,7 +619,7 @@ class FaultAwareTableRouting(RoutingAlgorithm):
         table = self._tables.get(dest)
         return table is not None and (src, int(Direction.P)) in table
 
-    def partitioned_pairs(self) -> List[Tuple[Coord, Coord]]:
+    def partitioned_pairs(self) -> List[Tuple[NodeId, NodeId]]:
         """All (src, dest) pairs of live tiles with no surviving path.
 
         A campaign checks this *before* injecting so that a partitioned
@@ -618,8 +635,8 @@ class FaultAwareTableRouting(RoutingAlgorithm):
         ]
 
 
-#: A flat routing-table state: (tile, input port index, held VC, subnet).
-TableState = Tuple[Coord, int, int, int]
+#: A flat routing-table state: (node, input port index, held VC, subnet).
+TableState = Tuple[NodeId, int, int, int]
 
 #: A next-hop decision: (output port index, output VC).
 TableEntry = Tuple[int, int]
@@ -627,7 +644,7 @@ TableEntry = Tuple[int, int]
 
 def tabulate_next_hops(
     routing: RoutingAlgorithm,
-    topology: "Topology",
+    topology: "Union[Topology, PortGraph]",
     dest: Coord,
     *,
     sources: Optional[Iterable[Coord]] = None,
@@ -637,22 +654,25 @@ def tabulate_next_hops(
 
     This is the flat representation the compiled engine lowers to and
     the static certifier (:mod:`repro.verify.certify`) analyzes: one
-    ``(tile, input port, held VC, subnet) -> (output port, output VC)``
+    ``(node, input port, held VC, subnet) -> (output port, output VC)``
     entry per routing state reachable from injection.  The walk uses
-    only the topology's channel graph (``channel_map`` successors) and
-    the routing's own per-hop function — no coordinate arithmetic — so
-    any registered topology, builtin or plugin, and any
-    :class:`RoutingAlgorithm`, closed-form or table-driven
-    (:class:`FaultAwareTableRouting`), exports identically.
+    only the port-graph IR (``topology`` may be a
+    :class:`~repro.core.portgraph.PortGraph` or anything that emits one
+    via ``port_graph()``) and the routing's own per-hop function — no
+    coordinate arithmetic — so any registered topology, builtin or
+    plugin, and any :class:`RoutingAlgorithm`, closed-form or
+    table-driven (:class:`FaultAwareTableRouting`), exports
+    identically.
 
     ``sources`` restricts the injection frontier (the certifier passes
-    only fault-reachable sources); default is every topology node.
+    only fault-reachable sources); default is every graph node.
     Route computations that raise, and outputs with no wired channel,
     are reported through ``on_error`` — an unwired output keeps its
     table entry (the entry *is* the defect), a raising state gets none.
-    Ejections appear as entries whose output port is ``P``.
+    Ejections appear as entries whose output port is the graph's
+    ejection port.
     """
-    channel_map = topology.channel_map
+    graph = ensure_port_graph(topology)
     # Key VC usage on the deployed router discipline, not the routing
     # class: an FBFC torus instantiates TorusDOR (uses_vcs=True) but its
     # FbfcRouter consumes single-VC route() — bubble flow control, no
@@ -663,17 +683,21 @@ def tabulate_next_hops(
         uses_vcs = routing_config.uses_vcs
     else:
         uses_vcs = routing.uses_vcs
-    p_idx = int(Direction.P)
+    p_idx = graph.ejection_port
     table: Dict[TableState, TableEntry] = {}
     frontier: List[TableState] = [
         (src, p_idx, 0, routing.injection_subnet(src, dest))
-        for src in (topology.nodes if sources is None else sources)
+        for src in cast(
+            "Iterable[Coord]",
+            graph.nodes if sources is None else sources,
+        )
     ]
     while frontier:
         state = frontier.pop()
         if state in table:
             continue
-        node, in_idx, in_vc, subnet = state
+        raw_node, in_idx, in_vc, subnet = state
+        node = cast(Coord, raw_node)
         try:
             if uses_vcs:
                 out, out_vc = routing.route_vc(
@@ -690,18 +714,19 @@ def tabulate_next_hops(
         table[state] = (out_idx, out_vc)
         if out_idx == p_idx:
             continue
-        nxt = channel_map.get((node, out))
-        if nxt is None:
+        hop = graph.out_map.get((node, out_idx))
+        if hop is None:
             if on_error is not None:
                 on_error(
                     state,
                     RoutingError(
-                        f"{tuple(node)} routed {out.name} but no such "
-                        f"channel is wired"
+                        f"{tuple(node)} routed {graph.port_name(out_idx)} "
+                        f"but no such channel is wired"
                     ),
                 )
             continue
-        frontier.append((nxt, int(out.opposite), out_vc, subnet))
+        nxt, in_port, _latency = hop
+        frontier.append((nxt, in_port, out_vc, subnet))
     return table
 
 
@@ -737,6 +762,11 @@ def make_routing(config: NetworkConfig) -> RoutingAlgorithm:
         return MultiMeshRouting(config)
     if kind.is_torus:
         return TorusDOR(config)
+    if kind.is_3d:
+        # Imported lazily: the 3-D pack depends on this module.
+        from repro.core.topo3d import make_routing_3d
+
+        return make_routing_3d(config)
     raise RoutingError(f"no routing algorithm for {kind!r}")
 
 

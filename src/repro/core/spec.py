@@ -53,7 +53,7 @@ from repro.core.routing import (
     make_fault_aware_routing,
     make_routing,
 )
-from repro.core.topology import Topology
+from repro.core.topology import Topology, make_topology
 from repro.errors import ConfigError
 
 if TYPE_CHECKING:
@@ -334,6 +334,7 @@ def spec_for_config(
         "edge_memory",
         "channel_latency",
         "ruche_channel_latency",
+        "depth",
     ):
         value = getattr(config, field)
         if value != _CONFIG_FIELD_DEFAULTS[field]:
@@ -427,12 +428,12 @@ def network_components(
                 f"not supported for plugin topologies"
             )
         return NetworkComponents(
-            topology=Topology(config),
+            topology=make_topology(config),
             routing=build_routing(config, faults=faults),
             matrix=fault_tolerant_matrix(config),
         )
     if provider is None:
-        topology = Topology(config)
+        topology = make_topology(config)
         routing = build_routing(config, name=routing_name)
         matrix = connectivity_matrix(config)
         return NetworkComponents(topology, routing, matrix)
@@ -440,7 +441,7 @@ def network_components(
     topology = (
         topology_factory(config)
         if topology_factory is not None
-        else Topology(config)
+        else make_topology(config)
     )
     if routing_name is not None:
         routing = build_routing(config, name=routing_name)
@@ -597,3 +598,9 @@ def build_run(
         max_wall_seconds=spec.max_wall_seconds,
         engine=spec.engine,
     )
+
+
+# The 3-D topology pack registers its families (mesh3d / torus3d) on
+# import; pulled in here so any spec-layer consumer sees them without a
+# separate import, exactly like the builtin 2-D registrations above.
+import repro.core.topo3d  # noqa: E402,F401  isort:skip

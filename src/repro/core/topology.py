@@ -26,6 +26,7 @@ from repro.core.coords import (
     Direction,
 )
 from repro.core.params import NetworkConfig, TopologyKind
+from repro.core.portgraph import PortChannel, PortGraph
 from repro.errors import ConfigError
 
 #: A physical channel: (source tile, output direction, destination tile).
@@ -45,11 +46,7 @@ class Topology:
         self.config = config
         self.width = config.width
         self.height = config.height
-        self.nodes: List[Coord] = [
-            Coord(x, y)
-            for y in range(self.height)
-            for x in range(self.width)
-        ]
+        self.nodes: List[Coord] = list(self._build_nodes())
         self.memory_nodes: List[Coord] = []
         if config.edge_memory:
             self.memory_nodes = [Coord(x, -1) for x in range(self.width)]
@@ -63,8 +60,22 @@ class Topology:
         }
 
     # ------------------------------------------------------------------
-    # Channel construction
+    # Node and channel construction
     # ------------------------------------------------------------------
+    def _build_nodes(self) -> Iterable[Coord]:
+        """The routable tiles, in canonical (row-major) order.
+
+        Subclasses override this to change the node set — the 3-D pack
+        yields :class:`~repro.core.coords.Coord3` tiles layer by layer —
+        and every consumer (simulator enumeration, port-graph
+        fingerprints, route tables) follows this order.
+        """
+        return (
+            Coord(x, y)
+            for y in range(self.height)
+            for x in range(self.width)
+        )
+
     def _build_channels(self) -> Iterable[Channel]:
         cfg = self.config
         kind = cfg.kind
@@ -143,6 +154,41 @@ class Topology:
         return tuple(
             d for d in ALL_DIRECTIONS
             if d is not Direction.P and (node, d) in self.channel_map
+        )
+
+    # ------------------------------------------------------------------
+    # Port-graph emission
+    # ------------------------------------------------------------------
+    def port_names(self) -> Tuple[str, ...]:
+        """Human-readable name per port id, for rendering findings."""
+        return tuple(direction.name for direction in ALL_DIRECTIONS)
+
+    def port_graph(self) -> PortGraph:
+        """Emit this topology as the port-graph IR.
+
+        The single contract between construction and every downstream
+        consumer (route tabulation, engine lowering, certification).
+        Channel order preserves :attr:`channels` construction order
+        bit-for-bit, so two builds of the same config produce the same
+        :meth:`~repro.core.portgraph.PortGraph.fingerprint`.
+        """
+        cfg = self.config
+        return PortGraph(
+            nodes=tuple(self.nodes),
+            num_ports=len(ALL_DIRECTIONS),
+            ejection_port=int(Direction.P),
+            port_names=self.port_names(),
+            channels=tuple(
+                PortChannel(
+                    src=src,
+                    out_port=int(direction),
+                    dst=dst,
+                    in_port=int(direction.opposite),
+                    latency=cfg.latency_for(direction),
+                    width=cfg.channel_width_bits,
+                )
+                for src, direction, dst in self.channels
+            ),
         )
 
     @property
@@ -258,7 +304,29 @@ _KIND_TO_TABLE1 = {
     TopologyKind.HALF_RUCHE: "ruche",
     TopologyKind.RUCHE_ONE: "ruche",
     TopologyKind.MULTI_MESH: "multimesh",
+    # The 3-D pack inherits its per-layer physical row: a 3-D mesh is a
+    # stack of meshes, a 3-D (folded) torus a stack of tori.
+    TopologyKind.MESH3D: "mesh",
+    TopologyKind.TORUS3D: "torus",
 }
+
+
+def make_topology(config: NetworkConfig) -> Topology:
+    """The builtin :class:`Topology` subclass for a config's kind.
+
+    The kind-aware counterpart of calling ``Topology(config)`` directly:
+    3-D kinds dispatch to the :mod:`repro.core.topo3d` subclasses (whose
+    node set and channels span layers), everything else builds the base
+    2-D topology.  Construction paths that take a bare config
+    (fault-tolerant matrices, the static verifier, fault-aware tables)
+    route through here so they stay kind-agnostic.
+    """
+    if config.kind.is_3d:
+        # Imported lazily: topo3d depends on this module.
+        from repro.core.topo3d import topology_for_config
+
+        return topology_for_config(config)
+    return Topology(config)
 
 
 def physical_properties(kind: Union[TopologyKind, str]) -> Dict[str, bool]:

@@ -20,6 +20,37 @@ from repro.experiments.registry import (
     run_experiment,
 )
 
+#: Component registries the ``--list-<kind>`` flags print, with the
+#: module whose import populates each one (``None`` = self-populating).
+_REGISTRY_MENUS = (
+    ("topologies", "TOPOLOGIES", "repro.core.spec"),
+    # spec (not routing) also pulls in the 3-D pack's registrations.
+    ("routings", "ROUTINGS", "repro.core.spec"),
+    ("routers", "ROUTERS", "repro.sim.router"),
+    ("patterns", "PATTERNS", "repro.sim.traffic"),
+    ("allocators", "ALLOCATORS", "repro.sim.allocator"),
+    ("engines", "ENGINES", None),
+)
+
+
+def _print_registry_menu(registry_name: str, module: str) -> None:
+    """Print one registry's catalogue without constructing anything.
+
+    Rows come from registration metadata only (name, aliases,
+    description); no config, topology, or engine is ever built, so the
+    menu works even for entries that would fail validation.
+    """
+    import importlib
+
+    from repro.core import registry as registries
+
+    if module:
+        importlib.import_module(module)
+    reg = getattr(registries, registry_name)
+    for name, aliases, description in reg.menu():
+        alias_note = f"  [aliases: {', '.join(aliases)}]" if aliases else ""
+        print(f"{name:20s} {description}{alias_note}")
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
@@ -54,6 +85,11 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--list", action="store_true",
                         help="list experiment ids")
+    for flag, _registry, _module in _REGISTRY_MENUS:
+        parser.add_argument(
+            f"--list-{flag}", action="store_true",
+            help=f"list registered {flag} (with aliases) and exit",
+        )
     parser.add_argument(
         "--preflight", action="store_true",
         help="statically verify every design point before campaign "
@@ -62,6 +98,16 @@ def main(argv=None) -> int:
     parser.add_argument("--output", metavar="FILE",
                         help="write a combined markdown report to FILE")
     args = parser.parse_args(argv)
+
+    menus = [
+        (registry, module)
+        for flag, registry, module in _REGISTRY_MENUS
+        if getattr(args, f"list_{flag}")
+    ]
+    if menus:
+        for registry, module in menus:
+            _print_registry_menu(registry, module)
+        return 0
 
     if args.list or args.experiment is None:
         for exp_id in experiment_ids():

@@ -16,6 +16,7 @@ from repro.experiments import (
     fig11_scalability,
     fig12_load_latency,
     fig13_energy,
+    sweep3d,
     table1_properties,
     table2_area,
     table3_energy,
@@ -40,6 +41,10 @@ _REGISTRY: Dict[str, Tuple[Callable, str]] = {
     "fig12": (fig12_load_latency.run, "Remote load latency decomposition"),
     "fig13": (fig13_energy.run, "Total energy breakdown"),
     "table6": (table6_geomean.run, "Half Ruche geomean summary"),
+    "sweep3d": (
+        sweep3d.run,
+        "3-D mesh/torus synthetic traffic (beyond-2-D pack)",
+    ),
     "faults": (
         fault_degradation.run,
         "Graceful degradation under random dead links",

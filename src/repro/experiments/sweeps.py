@@ -44,8 +44,12 @@ def _row_spec(params: Dict[str, Any], rate: float) -> NetworkSpec:
 def _rate_sweep_row_from_curve(
     params: Dict[str, Any], curve: Sequence[Any]
 ) -> Dict[str, Any]:
+    size = f"{params['width']}x{params['height']}"
+    depth = params.get("options", {}).get("depth")
+    if depth and depth > 1:
+        size += f"x{depth}"
     return {
-        "size": f"{params['width']}x{params['height']}",
+        "size": size,
         "pattern": params["pattern"],
         "config": params["config"],
         "zero_load_latency": zero_load_point(curve).avg_latency,

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from repro.core.coords import Direction
 from repro.core.params import NetworkConfig
-from repro.core.topology import Topology
+from repro.core.topology import make_topology
 from repro.phys.technology import TECH_12NM, Technology
 
 
@@ -27,7 +27,7 @@ def link_length_mm(
     Local links span one tile pitch, Ruche links span ``RF`` pitches, and
     folded-torus links span two (the folding interleaves tiles).
     """
-    span = Topology(config).link_span(direction)
+    span = make_topology(config).link_span(direction)
     return span * tech.tile_size_um / 1000.0
 
 
@@ -43,7 +43,7 @@ def wire_energy_per_packet(
     wire energy — the first pitch's wiring is inside the router energy of
     Table 3 (the paper's accounting).
     """
-    span = Topology(config).link_span(direction)
+    span = make_topology(config).link_span(direction)
     extra_mm = max(0, span - 1) * tech.tile_size_um / 1000.0
     if extra_mm == 0:
         return 0.0

@@ -78,6 +78,7 @@ from repro.core.routing import (
     RucheOneRouting,
     TorusDOR,
     _ParitySubnetRouting,
+    tabulate_next_hops,
 )
 from repro.core.spec import (
     NetworkSpec,
@@ -86,7 +87,6 @@ from repro.core.spec import (
     build_network,
     build_pattern,
     build_watchdog,
-    resolve_topology,
 )
 from repro.errors import DeadlockError, SimulationTimeout
 from repro.sim import _ckernel
@@ -152,7 +152,7 @@ class LoweringDiagnostic:
     """One structured reason a design point cannot lower to this engine.
 
     ``code`` is a stable machine-readable slug (``"pipelined-channels"``,
-    ``"plugin-components"``, ...); ``detail`` is the human-readable
+    ``"audit-every"``, ...); ``detail`` is the human-readable
     explanation.  Diagnostics come from the same gate checks and
     compile-time raises that make :func:`run_compiled` fall back, so
     :func:`lowering_problems` can never disagree with the engine about
@@ -306,16 +306,10 @@ def _build_model(
             "edge-memory", "edge-memory endpoints are not lowered"
         )
     routing = net.routing
-    if type(routing) is FaultAwareTableRouting:
-        if faults is None:
-            raise _Unsupported(
-                "fault-aware-routing",
-                "fault-aware table routing without a FaultSchedule",
-            )
-    elif type(routing) not in _SUPPORTED_ROUTINGS:
+    if type(routing) is FaultAwareTableRouting and faults is None:
         raise _Unsupported(
-            "unsupported-routing",
-            f"no tabulation for routing {type(routing).__name__}",
+            "fault-aware-routing",
+            "fault-aware table routing without a FaultSchedule",
         )
     routers = net._router_list
     kinds = {type(r) for r in routers}
@@ -368,14 +362,23 @@ def _build_model(
         model.subnet_tab = None
 
     if kind == "vc":
+        if type(routing) not in _SUPPORTED_ROUTINGS:
+            raise _Unsupported(
+                "unsupported-routing",
+                f"no VC tabulation for routing {type(routing).__name__}",
+            )
         _extract_vc(model, net, routers)
         _tabulate_vc_routes(model, routing)
     else:
         _extract_wormhole(model, net, routers, fbfc=(kind == "fbfc"))
         if type(routing) is FaultAwareTableRouting:
             _tabulate_fault_routes(model, routing)
-        else:
+        elif type(routing) in _SUPPORTED_ROUTINGS:
+            # Exact builtin types keep their closed-form tabulation
+            # (bit-identical rows, no graph walk).
             _tabulate_wormhole_routes(model, routing, nsub)
+        else:
+            _tabulate_generic_routes(model, net, routing, nsub)
     return model
 
 
@@ -546,6 +549,69 @@ def _tabulate_fault_routes(model, routing) -> None:
             if row is None:
                 row = by_state[state] = blank.copy()
             row[d] = out
+    interned: Dict[Tuple[int, ...], List[int]] = {tuple(blank): blank}
+    route_rows = []
+    for r in range(n):
+        per_in = []
+        for i in range(NUM_DIRS):
+            row = by_state.get((r, i), blank)
+            per_in.append(interned.setdefault(tuple(row), row))
+        route_rows.append(tuple(per_in))
+    model.route_rows = tuple(route_rows)
+
+
+def _tabulate_generic_routes(model, net, routing, nsub: int) -> None:
+    """Per-(node, input) route rows for any routing, walked over the IR.
+
+    The generic lowering behind plugin routings and the 3-D packs: each
+    destination's table comes from
+    :func:`~repro.core.routing.tabulate_next_hops` over the topology's
+    port graph, so anything that routes soundly over the IR compiles —
+    no per-algorithm closed form required.  Rows are packed exactly
+    like the fault tables (``-1`` blanks for states the walk never
+    visits, identical rows interned to one object).  A route
+    computation that raises, an output with no wired channel, or
+    VC-dependent state makes the design point fall back with a
+    ``route-tabulation`` diagnostic.
+    """
+    n = model.n
+    node_index = model.node_index
+    graph = net.topology.port_graph()
+    blank = [-1] * (nsub * n)
+    by_state: Dict[Tuple[int, int], List[int]] = {}
+    problems: List[str] = []
+
+    def on_error(state, exc) -> None:
+        problems.append(str(exc))
+
+    for d, dest in enumerate(model.nodes):
+        table = tabulate_next_hops(
+            routing, graph, dest, on_error=on_error
+        )
+        if problems:
+            raise _Unsupported(
+                "route-tabulation",
+                f"routing {type(routing).__name__} toward "
+                f"{tuple(dest)}: {problems[0]}",
+            )
+        for (coord, in_idx, in_vc, subnet), (out, out_vc) in table.items():
+            if in_vc or out_vc:
+                raise _Unsupported(
+                    "route-tabulation",
+                    f"routing {type(routing).__name__} uses VC state, "
+                    f"which only the builtin torus lowering models",
+                )
+            if not 0 <= subnet < nsub:
+                raise _Unsupported(
+                    "route-tabulation",
+                    f"routing {type(routing).__name__} produced subnet "
+                    f"{subnet} outside the {nsub} modelled subnet(s)",
+                )
+            state = (node_index[coord], in_idx)
+            row = by_state.get(state)
+            if row is None:
+                row = by_state[state] = blank.copy()
+            row[subnet * n + d] = out
     interned: Dict[Tuple[int, ...], List[int]] = {tuple(blank): blank}
     route_rows = []
     for r in range(n):
@@ -1877,14 +1943,16 @@ def _gate_diagnostics(
     cfg: NetworkConfig,
     faults: Any,
     audit_every: Optional[int],
-    custom_components: bool,
 ) -> List[LoweringDiagnostic]:
     """The pre-compile fallback gates, as structured diagnostics.
 
     This is the single source of truth for the checks
     :func:`run_compiled` performs before attempting compilation; the
     static analyzer (:func:`lowering_problems`) reports exactly these,
-    so analyzer and engine can never drift apart.
+    so analyzer and engine can never drift apart.  Plugin topologies
+    are no longer gated here: providers with custom components lower
+    through the generic port-graph tabulation and fall back only if
+    compilation itself reports a diagnostic.
     """
     reasons: List[LoweringDiagnostic] = []
     if audit_every is not None:
@@ -1893,14 +1961,6 @@ def _gate_diagnostics(
                 "audit-every",
                 "in-loop network audits (audit_every) only run on the "
                 "reference engine",
-            )
-        )
-    if custom_components:
-        reasons.append(
-            LoweringDiagnostic(
-                "plugin-components",
-                "topology provider supplies custom topology/routing/"
-                "matrix factories the compiler cannot tabulate",
             )
         )
     if cfg.edge_memory:
@@ -1960,17 +2020,13 @@ def lowering_problems(
             faults = build_faults(spec, cfg)
         if audit_every is None:
             audit_every = spec.audit_every
-        custom_components = resolve_topology(
-            spec.topology
-        ).has_custom_components
         names: Tuple[
             Optional[str], Optional[str], Optional[str]
         ] = (spec.routing, spec.router, spec.allocator)
     else:
         cfg = target
-        custom_components = False
         names = (None, None, None)
-    reasons = _gate_diagnostics(cfg, faults, audit_every, custom_components)
+    reasons = _gate_diagnostics(cfg, faults, audit_every)
     if reasons:
         return reasons
     model_faults = (
@@ -2049,9 +2105,6 @@ def run_compiled(
             faults = build_faults(spec, cfg)
         if watchdog is None:
             watchdog = build_watchdog(spec)
-        custom_components = resolve_topology(
-            spec.topology
-        ).has_custom_components
         names = (spec.routing, spec.router, spec.allocator)
         target: Union[NetworkConfig, NetworkSpec] = spec
     else:
@@ -2061,10 +2114,9 @@ def run_compiled(
                 "and rate (only NetworkSpec carries defaults)"
             )
         cfg = config
-        custom_components = False
         names = (None, None, None)
         target = config
-    if _gate_diagnostics(cfg, faults, audit_every, custom_components):
+    if _gate_diagnostics(cfg, faults, audit_every):
         return fallback()
     model_faults = (
         faults if faults is not None and faults.affects_routing else None

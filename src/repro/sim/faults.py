@@ -28,7 +28,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.core.coords import Coord, Direction
 from repro.core.params import NetworkConfig
-from repro.core.topology import Topology
+from repro.core.topology import make_topology
 from repro.errors import ConfigError
 from repro.sim.rng import derive_rng
 
@@ -98,7 +98,7 @@ class FaultSchedule:
         self.config = config
         self.seed = seed
         self.degraded_model = degraded_model
-        topology = Topology(config)
+        topology = make_topology(config)
         self.dead_routers: FrozenSet[Coord] = frozenset(dead_routers)
         for coord in self.dead_routers:
             if coord not in set(topology.nodes):
@@ -215,7 +215,7 @@ class FaultSchedule:
         cls, config: NetworkConfig, n: int, seed: int = 0
     ) -> "FaultSchedule":
         """``n`` distinct failed tiles, from the ``faults:routers`` stream."""
-        nodes = Topology(config).nodes
+        nodes = make_topology(config).nodes
         if n > len(nodes):
             raise ConfigError(f"requested {n} dead routers of {len(nodes)}")
         rng = derive_rng(seed, "faults:routers")
@@ -270,7 +270,7 @@ class FaultSchedule:
         chosen_links = derive_rng(seed, "faults:links").sample(
             link_candidates, links
         )
-        nodes = Topology(config).nodes
+        nodes = make_topology(config).nodes
         if routers > len(nodes):
             raise ConfigError(
                 f"requested {routers} dead routers of {len(nodes)}"
@@ -315,7 +315,7 @@ class FaultSchedule:
 
 def _undirected_channels(config: NetworkConfig) -> List[LinkId]:
     """Each physical channel once, by its canonical (positive) direction."""
-    topology = Topology(config)
+    topology = make_topology(config)
     memory = set(topology.memory_nodes)
     seen: Set[FrozenSet] = set()
     links: List[LinkId] = []

@@ -337,25 +337,35 @@ class FbfcRouter(WormholeRouter):
         input_dirs: Sequence[int],
         matrix: Dict[Direction, frozenset],
         ring_axes: Sequence[str] = ("x",),
+        ring_ports: Optional[Sequence[frozenset]] = None,
         route_cache: Optional[Dict] = None,
     ) -> None:
         super().__init__(
             coord, depth, route_fn, input_dirs, matrix,
             route_cache=route_cache,
         )
-        horizontal = {int(Direction.W), int(Direction.E)}
-        vertical = {int(Direction.N), int(Direction.S)}
+        if ring_ports is None:
+            # Derive the ring port groups from the 2-D axis names; 3-D
+            # builders hand explicit port-id groups instead.
+            groups = []
+            if "x" in ring_axes:
+                groups.append(
+                    frozenset((int(Direction.W), int(Direction.E)))
+                )
+            if "y" in ring_axes:
+                groups.append(
+                    frozenset((int(Direction.N), int(Direction.S)))
+                )
+            ring_ports = groups
         # _entry_need[o][i]: FIFO slots required for input i to win
         # output o (2 = ring entry, 1 = in-ring or non-ring move).
         self._entry_need = {}
         for o in range(NUM_DIRS):
             needs = {}
             for i in self.candidates[o]:
-                entering = (
-                    ("x" in ring_axes and o in horizontal
-                     and i not in horizontal)
-                    or ("y" in ring_axes and o in vertical
-                        and i not in vertical)
+                entering = any(
+                    o in group and i not in group
+                    for group in ring_ports
                 )
                 needs[i] = 2 if entering else 1
             self._entry_need[o] = needs
@@ -624,6 +634,14 @@ def build_fbfc_router(
     allocator: Optional[str] = None,
 ) -> FbfcRouter:
     _reject_allocator("fbfc", allocator)
+    ring_ports = None
+    if config.kind is TopologyKind.TORUS3D:
+        # Three rings per router; the z ring rides the RN/RS port ids.
+        ring_ports = [
+            frozenset((int(Direction.W), int(Direction.E))),
+            frozenset((int(Direction.N), int(Direction.S))),
+            frozenset((int(Direction.RN), int(Direction.RS))),
+        ]
     ring_axes = (
         ("x", "y")
         if config.kind is TopologyKind.FOLDED_TORUS
@@ -636,6 +654,7 @@ def build_fbfc_router(
         input_dirs,
         matrix,
         ring_axes=ring_axes,
+        ring_ports=ring_ports,
         route_cache=route_cache,
     )
 

@@ -292,8 +292,9 @@ def _run_reference(
     "compiled",
     description=(
         "flat structure-of-arrays engine (sim.fastsim) with compiled "
-        "fault schedules; falls back to reference for plugin "
-        "components, multi-cycle links, and audit tripwires"
+        "fault schedules; lowers any registered topology through the "
+        "port-graph IR, falling back to reference only for "
+        "multi-cycle links and audit tripwires"
     ),
 )
 def _compiled_engine(

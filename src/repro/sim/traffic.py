@@ -33,7 +33,7 @@ import functools
 import random
 from typing import Callable, List, Optional
 
-from repro.core.coords import Coord
+from repro.core.coords import Coord, Coord3
 from repro.core.params import NetworkConfig
 from repro.core.registry import register_pattern
 from repro.errors import ConfigError
@@ -42,6 +42,15 @@ PatternFn = Callable[[Coord, random.Random], Optional[Coord]]
 
 
 def _all_nodes(config: NetworkConfig) -> List[Coord]:
+    # Layer-major for 3-D configs, matching the topology's node order
+    # (the compiled engine's batched drivers depend on the match).
+    if config.depth > 1:
+        return [
+            Coord3(x, y, z)
+            for z in range(config.depth)
+            for y in range(config.height)
+            for x in range(config.width)
+        ]
     return [
         Coord(x, y)
         for y in range(config.height)

@@ -178,6 +178,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         '"height": 8}\'',
     )
     parser.add_argument(
+        "--no-matrix", action="store_true",
+        help="with --certify: certify only the --spec design points, "
+        "skipping the paper matrix (focused smoke checks)",
+    )
+    parser.add_argument(
         "--skip-lint", action="store_true",
         help="skip the determinism and conformance lints",
     )
@@ -337,6 +342,10 @@ def _run_certify(
         specs = [
             NetworkSpec.for_network(args.config, width, height, **options)
         ]
+    elif args.no_matrix:
+        if not args.spec:
+            raise ConfigError("--no-matrix needs at least one --spec")
+        specs = []
     else:
         specs = paper_spec_matrix(
             sizes=_parse_sizes(args.sizes),

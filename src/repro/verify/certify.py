@@ -21,9 +21,11 @@ the identical code path:
   waivers the enumerator applies.
 * **Minimality** — audited against the monotone closed form for the
   builtin DOR algorithms (so verdicts agree with the enumerator),
+  against a routing's own declared ``minimal_hops`` bound when it
+  exports one (the 3-D packs do — verdict-contributing),
   informationally against channel-graph BFS distances for plugin
-  routings, and skipped for fault-aware tables (BFS-shortest by
-  construction).
+  routings that declare no bound, and skipped for fault-aware tables
+  (BFS-shortest by construction).
 * **Lowering safety** — :func:`certify_spec` attaches the structured
   compilability diagnostics of
   :func:`repro.sim.fastsim.lowering_problems`, naming exactly why a
@@ -36,12 +38,22 @@ cross-validates every verdict against the exhaustive enumerator.
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+    cast,
+)
 
-from repro.core.connectivity import Matrix
+from repro.core.connectivity import Matrix, port_turns
 from repro.core.coords import Coord, Direction
 from repro.core.params import NetworkConfig, TopologyKind
+from repro.core.portgraph import PortGraph, minimal_distances
 from repro.core.routing import (
     FaultAwareTableRouting,
     MeshDOR,
@@ -61,14 +73,13 @@ from repro.core.spec import (
     network_components,
     resolve_topology,
 )
-from repro.core.topology import Topology
+from repro.core.topology import Topology, make_topology
 from repro.errors import RoutingError
 from repro.verify.cdg import ChannelV, DepEdge, find_cycle, format_channel
 from repro.verify.engine import minimal_hops_fn, verify_spec
 from repro.verify.report import CertificationReport, VerificationReport
-from repro.verify.turns import format_turn, routing_matrix
+from repro.verify.turns import routing_matrix
 
-_P = int(Direction.P)
 #: Sentinel hop count for states that never reach their destination.
 _INF = -1
 
@@ -96,11 +107,15 @@ class _TableCertifier:
         topology: Topology,
         report: CertificationReport,
         max_findings: int,
+        minimal_hops: Optional[Callable[[Coord, Coord], int]],
     ) -> None:
         self.config = config
         self.routing = routing
-        self.matrix = matrix
-        self.topology = topology
+        #: The port-graph IR the walk runs on: the certifier never
+        #: consults coordinates, only node ids, port ids, and channels.
+        self.graph: PortGraph = topology.port_graph()
+        #: Crossbar legality as integer port-id turn sets.
+        self.allowed = port_turns(matrix)
         self.report = report
         self.max_findings = max_findings
         # Same discipline selection as tabulate_next_hops: the config
@@ -108,28 +123,31 @@ class _TableCertifier:
         # tables are rechecked against single-VC route(), not the
         # dateline route_vc the FbfcRouter never calls.
         self.uses_vcs = config.uses_vcs
-        self.channel_map = topology.channel_map
-        # Reverse channel lookup: (arrival tile, input port) -> channel.
+        # Reverse channel lookup: (arrival node, input port) -> feeder.
         self.rev: Dict[Tuple[Coord, int], Tuple[Coord, Direction]] = {}
-        #: Reverse adjacency (arrival tile -> feeding tiles) for the
-        #: graph-BFS minimality basis; duplicates are harmless.
-        self.preds: Dict[Coord, List[Coord]] = {}
-        for src, direction, dst in topology.channels:
-            key = (dst, int(direction.opposite))
-            if key in self.rev:  # pragma: no cover - topology invariant
+        for channel in self.graph.channels:
+            key = (cast(Coord, channel.dst), channel.in_port)
+            if key in self.rev:  # pragma: no cover - emitter invariant
                 raise RoutingError(
-                    f"ambiguous input: two channels arrive at {dst} on "
-                    f"{direction.opposite.name}"
+                    "ambiguous input: two channels arrive at "
+                    f"{self.graph.render_node(channel.dst)} on "
+                    f"{self.graph.port_name(channel.in_port)}"
                 )
-            self.rev[key] = (src, direction)
-            self.preds.setdefault(dst, []).append(src)
-        self.nodes: List[Coord] = list(topology.nodes)
+            self.rev[key] = (
+                cast(Coord, channel.src),
+                Direction(channel.out_port),
+            )
+        self.nodes: List[Coord] = list(
+            cast("Tuple[Coord, ...]", self.graph.nodes)
+        )
         self.fault_aware = isinstance(routing, FaultAwareTableRouting)
         if isinstance(routing, FaultAwareTableRouting):
             self.nodes = [
                 n for n in self.nodes if n not in routing.dead_nodes
             ]
-        self.minimal_hops = minimal_hops_fn(config)
+        #: Per-pair minimal bound for verdict-contributing bases;
+        #: ``None`` selects the informational channel-graph distances.
+        self.minimal_hops = minimal_hops
         #: Turns emitted: (in_idx, out_idx) -> example (node, dest).
         self.turns: Dict[Tuple[int, int], Tuple[Coord, Coord]] = {}
         self.dep_edges: Set[DepEdge] = set()
@@ -140,8 +158,9 @@ class _TableCertifier:
     def run(self) -> None:
         report = self.report
         routing = self.routing
+        graph = self.graph
         graph_basis = report.minimality_basis == "graph-bfs"
-        monotone = report.minimality_basis == "monotone-dor"
+        minimal_fn = self.minimal_hops
         for dest in self.nodes:
             sources = self.nodes
             if self.fault_aware:
@@ -155,7 +174,7 @@ class _TableCertifier:
                 sources = live
             table = tabulate_next_hops(
                 routing,
-                self.topology,
+                graph,
                 dest,
                 sources=sources,
                 on_error=lambda s, e, d=dest: self._table_error(d, s, e),
@@ -164,11 +183,11 @@ class _TableCertifier:
             # Per-entry static checks seed `hops` with terminal values.
             hops: Dict[TableState, int] = {}
             self._scan_entries(dest, table, hops)
-            dist = self._graph_distances(dest) if graph_basis else None
+            dist = minimal_distances(graph, dest) if graph_basis else None
             for src in sources:
                 start: TableState = (
                     src,
-                    _P,
+                    graph.ejection_port,
                     0,
                     routing.injection_subnet(src, dest),
                 )
@@ -176,24 +195,27 @@ class _TableCertifier:
                 if count == _INF:
                     self._note(
                         report.unreached,
-                        f"{tuple(src)} -> {tuple(dest)} never ejects",
+                        f"{graph.render_node(src)} -> "
+                        f"{graph.render_node(dest)} never ejects",
                     )
                     continue
                 report.pairs_checked += 1
                 if count > report.max_hops:
                     report.max_hops = count
-                if monotone or graph_basis:
-                    if dist is not None:
-                        minimal = dist.get(src, count)
-                    else:
-                        minimal = self.minimal_hops(src, dest)
+                minimal: Optional[int] = None
+                if dist is not None:
+                    minimal = dist.get(src, count)
+                elif minimal_fn is not None:
+                    minimal = minimal_fn(src, dest)
+                if minimal is not None:
                     excess = count - minimal
                     if excess > 0:
                         report.non_minimal_pairs += 1
                         if excess > report.max_detour:
                             report.max_detour = excess
                             report.non_minimal_example = (
-                                f"{tuple(src)} -> {tuple(dest)}: {count} "
+                                f"{graph.render_node(src)} -> "
+                                f"{graph.render_node(dest)}: {count} "
                                 f"hops, minimal {count - excess}"
                             )
         report.turns_used = len(self.turns)
@@ -205,8 +227,9 @@ class _TableCertifier:
         node, in_idx = state[0], state[1]
         self._note(
             self.report.routing_errors,
-            f"route({tuple(node)}, {Direction(in_idx).name}, "
-            f"dest={tuple(dest)}) failed: {exc}",
+            f"route({self.graph.render_node(node)}, "
+            f"{self.graph.port_name(in_idx)}, "
+            f"dest={self.graph.render_node(dest)}) failed: {exc}",
         )
 
     # ------------------------------------------------------------------
@@ -223,11 +246,14 @@ class _TableCertifier:
         Records turn legality, CDG dependencies, wrong-tile ejections,
         invalid VCs, masked-port escapes, and table/reference agreement.
         Terminal states (ejections, errors) land in ``hops`` so the
-        chain walk of :meth:`_follow` needs no coordinate knowledge.
+        chain walk of :meth:`_follow` needs nothing beyond the port
+        graph.
         """
         report = self.report
         routing = self.routing
+        graph = self.graph
         num_vcs = max(1, self.config.num_vcs)
+        p_idx = graph.ejection_port
         dead_links = (
             routing.dead_links
             if isinstance(routing, FaultAwareTableRouting)
@@ -243,61 +269,66 @@ class _TableCertifier:
             self._recheck(dest, state, out_idx, out_vc)
             turn = (in_idx, out_idx)
             if turn not in self.turns:
-                self.turns[turn] = (node, dest)
-                out_dir = Direction(out_idx)
-                legal = out_dir in self.matrix.get(
-                    Direction(in_idx), frozenset()
-                )
-                if not legal:
+                self.turns[turn] = (cast(Coord, node), dest)
+                if out_idx not in self.allowed.get(in_idx, frozenset()):
                     self._note(
                         report.illegal_turns,
-                        format_turn(node, Direction(in_idx), out_dir)
-                        + f" (dest {tuple(dest)})",
+                        f"{graph.render_node(node)}: "
+                        f"{graph.port_name(in_idx)} -> "
+                        f"{graph.port_name(out_idx)}"
+                        f" (dest {graph.render_node(dest)})",
                     )
-            if out_idx == _P:
+            if out_idx == p_idx:
                 if node == dest:
                     hops[state] = 0
                 else:
                     self._note(
                         report.routing_errors,
-                        f"ejected at {tuple(node)} but destination is "
-                        f"{tuple(dest)}",
+                        f"ejected at {graph.render_node(node)} but "
+                        f"destination is {graph.render_node(dest)}",
                     )
                     hops[state] = _INF
                 continue
             if not 0 <= out_vc < num_vcs:
                 self._note(
                     report.routing_errors,
-                    f"route_vc at {tuple(node)} emitted invalid VC "
-                    f"{out_vc}",
+                    f"route_vc at {graph.render_node(node)} emitted "
+                    f"invalid VC {out_vc}",
                 )
                 hops[state] = _INF
                 continue
-            out = Direction(out_idx)
-            nxt = self.channel_map.get((node, out))
-            if nxt is None:
+            hop = graph.out_map.get((node, out_idx))
+            if hop is None:
                 # tabulate_next_hops already reported the unwired
                 # output through on_error; the state is a dead end.
                 hops[state] = _INF
                 continue
+            nxt = hop[0]
+            link = f"-{graph.port_name(out_idx)}->"
             # Dead-router check first: node faults also mask every
             # touching link, and the more specific finding should win.
             if nxt in dead_nodes:
                 self._note(
                     report.masked_escapes,
-                    f"{tuple(node)} -{out.name}-> {tuple(nxt)} enters a "
-                    f"dead router (dest {tuple(dest)})",
+                    f"{graph.render_node(node)} {link} "
+                    f"{graph.render_node(nxt)} enters a dead router "
+                    f"(dest {graph.render_node(dest)})",
                 )
-            elif (node, out) in dead_links:
+            elif (node, out_idx) in dead_links:
                 self._note(
                     report.masked_escapes,
-                    f"{tuple(node)} -{out.name}-> {tuple(nxt)} crosses a "
-                    f"masked link (dest {tuple(dest)})",
+                    f"{graph.render_node(node)} {link} "
+                    f"{graph.render_node(nxt)} crosses a masked link "
+                    f"(dest {graph.render_node(dest)})",
                 )
-            if in_idx != _P:
-                src_node, src_dir = self.rev[(node, in_idx)]
+            if in_idx != p_idx:
+                src_node, src_dir = self.rev[(cast(Coord, node), in_idx)]
                 held: ChannelV = (src_node, src_dir, in_vc)
-                requested: ChannelV = (node, out, out_vc)
+                requested: ChannelV = (
+                    cast(Coord, node),
+                    Direction(out_idx),
+                    out_vc,
+                )
                 self.dep_edges.add((held, requested))
 
     def _recheck(
@@ -312,14 +343,15 @@ class _TableCertifier:
         about what the simulator will do, so it is a finding.
         """
         node, in_idx, in_vc, subnet = state
+        coord = cast(Coord, node)
         try:
             if self.uses_vcs:
                 again_dir, again_vc = self.routing.route_vc(
-                    node, Direction(in_idx), in_vc, dest
+                    coord, Direction(in_idx), in_vc, dest
                 )
             else:
                 again_dir = self.routing.route(
-                    node, Direction(in_idx), dest, subnet
+                    coord, Direction(in_idx), dest, subnet
                 )
                 again_vc = 0
             answer: Optional[Tuple[int, int]] = (int(again_dir), again_vc)
@@ -327,15 +359,16 @@ class _TableCertifier:
             answer = None
         if answer != (out_idx, out_vc):
             got = (
-                f"{Direction(answer[0]).name}/vc{answer[1]}"
+                f"{self.graph.port_name(answer[0])}/vc{answer[1]}"
                 if answer is not None
                 else "a RoutingError"
             )
             self._note(
                 self.report.table_mismatches,
-                f"{tuple(node)} in={Direction(in_idx).name} dest="
-                f"{tuple(dest)}: table says "
-                f"{Direction(out_idx).name}/vc{out_vc}, reference "
+                f"{self.graph.render_node(node)} in="
+                f"{self.graph.port_name(in_idx)} dest="
+                f"{self.graph.render_node(dest)}: table says "
+                f"{self.graph.port_name(out_idx)}/vc{out_vc}, reference "
                 f"returned {got}",
             )
 
@@ -377,9 +410,10 @@ class _TableCertifier:
             position[state] = len(chain)
             chain.append(state)
             out_idx, out_vc = entry
-            out = Direction(out_idx)
-            nxt = self.channel_map[(state[0], out)]
-            state = (nxt, int(out.opposite), out_vc, state[3])
+            nxt, in_port, _latency = self.graph.out_map[
+                (state[0], out_idx)
+            ]
+            state = (nxt, in_port, out_vc, state[3])
         if cached == _INF:
             for pending in chain:
                 hops[pending] = _INF
@@ -391,38 +425,19 @@ class _TableCertifier:
         return value if chain else cached
 
     # ------------------------------------------------------------------
-    # Graph-BFS minimality basis
-    # ------------------------------------------------------------------
-    def _graph_distances(self, dest: Coord) -> Dict[Coord, int]:
-        """Channel-hop distance to ``dest`` from every reaching tile.
-
-        Pure backward BFS over the channel graph, ignoring ports, VCs,
-        and crossbar legality — a lower bound any routing is compared
-        against informationally when no closed-form bound applies.
-        """
-        dist: Dict[Coord, int] = {dest: 0}
-        queue: "deque[Coord]" = deque((dest,))
-        while queue:
-            node = queue.popleft()
-            for src in self.preds.get(node, ()):
-                if src not in dist:
-                    dist[src] = dist[node] + 1
-                    queue.append(src)
-        return dist
-
-    # ------------------------------------------------------------------
     # Bookkeeping
     # ------------------------------------------------------------------
     def _record_livelock(
         self, dest: Coord, cycle: List[TableState]
     ) -> None:
         rendered = " -> ".join(
-            f"{tuple(s[0])}@{Direction(s[1]).name}" for s in cycle[:8]
+            f"{self.graph.render_node(s[0])}@{self.graph.port_name(s[1])}"
+            for s in cycle[:8]
         )
         self._note(
             self.report.unreached,
-            f"dest {tuple(dest)}: state cycle {rendered}"
-            + (" ..." if len(cycle) > 8 else ""),
+            f"dest {self.graph.render_node(dest)}: state cycle "
+            f"{rendered}" + (" ..." if len(cycle) > 8 else ""),
         )
 
     def _note(self, bucket: List[str], message: str) -> None:
@@ -456,7 +471,7 @@ def certify_config(
         routing = build_routing(config)
     if matrix is None:
         matrix = routing_matrix(config, routing)
-    topo = topology if topology is not None else Topology(config)
+    topo = topology if topology is not None else make_topology(config)
     report = CertificationReport(
         config=config.name,
         width=config.width,
@@ -471,6 +486,8 @@ def certify_config(
             "FBFC: deadlock freedom comes from bubble flow control; ring "
             "CDG cycles are expected and not checked"
         )
+    declared = getattr(routing, "minimal_hops", None)
+    minimal_fn: Optional[Callable[[Coord, Coord], int]] = None
     if isinstance(routing, FaultAwareTableRouting):
         report.minimality_checked = False
         report.minimality_basis = "bfs-tables"
@@ -480,7 +497,14 @@ def certify_config(
                 "fault-aware routing with live faults is not provably "
                 "deadlock-free; the runtime watchdog is the backstop"
             )
-    elif type(routing) not in _MONOTONE_ROUTINGS:
+    elif type(routing) in _MONOTONE_ROUTINGS:
+        minimal_fn = minimal_hops_fn(config)
+    elif callable(declared):
+        # Verdict-contributing: the routing promised this bound itself
+        # (the 3-D DOR pack, any plugin exporting ``minimal_hops``).
+        report.minimality_basis = "declared-minimal"
+        minimal_fn = declared
+    else:
         report.minimality_checked = False
         report.minimality_basis = "graph-bfs"
         report.warnings.append(
@@ -500,7 +524,7 @@ def certify_config(
     )
 
     certifier = _TableCertifier(
-        config, routing, matrix, topo, report, max_findings
+        config, routing, matrix, topo, report, max_findings, minimal_fn
     )
     certifier.run()
 
@@ -608,8 +632,8 @@ def enumerator_agrees(
     Compares the verdict and the load-bearing evidence the two analyses
     derive independently: overall ``ok``, deadlock freedom, raw CDG
     acyclicity, the number of delivered pairs, and the proven hop bound.
-    (Minimality bookkeeping is basis-dependent and excluded for
-    non-monotone bases.)
+    (Minimality bookkeeping is basis-dependent and compared only for
+    the verdict-contributing bases, monotone-dor and declared-minimal.)
     """
     agree = (
         certified.ok == enumerated.ok
@@ -618,7 +642,10 @@ def enumerator_agrees(
         and certified.pairs_checked == enumerated.pairs_checked
         and certified.max_hops == enumerated.max_hops
     )
-    if agree and certified.minimality_basis == "monotone-dor":
+    if agree and certified.minimality_basis in (
+        "monotone-dor",
+        "declared-minimal",
+    ):
         agree = (
             certified.non_minimal_pairs == enumerated.non_minimal_pairs
             and certified.max_detour == enumerated.max_detour

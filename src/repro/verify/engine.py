@@ -38,7 +38,7 @@ from repro.core.spec import (
     network_components,
     resolve_topology,
 )
-from repro.core.topology import Topology
+from repro.core.topology import Topology, make_topology
 from repro.errors import RoutingError
 from repro.verify.cdg import ChannelV, DepEdge, find_cycle, format_channel
 from repro.verify.report import VerificationReport
@@ -105,9 +105,15 @@ class _Enumerator:
         self.max_findings = max_findings
         self.uses_vcs = config.uses_vcs
         self.topology = (
-            topology if topology is not None else Topology(config)
+            topology if topology is not None else make_topology(config)
         )
-        self.minimal_hops = minimal_hops_fn(config)
+        # A routing that declares its own minimal-hop bound (the 3-D
+        # DOR pack, plugins) is audited against that declaration; the
+        # builtin 2-D algorithms are held to the monotone closed form.
+        declared = getattr(routing, "minimal_hops", None)
+        self.minimal_hops: Callable[[Coord, Coord], int] = (
+            declared if callable(declared) else minimal_hops_fn(config)
+        )
         # Reverse channel lookup: (arrival tile, input port) -> channel.
         self.rev: Dict[Tuple[Coord, int], Tuple[Coord, Direction]] = {}
         for src, direction, dst in self.topology.channels:

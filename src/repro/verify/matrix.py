@@ -27,11 +27,21 @@ DEFAULT_SIZES: Tuple[Tuple[int, int], ...] = ((8, 8), (16, 8), (64, 8))
 DEFAULT_RUCHE_FACTORS: Tuple[int, ...] = (2, 3, 4)
 
 
+#: The beyond-2-D pack's representative design points: the small 3-D
+#: mesh CI certifies for CDG acyclicity and the paper-scale 8x8x4
+#: torus (256 nodes, three FBFC rings per router).
+TOPOLOGY_PACK_3D: Tuple[Tuple[str, int, int, int], ...] = (
+    ("mesh3d", 4, 4, 4),
+    ("torus3d", 8, 8, 4),
+)
+
+
 def paper_matrix(
     sizes: Sequence[Tuple[int, int]] = DEFAULT_SIZES,
     ruche_factors: Sequence[int] = DEFAULT_RUCHE_FACTORS,
     *,
     include_fault_aware: bool = True,
+    include_3d: bool = True,
 ) -> List[Tuple[NetworkConfig, Optional[RoutingAlgorithm]]]:
     """Every (config, routing) pair of the paper's evaluation grid.
 
@@ -40,7 +50,9 @@ def paper_matrix(
     and an explicit healthy :class:`FaultAwareTableRouting` for the
     table-routed entries — included only at the smallest size, where
     table construction stays cheap (``include_fault_aware=False`` drops
-    them entirely).
+    them entirely).  ``include_3d`` appends the 3-D topology pack's
+    fixed design points (:data:`TOPOLOGY_PACK_3D`), independent of
+    ``sizes``.
     """
     grid: List[Tuple[NetworkConfig, Optional[RoutingAlgorithm]]] = []
     for width, height in sizes:
@@ -102,6 +114,16 @@ def paper_matrix(
         for name in ("mesh", "ruche2-depop"):
             config = NetworkConfig.from_name(name, width, height)
             grid.append((config, make_fault_aware_routing(config)))
+    if include_3d:
+        for name, width, height, depth in TOPOLOGY_PACK_3D:
+            grid.append(
+                (
+                    NetworkConfig.from_name(
+                        name, width, height, depth=depth
+                    ),
+                    None,
+                )
+            )
     return grid
 
 
@@ -110,6 +132,7 @@ def paper_spec_matrix(
     ruche_factors: Sequence[int] = DEFAULT_RUCHE_FACTORS,
     *,
     include_fault_aware: bool = True,
+    include_3d: bool = True,
 ) -> List[NetworkSpec]:
     """The paper's evaluation grid as :class:`NetworkSpec` entries.
 
@@ -177,6 +200,14 @@ def paper_spec_matrix(
                 "ruche2-depop", width, height, fault_links=3, fault_seed=7
             )
         )
+    if include_3d:
+        # Certified natively on the port-graph IR: route soundness and
+        # CDG acyclicity with the declared-minimal basis (the 3-D DORs
+        # export their own minimal_hops bound), no 2-D closed form.
+        for name, width, height, depth in TOPOLOGY_PACK_3D:
+            specs.append(
+                NetworkSpec.for_network(name, width, height, depth=depth)
+            )
     return specs
 
 

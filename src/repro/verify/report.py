@@ -158,9 +158,12 @@ class CertificationReport(VerificationReport):
     spec_hash: Optional[str] = None
     #: How minimal hop counts were derived: ``"monotone-dor"`` (the
     #: closed form the builtin DOR algorithms are held to),
-    #: ``"graph-bfs"`` (channel-graph distances, informational, for
-    #: plugin routings), or ``"bfs-tables"`` (fault-aware tables are
-    #: shortest-path by construction; audit skipped).
+    #: ``"declared-minimal"`` (the routing's own exported
+    #: ``minimal_hops`` bound — verdict-contributing, used by the 3-D
+    #: pack), ``"graph-bfs"`` (channel-graph distances, informational,
+    #: for plugin routings that declare no bound), or ``"bfs-tables"``
+    #: (fault-aware tables are shortest-path by construction; audit
+    #: skipped).
     minimality_basis: str = "monotone-dor"
     #: Table entries that route into a fault-masked link or dead router.
     masked_escapes: List[str] = dataclasses.field(default_factory=list)

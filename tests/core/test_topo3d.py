@@ -1,0 +1,248 @@
+"""The 3-D mesh/torus topology pack, end to end.
+
+Config grammar, emitted structure, XYZ routing, native certification
+(declared-minimal basis), and compiled-engine provenance — the proof
+that a topology whose nodes are not 2-D coordinates is a first-class
+citizen of every layer built on the port-graph IR.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.coords import Coord, Coord3, Direction
+from repro.core.params import NetworkConfig
+from repro.core.registry import TOPOLOGIES
+from repro.core.spec import NetworkSpec, build_run
+from repro.core.topo3d import (
+    Mesh3dDOR,
+    Mesh3dTopology,
+    Torus3dDOR,
+    Torus3dTopology,
+    make_routing_3d,
+    topology_for_config,
+)
+from repro.core.topology import make_topology
+from repro.errors import ConfigError, RoutingError
+from repro.experiments.registry import run_experiment
+from repro.sim.fastsim import lowering_problems
+from repro.verify.certify import certify_config, enumerator_agrees
+from repro.verify.engine import verify_config
+
+
+def _mesh3d(width=3, height=3, depth=2, **overrides):
+    return NetworkConfig.from_name(
+        "mesh3d", width, height, depth=depth, **overrides
+    )
+
+
+def _torus3d(width=4, height=4, depth=2, **overrides):
+    return NetworkConfig.from_name(
+        "torus3d", width, height, depth=depth, **overrides
+    )
+
+
+class TestConfig:
+    def test_depth_is_mandatory_for_3d(self):
+        with pytest.raises(ConfigError, match="depth >= 2"):
+            NetworkConfig.from_name("mesh3d", 4, 4)
+
+    def test_depth_rejected_for_2d(self):
+        with pytest.raises(ConfigError, match="only to 3-D"):
+            NetworkConfig.from_name("mesh", 4, 4, depth=2)
+
+    def test_torus3d_forces_fbfc(self):
+        assert _torus3d().fbfc is True
+        with pytest.raises(ConfigError, match="requires fbfc"):
+            _torus3d(fbfc=False)
+
+    def test_mesh3d_rejects_fbfc(self):
+        with pytest.raises(ConfigError, match="fbfc"):
+            _mesh3d(fbfc=True)
+
+    def test_edge_memory_rejected(self):
+        with pytest.raises(ConfigError, match="edge_memory"):
+            _mesh3d(edge_memory=True)
+
+    def test_num_nodes_counts_layers(self):
+        assert _mesh3d(4, 4, 4).num_nodes == 64
+        assert _torus3d(8, 8, 4).num_nodes == 256
+
+    def test_registry_aliases(self):
+        assert TOPOLOGIES.get("mesh-3d").name == "mesh3d"
+        assert TOPOLOGIES.get("torus-3d").name == "torus3d"
+
+
+class TestTopology:
+    def test_dispatchers_pick_3d_classes(self):
+        assert isinstance(make_topology(_mesh3d()), Mesh3dTopology)
+        assert isinstance(make_topology(_torus3d()), Torus3dTopology)
+        with pytest.raises(ConfigError, match="not a 3-D"):
+            topology_for_config(NetworkConfig.from_name("mesh", 4, 4))
+
+    def test_nodes_are_layer_major_coord3(self):
+        topo = make_topology(_mesh3d(3, 3, 2))
+        nodes = topo.nodes
+        assert len(nodes) == 18
+        assert all(isinstance(n, Coord3) for n in nodes)
+        # z outermost, then row-major: layer 0 first, (x fastest).
+        assert nodes[0] == Coord3(0, 0, 0)
+        assert nodes[1] == Coord3(1, 0, 0)
+        assert nodes[3] == Coord3(0, 1, 0)
+        assert nodes[9] == Coord3(0, 0, 1)
+
+    def test_mesh3d_channel_count(self):
+        # 3x3x2: bidirectional x-edges 2*3*2, y-edges 3*2*2, z 3*3*1.
+        topo = make_topology(_mesh3d(3, 3, 2))
+        assert len(topo.port_graph().channels) == 2 * (12 + 12 + 9)
+
+    def test_torus3d_channel_count(self):
+        # Every node drives all six axis ports on a torus.
+        topo = make_topology(_torus3d(4, 4, 4))
+        assert len(topo.port_graph().channels) == 6 * 64
+
+    def test_z_ports_render_as_up_down(self):
+        graph = make_topology(_mesh3d()).port_graph()
+        assert graph.port_name(int(Direction.RN)) == "D"
+        assert graph.port_name(int(Direction.RS)) == "U"
+
+    def test_link_spans(self):
+        mesh = make_topology(_mesh3d())
+        torus = make_topology(_torus3d())
+        assert mesh.link_span(Direction.E) == 1
+        assert mesh.link_span(Direction.RS) == 1
+        # Folded rings interleave planar neighbours; the layer pitch
+        # stays one regardless.
+        assert torus.link_span(Direction.E) == 2
+        assert torus.link_span(Direction.RS) == 1
+
+
+class TestRouting:
+    def test_dispatcher_and_config_guard(self):
+        assert isinstance(make_routing_3d(_mesh3d()), Mesh3dDOR)
+        assert isinstance(make_routing_3d(_torus3d()), Torus3dDOR)
+        with pytest.raises(ConfigError, match="not a 3-D"):
+            make_routing_3d(NetworkConfig.from_name("mesh", 4, 4))
+        with pytest.raises(ConfigError, match="requires a 3-D"):
+            Mesh3dDOR(NetworkConfig.from_name("mesh", 4, 4))
+
+    def test_mesh3d_strict_xyz_order(self):
+        routing = Mesh3dDOR(_mesh3d(3, 3, 3))
+        dest = Coord3(2, 1, 1)
+        assert routing.route(
+            Coord3(0, 0, 0), Direction.P, dest
+        ) is Direction.E
+        assert routing.route(
+            Coord3(2, 0, 0), Direction.W, dest
+        ) is Direction.S
+        assert routing.route(
+            Coord3(2, 1, 0), Direction.N, dest
+        ) is Direction.RS
+        assert routing.route(dest, Direction.RN, dest) is Direction.P
+
+    def test_mesh3d_minimal_hops_is_manhattan(self):
+        routing = Mesh3dDOR(_mesh3d(3, 3, 3))
+        assert routing.minimal_hops(
+            Coord3(0, 0, 0), Coord3(2, 1, 2)
+        ) == 5
+
+    def test_torus3d_shortest_way_and_tiebreak(self):
+        routing = Torus3dDOR(_torus3d(4, 4, 4))
+        # 0 -> 3 on a 4-ring: one hop backward beats three forward.
+        assert routing.route(
+            Coord3(0, 0, 0), Direction.P, Coord3(3, 0, 0)
+        ) is Direction.W
+        # Distance exactly half the ring: tie breaks positive.
+        assert routing.route(
+            Coord3(0, 0, 0), Direction.P, Coord3(2, 0, 0)
+        ) is Direction.E
+        assert routing.minimal_hops(
+            Coord3(0, 0, 0), Coord3(3, 2, 1)
+        ) == 1 + 2 + 1
+
+    def test_rejects_2d_nodes(self):
+        routing = Mesh3dDOR(_mesh3d())
+        with pytest.raises(RoutingError, match="Coord3"):
+            routing.route(
+                Coord(0, 0), Direction.P, Coord3(1, 1, 1)
+            )
+
+
+class TestCertification:
+    def test_mesh3d_certifies_on_declared_minimal_basis(self):
+        report = certify_config(_mesh3d(4, 4, 2))
+        assert report.ok, report.problems()
+        assert report.minimality_basis == "declared-minimal"
+        assert report.minimality_checked is True
+        assert report.cdg_required is True
+        assert report.cdg_acyclic is True
+
+    def test_torus3d_inherits_the_fbfc_waiver(self):
+        report = certify_config(_torus3d(4, 4, 2))
+        assert report.ok, report.problems()
+        assert report.minimality_basis == "declared-minimal"
+        # Ring CDG cycles are expected; FBFC bubbles stand in for
+        # datelines, exactly as on the 2-D torus-fbfc points.
+        assert report.cdg_required is False
+
+    def test_certifier_agrees_with_enumerator(self):
+        config = _mesh3d(3, 3, 2)
+        certified = certify_config(config)
+        verified = verify_config(config)
+        assert verified.ok, verified.problems()
+        assert enumerator_agrees(certified, verified)
+
+
+class TestEngine:
+    def _spec(self, name, width, height, depth, engine=None):
+        return NetworkSpec.for_network(
+            name,
+            width,
+            height,
+            depth=depth,
+            pattern="uniform_random",
+            rate=0.05,
+            warmup=50,
+            measure=100,
+            drain_limit=500,
+            seed=1,
+            engine=engine,
+        )
+
+    @pytest.mark.parametrize("name", ["mesh3d", "torus3d"])
+    def test_lowering_is_clean(self, name):
+        assert lowering_problems(self._spec(name, 4, 4, 2)) == []
+
+    @pytest.mark.parametrize("name", ["mesh3d", "torus3d"])
+    def test_compiled_provenance_and_equivalence(self, name):
+        spec = self._spec(name, 4, 4, 2)
+        compiled = build_run(spec.replace(engine="compiled"))
+        reference = build_run(spec.replace(engine="reference"))
+        assert compiled.engine == "compiled"
+        assert reference.engine == "reference"
+        c = dataclasses.asdict(compiled)
+        r = dataclasses.asdict(reference)
+        for fields in (c, r):
+            fields.pop("engine")
+            fields.pop("metrics")
+        assert c == r
+        assert (
+            compiled.metrics.delivered_total
+            == reference.metrics.delivered_total
+        )
+
+
+class TestSweep3d:
+    def test_smoke_campaign(self):
+        result = run_experiment("sweep3d", scale="smoke")
+        assert result.experiment_id == "sweep3d"
+        assert len(result.rows) == 2
+        assert {row["config"] for row in result.rows} == {
+            "mesh3d",
+            "torus3d",
+        }
+        for row in result.rows:
+            assert row["size"] == "4x4x3"
+            assert row["pattern"] == "uniform_random"
+            assert row["zero_load_latency"] > 0
+            assert row["saturation_throughput"] > 0

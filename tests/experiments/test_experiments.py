@@ -12,7 +12,7 @@ class TestRegistry:
         assert ids == {
             "table1", "fig5", "fig6", "fig7", "table2", "table3",
             "fig8", "fig9", "table4", "fig10", "fig11", "fig12",
-            "fig13", "table6", "faults", "chaos",
+            "fig13", "table6", "sweep3d", "faults", "chaos",
         }
 
     def test_describe(self):
@@ -129,6 +129,36 @@ class TestCli:
         assert main(["--list"]) == 0
         out = capsys.readouterr().out
         assert "fig6" in out and "table6" in out
+
+    def test_main_list_topologies(self, capsys):
+        # Registry menus print from registration metadata alone — no
+        # config or topology construction — with aliases inline.
+        from repro.experiments.__main__ import main
+
+        assert main(["--list-topologies"]) == 0
+        out = capsys.readouterr().out
+        for family in ("mesh", "torus", "ruche", "mesh3d", "torus3d"):
+            assert family in out
+        assert "[aliases: mesh-3d]" in out
+        assert "depth option sets layers" in out
+
+    def test_main_list_other_registries(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["--list-routings", "--list-engines"]) == 0
+        out = capsys.readouterr().out
+        assert "mesh3d-dor" in out and "torus3d-dor" in out
+        assert "compiled" in out and "reference" in out
+
+    def test_main_list_patterns_routers_allocators(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["--list-patterns"]) == 0
+        assert "uniform_random" in capsys.readouterr().out
+        assert main(["--list-routers"]) == 0
+        assert "fbfc" in capsys.readouterr().out
+        assert main(["--list-allocators"]) == 0
+        assert capsys.readouterr().out.strip()
 
     def test_main_runs_experiment(self, capsys):
         from repro.experiments.__main__ import main

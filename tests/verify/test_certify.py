@@ -214,11 +214,12 @@ class TestPluginTopology:
         # is informational and must not fail the verdict.
         assert report.topology == "express-mesh"
 
-    def test_express_mesh_lowering_names_plugin_components(self, plugin):
+    def test_express_mesh_compiles_via_generic_tabulation(self, plugin):
+        # Plugin components lower through the generic port-graph route
+        # tabulation; the old blanket plugin-components gate is gone.
         report = certify_spec(plugin.demo_spec())
-        assert report.compiles is False
-        codes = [d["code"] for d in report.lowering]
-        assert codes == ["plugin-components"]
+        assert report.compiles is True
+        assert report.lowering == []
 
 
 class TestLoweringDiagnostics:

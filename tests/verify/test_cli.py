@@ -109,9 +109,29 @@ class TestCertifyMode:
         express = payload["reports"][1]
         assert express["topology"] == "express-mesh"
         assert express["minimality_basis"] == "graph-bfs"
-        assert [d["code"] for d in express["lowering"]] == [
-            "plugin-components"
-        ]
+        # Plugin components lower through the generic port-graph route
+        # tabulation, so the express mesh compiles clean.
+        assert express["lowering"] == []
+        assert express["compiles"] is True
+
+    def test_no_matrix_certifies_only_the_specs(self, capsys):
+        code = main(
+            ["--certify", "--skip-lint", "--no-matrix",
+             "--spec", '{"topology": "mesh3d", "width": 4, '
+             '"height": 4, "depth": 2}',
+             "--spec", '{"topology": "torus3d", "width": 4, '
+             '"height": 4, "depth": 2}']
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 design point(s), 0 failure(s)" in out
+        assert "basis=declared-minimal" in out
+        assert "monotone-dor" not in out  # no matrix entries ran
+
+    def test_no_matrix_without_spec_is_config_error(self):
+        assert main(
+            ["--certify", "--skip-lint", "--no-matrix"]
+        ) == 2
 
     def test_missing_plugin_file_is_config_error(self):
         assert main(

@@ -43,10 +43,12 @@ class TestAcceptsHealthyConfigs:
         reports = verify_matrix(paper_matrix(sizes=[(8, 8)]))
         bad = [r for r in reports if not r.ok]
         assert not bad, [(r.config, r.problems()) for r in bad]
-        # The matrix spans every routing algorithm the paper evaluates.
+        # The matrix spans every routing algorithm the paper evaluates,
+        # plus the beyond-2-D pack's fixed design points.
         assert {r.algorithm for r in reports} == {
             "MeshDOR", "TorusDOR", "MultiMeshRouting",
             "RucheOneRouting", "RucheDOR", "FaultAwareTableRouting",
+            "Mesh3dDOR", "Torus3dDOR",
         }
 
     def test_torus_cdg_is_vc_extended(self):
