@@ -13,6 +13,11 @@ models:
 * ``torus-64x8-ur`` — VC router with wavefront allocation at the
   manycore aspect ratio.
 
+Further cases pin fault-schedule compilation (``torus-64x8-ur-faults``),
+the port-graph 3-D lowering (``torus3d-8x8x4-ur``), and the
+trace-replay fast path (``manycore-replay`` — a captured manycore
+workload replayed at compiled speed, gated >= 4x over reference).
+
 Each case is measured once per registered simulation engine
 (``reference`` and ``compiled`` — see :data:`repro.core.registry.ENGINES`),
 so the baseline pins both the object-per-flit simulator and the
@@ -88,6 +93,18 @@ CASES: Dict[str, Dict[str, Any]] = {
         pattern="uniform_random", rate=0.10,
         warmup=200, measure=400, drain_limit=800,
     ),
+    # Trace capture/replay: a fig10-class manycore workload captured
+    # once from the execution-driven machine (untimed, at spec-build
+    # time via the manycore run cache), then replayed as a pure
+    # injection schedule.  The compiled leg runs through
+    # run_compiled_batch — the figure drivers' submission path, where
+    # the C kernel consumes the trace natively — and must stay >= 4x
+    # the reference replay (SPEEDUP_FLOORS).
+    "manycore-replay": dict(
+        trace=("jacobi", "ruche2-depop", 16, 8, "quick"),
+        stream="fwd",
+        pattern="trace_replay", rate=1.0,
+    ),
 }
 
 #: Repeats per case: quick keeps CI fast, full feeds the baseline.
@@ -101,6 +118,7 @@ REPEATS = {"quick": 2, "full": 4}
 #: (i.e. both engines were measured).
 SPEEDUP_FLOORS: Dict[Tuple[str, str], float] = {
     ("torus-64x8-ur", "compiled"): 5.0,
+    ("manycore-replay", "compiled"): 4.0,
 }
 
 #: Floor on the batched campaign's speedup over the per-row compiled
@@ -117,6 +135,16 @@ def _case_spec(
 ) -> NetworkSpec:
     """The declarative design point behind one canonical case."""
     case = CASES[name]
+    if "trace" in case:
+        from repro.experiments.manycore_runs import write_traces
+        from repro.sim.trace import replay_spec
+
+        paths = write_traces(case["trace"])
+        return replay_spec(
+            paths[case.get("stream", "fwd")],
+            engine=engine or "compiled",
+            seed=seed,
+        )
     config_name, width, height, kwargs = case["config"]
     return NetworkSpec.for_network(
         config_name,
@@ -142,11 +170,23 @@ def measure_case(
     """Best-of-``repeats`` cycles/sec for one canonical case/engine."""
     case = CASES[name]
     spec = _case_spec(name, seed=seed, engine=engine)
+    if "trace" in case and engine == "compiled":
+        # Replay rides the batch submission path the figure drivers
+        # use, where the C kernel consumes the trace natively.
+        from repro.sim.fastsim import run_compiled_batch
+
+        def runner(s: NetworkSpec) -> Any:
+            outcome = run_compiled_batch([s])[0]
+            if isinstance(outcome, Exception):
+                raise outcome
+            return outcome
+    else:
+        runner = build_run
     best_seconds = None
     result = None
     for _ in range(repeats):
         start = time.perf_counter()
-        result = build_run(spec)
+        result = runner(spec)
         elapsed = time.perf_counter() - start
         if best_seconds is None or elapsed < best_seconds:
             best_seconds = elapsed

@@ -37,7 +37,6 @@ experiment ``python -m repro.experiments chaos``.
 
 from __future__ import annotations
 
-import math
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.params import NetworkConfig
@@ -45,6 +44,7 @@ from repro.errors import DeadlockError
 from repro.experiments.base import ExperimentResult, resolve_scale
 from repro.experiments.campaign import CheckpointStore, run_campaign
 from repro.sim.faults import FaultSchedule
+from repro.sim.metrics import fairness_stats, tail_latency_stats
 from repro.sim.simulator import run_synthetic
 from repro.sim.watchdog import WatchdogConfig
 
@@ -119,18 +119,9 @@ def build_schedule(
     )
 
 
-def _fairness(per_source_means: Dict[Any, float]) -> Dict[str, float]:
-    """Per-tile fairness of mean latencies: max/mean ratio and CV."""
-    means = [m for m in per_source_means.values() if not math.isnan(m)]
-    if not means:
-        return dict(fairness_max_over_mean=float("nan"),
-                    fairness_cv=float("nan"))
-    mean = sum(means) / len(means)
-    var = sum((m - mean) ** 2 for m in means) / len(means)
-    return dict(
-        fairness_max_over_mean=max(means) / mean if mean else float("nan"),
-        fairness_cv=math.sqrt(var) / mean if mean else float("nan"),
-    )
+# Promoted to :func:`repro.sim.metrics.fairness_stats`; kept under its
+# historical name for chaos-campaign callers.
+_fairness = fairness_stats
 
 
 def _simulate(config, schedule, preset, params, rate, engine):
@@ -222,15 +213,12 @@ def _run_row(params: Dict[str, Any]) -> Dict[str, Any]:
         deadlock=False,
         accepted_throughput=result.accepted_throughput,
         avg_latency=result.avg_latency,
-        p50_latency=metrics.measured.percentile(0.50),
-        p99_latency=metrics.measured.percentile(0.99),
-        p999_latency=metrics.measured.percentile(0.999),
         injected=metrics.injected_measured,
         delivered=metrics.delivered_measured,
         dropped=metrics.dropped_measured,
         drained=result.drained,
         total_cycles=result.total_cycles,
-        **_fairness(metrics.per_source_means()),
+        **tail_latency_stats(metrics),
     )
     return row
 

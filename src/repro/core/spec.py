@@ -398,12 +398,20 @@ def build_routing(
 
 
 def build_pattern(name: str, config: NetworkConfig) -> Any:
-    """The destination function for a registered traffic pattern."""
+    """The destination function for a registered traffic pattern.
+
+    Pattern names may carry a colon-separated argument (e.g.
+    ``"trace_replay:<path>"``): the base name resolves through the
+    registry, the argument reaches the factory verbatim.
+    """
     from repro.core.registry import PATTERNS
 
     import repro.sim.traffic  # noqa: F401 - registers builtin patterns
 
-    factory = PATTERNS.get(name.strip().lower())
+    base, sep, arg = name.strip().partition(":")
+    factory = PATTERNS.get(base.strip().lower())
+    if sep:
+        return factory(config, arg)
     return factory(config)
 
 

@@ -5,6 +5,13 @@ benchmarks (IPOLY balances the banks); Ruche cuts intrinsic latency by
 ~27% at ruche2-depop with diminishing returns beyond; congestion
 dominates for the streaming workloads; congestion is never *worsened* by
 Ruche channels.
+
+Each row additionally replays the run's captured request-network
+injection trace on the compiled engine (capture once, replay many — see
+:mod:`repro.experiments.manycore_runs`) and reports the tail of the
+replayed network latency distribution: ``replay_p50/p99/p999`` plus the
+per-tile fairness columns from :mod:`repro.sim.metrics`, with
+``replay_engine`` recording the engine that actually ran.
 """
 
 from __future__ import annotations
@@ -15,11 +22,13 @@ from repro.experiments.base import ExperimentResult, resolve_scale
 from repro.experiments.manycore_runs import (
     FABRICS,
     prime_cache,
+    replay_result,
     run_cached,
     size_for,
     suite_for,
     suite_keys,
 )
+from repro.sim.metrics import tail_latency_stats
 
 
 def run(
@@ -32,12 +41,26 @@ def run(
     for benchmark in suite_for(scale):
         for fabric in FABRICS:
             stats = run_cached(benchmark, fabric, width, height, scale)
+            replay = replay_result(
+                benchmark,
+                fabric,
+                width,
+                height,
+                scale,
+                stream="fwd",
+                engine="compiled",
+                track_per_source=True,
+                keep_samples=True,
+            )
+            tail = tail_latency_stats(replay.metrics)
             rows.append({
                 "benchmark": benchmark,
                 "config": fabric,
                 "intrinsic": stats.avg_intrinsic_latency,
                 "congestion": stats.avg_congestion_latency,
                 "total": stats.avg_load_latency,
+                "replay_engine": replay.engine,
+                **{f"replay_{k}": v for k, v in tail.items()},
             })
     return ExperimentResult(
         experiment_id="fig12",

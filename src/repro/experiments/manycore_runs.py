@@ -6,11 +6,26 @@ the Figure 10–13 data without re-simulating.  :func:`prime_cache` fills
 the memo across worker processes (each run is a pure, deterministic
 function of its key) so the drivers' ``--jobs`` flag parallelizes the
 expensive simulations while every aggregation step stays serial.
+
+Every reference run additionally captures its per-network injection
+traces (:mod:`repro.sim.trace`) as a side effect: cache entries are
+:class:`RunEntry` objects carrying the :class:`MachineStats` *and* the
+``fwd`` / ``rev`` traces, so repeated network-level sweeps over the
+cached workloads replay on the compiled engine instead of re-running
+the execution-driven model (capture once, replay many — see
+:func:`replay_result`).  The internal cache key includes the
+:data:`PROVENANCE` schema tag, so a cache primed by a pre-trace build
+is never silently reused for replay rows.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+import atexit
+import dataclasses
+import os
+import shutil
+import tempfile
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.manycore import (
     Machine,
@@ -18,9 +33,16 @@ from repro.manycore import (
     MachineStats,
     build_workload,
 )
+from repro.sim.trace import Trace, TraceRecorder, replay_spec
 
 #: Cache key: (benchmark, network, width, height, scale).
 RunKey = Tuple[str, str, int, int, str]
+
+#: Engine/trace schema tag folded into the internal cache key.  Bump it
+#: whenever the capture format or the replay semantics change: entries
+#: produced under an older tag (e.g. a worker running pre-trace code)
+#: miss instead of feeding stale traces to replay rows.
+PROVENANCE = "reference+trace-v1"
 
 #: Manycore fabrics compared in Figures 10-13 (paper order).
 FABRICS = (
@@ -69,23 +91,78 @@ def kernel_params(benchmark: str, scale: str) -> dict:
     return dict(KERNEL_PRESETS[scale].get(kernel, {}))
 
 
-_CACHE: Dict[RunKey, MachineStats] = {}
+@dataclasses.dataclass
+class RunEntry:
+    """One cached manycore run: stats plus its captured traces.
+
+    ``paths`` memoizes where each stream's trace has been written this
+    process (traces travel between prime workers and the parent in
+    memory; files materialize lazily in whichever process replays).
+    """
+
+    stats: MachineStats
+    traces: Dict[str, Trace]
+    provenance: str = PROVENANCE
+    paths: Dict[str, str] = dataclasses.field(default_factory=dict)
+
+
+_CACHE: Dict[Tuple, RunEntry] = {}
+
+
+def _cache_key(key: RunKey) -> Tuple:
+    return (*key, PROVENANCE)
 
 
 def _simulate(
     benchmark: str, network: str, width: int, height: int, scale: str
-) -> MachineStats:
+) -> RunEntry:
     """One manycore simulation (pure function of its arguments)."""
     mcfg = MachineConfig(network=network, width=width, height=height)
     workload = build_workload(
         benchmark, mcfg, **kernel_params(benchmark, scale)
     )
-    return Machine(mcfg, workload).run(max_cycles=3_000_000)
+    machine = Machine(mcfg, workload, recorder=TraceRecorder())
+    stats = machine.run(max_cycles=3_000_000)
+    traces = machine.finalize_traces(
+        provenance={
+            "benchmark": benchmark,
+            "network": network,
+            "width": width,
+            "height": height,
+            "scale": scale,
+            "schema": PROVENANCE,
+        }
+    )
+    return RunEntry(stats=stats, traces=traces)
 
 
-def _simulate_key(key: RunKey) -> MachineStats:
+def _simulate_key(key: RunKey) -> RunEntry:
     """Picklable worker entry point for :func:`prime_cache`."""
     return _simulate(*key)
+
+
+def run_entry(
+    benchmark: str,
+    network: str,
+    width: int,
+    height: int,
+    scale: str,
+) -> RunEntry:
+    """One memoized manycore run with its captured traces.
+
+    Entries whose provenance tag does not match this build's
+    :data:`PROVENANCE` (or that carry no traces) are recomputed rather
+    than reused — a replay row must never consume a stale capture.
+    """
+    key: RunKey = (benchmark, network, width, height, scale)
+    entry = _CACHE.get(_cache_key(key))
+    if (
+        entry is None
+        or entry.provenance != PROVENANCE
+        or not entry.traces
+    ):
+        entry = _CACHE[_cache_key(key)] = _simulate(*key)
+    return entry
 
 
 def run_cached(
@@ -96,11 +173,7 @@ def run_cached(
     scale: str,
 ) -> MachineStats:
     """One memoized manycore simulation."""
-    key = (benchmark, network, width, height, scale)
-    stats = _CACHE.get(key)
-    if stats is None:
-        stats = _CACHE[key] = _simulate(*key)
-    return stats
+    return run_entry(benchmark, network, width, height, scale).stats
 
 
 def prime_cache(keys: Iterable[RunKey], jobs: int = 1) -> int:
@@ -110,19 +183,97 @@ def prime_cache(keys: Iterable[RunKey], jobs: int = 1) -> int:
     deterministic per key, so parallel priming yields the same stats a
     serial run would; subsequent :func:`run_cached` calls are hits.
     """
-    missing = [k for k in dict.fromkeys(keys) if k not in _CACHE]
+    missing = [
+        k for k in dict.fromkeys(keys) if _cache_key(k) not in _CACHE
+    ]
     if not missing:
         return 0
     if jobs <= 1 or len(missing) == 1:
         for key in missing:
-            run_cached(*key)
+            run_entry(*key)
         return len(missing)
     from concurrent.futures import ProcessPoolExecutor
 
     with ProcessPoolExecutor(max_workers=jobs) as executor:
-        for key, stats in zip(missing, executor.map(_simulate_key, missing)):
-            _CACHE[key] = stats
+        for key, entry in zip(missing, executor.map(_simulate_key, missing)):
+            _CACHE[_cache_key(key)] = entry
     return len(missing)
+
+
+# ----------------------------------------------------------------------
+# Trace materialization and compiled replay
+# ----------------------------------------------------------------------
+_TRACE_DIR: Optional[str] = None
+
+
+def trace_dir() -> str:
+    """Where this process writes trace files for replay.
+
+    ``REPRO_TRACE_DIR`` pins it (and persists traces across runs);
+    otherwise a process-lifetime temporary directory is used and
+    removed at exit.
+    """
+    global _TRACE_DIR
+    if _TRACE_DIR is None:
+        env = os.environ.get("REPRO_TRACE_DIR")
+        if env:
+            os.makedirs(env, exist_ok=True)
+            _TRACE_DIR = env
+        else:
+            _TRACE_DIR = tempfile.mkdtemp(prefix="repro-traces-")
+            atexit.register(shutil.rmtree, _TRACE_DIR, True)
+    return _TRACE_DIR
+
+
+def write_traces(key: RunKey) -> Dict[str, str]:
+    """Materialize a cached run's traces on disk; returns stream paths.
+
+    Files are written at most once per process (re-writing would be
+    byte-identical anyway — the format is deterministic).
+    """
+    entry = run_entry(*key)
+    benchmark, network, width, height, scale = key
+    for stream, tr in entry.traces.items():
+        if stream in entry.paths:
+            continue
+        fname = (
+            f"{benchmark}-{network}-{width}x{height}-{scale}"
+            f"-{stream}.noctrace"
+        )
+        entry.paths[stream] = tr.write(
+            os.path.join(trace_dir(), fname)
+        )
+    return dict(entry.paths)
+
+
+def replay_result(
+    benchmark: str,
+    network: str,
+    width: int,
+    height: int,
+    scale: str,
+    *,
+    stream: str = "fwd",
+    engine: str = "compiled",
+    track_per_source: bool = False,
+    keep_samples: bool = False,
+) -> Any:
+    """Replay a cached run's captured trace on the chosen engine.
+
+    Returns the :class:`~repro.sim.simulator.RunResult` of replaying
+    the ``stream`` network's injection trace (``"fwd"`` requests, X-Y
+    DOR; ``"rev"`` responses, Y-X DOR) — the capture-once-replay-many
+    fast path behind the Figure 10–13 network-level re-measurements.
+    """
+    from repro.core.spec import build_run
+
+    paths = write_traces((benchmark, network, width, height, scale))
+    spec = replay_spec(paths[stream], engine=engine)
+    return build_run(
+        spec,
+        track_per_source=track_per_source,
+        keep_samples=keep_samples,
+    )
 
 
 def suite_keys(

@@ -22,6 +22,7 @@ from repro.experiments import (
     table3_energy,
     table4_bandwidth,
     table6_geomean,
+    tail_latency,
 )  # noqa: I001 - figure order reads better than lexicographic
 from repro import chaos
 from repro.experiments.base import ExperimentResult
@@ -44,6 +45,10 @@ _REGISTRY: Dict[str, Tuple[Callable, str]] = {
     "sweep3d": (
         sweep3d.run,
         "3-D mesh/torus synthetic traffic (beyond-2-D pack)",
+    ),
+    "tail": (
+        tail_latency.run,
+        "Tail latency and fairness at near-saturation load",
     ),
     "faults": (
         fault_degradation.run,

@@ -29,6 +29,7 @@ from repro.manycore.memory import MemoryTile, ScratchpadServer
 from repro.sim.network import Network
 from repro.sim.packet import Packet
 from repro.sim.router import Sink
+from repro.sim.trace import Trace, TraceRecorder
 
 
 class _CoreSink(Sink):
@@ -113,9 +114,14 @@ class Machine:
         config: MachineConfig,
         workload: Dict[Coord, Iterator[Tuple]],
         hash_fn: str = "ipoly",
+        recorder: Optional["TraceRecorder"] = None,
     ) -> None:
         self.config = config
         self.cycle = 0
+        #: Optional injection-trace capture (see :mod:`repro.sim.trace`):
+        #: when set, every accepted injection on either network is
+        #: recorded, at a cost of one method call per injection.
+        self.recorder = recorder
         self._hash = ipoly_hash if hash_fn == "ipoly" else modulo_hash
         self._mem_coords = config.memory_coords()
         self._intrinsic_cache: Dict[Tuple[Coord, Coord], int] = {}
@@ -189,6 +195,8 @@ class Machine:
         intrinsic = self.intrinsic_latency(src, dest) + service
         request = Request(kind, src, cycle, intrinsic)
         self.fwd.inject(src, dest, payload=request)
+        if self.recorder is not None:
+            self.recorder.record("fwd", cycle, src, dest)
         return True
 
     def _service_latency(self, kind: str, dest: Coord) -> int:
@@ -231,6 +239,10 @@ class Machine:
             if response is not None and self.rev.try_inject_from_memory(
                 mem.coord, response.payload.src, payload=response.payload
             ):
+                if self.recorder is not None:
+                    self.recorder.record(
+                        "rev", cycle, mem.coord, response.payload.src
+                    )
                 mem.pop_response()
             mem.serve(cycle)
         rev = self.rev
@@ -246,6 +258,13 @@ class Machine:
                         response.payload.src,
                         payload=response.payload,
                     )
+                    if self.recorder is not None:
+                        self.recorder.record(
+                            "rev",
+                            cycle,
+                            server.coord,
+                            response.payload.src,
+                        )
                     server.pop_response()
                 server.serve(cycle)
         for core in self._core_list:
@@ -273,6 +292,41 @@ class Machine:
                 last_progress_mark = mark
                 last_check = self.cycle
         return self.stats(completed=self._cores_remaining == 0)
+
+    def finalize_traces(
+        self, provenance: Optional[Dict[str, object]] = None
+    ) -> Dict[str, Trace]:
+        """The captured ``fwd`` / ``rev`` injection traces of this run.
+
+        Requires a :class:`~repro.sim.trace.TraceRecorder` passed at
+        construction.  The replay geometry mirrors the machine's two
+        networks — same fabric, DOR order, FIFO depth, and channel
+        width — minus the edge-memory endpoints, which capture remaps
+        onto the adjacent edge tiles so the trace replays on a fabric
+        the compiled engine lowers.
+        """
+        if self.recorder is None:
+            raise SimulationError(
+                "this machine was built without a TraceRecorder; pass "
+                "recorder=TraceRecorder() to capture traces"
+            )
+        cfg = self.config
+        base: Dict[str, object] = {
+            "fifo_depth": cfg.fifo_depth,
+            "channel_width_bits": cfg.channel_width_bits,
+        }
+        if cfg.network.lower().startswith("ruche"):
+            base["half"] = True
+        return self.recorder.finalize(
+            width=cfg.width,
+            height=cfg.height,
+            duration=self.cycle,
+            networks={
+                "fwd": (cfg.network, {**base, "dor_order": "xy"}),
+                "rev": (cfg.network, {**base, "dor_order": "yx"}),
+            },
+            provenance=provenance,
+        )
 
     def _progress_fingerprint(self) -> Tuple[int, int]:
         return (

@@ -182,6 +182,11 @@ class BlockCtx(ctypes.Structure):
         ("pmeas", _I32P),
         ("st", _I64P),
         ("ejlog", _I32P),
+        # trace replay (mode 2): `trace` is the flat schedule — n + 1
+        # per-source pair offsets followed by (cycle, dest) pairs —
+        # and `trcur` the per-source cursor into it.
+        ("trace", _I32P),
+        ("trcur", _I32P),
     ]
 
 
@@ -244,6 +249,8 @@ typedef struct {
     int32_t *psrc, *pinj, *pmeas;
     int64_t *st;
     int32_t *ejlog;
+    const int32_t *trace;
+    int32_t *trcur;
 } BlockCtx;
 
 /* CPython's Mersenne Twister (_randommodule.c genrand_uint32), operating
@@ -612,6 +619,20 @@ static int inject_block(void *sctx, VcCtx *vc, BlockCtx *b)
             d = b->dtab[s];
             if (d < 0)
                 continue;
+        } else if (b->mode == 2) {
+            /* Trace replay: one cursor per source over cycle-sorted
+             * (cycle, dest) pairs.  The timing draw above is already
+             * consumed (rate is 1.0 for replay specs), matching the
+             * serial engines' pattern-returns-None path exactly. */
+            const int cur = b->trcur[s];
+            const int32_t *rec;
+            if (cur >= b->trace[s + 1])
+                continue;
+            rec = b->trace + n + 1 + 2 * cur;
+            if (rec[0] != (int32_t)cycle)
+                continue;
+            b->trcur[s] = cur + 1;
+            d = rec[1];
         } else {
             int idx = mt_below(b->d_mt, n, b->ubits);
             while (b->perm[idx] == s)

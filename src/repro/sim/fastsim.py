@@ -2184,13 +2184,55 @@ _POISON_RNG = _PoisonRng()
 #: for deterministic patterns (``-1`` = self-addressed, skipped after
 #: the timing draw), ``("uniform", perm, ubits)`` for the builtin
 #: uniform-random pattern, or ``None`` when the pattern draws from the
-#: dest stream in a way the block kernel cannot replicate.
+#: dest stream in a way the block kernel cannot replicate.  Trace
+#: replay plans (``("trace", table)``) live in
+#: :data:`_TRACE_PLAN_CACHE` instead, keyed on the trace file's stat
+#: signature — a name-keyed entry would go stale when the file at the
+#: same path is overwritten.
 _PATTERN_CACHE: Dict[Tuple, Optional[Tuple]] = {}
+
+#: (config, trace source key) -> ``("trace", table)`` plans.
+_TRACE_PLAN_CACHE: Dict[Tuple, Tuple] = {}
+
+
+def _trace_plan(
+    model: _CompiledModel, config: NetworkConfig, arg: str
+) -> Optional[Tuple]:
+    """The batch plan for ``trace_replay:<arg>``, or ``None``.
+
+    ``None`` routes the spec to a per-row serial run, where the pattern
+    factory raises the loader's full :class:`~repro.sim.trace.TraceError`
+    — the batch gate stays an analysis, not an error path.
+    """
+    from repro.sim import trace as trace_mod
+
+    try:
+        tr = trace_mod.load_trace(arg)
+        tr.check_config(config)
+    except Exception:
+        return None
+    key = (config, tr.source_key)
+    plan = _TRACE_PLAN_CACHE.get(key)
+    if plan is None:
+        try:
+            plan = (
+                "trace", tr.batch_table(model.nodes, model.node_index)
+            )
+        except Exception:
+            return None
+        _TRACE_PLAN_CACHE[key] = plan
+    return plan
 
 
 def _pattern_plan(
     model: _CompiledModel, config: NetworkConfig, pattern: str
 ) -> Optional[Tuple]:
+    base, sep, arg = pattern.partition(":")
+    if sep and base.strip().lower() == "trace_replay":
+        # Stateful by design (per-source cursors) — the poison-RNG
+        # probe below would mis-tabulate it, and the plan must key on
+        # the file's content signature, not its name.
+        return _trace_plan(model, config, arg)
     key = (config, pattern)
     cached = _PATTERN_CACHE.get(key, _MISSING)
     if cached is not _MISSING:
@@ -2267,6 +2309,22 @@ def batching_problems(
                 "wall-clock-budget",
                 "wall-clock budgets are polled per cycle by the serial "
                 "engines; block execution cannot honor them",
+            )
+        )
+    base, sep, _arg = spec.pattern.partition(":")
+    if (
+        sep
+        and base.strip().lower() == "trace_replay"
+        and spec.rate != 1.0
+    ):
+        reasons.append(
+            LoweringDiagnostic(
+                "trace-rate",
+                f"trace replay batches only at rate=1.0 (spec has "
+                f"rate={spec.rate}): the block kernel indexes the trace "
+                f"by the cycle counter while the serial engines index "
+                f"by pattern call, and the two agree only when every "
+                f"cycle draws the pattern",
             )
         )
     cfg = build_config(spec)
@@ -2394,6 +2452,7 @@ class _BatchRun:
         "buf_off", "qoff_off", "qcap_off", "qhead_off", "qlen_off",
         "arb_off", "vc_rr_off", "prio_off", "occ_off", "dirty_off",
         "gsq_off", "gro_off", "ej_off", "nej_off", "tab_off",
+        "trcur_off",
         "hop_off", "link_off", "st_off", "tmt_off", "dmt_off",
         "i32", "st",
         "pdest_a", "pbase_a", "pout_a", "povc_a",
@@ -2506,6 +2565,10 @@ class _BatchRun:
         self.ej_off = arena.add32(R)
         self.nej_off = arena.add32(1)
         self.tab_off = arena.add32(self.plan[1])
+        if self.plan[0] == "trace":
+            # Per-source replay cursors, initialized to the schedule's
+            # per-source start offsets (the table's first n entries).
+            self.trcur_off = arena.add32(self.plan[1][:R])
         self.hop_off = arena.add64(NUM_DIRS)
         self.link_off = arena.add64(
             R * NUM_DIRS if self.track_links else 1
@@ -2611,6 +2674,11 @@ class _BatchRun:
             b.mode = 0
             b.ubits = 0
             b.dtab = arena.p32(self.tab_off)
+        elif self.plan[0] == "trace":
+            b.mode = 2
+            b.ubits = 0
+            b.trace = arena.p32(self.tab_off)
+            b.trcur = arena.p32(self.trcur_off)
         else:
             b.mode = 1
             b.ubits = self.plan[2]

@@ -52,13 +52,20 @@ class LatencyStats:
         return math.sqrt(max(0.0, var))
 
     def percentile(self, q: float) -> float:
-        """Latency percentile ``q`` in [0, 1]; needs ``keep_samples``."""
+        """Latency percentile ``q`` in [0, 1]; needs ``keep_samples``.
+
+        Nearest-rank definition: the smallest sample with at least a
+        ``q`` fraction of the distribution at or below it.  Well-defined
+        on short runs too — with fewer than 1000 samples, p999 is the
+        maximum, not an out-of-range index rounded to something odd.
+        """
         if self._samples is None:
             raise ValueError("percentiles require keep_samples=True")
         if not self._samples:
             return float("nan")
         ordered = sorted(self._samples)
-        idx = min(len(ordered) - 1, int(q * len(ordered)))
+        n = len(ordered)
+        idx = min(n - 1, max(0, math.ceil(q * n) - 1))
         return float(ordered[idx])
 
     def merge(self, other: "LatencyStats") -> None:
@@ -71,6 +78,46 @@ class LatencyStats:
             self.max = other.max
         if self._samples is not None and other._samples is not None:
             self._samples.extend(other._samples)
+
+
+def fairness_stats(per_source_means: Dict) -> Dict[str, float]:
+    """Per-tile fairness of mean latencies: max/mean ratio and CV.
+
+    ``per_source_means`` maps source tiles to their mean measured
+    latency (see :meth:`RunMetrics.per_source_means`); tiles that
+    delivered nothing (NaN mean) are excluded.  A max/mean ratio near 1
+    and a small coefficient of variation mean the fabric serves every
+    tile evenly (the Figure 8 question); both degrade near saturation.
+    """
+    means = [m for m in per_source_means.values() if not math.isnan(m)]
+    if not means:
+        return dict(
+            fairness_max_over_mean=float("nan"),
+            fairness_cv=float("nan"),
+        )
+    mean = sum(means) / len(means)
+    var = sum((m - mean) ** 2 for m in means) / len(means)
+    return dict(
+        fairness_max_over_mean=max(means) / mean if mean else float("nan"),
+        fairness_cv=math.sqrt(var) / mean if mean else float("nan"),
+    )
+
+
+def tail_latency_stats(metrics: "RunMetrics") -> Dict[str, float]:
+    """p50/p99/p999 plus fairness for one run, as flat row columns.
+
+    Requires the run to have been measured with ``keep_samples=True``;
+    the fairness columns additionally require ``track_per_source=True``
+    and are omitted otherwise.
+    """
+    out = {
+        "p50_latency": metrics.measured.percentile(0.50),
+        "p99_latency": metrics.measured.percentile(0.99),
+        "p999_latency": metrics.measured.percentile(0.999),
+    }
+    if metrics.per_source is not None:
+        out.update(fairness_stats(metrics.per_source_means()))
+    return out
 
 
 class RunMetrics:

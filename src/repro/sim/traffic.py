@@ -214,16 +214,46 @@ def make_neighbor(config: NetworkConfig) -> PatternFn:
     return neighbor
 
 
+@register_pattern(
+    "trace_replay",
+    description="replay a captured injection trace "
+    "(parameterized: trace_replay:<path>)",
+)
+def make_trace_replay(
+    config: NetworkConfig, arg: Optional[str] = None
+) -> PatternFn:
+    from repro.sim.trace import replay_pattern
+
+    fn: PatternFn = replay_pattern(config, arg)
+    return fn
+
+
 def make_pattern(name: str, config: NetworkConfig) -> PatternFn:
-    """Build a destination function for pattern ``name`` on ``config``."""
+    """Build a destination function for pattern ``name`` on ``config``.
+
+    A pattern name may carry a colon-separated argument
+    (``"trace_replay:/path/to.noctrace"``): the base name is normalized
+    and resolved through the registry, the argument is passed to the
+    factory verbatim (case- and whitespace-preserving, so filesystem
+    paths survive).
+    """
     from repro.core.registry import PATTERNS
 
-    return PATTERNS.get(name.strip().lower())(config)
+    base, sep, arg = name.strip().partition(":")
+    factory = PATTERNS.get(base.strip().lower())
+    if sep:
+        return factory(config, arg)
+    return factory(config)
 
 
 @functools.lru_cache(maxsize=None)
 def pattern_names() -> tuple:
-    """All supported pattern names."""
+    """All synthetic pattern names (the sweepable traffic axis).
+
+    The parameterized ``trace_replay:<path>`` pattern is deliberately
+    excluded: it needs a capture file, so it is not a free axis for
+    sweeps that enumerate this tuple.
+    """
     return (
         "uniform_random",
         "bit_complement",

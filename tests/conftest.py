@@ -1,0 +1,12 @@
+"""Repo-wide test fixtures and import paths.
+
+Puts the ``tests/`` directory itself on ``sys.path`` so shared test
+helpers import as plain (namespace) packages — e.g. the Hypothesis
+intensity tiers in :mod:`property.settings` — without sprinkling
+``__init__.py`` files through the test tree.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -14,7 +14,9 @@ import sys
 from pathlib import Path
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
+
+from property.settings import tiered_settings
 
 from repro.core.coords import Coord
 from repro.core.params import NetworkConfig
@@ -280,7 +282,7 @@ def any_design_point(draw):
 
 
 @given(any_design_point(), st.data())
-@settings(max_examples=30, deadline=None)
+@tiered_settings(30, deadline=None)
 def test_port_graph_round_trips_through_tabulation(point, data):
     """Emitted graph -> next-hop table -> chain walk ejects correctly.
 

@@ -1,7 +1,9 @@
 """Routing algorithm tests: paper examples, invariants, property tests."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
+
+from property.settings import tiered_settings
 
 from repro.core.coords import Coord, Direction
 from repro.core.params import DorOrder, NetworkConfig
@@ -290,7 +292,7 @@ def config_and_pair(draw):
 
 class TestRoutingProperties:
     @given(config_and_pair())
-    @settings(max_examples=300, deadline=None)
+    @tiered_settings(300, deadline=None)
     def test_every_route_terminates_at_destination(self, case):
         cfg, src, dest = case
         r = make_routing(cfg)
@@ -298,7 +300,7 @@ class TestRoutingProperties:
         assert path[-1] == (dest, Direction.P)
 
     @given(config_and_pair())
-    @settings(max_examples=200, deadline=None)
+    @tiered_settings(200, deadline=None)
     def test_routes_use_only_existing_channels(self, case):
         cfg, src, dest = case
         r = make_routing(cfg)
@@ -307,7 +309,7 @@ class TestRoutingProperties:
             assert topo.has_channel(node, out), (node, out)
 
     @given(config_and_pair())
-    @settings(max_examples=200, deadline=None)
+    @tiered_settings(200, deadline=None)
     def test_non_torus_routes_are_bounded_by_manhattan(self, case):
         cfg, src, dest = case
         if cfg.kind.is_torus:

@@ -12,7 +12,7 @@ class TestRegistry:
         assert ids == {
             "table1", "fig5", "fig6", "fig7", "table2", "table3",
             "fig8", "fig9", "table4", "fig10", "fig11", "fig12",
-            "fig13", "table6", "sweep3d", "faults", "chaos",
+            "fig13", "table6", "sweep3d", "tail", "faults", "chaos",
         }
 
     def test_describe(self):

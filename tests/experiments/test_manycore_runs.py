@@ -61,3 +61,68 @@ class TestCache:
     def test_machine_config_builder(self):
         cfg = machine_config("ruche2-depop", 16, 8)
         assert cfg.width == 16 and cfg.network == "ruche2-depop"
+
+
+class TestTraceCapture:
+    KEY = ("jacobi", "mesh", 8, 4, "smoke")
+
+    def test_entries_carry_traces_and_provenance(self):
+        from repro.experiments.manycore_runs import (
+            PROVENANCE,
+            run_entry,
+        )
+
+        entry = run_entry(*self.KEY)
+        assert entry.provenance == PROVENANCE
+        assert set(entry.traces) == {"fwd", "rev"}
+        fwd = entry.traces["fwd"]
+        assert fwd.records > 0
+        assert fwd.provenance["schema"] == PROVENANCE
+        assert fwd.options["dor_order"] == "xy"
+        assert entry.traces["rev"].options["dor_order"] == "yx"
+
+    def test_run_cached_returns_the_entry_stats(self):
+        from repro.experiments.manycore_runs import run_entry
+
+        entry = run_entry(*self.KEY)
+        assert run_cached(*self.KEY) is entry.stats
+
+    def test_stale_provenance_is_never_reused(self):
+        import dataclasses
+
+        from repro.experiments.manycore_runs import (
+            _CACHE,
+            _cache_key,
+            run_entry,
+        )
+
+        entry = run_entry(*self.KEY)
+        _CACHE[_cache_key(self.KEY)] = dataclasses.replace(
+            entry, provenance="pre-trace-build", traces={}
+        )
+        fresh = run_entry(*self.KEY)
+        assert fresh.provenance != "pre-trace-build"
+        assert fresh.traces
+
+    def test_write_traces_is_idempotent(self):
+        from repro.experiments.manycore_runs import write_traces
+
+        first = write_traces(self.KEY)
+        second = write_traces(self.KEY)
+        assert first == second
+        assert set(first) == {"fwd", "rev"}
+
+    def test_replay_result_matches_reference_replay(self):
+        from repro.experiments.manycore_runs import replay_result
+
+        ref = replay_result(*self.KEY, engine="reference")
+        comp = replay_result(*self.KEY, engine="compiled")
+        assert ref.engine == "reference"
+        assert comp.engine == "compiled"
+        assert comp.avg_latency == ref.avg_latency
+        assert comp.metrics.delivered_total == (
+            ref.metrics.delivered_total
+        )
+        assert comp.metrics.injected_total == (
+            ref.metrics.injected_total
+        )

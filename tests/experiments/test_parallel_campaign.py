@@ -13,8 +13,10 @@ import os
 import tempfile
 import types
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
+
+from property.settings import tiered_settings
 
 from repro.errors import DeadlockError
 from repro.experiments import campaign
@@ -99,7 +101,7 @@ class TestParallelEquivalence:
         assert parallel.rows == serial.rows
         assert parallel.computed == serial.computed == len(grid)
 
-    @settings(max_examples=5, deadline=None)
+    @tiered_settings(5, deadline=None)
     @given(
         grid=st.lists(
             st.fixed_dictionaries(
@@ -302,7 +304,7 @@ class TestBatchedCampaign:
         assert seen == [1, 2, 3]
         assert resumed.rows == [hash_runner(p) for p in grid]
 
-    @settings(max_examples=10, deadline=None)
+    @tiered_settings(10, deadline=None)
     @given(
         grid=st.lists(
             st.fixed_dictionaries(

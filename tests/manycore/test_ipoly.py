@@ -1,7 +1,9 @@
 """IPOLY interleaving tests (balance, determinism, ablation contrast)."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
+
+from property.settings import tiered_settings
 
 from repro.errors import ConfigError
 from repro.manycore.ipoly import IRREDUCIBLE_POLYS, ipoly_hash, modulo_hash
@@ -65,7 +67,7 @@ class TestBalance:
         assert len(ipoly_banks_hit) > banks // 2
 
     @given(st.integers(0, 2**40), st.sampled_from([2, 4, 8, 16, 32, 64]))
-    @settings(max_examples=300)
+    @tiered_settings(300)
     def test_range_property(self, addr, banks):
         assert 0 <= ipoly_hash(addr, banks) < banks
 

@@ -1,0 +1,58 @@
+"""Hypothesis intensity tiers for the property-based suites.
+
+Every property test declares its example budget through
+:func:`tiered_settings` instead of a hard-coded ``max_examples``.  The
+default ``fast`` tier keeps the counts the suite has always run with
+(CI wall-clock is unchanged); setting ``REPRO_TEST_INTENSITY=full``
+multiplies every budget by :data:`FULL_MULTIPLIER` (or uses a per-site
+``full`` override) for scheduled deep runs::
+
+    REPRO_TEST_INTENSITY=full python -m pytest tests/
+
+The tier is read once per call site at import time, so it must be set
+in the environment before pytest starts, not monkeypatched per test.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Optional
+
+from hypothesis import settings
+
+#: Recognized ``REPRO_TEST_INTENSITY`` values.
+TIERS = ("fast", "full")
+
+#: Example-count multiplier of the ``full`` tier, applied where a call
+#: site does not pass an explicit ``full`` budget.
+FULL_MULTIPLIER = 10
+
+
+def intensity() -> str:
+    """The active tier: ``fast`` (default) or ``full``."""
+    tier = os.environ.get("REPRO_TEST_INTENSITY", "fast")
+    if tier not in TIERS:
+        raise ValueError(
+            f"REPRO_TEST_INTENSITY={tier!r}; expected one of {TIERS}"
+        )
+    return tier
+
+
+def max_examples(fast: int, full: Optional[int] = None) -> int:
+    """The example budget for the active tier."""
+    if intensity() == "full":
+        return full if full is not None else fast * FULL_MULTIPLIER
+    return fast
+
+
+def tiered_settings(
+    fast: int, full: Optional[int] = None, **kwargs: Any
+) -> settings:
+    """A Hypothesis ``@settings`` scaled by the intensity tier.
+
+    ``fast`` is the default-tier example count (what CI runs every
+    push); ``full`` optionally pins the deep-run count where a plain
+    x10 would be too slow.  All other keyword arguments pass through
+    to :class:`hypothesis.settings` unchanged.
+    """
+    return settings(max_examples=max_examples(fast, full), **kwargs)

@@ -1,0 +1,36 @@
+"""The Hypothesis intensity-tier helpers themselves."""
+
+import pytest
+
+from property.settings import (
+    FULL_MULTIPLIER,
+    intensity,
+    max_examples,
+    tiered_settings,
+)
+
+
+class TestTiers:
+    def test_fast_is_the_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_INTENSITY", raising=False)
+        assert intensity() == "fast"
+        assert max_examples(25) == 25
+
+    def test_full_scales_examples(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_INTENSITY", "full")
+        assert intensity() == "full"
+        assert max_examples(25) == 25 * FULL_MULTIPLIER
+        assert max_examples(25, full=40) == 40
+
+    def test_unknown_tier_is_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_INTENSITY", "extreme")
+        with pytest.raises(ValueError, match="extreme"):
+            intensity()
+
+    def test_tiered_settings_builds_hypothesis_settings(
+        self, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_TEST_INTENSITY", raising=False)
+        s = tiered_settings(12, deadline=None)
+        assert s.max_examples == 12
+        assert s.deadline is None

@@ -2,7 +2,9 @@
 configuration is delivered exactly once, across the full config space
 (topologies × flow control × channel latency × FIFO depth)."""
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
+
+from property.settings import tiered_settings
 
 from repro.core.params import NetworkConfig
 from repro.sim.network import Network
@@ -29,7 +31,7 @@ def any_config(draw):
 
 
 @given(any_config(), st.integers(0, 2**31 - 1))
-@settings(max_examples=25, deadline=None)
+@tiered_settings(25, deadline=None)
 def test_universal_conservation(cfg, seed):
     net = Network(cfg)
     rng = derive_rng(seed, "universal")
@@ -48,7 +50,7 @@ def test_universal_conservation(cfg, seed):
 
 
 @given(st.integers(0, 2**31 - 1))
-@settings(max_examples=10, deadline=None)
+@tiered_settings(10, deadline=None)
 def test_vc_network_healthy_mid_flight(seed):
     """Invariants hold at arbitrary mid-simulation points, not only at
     quiescence."""

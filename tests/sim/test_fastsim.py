@@ -15,8 +15,10 @@ import dataclasses
 import warnings
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
+
+from property.settings import tiered_settings
 
 from repro.bench import CASES, _case_spec
 from repro.core.params import NetworkConfig
@@ -286,7 +288,7 @@ _FAULT_DESIGNS = (
 
 
 class TestFaultProperty:
-    @settings(max_examples=10, deadline=None)
+    @tiered_settings(10, deadline=None)
     @given(
         design=st.sampled_from(_FAULT_DESIGNS),
         links=st.integers(0, 3),
@@ -337,7 +339,7 @@ _DESIGNS = (
 
 
 class TestPropertyEquivalence:
-    @settings(max_examples=12, deadline=None)
+    @tiered_settings(12, deadline=None)
     @given(
         design=st.sampled_from(_DESIGNS),
         width=st.integers(4, 8),

@@ -13,8 +13,10 @@ engine provenance.
 import dataclasses
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
+
+from property.settings import tiered_settings
 
 from repro.core.spec import NetworkSpec, build_run
 from repro.errors import DeadlockError, SimulationTimeout
@@ -137,7 +139,7 @@ class TestBatchEquivalence:
         for spec, got in zip(specs, results):
             assert fingerprint(got) == fingerprint(build_run(spec))
 
-    @settings(max_examples=10, deadline=None)
+    @tiered_settings(10, deadline=None)
     @given(
         designs=st.lists(
             st.tuples(

@@ -2,7 +2,9 @@
 deadlock freedom, edge-memory endpoints."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
+
+from property.settings import tiered_settings
 
 from repro.core.coords import Coord, Direction
 from repro.core.params import NetworkConfig
@@ -63,7 +65,7 @@ class TestConservation:
         assert net.occupancy == 0
 
     @given(st.integers(0, 2**32 - 1))
-    @settings(max_examples=12, deadline=None)
+    @tiered_settings(12, deadline=None)
     def test_random_burst_conservation_property(self, seed):
         rng = derive_rng(seed, "burst")
         name = ALL_NAMES[seed % len(ALL_NAMES)]

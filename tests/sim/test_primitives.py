@@ -1,7 +1,9 @@
 """Unit and property tests for FIFOs, arbiters, and the wavefront allocator."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
+
+from property.settings import tiered_settings
 
 from repro.sim.allocator import WavefrontAllocator
 from repro.sim.arbiter import RoundRobinArbiter
@@ -131,7 +133,7 @@ class TestWavefrontAllocator:
             max_size=5,
         )
     )
-    @settings(max_examples=200)
+    @tiered_settings(200)
     def test_maximality_property(self, reqs):
         """No grantable request is left on the table (maximal matching)."""
         alloc = WavefrontAllocator(5, 5)
@@ -150,7 +152,7 @@ class TestWavefrontAllocator:
             max_size=5,
         )
     )
-    @settings(max_examples=200)
+    @tiered_settings(200)
     def test_grants_respect_requests_and_uniqueness(self, reqs):
         alloc = WavefrontAllocator(5, 5)
         grants = alloc.allocate(reqs)

@@ -40,6 +40,84 @@ class TestLatencyStats:
         a.merge(b)
         assert a.count == 2 and a.max == 9 and a.min == 1
 
+    def test_percentile_nearest_rank(self):
+        s = LatencyStats(keep_samples=True)
+        for v in (10, 20, 30, 40):
+            s.add(v)
+        # Nearest rank: smallest sample covering >= q of the mass.
+        assert s.percentile(0.25) == 10
+        assert s.percentile(0.50) == 20
+        assert s.percentile(0.75) == 30
+        assert s.percentile(1.00) == 40
+
+    def test_p999_on_short_runs_is_the_maximum(self):
+        # Fewer than 1000 samples: p999 must be the max, not an
+        # arbitrary interior sample from index truncation.
+        s = LatencyStats(keep_samples=True)
+        for v in range(50):
+            s.add(v)
+        assert s.percentile(0.999) == 49
+        one = LatencyStats(keep_samples=True)
+        one.add(7)
+        assert one.percentile(0.999) == 7
+        assert one.percentile(0.5) == 7
+
+    def test_percentile_of_empty_is_nan(self):
+        s = LatencyStats(keep_samples=True)
+        assert math.isnan(s.percentile(0.5))
+
+
+class TestTailAndFairness:
+    def test_fairness_stats_math(self):
+        from repro.sim.metrics import fairness_stats
+
+        stats = fairness_stats({"a": 10.0, "b": 20.0, "c": 30.0})
+        assert stats["fairness_max_over_mean"] == pytest.approx(1.5)
+        assert stats["fairness_cv"] == pytest.approx(
+            math.sqrt(200 / 3) / 20
+        )
+
+    def test_fairness_stats_of_nothing_is_nan(self):
+        from repro.sim.metrics import fairness_stats
+
+        for sources in ({}, {"a": float("nan")}):
+            stats = fairness_stats(sources)
+            assert math.isnan(stats["fairness_max_over_mean"])
+            assert math.isnan(stats["fairness_cv"])
+
+    def test_tail_latency_stats_from_a_run(self):
+        from repro.core.spec import NetworkSpec, build_run
+        from repro.sim.metrics import tail_latency_stats
+
+        spec = NetworkSpec.for_network(
+            "mesh", 8, 8, pattern="uniform_random", rate=0.10,
+            warmup=100, measure=300, drain_limit=2000, seed=3,
+            engine="compiled",
+        )
+        result = build_run(
+            spec, track_per_source=True, keep_samples=True
+        )
+        tail = tail_latency_stats(result.metrics)
+        assert set(tail) == {
+            "p50_latency", "p99_latency", "p999_latency",
+            "fairness_max_over_mean", "fairness_cv",
+        }
+        assert (
+            tail["p50_latency"]
+            <= tail["p99_latency"]
+            <= tail["p999_latency"]
+        )
+        assert tail["fairness_max_over_mean"] >= 1.0
+
+    def test_tail_latency_stats_without_per_source(self):
+        from repro.sim.metrics import RunMetrics, tail_latency_stats
+
+        metrics = RunMetrics(keep_samples=True)
+        metrics.measured.add(5)
+        tail = tail_latency_stats(metrics)
+        assert "fairness_cv" not in tail
+        assert tail["p50_latency"] == 5.0
+
 
 class TestRunSynthetic:
     def test_low_load_accepted_matches_offered(self):

@@ -16,7 +16,9 @@ import sys
 from pathlib import Path
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
+
+from property.settings import tiered_settings
 
 from repro.core.connectivity import connectivity_matrix
 from repro.core.coords import Coord, Direction
@@ -297,7 +299,7 @@ random_configs = st.builds(
 )
 
 
-@settings(max_examples=25, deadline=None)
+@tiered_settings(25, deadline=None)
 @given(random_configs)
 def test_certifier_verdict_matches_enumerator(config):
     certified = certify_config(config)

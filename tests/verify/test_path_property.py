@@ -6,7 +6,9 @@ the hop count never exceeds the bound the static verifier proved for
 the whole design point.
 """
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
+
+from property.settings import tiered_settings
 
 from repro.core.coords import Coord, Direction
 from repro.core.params import NetworkConfig
@@ -54,7 +56,7 @@ def config_and_pair(draw):
     return config, src, dest
 
 
-@settings(max_examples=200, deadline=None)
+@tiered_settings(200, deadline=None)
 @given(config_and_pair())
 def test_path_terminates_at_dest_with_consistent_length(case):
     config, src, dest = case
@@ -68,7 +70,7 @@ def test_path_terminates_at_dest_with_consistent_length(case):
     assert routing.hop_count(src, dest) == len(path) - 1
 
 
-@settings(max_examples=60, deadline=None)
+@tiered_settings(60, deadline=None)
 @given(config_and_pair())
 def test_hop_count_within_verified_bound(case):
     config, src, dest = case
